@@ -1,0 +1,282 @@
+//! The client-side-caching baseline (Hotpot-class).
+
+use std::collections::{BTreeMap, HashMap};
+
+use gengar_core::cluster::Cluster;
+use gengar_core::config::{ClientConfig, Consistency, ServerConfig};
+use gengar_core::error::GengarError;
+use gengar_core::layout::lockword;
+use gengar_core::pool::DshmPool;
+use gengar_core::{GengarClient, GlobalPtr};
+use gengar_rdma::FabricConfig;
+
+#[derive(Debug)]
+struct Entry {
+    version: u64,
+    data: Vec<u8>,
+    stamp: u64,
+}
+
+/// Cache-hit/miss counters for the baseline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientCacheStats {
+    /// Reads served from the local cache after version validation.
+    pub hits: u64,
+    /// Reads that went to the pool.
+    pub misses: u64,
+    /// Validation round trips that found a stale version.
+    pub stale: u64,
+    /// Entries evicted for capacity.
+    pub evictions: u64,
+}
+
+/// A DSHM client that caches object payloads in *its own* DRAM.
+///
+/// Cache hits cost one 8-byte RDMA READ (version validation) instead of a
+/// full-object READ. The contrast with Gengar: each client caches
+/// separately (no sharing across clients), every hit still pays a
+/// round-trip for validation, and writes must go through the home node's
+/// lock/version protocol to keep validations sound.
+#[derive(Debug)]
+pub struct ClientCache {
+    client: GengarClient,
+    entries: HashMap<u64, Entry>,
+    lru: BTreeMap<u64, u64>,
+    used: u64,
+    capacity: u64,
+    next_stamp: u64,
+    stats: ClientCacheStats,
+}
+
+impl ClientCache {
+    /// Forces the baseline's server configuration onto `config` (home
+    /// nodes serve raw NVM; no server cache, no proxy).
+    pub fn server_config(mut config: ServerConfig) -> ServerConfig {
+        config.enable_cache = false;
+        config.enable_proxy = false;
+        config
+    }
+
+    /// Launches a cluster configured for this baseline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cluster launch failures.
+    pub fn launch(
+        n_servers: usize,
+        config: ServerConfig,
+        fabric: FabricConfig,
+    ) -> Result<Cluster, GengarError> {
+        Cluster::launch(n_servers, Self::server_config(config), fabric)
+    }
+
+    /// Connects a caching client with `capacity` bytes of local cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn client(cluster: &Cluster, capacity: u64) -> Result<ClientCache, GengarError> {
+        let client = cluster.client(ClientConfig {
+            // Writes must bump versions so validation detects staleness.
+            consistency: Consistency::Seqlock,
+            ..Default::default()
+        })?;
+        Ok(ClientCache {
+            client,
+            entries: HashMap::new(),
+            lru: BTreeMap::new(),
+            used: 0,
+            capacity,
+            next_stamp: 0,
+            stats: ClientCacheStats::default(),
+        })
+    }
+
+    /// Cache counters.
+    pub fn cache_stats(&self) -> ClientCacheStats {
+        self.stats
+    }
+
+    /// The wrapped Gengar client.
+    pub fn inner(&self) -> &GengarClient {
+        &self.client
+    }
+
+    /// Bytes currently cached.
+    pub fn cached_bytes(&self) -> u64 {
+        self.used
+    }
+
+    fn touch(&mut self, base: u64) {
+        if let Some(e) = self.entries.get_mut(&base) {
+            self.lru.remove(&e.stamp);
+            self.next_stamp += 1;
+            e.stamp = self.next_stamp;
+            self.lru.insert(e.stamp, base);
+        }
+    }
+
+    fn remove(&mut self, base: u64) {
+        if let Some(e) = self.entries.remove(&base) {
+            self.lru.remove(&e.stamp);
+            self.used -= e.data.len() as u64;
+        }
+    }
+
+    fn insert(&mut self, base: u64, version: u64, data: Vec<u8>) {
+        if data.len() as u64 > self.capacity {
+            return;
+        }
+        self.remove(base);
+        while self.used + data.len() as u64 > self.capacity {
+            let (&stamp, &victim) = self.lru.iter().next().expect("used > 0 implies entries");
+            let _ = stamp;
+            self.remove(victim);
+            self.stats.evictions += 1;
+        }
+        self.next_stamp += 1;
+        self.used += data.len() as u64;
+        self.lru.insert(self.next_stamp, base);
+        self.entries.insert(
+            base,
+            Entry {
+                version,
+                data,
+                stamp: self.next_stamp,
+            },
+        );
+    }
+}
+
+impl DshmPool for ClientCache {
+    fn alloc(&mut self, server: u8, size: u64) -> Result<GlobalPtr, GengarError> {
+        self.client.alloc(server, size)
+    }
+
+    fn free(&mut self, ptr: GlobalPtr) -> Result<(), GengarError> {
+        self.remove(ptr.addr.raw());
+        self.client.free(ptr)
+    }
+
+    fn read(&mut self, ptr: GlobalPtr, offset: u64, buf: &mut [u8]) -> Result<(), GengarError> {
+        let base = ptr.addr.raw();
+        // Validate a cached copy with a single 8-byte READ of the object's
+        // lock/version word.
+        if self.entries.contains_key(&base) {
+            let word = self.client.read_lock_word(ptr)?;
+            let entry = self.entries.get(&base).expect("checked above");
+            if !lockword::is_locked(word) && lockword::version(word) == entry.version {
+                let off = offset as usize;
+                if off + buf.len() <= entry.data.len() {
+                    buf.copy_from_slice(&entry.data[off..off + buf.len()]);
+                    self.touch(base);
+                    self.stats.hits += 1;
+                    return Ok(());
+                }
+            }
+            self.remove(base);
+            self.stats.stale += 1;
+        }
+        // Miss: fetch the whole object, cache it with a validated version.
+        self.stats.misses += 1;
+        let w1 = self.client.read_lock_word(ptr)?;
+        let mut data = vec![0u8; ptr.size as usize];
+        self.client.read(ptr, 0, &mut data)?;
+        let w2 = self.client.read_lock_word(ptr)?;
+        if w1 == w2 && !lockword::is_locked(w1) {
+            self.insert(base, lockword::version(w1), data.clone());
+        }
+        buf.copy_from_slice(&data[offset as usize..offset as usize + buf.len()]);
+        Ok(())
+    }
+
+    fn write(&mut self, ptr: GlobalPtr, offset: u64, data: &[u8]) -> Result<(), GengarError> {
+        // Write-through with version bump (lock/unlock inside the client);
+        // drop our copy so the next read revalidates.
+        self.remove(ptr.addr.raw());
+        self.client.write(ptr, offset, data)
+    }
+
+    fn cas_u64(
+        &mut self,
+        ptr: GlobalPtr,
+        offset: u64,
+        expected: u64,
+        new: u64,
+    ) -> Result<u64, GengarError> {
+        self.remove(ptr.addr.raw());
+        self.client.cas_u64(ptr, offset, expected, new)
+    }
+
+    fn servers(&self) -> Vec<u8> {
+        self.client.server_ids()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_after_first_read() {
+        let cluster =
+            ClientCache::launch(1, ServerConfig::small(), FabricConfig::instant()).unwrap();
+        let mut pool = ClientCache::client(&cluster, 1 << 20).unwrap();
+        let ptr = pool.alloc(0, 128).unwrap();
+        pool.write(ptr, 0, &[4u8; 128]).unwrap();
+        let mut buf = [0u8; 128];
+        pool.read(ptr, 0, &mut buf).unwrap();
+        assert_eq!(pool.cache_stats().misses, 1);
+        for _ in 0..10 {
+            pool.read(ptr, 0, &mut buf).unwrap();
+            assert!(buf.iter().all(|&b| b == 4));
+        }
+        assert_eq!(pool.cache_stats().hits, 10);
+    }
+
+    #[test]
+    fn writes_invalidate_and_revalidate() {
+        let cluster =
+            ClientCache::launch(1, ServerConfig::small(), FabricConfig::instant()).unwrap();
+        let mut pool = ClientCache::client(&cluster, 1 << 20).unwrap();
+        let ptr = pool.alloc(0, 64).unwrap();
+        pool.write(ptr, 0, &[1u8; 64]).unwrap();
+        let mut buf = [0u8; 64];
+        pool.read(ptr, 0, &mut buf).unwrap();
+        pool.write(ptr, 0, &[2u8; 64]).unwrap();
+        pool.read(ptr, 0, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 2));
+    }
+
+    #[test]
+    fn cross_client_writes_detected_by_version() {
+        let cluster =
+            ClientCache::launch(1, ServerConfig::small(), FabricConfig::instant()).unwrap();
+        let mut a = ClientCache::client(&cluster, 1 << 20).unwrap();
+        let mut b = ClientCache::client(&cluster, 1 << 20).unwrap();
+        let ptr = a.alloc(0, 64).unwrap();
+        a.write(ptr, 0, &[1u8; 64]).unwrap();
+        let mut buf = [0u8; 64];
+        b.read(ptr, 0, &mut buf).unwrap(); // b caches version v
+        a.write(ptr, 0, &[9u8; 64]).unwrap(); // bumps the version
+        b.read(ptr, 0, &mut buf).unwrap(); // validation must fail -> refetch
+        assert!(buf.iter().all(|&b| b == 9), "stale client cache: {buf:?}");
+        assert!(b.cache_stats().stale >= 1);
+    }
+
+    #[test]
+    fn lru_eviction_respects_capacity() {
+        let cluster =
+            ClientCache::launch(1, ServerConfig::small(), FabricConfig::instant()).unwrap();
+        // Room for two 64-byte objects only.
+        let mut pool = ClientCache::client(&cluster, 128).unwrap();
+        let mut buf = [0u8; 64];
+        let ptrs: Vec<GlobalPtr> = (0..3).map(|_| pool.alloc(0, 64).unwrap()).collect();
+        for p in &ptrs {
+            pool.write(*p, 0, &[6u8; 64]).unwrap();
+            pool.read(*p, 0, &mut buf).unwrap();
+        }
+        assert!(pool.cached_bytes() <= 128);
+        assert!(pool.cache_stats().evictions >= 1);
+    }
+}

@@ -1,0 +1,132 @@
+//! The DRAM-only upper bound.
+
+use gengar_core::cluster::Cluster;
+use gengar_core::config::{ClientConfig, Consistency, ServerConfig};
+use gengar_core::error::GengarError;
+use gengar_core::pool::DshmPool;
+use gengar_core::{GengarClient, GlobalPtr};
+use gengar_hybridmem::{DeviceProfile, MemKind, PersistenceMode};
+use gengar_rdma::FabricConfig;
+
+/// A pool whose "NVM" is DRAM-speed and durable-on-write: the performance
+/// ceiling any hybrid design could reach if NVM were as fast as DRAM.
+/// Writes take the proxy path (one round trip); there is nothing for a
+/// DRAM cache to accelerate, so it stays off.
+#[derive(Debug)]
+pub struct DramOnly {
+    client: GengarClient,
+}
+
+impl DramOnly {
+    /// Forces the upper-bound configuration onto `config`.
+    pub fn server_config(mut config: ServerConfig) -> ServerConfig {
+        let mut profile = match config.dram_profile.read_latency_ns {
+            0 => DeviceProfile::instant(MemKind::Nvm),
+            _ => DeviceProfile {
+                kind: MemKind::Nvm,
+                ..DeviceProfile::dram()
+            },
+        };
+        profile.name = "dram-as-nvm".to_owned();
+        profile.persistence = PersistenceMode::Adr;
+        config.nvm_profile = profile;
+        config.enable_cache = false;
+        config.enable_proxy = true;
+        config
+    }
+
+    /// Launches a cluster configured as the upper bound.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cluster launch failures.
+    pub fn launch(
+        n_servers: usize,
+        config: ServerConfig,
+        fabric: FabricConfig,
+    ) -> Result<Cluster, GengarError> {
+        Cluster::launch(n_servers, Self::server_config(config), fabric)
+    }
+
+    /// Connects a client.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn client(cluster: &Cluster) -> Result<DramOnly, GengarError> {
+        let client = cluster.client(ClientConfig {
+            consistency: Consistency::None,
+            ..Default::default()
+        })?;
+        Ok(DramOnly { client })
+    }
+
+    /// The wrapped Gengar client.
+    pub fn inner(&self) -> &GengarClient {
+        &self.client
+    }
+}
+
+impl DshmPool for DramOnly {
+    fn alloc(&mut self, server: u8, size: u64) -> Result<GlobalPtr, GengarError> {
+        self.client.alloc(server, size)
+    }
+
+    fn free(&mut self, ptr: GlobalPtr) -> Result<(), GengarError> {
+        self.client.free(ptr)
+    }
+
+    fn read(&mut self, ptr: GlobalPtr, offset: u64, buf: &mut [u8]) -> Result<(), GengarError> {
+        self.client.read(ptr, offset, buf)
+    }
+
+    fn write(&mut self, ptr: GlobalPtr, offset: u64, data: &[u8]) -> Result<(), GengarError> {
+        self.client.write(ptr, offset, data)
+    }
+
+    fn cas_u64(
+        &mut self,
+        ptr: GlobalPtr,
+        offset: u64,
+        expected: u64,
+        new: u64,
+    ) -> Result<u64, GengarError> {
+        self.client.cas_u64(ptr, offset, expected, new)
+    }
+
+    fn servers(&self) -> Vec<u8> {
+        self.client.server_ids()
+    }
+
+    fn barrier(&mut self) -> Result<(), GengarError> {
+        self.client.drain_all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upper_bound_roundtrips() {
+        let cluster = DramOnly::launch(1, ServerConfig::small(), FabricConfig::instant()).unwrap();
+        let mut pool = DramOnly::client(&cluster).unwrap();
+        let ptr = pool.alloc(0, 64).unwrap();
+        pool.write(ptr, 0, &[8u8; 64]).unwrap();
+        let mut buf = [0u8; 64];
+        pool.read(ptr, 0, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 8));
+        assert!(pool.inner().stats().staged_writes >= 1, "proxy path expected");
+    }
+
+    #[test]
+    fn config_shape() {
+        let c = DramOnly::server_config(ServerConfig::default());
+        assert_eq!(c.nvm_profile.kind, MemKind::Nvm);
+        assert_eq!(c.nvm_profile.persistence, PersistenceMode::Adr);
+        assert!(!c.enable_cache);
+        assert!(c.enable_proxy);
+        // DRAM-speed, not Optane-speed.
+        assert!(c.nvm_profile.read_latency_ns <= DeviceProfile::dram().read_latency_ns);
+    }
+}

@@ -1,0 +1,26 @@
+//! Baseline DSHM designs for the Gengar evaluation.
+//!
+//! The paper compares Gengar against "state-of-the-art DSHM systems" — the
+//! design points of that generation that lack server-side hot-data caching
+//! and proxy writes. This crate implements those comparators behind the
+//! same [`DshmPool`] trait, so every workload in `gengar-workloads` runs
+//! unchanged against each system:
+//!
+//! * [`NvmDirect`] — one-sided RDMA straight to remote NVM, no DRAM cache,
+//!   no proxy; durability through write + flush RPC (Octopus-class).
+//! * [`ClientCache`] — NvmDirect plus a *client-local* DRAM cache with
+//!   version-validated hits (Hotpot-class). Contrast with Gengar's
+//!   *server-side* cache, which serves every client and is kept fresh by
+//!   the proxy drain path.
+//! * [`DramOnly`] — the whole pool backed by DRAM-speed devices: an upper
+//!   bound on what any NVM design can reach.
+//!
+//! [`DshmPool`]: gengar_core::pool::DshmPool
+
+pub mod client_cache;
+pub mod dram_only;
+pub mod nvm_direct;
+
+pub use client_cache::ClientCache;
+pub use dram_only::DramOnly;
+pub use nvm_direct::NvmDirect;

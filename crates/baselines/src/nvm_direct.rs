@@ -1,0 +1,133 @@
+//! The direct-to-NVM baseline (Octopus-class).
+
+use std::sync::Arc;
+
+use gengar_core::cluster::Cluster;
+use gengar_core::config::{ClientConfig, Consistency, ServerConfig};
+use gengar_core::error::GengarError;
+use gengar_core::pool::DshmPool;
+use gengar_core::{GengarClient, GlobalPtr};
+use gengar_rdma::FabricConfig;
+
+/// A DSHM design that accesses remote NVM with one-sided verbs and nothing
+/// else: no hot-data caching, no proxy. Writes are made durable with an
+/// RDMA WRITE followed by a flush RPC. This is the "state-of-the-art DSHM"
+/// shape the paper compares against.
+#[derive(Debug)]
+pub struct NvmDirect {
+    client: GengarClient,
+}
+
+impl NvmDirect {
+    /// Forces the baseline's server configuration onto `config`.
+    pub fn server_config(mut config: ServerConfig) -> ServerConfig {
+        config.enable_cache = false;
+        config.enable_proxy = false;
+        config
+    }
+
+    /// Launches a cluster configured for this baseline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cluster launch failures.
+    pub fn launch(
+        n_servers: usize,
+        config: ServerConfig,
+        fabric: FabricConfig,
+    ) -> Result<Cluster, GengarError> {
+        Cluster::launch(n_servers, Self::server_config(config), fabric)
+    }
+
+    /// Connects a baseline client to a cluster launched with
+    /// [`NvmDirect::launch`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn client(cluster: &Cluster) -> Result<NvmDirect, GengarError> {
+        let client = cluster.client(ClientConfig {
+            consistency: Consistency::None,
+            ..Default::default()
+        })?;
+        Ok(NvmDirect { client })
+    }
+
+    /// The wrapped Gengar client (for statistics).
+    pub fn inner(&self) -> &GengarClient {
+        &self.client
+    }
+}
+
+impl DshmPool for NvmDirect {
+    fn alloc(&mut self, server: u8, size: u64) -> Result<GlobalPtr, GengarError> {
+        self.client.alloc(server, size)
+    }
+
+    fn free(&mut self, ptr: GlobalPtr) -> Result<(), GengarError> {
+        self.client.free(ptr)
+    }
+
+    fn read(&mut self, ptr: GlobalPtr, offset: u64, buf: &mut [u8]) -> Result<(), GengarError> {
+        self.client.read(ptr, offset, buf)
+    }
+
+    fn write(&mut self, ptr: GlobalPtr, offset: u64, data: &[u8]) -> Result<(), GengarError> {
+        self.client.write(ptr, offset, data)
+    }
+
+    fn cas_u64(
+        &mut self,
+        ptr: GlobalPtr,
+        offset: u64,
+        expected: u64,
+        new: u64,
+    ) -> Result<u64, GengarError> {
+        self.client.cas_u64(ptr, offset, expected, new)
+    }
+
+    fn servers(&self) -> Vec<u8> {
+        self.client.server_ids()
+    }
+}
+
+/// Convenience: launch a baseline cluster and one client in one call.
+///
+/// # Errors
+///
+/// Propagates launch/connect failures.
+pub fn launch_with_client(
+    n_servers: usize,
+    config: ServerConfig,
+    fabric: FabricConfig,
+) -> Result<(Arc<Cluster>, NvmDirect), GengarError> {
+    let cluster = Arc::new(NvmDirect::launch(n_servers, config, fabric)?);
+    let client = NvmDirect::client(&cluster)?;
+    Ok((cluster, client))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_disables_gengar_mechanisms() {
+        let (_cluster, mut pool) = launch_with_client(
+            1,
+            ServerConfig::small(),
+            FabricConfig::instant(),
+        )
+        .unwrap();
+        let ptr = pool.alloc(0, 64).unwrap();
+        for _ in 0..20 {
+            pool.write(ptr, 0, &[3u8; 64]).unwrap();
+            let mut buf = [0u8; 64];
+            pool.read(ptr, 0, &mut buf).unwrap();
+            assert!(buf.iter().all(|&b| b == 3));
+        }
+        let stats = pool.inner().stats();
+        assert_eq!(stats.staged_writes, 0);
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.direct_writes, 20);
+    }
+}

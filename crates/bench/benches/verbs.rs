@@ -1,0 +1,100 @@
+//! Criterion microbenchmarks of the RDMA verbs substrate.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gengar_hybridmem::{DeviceProfile, MemDevice, MemKind, MemRegion};
+use gengar_rdma::{Access, Endpoint, Fabric, FabricConfig, Payload, QpOptions, RemoteAddr, Sge};
+
+struct Bed {
+    ep: Endpoint,
+    local: Arc<gengar_rdma::MemoryRegion>,
+    remote_dram: Arc<gengar_rdma::MemoryRegion>,
+    remote_nvm: Arc<gengar_rdma::MemoryRegion>,
+    // Keep the fabric and peer alive.
+    _fabric: Arc<Fabric>,
+    _peer: Endpoint,
+}
+
+fn bed() -> Bed {
+    gengar_hybridmem::set_time_scale(1.0);
+    let fabric = Fabric::new(FabricConfig::infiniband_100g());
+    let client = fabric.add_node();
+    let server = fabric.add_node();
+    let c_pd = client.alloc_pd();
+    let s_pd = server.alloc_pd();
+    let scratch =
+        Arc::new(MemDevice::new(0, DeviceProfile::instant(MemKind::Dram), 1 << 20).unwrap());
+    let dram = Arc::new(MemDevice::new(1, DeviceProfile::dram(), 1 << 20).unwrap());
+    let nvm = Arc::new(MemDevice::new(2, DeviceProfile::optane(), 1 << 20).unwrap());
+    let local = c_pd.reg_mr(MemRegion::whole(scratch), Access::all()).unwrap();
+    let remote_dram = s_pd.reg_mr(MemRegion::whole(dram), Access::all()).unwrap();
+    let remote_nvm = s_pd.reg_mr(MemRegion::whole(nvm), Access::all()).unwrap();
+    let (ep, peer) = Endpoint::pair((&client, &c_pd), (&server, &s_pd), QpOptions::default()).unwrap();
+    Bed {
+        ep,
+        local,
+        remote_dram,
+        remote_nvm,
+        _fabric: fabric,
+        _peer: peer,
+    }
+}
+
+fn bench_verbs(c: &mut Criterion) {
+    let bed = bed();
+    let mut group = c.benchmark_group("verbs");
+    for size in [64u64, 4096, 65536] {
+        group.throughput(Throughput::Bytes(size));
+        group.bench_with_input(BenchmarkId::new("read_dram", size), &size, |b, &s| {
+            b.iter(|| {
+                bed.ep
+                    .read(
+                        Sge::new(bed.local.lkey(), 0, s),
+                        RemoteAddr::new(bed.remote_dram.rkey(), 0),
+                    )
+                    .unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("read_nvm", size), &size, |b, &s| {
+            b.iter(|| {
+                bed.ep
+                    .read(
+                        Sge::new(bed.local.lkey(), 0, s),
+                        RemoteAddr::new(bed.remote_nvm.rkey(), 0),
+                    )
+                    .unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("write_nvm", size), &size, |b, &s| {
+            b.iter(|| {
+                bed.ep
+                    .write(
+                        Payload::Sge(Sge::new(bed.local.lkey(), 0, s)),
+                        RemoteAddr::new(bed.remote_nvm.rkey(), 0),
+                    )
+                    .unwrap()
+            });
+        });
+    }
+    group.bench_function("cas_dram", |b| {
+        b.iter(|| {
+            bed.ep
+                .compare_swap(
+                    Sge::new(bed.local.lkey(), 128, 8),
+                    RemoteAddr::new(bed.remote_dram.rkey(), 0),
+                    0,
+                    0,
+                )
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_verbs
+}
+criterion_main!(benches);

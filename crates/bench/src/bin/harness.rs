@@ -1,0 +1,43 @@
+//! The experiment harness: regenerates every table and figure of the
+//! Gengar evaluation.
+//!
+//! ```sh
+//! cargo run -p gengar-bench --release --bin harness            # all, full size
+//! cargo run -p gengar-bench --release --bin harness -- e7     # one experiment
+//! cargo run -p gengar-bench --release --bin harness -- all --quick
+//! ```
+
+use gengar_bench::{run_experiment, Scale, ALL_EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+
+    let ids: Vec<&str> = if selected.is_empty() || selected.contains(&"all") {
+        ALL_EXPERIMENTS.to_vec()
+    } else {
+        selected
+    };
+
+    println!(
+        "gengar evaluation harness ({} mode), experiments: {}",
+        if quick { "quick" } else { "full" },
+        ids.join(", ")
+    );
+    let t0 = std::time::Instant::now();
+    for id in &ids {
+        let started = std::time::Instant::now();
+        if !run_experiment(id, scale) {
+            eprintln!("unknown experiment id: {id} (known: {ALL_EXPERIMENTS:?})");
+            std::process::exit(2);
+        }
+        println!("[{id} done in {:.1?}]", started.elapsed());
+    }
+    println!("\nall done in {:.1?}", t0.elapsed());
+}

@@ -1,0 +1,69 @@
+//! E6 — sensitivity to the DRAM cache size.
+//!
+//! Fixes the working set and the skew, sweeps the cache capacity as a
+//! fraction of the working set, and reports hit ratio and median read
+//! latency. The paper's shape: diminishing returns — a small DRAM fraction
+//! captures most of a zipfian's mass.
+
+use gengar_workloads::micro::{closed_loop, setup_objects, OpMix};
+use gengar_workloads::Distribution;
+
+use crate::exp::{base_client_config, base_config, System, SystemKind};
+use crate::table::{ns, Table};
+use crate::Scale;
+
+const OBJECT_SIZE: u64 = 16384;
+const OBJECTS: u64 = 512;
+
+/// Runs E6.
+pub fn run(scale: Scale) {
+    gengar_hybridmem::set_time_scale(1.0);
+    let ops = scale.ops(8_000);
+    let working_set = OBJECTS * OBJECT_SIZE;
+
+    let mut table = Table::new(
+        "E6: cache-size sensitivity (512 x 16 KiB, zipf 0.99)",
+        &["cache / working set", "hit ratio", "median read"],
+    );
+
+    for pct in [2u64, 4, 8, 16, 32, 64] {
+        let mut config = base_config();
+        config.dram_cache_capacity = (working_set * pct / 100).max(256 << 10);
+        // Promote on first sight: this sweep measures what *capacity*
+        // (via score-based eviction) retains, not what the threshold
+        // filters out.
+        config.hot_threshold = 1;
+        let system = System::launch(SystemKind::Gengar, 1, config);
+        let mut client = system.gengar_client(base_client_config());
+        let objects = setup_objects(&mut client, OBJECTS, OBJECT_SIZE).expect("setup");
+        closed_loop(
+            &mut client,
+            &objects,
+            Distribution::Zipfian(0.99),
+            OpMix::read_only(),
+            ops / 2,
+            21,
+        )
+        .expect("warmup");
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let before = client.stats();
+        let result = closed_loop(
+            &mut client,
+            &objects,
+            Distribution::Zipfian(0.99),
+            OpMix::read_only(),
+            ops,
+            22,
+        )
+        .expect("measure");
+        let after = client.stats();
+        let hits = after.cache_hits - before.cache_hits;
+        let total = after.reads - before.reads;
+        table.row(vec![
+            format!("{pct}%"),
+            format!("{:.1}%", hits as f64 / total as f64 * 100.0),
+            ns(result.reads.p50_ns),
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,52 @@
+//! E8 — YCSB operation latency.
+//!
+//! Per-workload read and update latency (median and p99) for Gengar vs the
+//! direct baseline. The paper's shape: Gengar cuts read latency on skewed
+//! read-heavy workloads (cache) and write latency everywhere (proxy).
+
+use gengar_workloads::ycsb::{load, run as ycsb_run, WorkloadSpec};
+
+use crate::exp::{base_config, System, SystemKind};
+use crate::table::{ns, Table};
+use crate::Scale;
+
+const RECORDS: u64 = 2_000;
+const VALUE_SIZE: u64 = 4096;
+
+/// Runs E8.
+pub fn run(scale: Scale) {
+    gengar_hybridmem::set_time_scale(1.0);
+    let ops = scale.ops(4_000);
+
+    let mut table = Table::new(
+        "E8: YCSB latency (read p50/p99, update p50/p99)",
+        &[
+            "workload",
+            "sys",
+            "read p50",
+            "read p99",
+            "write p50",
+            "write p99",
+        ],
+    );
+
+    for kind in [SystemKind::Gengar, SystemKind::NvmDirect] {
+        let system = System::launch(kind, 2, base_config());
+        let mut pool = system.client();
+        let kv = load(&mut pool, RECORDS, VALUE_SIZE, 1).expect("load");
+        ycsb_run(&mut pool, &kv, WorkloadSpec::c(), RECORDS, ops / 4, 5).expect("warm");
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        for spec in [WorkloadSpec::a(), WorkloadSpec::b(), WorkloadSpec::f()] {
+            let r = ycsb_run(&mut pool, &kv, spec, RECORDS, ops, 9).expect("run");
+            table.row(vec![
+                spec.name.to_owned(),
+                system.name().to_owned(),
+                ns(r.read_latency.p50_ns),
+                ns(r.read_latency.p99_ns),
+                ns(r.write_latency.p50_ns),
+                ns(r.write_latency.p99_ns),
+            ]);
+        }
+    }
+    table.print();
+}

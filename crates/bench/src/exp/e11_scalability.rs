@@ -1,0 +1,82 @@
+//! E11 — scalability with the number of memory servers.
+//!
+//! A fixed client load over objects spread across the pool, against 1–8
+//! servers. More servers mean more independent device and NIC channels, so
+//! aggregate throughput grows until the clients saturate.
+//!
+//! This experiment runs at a *stretched time scale*: modelled delays are
+//! multiplied so they are large enough to sleep through (freeing host
+//! cores), which lets the simulated channels operate in parallel even when
+//! the host has fewer cores than the cluster has nodes. Reported numbers
+//! are in simulated kops/s at that scale; the shape across server counts
+//! is what the figure shows.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use gengar_workloads::micro::{closed_loop, setup_objects, OpMix};
+use gengar_workloads::Distribution;
+
+use crate::exp::{base_config, System, SystemKind};
+use crate::table::Table;
+use crate::Scale;
+
+const THREADS: usize = 8;
+const OBJECT_SIZE: u64 = 32768;
+const OBJECTS: u64 = 128;
+/// Delay stretch: 32 KiB NVM reads become ~160 us, comfortably sleepable.
+const TIME_SCALE: f64 = 32.0;
+
+/// Runs E11.
+pub fn run(scale: Scale) {
+    gengar_hybridmem::set_time_scale(TIME_SCALE);
+    let ops = scale.ops(400);
+
+    let mut table = Table::new(
+        &format!(
+            "E11: throughput vs memory servers ({THREADS} client threads, reads, time x{TIME_SCALE})"
+        ),
+        &["servers", "gengar kops/s (simulated)"],
+    );
+    for &servers in &[1usize, 2, 4, 8] {
+        let mut config = base_config();
+        // Keep the total pool size constant as servers vary, and disable
+        // the cache so the figure isolates how raw NVM/NIC channel
+        // capacity scales with the server count.
+        config.nvm_capacity = (256 << 20) / servers as u64;
+        config.enable_cache = false;
+        let system = Arc::new(System::launch(SystemKind::Gengar, servers, config));
+        let mut loader = system.client();
+        let objects = Arc::new(setup_objects(&mut loader, OBJECTS, OBJECT_SIZE).expect("setup"));
+
+        let t0 = Instant::now();
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let system = Arc::clone(&system);
+                let objects = Arc::clone(&objects);
+                std::thread::spawn(move || {
+                    let mut pool = system.client();
+                    closed_loop(
+                        &mut pool,
+                        &objects,
+                        Distribution::Uniform,
+                        OpMix::read_only(),
+                        ops,
+                        300 + t as u64,
+                    )
+                    .expect("loop")
+                    .ops
+                })
+            })
+            .collect();
+        let total: u64 = handles.into_iter().map(|h| h.join().expect("thread")).sum();
+        // Convert wall-clock back to simulated time.
+        let simulated_secs = t0.elapsed().as_secs_f64() / TIME_SCALE;
+        table.row(vec![
+            servers.to_string(),
+            format!("{:.1}", total as f64 / simulated_secs / 1e3),
+        ]);
+    }
+    table.print();
+    gengar_hybridmem::set_time_scale(1.0);
+}

@@ -1,0 +1,59 @@
+//! E12 — ablation of Gengar's two mechanisms.
+//!
+//! YCSB-A throughput with each combination of {DRAM cache, proxy writes}
+//! enabled, isolating what each contributes. The paper's shape: the proxy
+//! carries the write half, the cache carries the skewed-read half, and
+//! together they compound.
+
+use gengar_workloads::ycsb::{load, run as ycsb_run, WorkloadSpec};
+
+use crate::exp::{base_client_config, base_config, System, SystemKind};
+use crate::table::Table;
+use crate::Scale;
+
+const RECORDS: u64 = 2_000;
+const VALUE_SIZE: u64 = 4096;
+
+/// Runs E12.
+pub fn run(scale: Scale) {
+    gengar_hybridmem::set_time_scale(1.0);
+    let ops = scale.ops(4_000);
+
+    let mut table = Table::new(
+        "E12: ablation, YCSB-A throughput",
+        &["configuration", "kops/s", "vs neither"],
+    );
+    let mut baseline = 0.0f64;
+    for (name, cache, proxy) in [
+        ("neither (nvm-direct)", false, false),
+        ("cache only", true, false),
+        ("proxy only", false, true),
+        ("full gengar", true, true),
+    ] {
+        let mut config = base_config();
+        config.enable_cache = cache;
+        config.enable_proxy = proxy;
+        let system = System::launch(SystemKind::Gengar, 1, config);
+        let mut client = system.gengar_client(base_client_config());
+        let kv = load(&mut client, RECORDS, VALUE_SIZE, 1).expect("load");
+        ycsb_run(&mut client, &kv, WorkloadSpec::c(), RECORDS, ops / 4, 5).expect("warm");
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        // Best of two runs to suppress small-host scheduling noise.
+        let kops = (0..2)
+            .map(|rep| {
+                ycsb_run(&mut client, &kv, WorkloadSpec::a(), RECORDS, ops, 7 + rep)
+                    .expect("run")
+                    .kops_per_sec()
+            })
+            .fold(0.0f64, f64::max);
+        if !cache && !proxy {
+            baseline = kops;
+        }
+        table.row(vec![
+            name.to_owned(),
+            format!("{kops:.1}"),
+            format!("{:.2}x", kops / baseline.max(1e-9)),
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,78 @@
+//! The Gengar benchmark harness.
+//!
+//! One module per experiment of the evaluation (see `DESIGN.md` for the
+//! per-experiment index, `EXPERIMENTS.md` for paper-vs-measured records).
+//! Every experiment prints the rows/series its figure or table reports and
+//! returns them as data, so the `harness` binary, the Criterion benches
+//! and the tests all drive the same code.
+//!
+//! Run everything: `cargo run -p gengar-bench --release --bin harness`.
+//! Run one experiment: `... --bin harness -- e7`.
+//! Quick mode (CI-sized): `... --bin harness -- all --quick`.
+
+pub mod exp;
+pub mod table;
+
+use std::time::Instant;
+
+/// Experiment sizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small iteration counts (seconds per experiment).
+    Quick,
+    /// Full counts (the numbers recorded in EXPERIMENTS.md).
+    Full,
+}
+
+impl Scale {
+    /// Scales a full-size count down in quick mode.
+    pub fn ops(self, full: u64) -> u64 {
+        match self {
+            Scale::Quick => (full / 8).max(100),
+            Scale::Full => full,
+        }
+    }
+}
+
+/// Median of per-op wall-clock latencies for `iters` invocations of `f`
+/// (after `iters/5` warm-up calls). Medians resist the preemption outliers
+/// busy-wait emulation suffers on small hosts.
+pub fn median_ns(iters: u64, mut f: impl FnMut()) -> u64 {
+    for _ in 0..(iters / 5).max(5) {
+        f();
+    }
+    let mut samples: Vec<u64> = (0..iters)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// All experiment ids, in order.
+pub const ALL_EXPERIMENTS: &[&str] = &[
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
+];
+
+/// Runs one experiment by id. Returns `false` for an unknown id.
+pub fn run_experiment(id: &str, scale: Scale) -> bool {
+    match id {
+        "e1" => exp::e01_devices::run(scale),
+        "e2" => exp::e02_read_latency::run(scale),
+        "e3" => exp::e03_write_latency::run(scale),
+        "e4" => exp::e04_throughput::run(scale),
+        "e5" => exp::e05_hotness::run(scale),
+        "e6" => exp::e06_cache_size::run(scale),
+        "e7" => exp::e07_ycsb_throughput::run(scale),
+        "e8" => exp::e08_ycsb_latency::run(scale),
+        "e9" => exp::e09_mapreduce::run(scale),
+        "e10" => exp::e10_sharing::run(scale),
+        "e11" => exp::e11_scalability::run(scale),
+        "e12" => exp::e12_ablation::run(scale),
+        _ => return false,
+    }
+    true
+}

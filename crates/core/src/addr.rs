@@ -1,0 +1,221 @@
+//! Global addresses: the pool-wide name of a byte of hybrid memory.
+//!
+//! Gengar exposes "remote NVM and DRAM in a global memory space" (abstract).
+//! A [`GlobalAddr`] packs the owning server, the memory class on that server
+//! and the byte offset within that class's exported region into one `u64`,
+//! so applications pass pool pointers around as plain words.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Memory class within one server's exported regions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemClass {
+    /// The NVM data region (home of every allocated object).
+    Nvm,
+    /// The server's DRAM cache region (hot-object copies).
+    DramCache,
+    /// The proxy staging region (per-client write rings, ADR-protected).
+    Staging,
+    /// Server control region (flush watermarks, epoch counters).
+    Control,
+}
+
+impl MemClass {
+    const fn code(self) -> u8 {
+        match self {
+            MemClass::Nvm => 0,
+            MemClass::DramCache => 1,
+            MemClass::Staging => 2,
+            MemClass::Control => 3,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<MemClass> {
+        match code {
+            0 => Some(MemClass::Nvm),
+            1 => Some(MemClass::DramCache),
+            2 => Some(MemClass::Staging),
+            3 => Some(MemClass::Control),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for MemClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            MemClass::Nvm => "nvm",
+            MemClass::DramCache => "cache",
+            MemClass::Staging => "staging",
+            MemClass::Control => "ctl",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Number of bits reserved for the offset.
+const OFFSET_BITS: u32 = 48;
+/// Mask for the offset field.
+const OFFSET_MASK: u64 = (1 << OFFSET_BITS) - 1;
+
+/// A pool-global address: `server:class:offset` packed into 64 bits
+/// (8-bit server, 8-bit class, 48-bit offset).
+///
+/// ```
+/// use gengar_core::addr::{GlobalAddr, MemClass};
+///
+/// let a = GlobalAddr::new(3, MemClass::Nvm, 0x1000);
+/// assert_eq!(a.server(), 3);
+/// assert_eq!(a.class(), MemClass::Nvm);
+/// assert_eq!(a.offset(), 0x1000);
+/// assert_eq!(GlobalAddr::from_raw(a.raw()), Some(a));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GlobalAddr(u64);
+
+impl GlobalAddr {
+    /// Packs the components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` does not fit in 48 bits.
+    pub fn new(server: u8, class: MemClass, offset: u64) -> Self {
+        assert!(offset <= OFFSET_MASK, "offset {offset:#x} exceeds 48 bits");
+        GlobalAddr(((server as u64) << 56) | ((class.code() as u64) << 48) | offset)
+    }
+
+    /// Reconstructs an address from its raw representation, validating the
+    /// class code.
+    pub fn from_raw(raw: u64) -> Option<Self> {
+        MemClass::from_code(((raw >> 48) & 0xFF) as u8)?;
+        Some(GlobalAddr(raw))
+    }
+
+    /// Raw 64-bit representation (what travels in protocol messages).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Owning server.
+    pub fn server(self) -> u8 {
+        (self.0 >> 56) as u8
+    }
+
+    /// Memory class.
+    pub fn class(self) -> MemClass {
+        MemClass::from_code(((self.0 >> 48) & 0xFF) as u8).expect("validated at construction")
+    }
+
+    /// Offset within the class region.
+    pub fn offset(self) -> u64 {
+        self.0 & OFFSET_MASK
+    }
+
+    /// Returns this address advanced by `delta` bytes within the same
+    /// region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result overflows the 48-bit offset.
+    pub fn add(self, delta: u64) -> Self {
+        GlobalAddr::new(self.server(), self.class(), self.offset() + delta)
+    }
+}
+
+impl fmt::Display for GlobalAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "g{}:{}:{:#x}",
+            self.server(),
+            self.class(),
+            self.offset()
+        )
+    }
+}
+
+/// A typed handle to an allocated pool object: its base address plus the
+/// payload size granted at allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GlobalPtr {
+    /// Base address of the object's payload.
+    pub addr: GlobalAddr,
+    /// Payload size in bytes.
+    pub size: u64,
+}
+
+impl GlobalPtr {
+    /// Creates a handle.
+    pub fn new(addr: GlobalAddr, size: u64) -> Self {
+        GlobalPtr { addr, size }
+    }
+}
+
+impl fmt::Display for GlobalPtr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}+{}", self.addr, self.size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        for server in [0u8, 1, 7, 255] {
+            for class in [
+                MemClass::Nvm,
+                MemClass::DramCache,
+                MemClass::Staging,
+                MemClass::Control,
+            ] {
+                for offset in [0u64, 1, 4096, OFFSET_MASK] {
+                    let a = GlobalAddr::new(server, class, offset);
+                    assert_eq!(a.server(), server);
+                    assert_eq!(a.class(), class);
+                    assert_eq!(a.offset(), offset);
+                    assert_eq!(GlobalAddr::from_raw(a.raw()), Some(a));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 48 bits")]
+    fn oversized_offset_panics() {
+        GlobalAddr::new(0, MemClass::Nvm, 1 << 48);
+    }
+
+    #[test]
+    fn from_raw_rejects_bad_class() {
+        let raw = (200u64) << 48; // class code 200 is invalid
+        assert!(GlobalAddr::from_raw(raw).is_none());
+    }
+
+    #[test]
+    fn add_advances_offset() {
+        let a = GlobalAddr::new(2, MemClass::DramCache, 100);
+        let b = a.add(28);
+        assert_eq!(b.server(), 2);
+        assert_eq!(b.class(), MemClass::DramCache);
+        assert_eq!(b.offset(), 128);
+    }
+
+    #[test]
+    fn display_formats() {
+        let a = GlobalAddr::new(1, MemClass::Nvm, 0x40);
+        assert_eq!(a.to_string(), "g1:nvm:0x40");
+        let p = GlobalPtr::new(a, 64);
+        assert_eq!(p.to_string(), "g1:nvm:0x40+64");
+    }
+
+    #[test]
+    fn ordering_is_by_server_then_offset() {
+        let a = GlobalAddr::new(0, MemClass::Nvm, 500);
+        let b = GlobalAddr::new(1, MemClass::Nvm, 0);
+        assert!(a < b);
+    }
+}

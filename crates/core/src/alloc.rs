@@ -1,0 +1,240 @@
+//! Size-class slab allocator over a server's exported NVM region.
+//!
+//! Objects are rounded up to power-of-two size classes (64 B .. 16 MiB)
+//! including their [`crate::layout::OBJ_HEADER`]. Freed blocks return to a
+//! per-class free list; fresh blocks come from a bump pointer. A map of
+//! live allocations provides size lookup and double-free detection.
+
+use std::collections::HashMap;
+
+use crate::error::GengarError;
+
+/// Smallest block handed out (one cache line).
+pub const MIN_CLASS: u64 = 64;
+/// Largest block handed out.
+pub const MAX_CLASS: u64 = 16 << 20;
+/// Number of size classes (64 B, 128 B, ..., 16 MiB).
+pub const NUM_CLASSES: usize = 19;
+
+fn class_of(size: u64) -> Option<usize> {
+    if size == 0 || size > MAX_CLASS {
+        return None;
+    }
+    let rounded = size.max(MIN_CLASS).next_power_of_two();
+    Some((rounded.trailing_zeros() - MIN_CLASS.trailing_zeros()) as usize)
+}
+
+fn class_size(class: usize) -> u64 {
+    MIN_CLASS << class
+}
+
+/// Point-in-time allocator statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Live allocations.
+    pub live: u64,
+    /// Bytes handed to live allocations (block sizes, not payload sizes).
+    pub live_bytes: u64,
+    /// Bytes ever drawn from the bump pointer.
+    pub bump_bytes: u64,
+    /// Total allocation calls served.
+    pub allocs: u64,
+    /// Total frees served.
+    pub frees: u64,
+}
+
+/// Size-class slab allocator over a `[base, base+capacity)` byte range.
+#[derive(Debug)]
+pub struct SlabAllocator {
+    base: u64,
+    capacity: u64,
+    bump: u64,
+    free_lists: Vec<Vec<u64>>,
+    /// offset -> size class of the live block.
+    live: HashMap<u64, usize>,
+    stats: AllocStats,
+}
+
+impl SlabAllocator {
+    /// Creates an allocator over `[base, base+capacity)`.
+    pub fn new(base: u64, capacity: u64) -> Self {
+        SlabAllocator {
+            base,
+            capacity,
+            bump: base,
+            free_lists: vec![Vec::new(); NUM_CLASSES],
+            live: HashMap::new(),
+            stats: AllocStats::default(),
+        }
+    }
+
+    /// Total managed bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Rounds `size` to its block size, or `None` if unallocatable.
+    pub fn block_size(size: u64) -> Option<u64> {
+        class_of(size).map(class_size)
+    }
+
+    /// Allocates a block of at least `size` bytes, returning its offset
+    /// (64-byte aligned).
+    ///
+    /// # Errors
+    ///
+    /// [`GengarError::ObjectTooLarge`] beyond the largest class;
+    /// [`GengarError::OutOfMemory`] when the region is exhausted.
+    pub fn alloc(&mut self, size: u64) -> Result<u64, GengarError> {
+        let class = class_of(size).ok_or(GengarError::ObjectTooLarge {
+            requested: size,
+            max: MAX_CLASS,
+        })?;
+        let offset = if let Some(off) = self.free_lists[class].pop() {
+            off
+        } else {
+            let need = class_size(class);
+            let end = self
+                .bump
+                .checked_add(need)
+                .ok_or(GengarError::OutOfMemory { requested: size })?;
+            if end > self.base + self.capacity {
+                return Err(GengarError::OutOfMemory { requested: size });
+            }
+            let off = self.bump;
+            self.bump = end;
+            self.stats.bump_bytes += need;
+            off
+        };
+        self.live.insert(offset, class);
+        self.stats.live += 1;
+        self.stats.live_bytes += class_size(class);
+        self.stats.allocs += 1;
+        Ok(offset)
+    }
+
+    /// Frees the block at `offset`, returning its block size.
+    ///
+    /// # Errors
+    ///
+    /// [`GengarError::InvalidAddress`]-shaped error (reported as a raw
+    /// offset mismatch) when `offset` is not a live allocation — this also
+    /// catches double frees.
+    pub fn free(&mut self, offset: u64) -> Result<u64, GengarError> {
+        let class = self.live.remove(&offset).ok_or_else(|| {
+            GengarError::DoubleFree(
+                crate::addr::GlobalAddr::new(0, crate::addr::MemClass::Nvm, offset & ((1 << 48) - 1)),
+            )
+        })?;
+        self.free_lists[class].push(offset);
+        self.stats.live -= 1;
+        self.stats.live_bytes -= class_size(class);
+        self.stats.frees += 1;
+        Ok(class_size(class))
+    }
+
+    /// Block size of the live allocation at `offset`, if any.
+    pub fn size_of(&self, offset: u64) -> Option<u64> {
+        self.live.get(&offset).map(|&c| class_size(c))
+    }
+
+    /// Returns whether `offset` is a live allocation.
+    pub fn is_live(&self, offset: u64) -> bool {
+        self.live.contains_key(&offset)
+    }
+
+    /// Allocator statistics.
+    pub fn stats(&self) -> AllocStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_rounding() {
+        assert_eq!(SlabAllocator::block_size(1), Some(64));
+        assert_eq!(SlabAllocator::block_size(64), Some(64));
+        assert_eq!(SlabAllocator::block_size(65), Some(128));
+        assert_eq!(SlabAllocator::block_size(4096), Some(4096));
+        assert_eq!(SlabAllocator::block_size(MAX_CLASS), Some(MAX_CLASS));
+        assert_eq!(SlabAllocator::block_size(MAX_CLASS + 1), None);
+        assert_eq!(SlabAllocator::block_size(0), None);
+    }
+
+    #[test]
+    fn alloc_returns_aligned_disjoint_blocks() {
+        let mut a = SlabAllocator::new(4096, 1 << 20);
+        let x = a.alloc(100).unwrap();
+        let y = a.alloc(100).unwrap();
+        assert_ne!(x, y);
+        assert_eq!(x % 64, 0);
+        assert!(x >= 4096);
+        assert!(y >= x + 128 || x >= y + 128);
+    }
+
+    #[test]
+    fn free_recycles_blocks() {
+        let mut a = SlabAllocator::new(0, 1 << 20);
+        let x = a.alloc(200).unwrap();
+        assert_eq!(a.free(x).unwrap(), 256);
+        let y = a.alloc(200).unwrap();
+        assert_eq!(x, y, "freed block should be reused");
+    }
+
+    #[test]
+    fn double_free_detected() {
+        let mut a = SlabAllocator::new(0, 1 << 20);
+        let x = a.alloc(64).unwrap();
+        a.free(x).unwrap();
+        assert!(matches!(a.free(x), Err(GengarError::DoubleFree(_))));
+        assert!(matches!(a.free(12345), Err(GengarError::DoubleFree(_))));
+    }
+
+    #[test]
+    fn exhaustion_reported() {
+        let mut a = SlabAllocator::new(0, 256);
+        a.alloc(128).unwrap();
+        a.alloc(128).unwrap();
+        assert!(matches!(
+            a.alloc(128),
+            Err(GengarError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn too_large_reported() {
+        let mut a = SlabAllocator::new(0, 1 << 30);
+        assert!(matches!(
+            a.alloc(MAX_CLASS + 1),
+            Err(GengarError::ObjectTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn stats_track_lifecycle() {
+        let mut a = SlabAllocator::new(0, 1 << 20);
+        let x = a.alloc(64).unwrap();
+        let _y = a.alloc(64).unwrap();
+        a.free(x).unwrap();
+        let s = a.stats();
+        assert_eq!(s.allocs, 2);
+        assert_eq!(s.frees, 1);
+        assert_eq!(s.live, 1);
+        assert_eq!(s.live_bytes, 64);
+        assert_eq!(s.bump_bytes, 128);
+    }
+
+    #[test]
+    fn size_lookup() {
+        let mut a = SlabAllocator::new(0, 1 << 20);
+        let x = a.alloc(500).unwrap();
+        assert_eq!(a.size_of(x), Some(512));
+        assert!(a.is_live(x));
+        a.free(x).unwrap();
+        assert_eq!(a.size_of(x), None);
+        assert!(!a.is_live(x));
+    }
+}

@@ -1,0 +1,394 @@
+//! Server-side DRAM cache of hot objects.
+//!
+//! Promoted objects get a *slot* in the server's DRAM cache region. A slot
+//! holds a [`crate::layout::SlotHeader`] (tag = the object's global address,
+//! a seqlock version, a diagnostic checksum, the length), the payload copy,
+//! and a trailing tail version. Clients read slots with a single one-sided
+//! READ and validate tag + even head version + head==tail (FaRM-style) — a
+//! stale, torn or mid-update frame fails validation and the client falls
+//! back to NVM, so remap staleness is always safe.
+
+use std::collections::HashMap;
+
+use gengar_hybridmem::MemRegion;
+
+use crate::addr::{GlobalAddr, MemClass};
+use crate::alloc::SlabAllocator;
+use crate::error::GengarError;
+use crate::layout::{checksum, decode_slot_header, encode_slot_header, SLOT_HEADER, SLOT_TAIL};
+
+/// One cached object.
+#[derive(Debug, Clone, Copy)]
+struct CacheEntry {
+    slot_off: u64,
+    payload_len: u64,
+    score: u32,
+}
+
+/// Cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Objects promoted into the cache.
+    pub promotions: u64,
+    /// Objects evicted for capacity.
+    pub evictions: u64,
+    /// Objects invalidated by writes/frees.
+    pub invalidations: u64,
+    /// In-place updates applied by the proxy drain path.
+    pub updates: u64,
+}
+
+/// Manages the DRAM cache region of one memory server.
+///
+/// All methods run server-locally (promotion/eviction on the epoch thread,
+/// updates on the proxy thread, invalidation on RPC threads) under the
+/// server's cache mutex; remote clients only ever *read* the region.
+#[derive(Debug)]
+pub struct CacheManager {
+    server_id: u8,
+    region: MemRegion,
+    alloc: SlabAllocator,
+    entries: HashMap<u64, CacheEntry>,
+    stats: CacheStats,
+}
+
+impl CacheManager {
+    /// Creates a manager over the server's cache region.
+    pub fn new(server_id: u8, region: MemRegion) -> Self {
+        let capacity = region.len();
+        CacheManager {
+            server_id,
+            region,
+            alloc: SlabAllocator::new(0, capacity),
+            entries: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of cached objects.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Looks up the cached copy of `addr` (raw payload-base address),
+    /// returning the raw global address of its slot frame.
+    pub fn lookup(&self, addr_raw: u64) -> Option<u64> {
+        self.entries.get(&addr_raw).map(|e| {
+            GlobalAddr::new(self.server_id, MemClass::DramCache, e.slot_off).raw()
+        })
+    }
+
+    /// Returns whether `addr` is cached.
+    pub fn contains(&self, addr_raw: u64) -> bool {
+        self.entries.contains_key(&addr_raw)
+    }
+
+    /// Promotes an object: copies `payload` into a fresh slot and publishes
+    /// it under `addr`. Evicts colder entries if needed. Returns `false`
+    /// (without evicting) when the object can never fit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors from slot writes.
+    pub fn promote(&mut self, addr: GlobalAddr, payload: &[u8], score: u32) -> Result<bool, GengarError> {
+        let addr_raw = addr.raw();
+        if self.entries.contains_key(&addr_raw) {
+            return Ok(true);
+        }
+        let need = SLOT_HEADER + payload.len() as u64 + SLOT_TAIL;
+        if SlabAllocator::block_size(need).is_none_or(|b| b > self.alloc.capacity()) {
+            return Ok(false);
+        }
+        let slot_off = loop {
+            match self.alloc.alloc(need) {
+                Ok(off) => break off,
+                Err(_) => {
+                    if !self.evict_coldest(score)? {
+                        return Ok(false);
+                    }
+                }
+            }
+        };
+        let mut header = [0u8; SLOT_HEADER as usize];
+        // Publish with an even version so readers accept it immediately.
+        encode_slot_header(&mut header, addr_raw, 2, checksum(payload), payload.len() as u64);
+        // Payload and tail version first, header (with the tag) last: a
+        // concurrent reader of a recycled slot sees the old tag or the new
+        // one, never a mix that passes tag + head/tail validation.
+        self.region.write(slot_off + SLOT_HEADER, payload)?;
+        self.region
+            .write(slot_off + SLOT_HEADER + payload.len() as u64, &2u64.to_le_bytes())?;
+        self.region.write(slot_off, &header)?;
+        self.entries.insert(
+            addr_raw,
+            CacheEntry {
+                slot_off,
+                payload_len: payload.len() as u64,
+                score,
+            },
+        );
+        self.stats.promotions += 1;
+        Ok(true)
+    }
+
+    /// Evicts the lowest-score entry strictly colder than `than`. Returns
+    /// whether anything was evicted.
+    fn evict_coldest(&mut self, than: u32) -> Result<bool, GengarError> {
+        let victim = self
+            .entries
+            .iter()
+            .min_by_key(|(_, e)| e.score)
+            .map(|(&a, e)| (a, e.score));
+        match victim {
+            Some((addr, score)) if score <= than => {
+                self.remove(addr, true)?;
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    fn remove(&mut self, addr_raw: u64, eviction: bool) -> Result<bool, GengarError> {
+        if let Some(e) = self.entries.remove(&addr_raw) {
+            // Clear the tag so racing clients with stale remap entries fail
+            // validation instead of reading a recycled slot.
+            self.region.write(e.slot_off, &0u64.to_le_bytes())?;
+            self.alloc.free(e.slot_off)?;
+            if eviction {
+                self.stats.evictions += 1;
+            } else {
+                self.stats.invalidations += 1;
+            }
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Invalidates the cached copy of `addr`, if any. Returns whether a
+    /// copy existed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn invalidate(&mut self, addr_raw: u64) -> Result<bool, GengarError> {
+        self.remove(addr_raw, false)
+    }
+
+    /// Applies a write of `data` at byte `rel_off` of the cached object
+    /// `addr`, seqlock-style (odd version while mutating, checksum
+    /// recomputed, even version after). Used by the proxy drain path to
+    /// keep cached copies fresh. Returns whether the object was cached.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors; out-of-object writes invalidate instead.
+    pub fn update_range(&mut self, addr_raw: u64, rel_off: u64, data: &[u8]) -> Result<bool, GengarError> {
+        let entry = match self.entries.get(&addr_raw) {
+            Some(e) => *e,
+            None => return Ok(false),
+        };
+        if rel_off + data.len() as u64 > entry.payload_len {
+            // A write larger than the cached frame: drop the copy.
+            self.remove(addr_raw, false)?;
+            return Ok(false);
+        }
+        let slot = entry.slot_off;
+        let mut hdr_buf = [0u8; SLOT_HEADER as usize];
+        self.region.read(slot, &mut hdr_buf)?;
+        let hdr = decode_slot_header(&hdr_buf);
+        // Seqlock update: head version odd, mutate, tail then head to the
+        // new even version. The diagnostic checksum is cleared rather than
+        // recomputed (readers validate via head/tail versions).
+        self.region.write(slot + 8, &(hdr.version + 1).to_le_bytes())?;
+        self.region.write(slot + SLOT_HEADER + rel_off, data)?;
+        self.region.write(slot + 16, &0u64.to_le_bytes())?;
+        self.region.write(
+            slot + SLOT_HEADER + entry.payload_len,
+            &(hdr.version + 2).to_le_bytes(),
+        )?;
+        self.region
+            .write(slot + 8, &(hdr.version + 2).to_le_bytes())?;
+        self.stats.updates += 1;
+        Ok(true)
+    }
+
+    /// Refreshes entry scores from an epoch fold.
+    pub fn refresh_scores(&mut self, folded: &[(u64, u32)]) {
+        for &(addr, score) in folded {
+            if let Some(e) = self.entries.get_mut(&addr) {
+                e.score = score;
+            }
+        }
+    }
+
+    /// Ages every entry (halves scores) so stale entries become evictable.
+    pub fn decay_scores(&mut self) {
+        for e in self.entries.values_mut() {
+            e.score >>= 1;
+        }
+    }
+
+    /// Drops everything (used on recovery: DRAM contents are gone).
+    pub fn clear(&mut self) {
+        let addrs: Vec<u64> = self.entries.keys().copied().collect();
+        for a in addrs {
+            let _ = self.remove(a, false);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gengar_hybridmem::{DeviceProfile, MemDevice, MemKind};
+    use std::sync::Arc;
+
+    fn mgr(capacity: u64) -> CacheManager {
+        let dev =
+            Arc::new(MemDevice::new(0, DeviceProfile::instant(MemKind::Dram), capacity).unwrap());
+        CacheManager::new(1, MemRegion::whole(dev))
+    }
+
+    fn addr(off: u64) -> GlobalAddr {
+        GlobalAddr::new(1, MemClass::Nvm, off)
+    }
+
+    #[test]
+    fn promote_then_lookup() {
+        let mut c = mgr(1 << 16);
+        assert!(c.promote(addr(64), b"hot-data", 10).unwrap());
+        let slot_raw = c.lookup(addr(64).raw()).unwrap();
+        let slot = GlobalAddr::from_raw(slot_raw).unwrap();
+        assert_eq!(slot.class(), MemClass::DramCache);
+        // The slot frame validates: tag, even head version, matching tail.
+        let mut frame = vec![0u8; (SLOT_HEADER + 8 + SLOT_TAIL) as usize];
+        c.region.read(slot.offset(), &mut frame).unwrap();
+        let h = decode_slot_header(&frame);
+        assert_eq!(h.tag, addr(64).raw());
+        assert_eq!(h.version % 2, 0);
+        assert_eq!(h.len, 8);
+        assert_eq!(h.checksum, checksum(b"hot-data"));
+        assert_eq!(&frame[SLOT_HEADER as usize..(SLOT_HEADER + 8) as usize], b"hot-data");
+        let tail = u64::from_le_bytes(frame[(SLOT_HEADER + 8) as usize..].try_into().unwrap());
+        assert_eq!(tail, h.version);
+    }
+
+    #[test]
+    fn double_promote_is_idempotent() {
+        let mut c = mgr(1 << 16);
+        assert!(c.promote(addr(0), b"x", 1).unwrap());
+        assert!(c.promote(addr(0), b"x", 1).unwrap());
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.stats().promotions, 1);
+    }
+
+    #[test]
+    fn invalidate_clears_tag() {
+        let mut c = mgr(1 << 16);
+        c.promote(addr(0), b"abc", 1).unwrap();
+        let slot = GlobalAddr::from_raw(c.lookup(addr(0).raw()).unwrap()).unwrap();
+        assert!(c.invalidate(addr(0).raw()).unwrap());
+        assert!(c.lookup(addr(0).raw()).is_none());
+        let mut tag = [0u8; 8];
+        c.region.read(slot.offset(), &mut tag).unwrap();
+        assert_eq!(u64::from_le_bytes(tag), 0);
+        assert!(!c.invalidate(addr(0).raw()).unwrap());
+        assert_eq!(c.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn eviction_prefers_cold_entries() {
+        // Capacity fits two 64-byte slots (32 hdr + payload).
+        let mut c = mgr(128);
+        assert!(c.promote(addr(0), b"aaaa", 1).unwrap());
+        assert!(c.promote(addr(64), b"bbbb", 5).unwrap());
+        // A hotter third entry evicts the coldest.
+        assert!(c.promote(addr(128), b"cccc", 9).unwrap());
+        assert!(c.lookup(addr(0).raw()).is_none(), "cold entry evicted");
+        assert!(c.lookup(addr(64).raw()).is_some());
+        assert!(c.lookup(addr(128).raw()).is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn colder_candidate_does_not_evict_hotter_entries() {
+        let mut c = mgr(128);
+        assert!(c.promote(addr(0), b"aaaa", 10).unwrap());
+        assert!(c.promote(addr(64), b"bbbb", 10).unwrap());
+        assert!(!c.promote(addr(128), b"cccc", 1).unwrap());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn oversized_object_rejected_without_eviction() {
+        let mut c = mgr(256);
+        c.promote(addr(0), b"keep", 1).unwrap();
+        let big = vec![0u8; 1024];
+        assert!(!c.promote(addr(64), &big, 100).unwrap());
+        assert!(c.contains(addr(0).raw()));
+    }
+
+    #[test]
+    fn update_range_bumps_head_and_tail_versions() {
+        let mut c = mgr(1 << 16);
+        c.promote(addr(0), b"hello world!", 1).unwrap();
+        assert!(c.update_range(addr(0).raw(), 6, b"gengar").unwrap());
+        let slot = GlobalAddr::from_raw(c.lookup(addr(0).raw()).unwrap()).unwrap();
+        let mut frame = vec![0u8; (SLOT_HEADER + 12 + SLOT_TAIL) as usize];
+        c.region.read(slot.offset(), &mut frame).unwrap();
+        let h = decode_slot_header(&frame);
+        assert_eq!(
+            &frame[SLOT_HEADER as usize..(SLOT_HEADER + 12) as usize],
+            b"hello gengar"
+        );
+        assert_eq!(h.version, 4);
+        let tail =
+            u64::from_le_bytes(frame[(SLOT_HEADER + 12) as usize..].try_into().unwrap());
+        assert_eq!(tail, 4);
+        assert_eq!(c.stats().updates, 1);
+    }
+
+    #[test]
+    fn update_beyond_frame_invalidates() {
+        let mut c = mgr(1 << 16);
+        c.promote(addr(0), b"tiny", 1).unwrap();
+        let long = vec![9u8; 100];
+        assert!(!c.update_range(addr(0).raw(), 0, &long).unwrap());
+        assert!(!c.contains(addr(0).raw()));
+    }
+
+    #[test]
+    fn update_of_uncached_is_noop() {
+        let mut c = mgr(1 << 16);
+        assert!(!c.update_range(addr(0).raw(), 0, b"x").unwrap());
+    }
+
+    #[test]
+    fn clear_empties_cache() {
+        let mut c = mgr(1 << 16);
+        c.promote(addr(0), b"a", 1).unwrap();
+        c.promote(addr(64), b"b", 1).unwrap();
+        c.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn scores_refresh_and_decay() {
+        let mut c = mgr(1 << 16);
+        c.promote(addr(0), b"a", 8).unwrap();
+        c.refresh_scores(&[(addr(0).raw(), 20)]);
+        c.decay_scores();
+        assert_eq!(c.entries[&addr(0).raw()].score, 10);
+    }
+}

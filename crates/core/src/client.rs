@@ -1,0 +1,868 @@
+//! The Gengar client library: the "simple programming APIs on viewing
+//! remote NVM and DRAM in a global memory space" (abstract).
+//!
+//! A [`GengarClient`] connects to every memory server in the pool and
+//! exposes `alloc` / `free` / `read` / `write` / `cas_u64` / `lock` /
+//! `unlock` over [`GlobalPtr`]s. Reads transparently hit the server-side
+//! DRAM cache when the object is hot; writes take the proxy fast path when
+//! it is enabled and safe. Each client is single-threaded by design (one
+//! connection state per thread), mirroring how RDMA applications shard
+//! queue pairs across threads.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use gengar_hybridmem::{DeviceProfile, MemDevice, MemRegion};
+use gengar_rdma::{
+    Access, Fabric, MemoryRegion, Payload, ProtectionDomain, RdmaNode, RemoteAddr, RKey, Sge,
+};
+
+use crate::addr::{GlobalAddr, GlobalPtr, MemClass};
+use crate::config::{ClientConfig, Consistency};
+use crate::consistency::Backoff;
+use crate::error::GengarError;
+use crate::hotness::AccessEntry;
+use crate::layout::{decode_slot_header, lockword, OBJ_HEADER, SLOT_HEADER, SLOT_TAIL};
+use crate::proto::{error_for_code, MountInfo, Request, Response, MAX_REPORT};
+use crate::proxy::{RingLayout, StagingWriter};
+use crate::rpc::{RpcClient, RPC_BUF_BYTES};
+use crate::server::MemoryServer;
+
+/// Client operation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Read operations issued.
+    pub reads: u64,
+    /// Write operations issued.
+    pub writes: u64,
+    /// Reads served from the server DRAM cache.
+    pub cache_hits: u64,
+    /// Reads that had a remap entry but fell back to NVM.
+    pub cache_rejects: u64,
+    /// Reads served straight from NVM.
+    pub nvm_reads: u64,
+    /// Reads served from the local write-back buffer.
+    pub writeback_hits: u64,
+    /// Writes that took the proxy fast path.
+    pub staged_writes: u64,
+    /// Writes that went directly to NVM (+ flush RPC).
+    pub direct_writes: u64,
+    /// Lock acquisition retries.
+    pub lock_retries: u64,
+    /// Consistent-read retries.
+    pub read_retries: u64,
+    /// Access reports sent.
+    pub reports: u64,
+}
+
+#[derive(Debug)]
+struct WriteBack {
+    seq: u64,
+    off: u64,
+    data: Vec<u8>,
+}
+
+#[derive(Debug)]
+struct ServerConn {
+    mount: MountInfo,
+    rpc: RpcClient,
+    data: gengar_rdma::Endpoint,
+    staging: Option<StagingWriter>,
+}
+
+impl ServerConn {
+    fn nvm_rkey(&self) -> RKey {
+        RKey(self.mount.nvm_rkey)
+    }
+
+    fn cache_rkey(&self) -> RKey {
+        RKey(self.mount.cache_rkey)
+    }
+}
+
+/// A single-threaded handle onto the Gengar pool.
+#[derive(Debug)]
+pub struct GengarClient {
+    node: Arc<RdmaNode>,
+    #[allow(dead_code)]
+    pd: ProtectionDomain,
+    mr: Arc<MemoryRegion>,
+    conns: Vec<ServerConn>,
+    server_index: HashMap<u8, usize>,
+    /// NVM payload-base raw address -> cache-slot raw address.
+    remap: HashMap<u64, u64>,
+    /// Local store buffer for in-flight proxied writes (read-your-writes).
+    write_back: HashMap<u64, WriteBack>,
+    /// Locks this client currently holds: base raw -> locked word.
+    held: HashMap<u64, u64>,
+    /// Pending hotness entries per server id.
+    pending: HashMap<u8, HashMap<u64, (u32, bool)>>,
+    ops_since_report: u32,
+    /// Scratch layout: CAS result word, header word, bulk op buffer.
+    op_cas: u64,
+    op_hdr: u64,
+    op_buf: u64,
+    op_buf_len: u64,
+    /// Counter that amortises drained-watermark refreshes on the
+    /// store-buffer read path.
+    wb_checks: u32,
+    config: ClientConfig,
+    stats: ClientStats,
+}
+
+impl GengarClient {
+    /// Connects a fresh client node to every given server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept/mount failures.
+    pub fn connect(
+        fabric: &Arc<Fabric>,
+        servers: &[Arc<MemoryServer>],
+        config: ClientConfig,
+    ) -> Result<GengarClient, GengarError> {
+        let node = fabric.add_node();
+        let pd = node.alloc_pd();
+        // The scratch buffer is client-local DRAM accessed by the CPU; its
+        // cost is already paid by the real copies the emulation performs,
+        // so the device model charges nothing (remote devices and the
+        // fabric still charge on every verb that touches it).
+        let scratch_dev = Arc::new(MemDevice::new(
+            0,
+            DeviceProfile::instant(gengar_hybridmem::MemKind::Dram),
+            config.scratch_capacity,
+        )?);
+        let mr = pd.reg_mr(MemRegion::whole(Arc::clone(&scratch_dev)), Access::all())?;
+
+        let mut bump: u64 = 0;
+        let mut conns = Vec::new();
+        let mut server_index = HashMap::new();
+        for server in servers {
+            let channel = server.accept(&node, &pd)?;
+            // Dedicated RPC buffer (its own MR: the RPC slots are
+            // MR-relative).
+            let rpc_mr = pd.reg_mr(
+                MemRegion::new(Arc::clone(&scratch_dev), bump, RPC_BUF_BYTES)?,
+                Access::LOCAL_WRITE,
+            )?;
+            bump += RPC_BUF_BYTES;
+            let rpc = RpcClient::new(channel.rpc, rpc_mr);
+
+            let mount = match rpc.call(&Request::Mount)? {
+                Response::Mount(m) => m,
+                Response::Err { code } => return Err(error_for_code(code, 0)),
+                _ => return Err(GengarError::ProtocolViolation("bad mount response")),
+            };
+            let staging = if mount.enable_proxy {
+                let (client_id, ring_offset) = match rpc.call(&Request::OpenStaging)? {
+                    Response::Staging {
+                        client_id,
+                        ring_offset,
+                    } => (client_id, ring_offset),
+                    Response::Err { code } => return Err(error_for_code(code, 0)),
+                    _ => return Err(GengarError::ProtocolViolation("bad staging response")),
+                };
+                let layout = RingLayout {
+                    slot_payload: mount.slot_payload,
+                    slots: mount.slots_per_ring,
+                };
+                let scratch_off = bump;
+                bump += layout.slot_bytes() + 8;
+                Some(StagingWriter::new(
+                    channel.proxy,
+                    RKey(mount.staging_rkey),
+                    RKey(mount.ctl_rkey),
+                    ring_offset,
+                    layout,
+                    client_id,
+                    Arc::clone(&mr),
+                    scratch_off,
+                ))
+            } else {
+                None
+            };
+            server_index.insert(mount.server_id, conns.len());
+            conns.push(ServerConn {
+                mount,
+                rpc,
+                data: channel.data,
+                staging,
+            });
+        }
+
+        // Remaining scratch: two control words + the bulk op buffer.
+        let op_cas = bump;
+        let op_hdr = bump + 8;
+        let op_buf = bump + 64;
+        let op_buf_len = config
+            .scratch_capacity
+            .checked_sub(op_buf)
+            .filter(|&len| len >= (64 << 10) + SLOT_HEADER)
+            .ok_or(GengarError::ProtocolViolation(
+                "scratch buffer too small for the op area",
+            ))?;
+
+        Ok(GengarClient {
+            node,
+            pd,
+            mr,
+            conns,
+            server_index,
+            remap: HashMap::new(),
+            write_back: HashMap::new(),
+            held: HashMap::new(),
+            pending: HashMap::new(),
+            ops_since_report: 0,
+            op_cas,
+            op_hdr,
+            op_buf,
+            op_buf_len,
+            wb_checks: 0,
+            config,
+            stats: ClientStats::default(),
+        })
+    }
+
+    /// This client's fabric node.
+    pub fn node(&self) -> &Arc<RdmaNode> {
+        &self.node
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// Server ids this client is connected to, in connection order.
+    pub fn server_ids(&self) -> Vec<u8> {
+        self.conns.iter().map(|c| c.mount.server_id).collect()
+    }
+
+    fn conn(&self, server: u8) -> Result<&ServerConn, GengarError> {
+        let idx = *self
+            .server_index
+            .get(&server)
+            .ok_or(GengarError::UnknownServer(server))?;
+        Ok(&self.conns[idx])
+    }
+
+    fn conn_mut(&mut self, server: u8) -> Result<&mut ServerConn, GengarError> {
+        let idx = *self
+            .server_index
+            .get(&server)
+            .ok_or(GengarError::UnknownServer(server))?;
+        Ok(&mut self.conns[idx])
+    }
+
+    fn check_access(ptr: GlobalPtr, offset: u64, len: u64) -> Result<(), GengarError> {
+        if ptr.addr.class() != MemClass::Nvm {
+            return Err(GengarError::InvalidAddress(ptr.addr));
+        }
+        if offset.checked_add(len).is_none_or(|end| end > ptr.size) {
+            return Err(GengarError::AccessOutOfBounds {
+                addr: ptr.addr,
+                offset,
+                len,
+                size: ptr.size,
+            });
+        }
+        Ok(())
+    }
+
+    /// Allocates `size` payload bytes on `server`.
+    ///
+    /// # Errors
+    ///
+    /// [`GengarError::OutOfMemory`] / [`GengarError::ObjectTooLarge`] from
+    /// the server; transport failures as [`GengarError::Rdma`].
+    pub fn alloc(&mut self, server: u8, size: u64) -> Result<GlobalPtr, GengarError> {
+        let conn = self.conn(server)?;
+        match conn.rpc.call(&Request::Alloc { size })? {
+            Response::Alloc { addr } => {
+                let addr = GlobalAddr::from_raw(addr)
+                    .ok_or(GengarError::ProtocolViolation("bad alloc address"))?;
+                Ok(GlobalPtr::new(addr, size))
+            }
+            Response::Err { code } => Err(error_for_code(code, size)),
+            _ => Err(GengarError::ProtocolViolation("bad alloc response")),
+        }
+    }
+
+    /// Frees a pool object.
+    ///
+    /// # Errors
+    ///
+    /// Server-side rejection (bad address, double free) or transport
+    /// failures.
+    pub fn free(&mut self, ptr: GlobalPtr) -> Result<(), GengarError> {
+        let base = ptr.addr.raw();
+        self.remap.remove(&base);
+        self.write_back.remove(&base);
+        self.held.remove(&base);
+        let conn = self.conn(ptr.addr.server())?;
+        match conn.rpc.call(&Request::Free { addr: base })? {
+            Response::Ok => Ok(()),
+            Response::Err { code } => Err(error_for_code(code, 0)),
+            _ => Err(GengarError::ProtocolViolation("bad free response")),
+        }
+    }
+
+    /// One-sided chunked READ from `(rkey, remote_off)` into `out`.
+    fn read_remote(
+        &mut self,
+        server: u8,
+        rkey: RKey,
+        remote_off: u64,
+        out: &mut [u8],
+    ) -> Result<(), GengarError> {
+        let op_buf = self.op_buf;
+        let chunk_max = self.op_buf_len as usize;
+        let mr_lkey = self.mr.lkey();
+        let region = self.mr.region().clone();
+        let conn = self.conn(server)?;
+        let mut done = 0usize;
+        while done < out.len() {
+            let chunk = (out.len() - done).min(chunk_max);
+            conn.data.read(
+                Sge::new(mr_lkey, op_buf, chunk as u64),
+                RemoteAddr::new(rkey, remote_off + done as u64),
+            )?;
+            region.read(op_buf, &mut out[done..done + chunk])?;
+            done += chunk;
+        }
+        Ok(())
+    }
+
+    /// One-sided chunked WRITE of `data` to `(rkey, remote_off)`.
+    fn write_remote(
+        &mut self,
+        server: u8,
+        rkey: RKey,
+        remote_off: u64,
+        data: &[u8],
+    ) -> Result<(), GengarError> {
+        let op_buf = self.op_buf;
+        let chunk_max = self.op_buf_len as usize;
+        let mr_lkey = self.mr.lkey();
+        let region = self.mr.region().clone();
+        let conn = self.conn(server)?;
+        let mut done = 0usize;
+        while done < data.len() {
+            let chunk = (data.len() - done).min(chunk_max);
+            region.write(op_buf, &data[done..done + chunk])?;
+            conn.data.write(
+                Payload::Sge(Sge::new(mr_lkey, op_buf, chunk as u64)),
+                RemoteAddr::new(rkey, remote_off + done as u64),
+            )?;
+            done += chunk;
+        }
+        Ok(())
+    }
+
+    /// Reads the 8-byte object lock/version word.
+    fn read_lockword(&mut self, addr: GlobalAddr) -> Result<u64, GengarError> {
+        let op_hdr = self.op_hdr;
+        let mr_lkey = self.mr.lkey();
+        let region = self.mr.region().clone();
+        let conn = self.conn(addr.server())?;
+        conn.data.read(
+            Sge::new(mr_lkey, op_hdr, 8),
+            RemoteAddr::new(conn.nvm_rkey(), addr.offset() - OBJ_HEADER),
+        )?;
+        let mut w = [0u8; 8];
+        region.read(op_hdr, &mut w)?;
+        Ok(u64::from_le_bytes(w))
+    }
+
+    /// Reads `buf.len()` bytes of the object at `ptr.addr + offset`.
+    ///
+    /// With caching enabled the read is served from the server's DRAM
+    /// cache when a validated copy exists; stale or torn cached frames are
+    /// detected (tag / seqlock version / checksum) and fall back to NVM.
+    ///
+    /// # Errors
+    ///
+    /// Bounds violations, transport failures, or
+    /// [`GengarError::ReadContended`] if a seqlock read keeps losing to
+    /// writers.
+    pub fn read(&mut self, ptr: GlobalPtr, offset: u64, buf: &mut [u8]) -> Result<(), GengarError> {
+        Self::check_access(ptr, offset, buf.len() as u64)?;
+        self.stats.reads += 1;
+        let base = ptr.addr.raw();
+        let server = ptr.addr.server();
+
+        // 1. Local store buffer: serves read-your-writes while the staged
+        // write may still be in flight. The drained watermark is refreshed
+        // lazily (one extra 8-byte READ every 16 queries) so entries retire
+        // shortly after the proxy drains them without taxing every read.
+        if let Some(wb) = self.write_back.get(&base) {
+            let seq = wb.seq;
+            let covers = offset >= wb.off
+                && offset + buf.len() as u64 <= wb.off + wb.data.len() as u64;
+            self.wb_checks = self.wb_checks.wrapping_add(1);
+            let refresh = self.wb_checks % 16 == 0 || !covers;
+            let drained = match self.conn_mut(server)?.staging.as_mut() {
+                Some(st) => {
+                    if st.known_drained() < seq && refresh {
+                        st.refresh_drained()?;
+                    }
+                    st.known_drained() >= seq
+                }
+                None => true,
+            };
+            if drained {
+                self.write_back.remove(&base);
+            } else if covers {
+                let wb = self.write_back.get(&base).expect("checked above");
+                let start = (offset - wb.off) as usize;
+                buf.copy_from_slice(&wb.data[start..start + buf.len()]);
+                self.stats.writeback_hits += 1;
+                self.record(server, base, false)?;
+                return Ok(());
+            } else {
+                // Partial overlap with an in-flight write: wait it out.
+                if let Some(st) = self.conn_mut(server)?.staging.as_mut() {
+                    st.wait_drained(seq)?;
+                }
+                self.write_back.remove(&base);
+            }
+        }
+
+        // 2. Server DRAM cache. Slot frames validate as a whole, so a
+        // cached read fetches the full object; engage it only when the
+        // request covers most of the object (small probes into large
+        // objects — e.g. index buckets — are cheaper straight from NVM).
+        let worth_caching = buf.len() as u64 * 2 >= ptr.size;
+        if worth_caching {
+            if let Some(&slot_raw) = self.remap.get(&base) {
+                if self.try_cached_read(ptr, offset, buf, slot_raw)? {
+                    self.stats.cache_hits += 1;
+                    self.record(server, base, false)?;
+                    return Ok(());
+                }
+                self.remap.remove(&base);
+                self.stats.cache_rejects += 1;
+            }
+        }
+
+        // 3. NVM home copy. A client that holds the object's writer lock
+        // reads plainly: no other writer can be active, and the lock bit it
+        // set itself would otherwise never clear.
+        let plain = self.config.consistency == Consistency::None || self.held.contains_key(&base);
+        if plain {
+            let conn_rkey = self.conn(server)?.nvm_rkey();
+            self.read_remote(server, conn_rkey, ptr.addr.offset() + offset, buf)?;
+        } else {
+            self.read_nvm_seqlock(ptr, offset, buf)?;
+        }
+        self.stats.nvm_reads += 1;
+        // Only cache-worthy reads feed the hotness monitor: promoting an
+        // object that is probed 16 bytes at a time would waste DRAM on a
+        // copy no read path would use.
+        if worth_caching {
+            self.record(server, base, false)?;
+        }
+        Ok(())
+    }
+
+    /// Attempts a validated read from the cache slot at `slot_raw`.
+    fn try_cached_read(
+        &mut self,
+        ptr: GlobalPtr,
+        offset: u64,
+        buf: &mut [u8],
+        slot_raw: u64,
+    ) -> Result<bool, GengarError> {
+        let slot = match GlobalAddr::from_raw(slot_raw) {
+            Some(s) if s.class() == MemClass::DramCache => s,
+            _ => return Ok(false),
+        };
+        let total = SLOT_HEADER + ptr.size + SLOT_TAIL;
+        if total > self.op_buf_len {
+            return Ok(false); // object larger than our frame budget
+        }
+        let server = ptr.addr.server();
+        // One READ of the whole frame into the op area; header, tail and
+        // the requested payload range are then extracted directly from
+        // scratch (no intermediate whole-frame copy).
+        let op_buf = self.op_buf;
+        let mr_lkey = self.mr.lkey();
+        let region = self.mr.region().clone();
+        {
+            let conn = self.conn(server)?;
+            conn.data.read(
+                Sge::new(mr_lkey, op_buf, total),
+                RemoteAddr::new(conn.cache_rkey(), slot.offset()),
+            )?;
+        }
+        let mut hdr_bytes = [0u8; SLOT_HEADER as usize];
+        region.read(op_buf, &mut hdr_bytes)?;
+        let hdr = decode_slot_header(&hdr_bytes);
+        let mut tail_bytes = [0u8; 8];
+        region.read(op_buf + SLOT_HEADER + ptr.size, &mut tail_bytes)?;
+        let tail = u64::from_le_bytes(tail_bytes);
+        // FaRM-style validation: correct tag and length, even head version,
+        // tail version matching head (rejects torn/stale/mid-update frames).
+        let valid = hdr.tag == ptr.addr.raw()
+            && hdr.version % 2 == 0
+            && hdr.len == ptr.size
+            && tail == hdr.version;
+        if valid {
+            region.read(op_buf + SLOT_HEADER + offset, buf)?;
+        }
+        Ok(valid)
+    }
+
+    /// Seqlock-validated NVM read: fetch, re-fetch the version word, retry
+    /// while a writer is active.
+    fn read_nvm_seqlock(
+        &mut self,
+        ptr: GlobalPtr,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> Result<(), GengarError> {
+        let mut backoff = Backoff::default();
+        for _ in 0..self.config.read_retries {
+            let before = self.read_lockword(ptr.addr)?;
+            if lockword::is_locked(before) {
+                self.stats.read_retries += 1;
+                backoff.wait();
+                continue;
+            }
+            let nvm_rkey = self.conn(ptr.addr.server())?.nvm_rkey();
+            self.read_remote(ptr.addr.server(), nvm_rkey, ptr.addr.offset() + offset, buf)?;
+            let after = self.read_lockword(ptr.addr)?;
+            if after == before {
+                return Ok(());
+            }
+            self.stats.read_retries += 1;
+            backoff.wait();
+        }
+        Err(GengarError::ReadContended(ptr.addr))
+    }
+
+    /// Writes `data` at `ptr.addr + offset`.
+    ///
+    /// Routing: under `Consistency::Seqlock` the write locks the object
+    /// (unless already held), goes straight to NVM with a flush+invalidate
+    /// RPC, and unlocks. Under `Consistency::None` it takes the proxy fast
+    /// path when enabled and the payload fits a staging slot.
+    ///
+    /// # Errors
+    ///
+    /// Bounds violations, lock contention, transport failures.
+    pub fn write(&mut self, ptr: GlobalPtr, offset: u64, data: &[u8]) -> Result<(), GengarError> {
+        Self::check_access(ptr, offset, data.len() as u64)?;
+        self.stats.writes += 1;
+        let base = ptr.addr.raw();
+        let server = ptr.addr.server();
+
+        match self.config.consistency {
+            Consistency::Seqlock => {
+                let auto = !self.held.contains_key(&base);
+                if auto {
+                    self.lock(ptr)?;
+                }
+                let result = self.write_direct(ptr, offset, data);
+                if auto {
+                    // Unlock even if the write failed, then surface the
+                    // first error.
+                    let unlock_result = self.unlock(ptr);
+                    result.and(unlock_result)?;
+                } else {
+                    result?;
+                }
+            }
+            Consistency::None => {
+                let fits_proxy = self
+                    .conn(server)?
+                    .staging
+                    .as_ref()
+                    .is_some_and(|st| data.len() as u64 <= st.max_payload());
+                if fits_proxy {
+                    let target = ptr.addr.add(offset).raw();
+                    let conn = self.conn_mut(server)?;
+                    let st = conn.staging.as_mut().expect("checked above");
+                    let seq = st.stage_write(target, data)?;
+                    self.write_back.insert(
+                        base,
+                        WriteBack {
+                            seq,
+                            off: offset,
+                            data: data.to_vec(),
+                        },
+                    );
+                    self.purge_write_back(server)?;
+                    self.stats.staged_writes += 1;
+                } else {
+                    self.write_direct(ptr, offset, data)?;
+                }
+            }
+        }
+        self.record(server, base, true)?;
+        Ok(())
+    }
+
+    /// Direct write path: RDMA WRITE to NVM, then flush+invalidate RPC.
+    fn write_direct(&mut self, ptr: GlobalPtr, offset: u64, data: &[u8]) -> Result<(), GengarError> {
+        let server = ptr.addr.server();
+        let nvm_rkey = self.conn(server)?.nvm_rkey();
+        self.write_remote(server, nvm_rkey, ptr.addr.offset() + offset, data)?;
+        let conn = self.conn(server)?;
+        match conn.rpc.call(&Request::FlushRange {
+            addr: ptr.addr.add(offset).raw(),
+            len: data.len() as u64,
+        })? {
+            Response::Ok => {}
+            Response::Err { code } => return Err(error_for_code(code, data.len() as u64)),
+            _ => return Err(GengarError::ProtocolViolation("bad flush response")),
+        }
+        let base = ptr.addr.raw();
+        self.remap.remove(&base);
+        self.write_back.remove(&base);
+        self.stats.direct_writes += 1;
+        Ok(())
+    }
+
+    /// Caps the write-back buffer by retiring drained entries.
+    fn purge_write_back(&mut self, server: u8) -> Result<(), GengarError> {
+        if self.write_back.len() < 1024 {
+            return Ok(());
+        }
+        let drained = match self.conn_mut(server)?.staging.as_mut() {
+            Some(st) => st.refresh_drained()?,
+            None => return Ok(()),
+        };
+        self.write_back.retain(|addr, wb| {
+            GlobalAddr::from_raw(*addr).map(|a| a.server()) != Some(server) || wb.seq > drained
+        });
+        Ok(())
+    }
+
+    /// Remote atomic compare-and-swap on an 8-byte-aligned word of the
+    /// object. Returns the value observed before the operation.
+    ///
+    /// # Errors
+    ///
+    /// Bounds/alignment violations, transport failures.
+    pub fn cas_u64(
+        &mut self,
+        ptr: GlobalPtr,
+        offset: u64,
+        expected: u64,
+        new: u64,
+    ) -> Result<u64, GengarError> {
+        Self::check_access(ptr, offset, 8)?;
+        let op_cas = self.op_cas;
+        let mr_lkey = self.mr.lkey();
+        let region = self.mr.region().clone();
+        let server = ptr.addr.server();
+        let conn = self.conn(server)?;
+        conn.data.compare_swap(
+            Sge::new(mr_lkey, op_cas, 8),
+            RemoteAddr::new(conn.nvm_rkey(), ptr.addr.offset() + offset),
+            expected,
+            new,
+        )?;
+        let mut prev = [0u8; 8];
+        region.read(op_cas, &mut prev)?;
+        self.finish_atomic(ptr, offset)?;
+        Ok(u64::from_le_bytes(prev))
+    }
+
+    /// Remote atomics mutate NVM without persistence; anchor durability
+    /// with the flush RPC (which also invalidates any cached copy), then
+    /// drop stale local views.
+    fn finish_atomic(&mut self, ptr: GlobalPtr, offset: u64) -> Result<(), GengarError> {
+        let server = ptr.addr.server();
+        let conn = self.conn(server)?;
+        match conn.rpc.call(&Request::FlushRange {
+            addr: ptr.addr.add(offset).raw(),
+            len: 8,
+        })? {
+            Response::Ok => {}
+            Response::Err { code } => return Err(error_for_code(code, 8)),
+            _ => return Err(GengarError::ProtocolViolation("bad flush response")),
+        }
+        self.remap.remove(&ptr.addr.raw());
+        self.write_back.remove(&ptr.addr.raw());
+        self.record(server, ptr.addr.raw(), true)
+    }
+
+    /// Remote atomic fetch-and-add, returning the prior value.
+    ///
+    /// # Errors
+    ///
+    /// Bounds/alignment violations, transport failures.
+    pub fn faa_u64(&mut self, ptr: GlobalPtr, offset: u64, add: u64) -> Result<u64, GengarError> {
+        Self::check_access(ptr, offset, 8)?;
+        let op_cas = self.op_cas;
+        let mr_lkey = self.mr.lkey();
+        let region = self.mr.region().clone();
+        let server = ptr.addr.server();
+        let conn = self.conn(server)?;
+        conn.data.fetch_add(
+            Sge::new(mr_lkey, op_cas, 8),
+            RemoteAddr::new(conn.nvm_rkey(), ptr.addr.offset() + offset),
+            add,
+        )?;
+        let mut prev = [0u8; 8];
+        region.read(op_cas, &mut prev)?;
+        self.finish_atomic(ptr, offset)?;
+        Ok(u64::from_le_bytes(prev))
+    }
+
+    /// Acquires the object's writer lock via remote CAS.
+    ///
+    /// # Errors
+    ///
+    /// [`GengarError::LockContended`] after `lock_retries` failed attempts.
+    pub fn lock(&mut self, ptr: GlobalPtr) -> Result<(), GengarError> {
+        Self::check_access(ptr, 0, 0)?;
+        let base = ptr.addr.raw();
+        if self.held.contains_key(&base) {
+            return Ok(());
+        }
+        let word_off = ptr.addr.offset() - OBJ_HEADER;
+        let mut backoff = Backoff::default();
+        for _ in 0..self.config.lock_retries {
+            let current = self.read_lockword(ptr.addr)?;
+            if !lockword::is_locked(current) {
+                let locked = lockword::locked(current);
+                let op_cas = self.op_cas;
+                let mr_lkey = self.mr.lkey();
+                let region = self.mr.region().clone();
+                let conn = self.conn(ptr.addr.server())?;
+                conn.data.compare_swap(
+                    Sge::new(mr_lkey, op_cas, 8),
+                    RemoteAddr::new(conn.nvm_rkey(), word_off),
+                    current,
+                    locked,
+                )?;
+                let mut prev = [0u8; 8];
+                region.read(op_cas, &mut prev)?;
+                if u64::from_le_bytes(prev) == current {
+                    self.held.insert(base, locked);
+                    return Ok(());
+                }
+            }
+            self.stats.lock_retries += 1;
+            backoff.wait();
+        }
+        Err(GengarError::LockContended(ptr.addr))
+    }
+
+    /// Releases a lock held by this client, bumping the object version.
+    ///
+    /// # Errors
+    ///
+    /// [`GengarError::ProtocolViolation`] if this client does not hold the
+    /// lock.
+    pub fn unlock(&mut self, ptr: GlobalPtr) -> Result<(), GengarError> {
+        let base = ptr.addr.raw();
+        let locked_word = self
+            .held
+            .remove(&base)
+            .ok_or(GengarError::ProtocolViolation("unlock without lock"))?;
+        let release = lockword::release(locked_word);
+        let word_off = ptr.addr.offset() - OBJ_HEADER;
+        let server = ptr.addr.server();
+        let nvm_rkey = self.conn(server)?.nvm_rkey();
+        self.write_remote(server, nvm_rkey, word_off, &release.to_le_bytes())
+    }
+
+    /// Reads the object's raw lock/version word (one 8-byte READ). Exposed
+    /// for systems layered on Gengar that implement their own validation,
+    /// e.g. client-side caches.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures as [`GengarError::Rdma`].
+    pub fn read_lock_word(&mut self, ptr: GlobalPtr) -> Result<u64, GengarError> {
+        Self::check_access(ptr, 0, 0)?;
+        self.read_lockword(ptr.addr)
+    }
+
+    /// Records one access for the piggybacked hotness report.
+    fn record(&mut self, server: u8, base_raw: u64, wrote: bool) -> Result<(), GengarError> {
+        let entry = self
+            .pending
+            .entry(server)
+            .or_default()
+            .entry(base_raw)
+            .or_insert((0, false));
+        entry.0 += 1;
+        entry.1 |= wrote;
+        self.ops_since_report += 1;
+        if self.ops_since_report >= self.config.report_every {
+            self.flush_reports()?;
+        }
+        Ok(())
+    }
+
+    /// Sends pending hotness reports now and applies the piggybacked remap
+    /// updates. Called automatically every `report_every` accesses.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures as [`GengarError::Rdma`].
+    pub fn flush_reports(&mut self) -> Result<(), GengarError> {
+        self.ops_since_report = 0;
+        let pending = std::mem::take(&mut self.pending);
+        for (server, entries) in pending {
+            let mut batch: Vec<AccessEntry> = entries
+                .into_iter()
+                .map(|(addr, (count, wrote))| AccessEntry { addr, count, wrote })
+                .collect();
+            while !batch.is_empty() {
+                let chunk: Vec<AccessEntry> =
+                    batch.drain(..batch.len().min(MAX_REPORT)).collect();
+                let conn = self.conn(server)?;
+                match conn.rpc.call(&Request::Report { entries: chunk })? {
+                    Response::Report { remaps } => {
+                        for r in remaps {
+                            if r.cache_addr == 0 {
+                                self.remap.remove(&r.addr);
+                            } else {
+                                if self.remap.len() >= self.config.remap_cache_entries
+                                    && !self.remap.contains_key(&r.addr)
+                                {
+                                    continue;
+                                }
+                                self.remap.insert(r.addr, r.cache_addr);
+                            }
+                        }
+                    }
+                    Response::Err { .. } => {}
+                    _ => return Err(GengarError::ProtocolViolation("bad report response")),
+                }
+                self.stats.reports += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Blocks until every staged write this client issued has been drained
+    /// to NVM (used by tests and durability-sensitive applications).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures as [`GengarError::Rdma`].
+    pub fn drain_all(&mut self) -> Result<(), GengarError> {
+        for conn in &mut self.conns {
+            if let Some(st) = conn.staging.as_mut() {
+                let last = st.next_seq().saturating_sub(1);
+                if last > 0 {
+                    st.wait_drained(last)?;
+                }
+            }
+        }
+        self.write_back.clear();
+        Ok(())
+    }
+
+    /// Number of remap entries currently cached locally.
+    pub fn remap_entries(&self) -> usize {
+        self.remap.len()
+    }
+}

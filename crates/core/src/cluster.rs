@@ -1,0 +1,122 @@
+//! One-call deployment of a simulated Gengar cluster.
+
+use std::sync::Arc;
+
+use gengar_rdma::{Fabric, FabricConfig};
+
+use crate::client::GengarClient;
+use crate::config::{ClientConfig, ServerConfig};
+use crate::error::GengarError;
+use crate::server::MemoryServer;
+
+/// A fabric plus a set of memory servers, wired up and running.
+///
+/// ```
+/// use gengar_core::cluster::Cluster;
+/// use gengar_core::config::{ClientConfig, ServerConfig};
+/// use gengar_core::pool::DshmPool;
+/// use gengar_rdma::FabricConfig;
+///
+/// # fn main() -> Result<(), gengar_core::GengarError> {
+/// let cluster = Cluster::launch(2, ServerConfig::small(), FabricConfig::instant())?;
+/// let mut client = cluster.client(ClientConfig::default())?;
+/// let ptr = client.alloc(0, 64)?;
+/// client.write(ptr, 0, b"hello pool")?;
+/// let mut buf = [0u8; 10];
+/// client.read(ptr, 0, &mut buf)?;
+/// assert_eq!(&buf, b"hello pool");
+/// # Ok(())
+/// # }
+/// ```
+pub struct Cluster {
+    fabric: Arc<Fabric>,
+    servers: Vec<Arc<MemoryServer>>,
+    client_config: ClientConfig,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("servers", &self.servers.len())
+            .finish()
+    }
+}
+
+impl Cluster {
+    /// Launches `n` memory servers (ids `0..n`) on a fresh fabric.
+    ///
+    /// # Errors
+    ///
+    /// Propagates server launch failures.
+    pub fn launch(
+        n: usize,
+        server_config: ServerConfig,
+        fabric_config: FabricConfig,
+    ) -> Result<Cluster, GengarError> {
+        let fabric = Fabric::new(fabric_config);
+        let mut servers = Vec::with_capacity(n);
+        for id in 0..n {
+            servers.push(MemoryServer::launch(
+                &fabric,
+                id as u8,
+                server_config.clone(),
+            )?);
+        }
+        Ok(Cluster {
+            fabric,
+            servers,
+            client_config: ClientConfig::default(),
+        })
+    }
+
+    /// Changes the default configuration handed to new clients.
+    pub fn set_client_config(&mut self, config: ClientConfig) {
+        self.client_config = config;
+    }
+
+    /// The fabric (for fault injection or extra nodes).
+    pub fn fabric(&self) -> &Arc<Fabric> {
+        &self.fabric
+    }
+
+    /// The running servers.
+    pub fn servers(&self) -> &[Arc<MemoryServer>] {
+        &self.servers
+    }
+
+    /// One server by pool id.
+    pub fn server(&self, id: u8) -> Option<&Arc<MemoryServer>> {
+        self.servers.get(id as usize)
+    }
+
+    /// Connects a new client (one per thread) with the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn client(&self, config: ClientConfig) -> Result<GengarClient, GengarError> {
+        GengarClient::connect(&self.fabric, &self.servers, config)
+    }
+
+    /// Connects a client with the cluster's default client configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn default_client(&self) -> Result<GengarClient, GengarError> {
+        self.client(self.client_config.clone())
+    }
+
+    /// Shuts every server down (also happens on drop).
+    pub fn shutdown(&self) {
+        for s in &self.servers {
+            s.shutdown();
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -1,0 +1,169 @@
+//! Configuration for servers and clients, including the ablation toggles
+//! the evaluation sweeps over (cache on/off, proxy on/off).
+
+use std::time::Duration;
+
+use gengar_hybridmem::DeviceProfile;
+use serde::{Deserialize, Serialize};
+
+/// Consistency level for shared objects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Consistency {
+    /// No cross-user guarantees: raw reads/writes (single-user mode).
+    None,
+    /// Writers lock objects via one-sided CAS; readers validate seqlock
+    /// versions and retry. This is Gengar's multi-user sharing mode.
+    Seqlock,
+}
+
+/// Server-side configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerConfig {
+    /// Bytes of NVM exported into the pool.
+    pub nvm_capacity: u64,
+    /// Bytes of DRAM dedicated to the hot-data cache.
+    pub dram_cache_capacity: u64,
+    /// Bytes of ADR-protected DRAM per client staging ring.
+    pub staging_ring_capacity: u64,
+    /// Maximum clients (bounds staging region size).
+    pub max_clients: u32,
+    /// Hot-data caching in server DRAM (ablation toggle).
+    pub enable_cache: bool,
+    /// Proxy-based write protocol (ablation toggle).
+    pub enable_proxy: bool,
+    /// Epoch-normalised access count above which an object is promoted.
+    pub hot_threshold: u32,
+    /// How often the hotness monitor folds reports and promotes/demotes.
+    pub epoch: Duration,
+    /// Largest payload the cache will hold a copy of.
+    pub cacheable_max: u64,
+    /// Largest allocatable payload.
+    pub max_object: u64,
+    /// Timing profile of the NVM device.
+    pub nvm_profile: DeviceProfile,
+    /// Timing profile of the DRAM devices (cache, control, messages).
+    pub dram_profile: DeviceProfile,
+    /// Timing profile of the staging device (must be durable on write).
+    pub staging_profile: DeviceProfile,
+    /// Track durable images so crashes can be simulated (costs memory).
+    pub crash_sim: bool,
+    /// Proxy drain threads. Rings are assigned to threads by client id, so
+    /// per-ring ordering is preserved while drain bandwidth scales.
+    pub proxy_threads: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            nvm_capacity: 256 << 20,
+            dram_cache_capacity: 32 << 20,
+            staging_ring_capacity: 1 << 20,
+            max_clients: 64,
+            enable_cache: true,
+            enable_proxy: true,
+            hot_threshold: 4,
+            epoch: Duration::from_millis(20),
+            cacheable_max: 64 << 10,
+            max_object: 16 << 20,
+            nvm_profile: DeviceProfile::optane(),
+            dram_profile: DeviceProfile::dram(),
+            staging_profile: DeviceProfile::adr_dram(),
+            crash_sim: false,
+            proxy_threads: 2,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// A small configuration for unit tests (few MiB, fast epochs,
+    /// zero-latency devices).
+    pub fn small() -> Self {
+        use gengar_hybridmem::{MemKind, PersistenceMode};
+        let mut staging = DeviceProfile::instant(MemKind::Dram);
+        staging.persistence = PersistenceMode::Adr;
+        ServerConfig {
+            nvm_capacity: 8 << 20,
+            dram_cache_capacity: 1 << 20,
+            staging_ring_capacity: 64 << 10,
+            max_clients: 8,
+            hot_threshold: 2,
+            epoch: Duration::from_millis(5),
+            cacheable_max: 16 << 10,
+            max_object: 1 << 20,
+            nvm_profile: DeviceProfile::instant(MemKind::Nvm),
+            dram_profile: DeviceProfile::instant(MemKind::Dram),
+            staging_profile: staging,
+            ..Default::default()
+        }
+    }
+
+    /// The paper's baseline comparator shape: no DRAM cache, no proxy
+    /// (direct one-sided access to NVM, Octopus-like).
+    pub fn nvm_direct() -> Self {
+        ServerConfig {
+            enable_cache: false,
+            enable_proxy: false,
+            ..Default::default()
+        }
+    }
+}
+
+/// Client-side configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClientConfig {
+    /// Consistency level for shared objects.
+    pub consistency: Consistency,
+    /// Local scratch buffer registered for RDMA (per client).
+    pub scratch_capacity: u64,
+    /// Send an access report to each server after this many accesses.
+    pub report_every: u32,
+    /// Retries for a consistent read before giving up.
+    pub read_retries: u32,
+    /// Retries for lock acquisition before giving up.
+    pub lock_retries: u32,
+    /// Remember at most this many remote-cache remap entries.
+    pub remap_cache_entries: usize,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            consistency: Consistency::None,
+            scratch_capacity: 4 << 20,
+            report_every: 64,
+            read_retries: 16,
+            lock_retries: 10_000,
+            remap_cache_entries: 65_536,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let s = ServerConfig::default();
+        assert!(s.enable_cache && s.enable_proxy);
+        assert!(s.dram_cache_capacity < s.nvm_capacity);
+        assert!(s.cacheable_max <= s.dram_cache_capacity);
+        let c = ClientConfig::default();
+        assert!(c.report_every > 0);
+        assert!(c.scratch_capacity >= 1 << 20);
+    }
+
+    #[test]
+    fn nvm_direct_disables_gengar_mechanisms() {
+        let s = ServerConfig::nvm_direct();
+        assert!(!s.enable_cache);
+        assert!(!s.enable_proxy);
+    }
+
+    #[test]
+    fn small_fits_in_test_budgets() {
+        let s = ServerConfig::small();
+        assert!(s.nvm_capacity <= 16 << 20);
+        assert!(s.epoch <= Duration::from_millis(10));
+    }
+}

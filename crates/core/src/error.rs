@@ -1,0 +1,133 @@
+//! Error type for the Gengar DSHM pool.
+
+use std::error::Error;
+use std::fmt;
+
+use gengar_hybridmem::HybridMemError;
+use gengar_rdma::RdmaError;
+
+use crate::addr::GlobalAddr;
+
+/// Errors produced by Gengar servers and clients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GengarError {
+    /// The pool has no server with this id.
+    UnknownServer(u8),
+    /// The server's NVM region cannot satisfy the allocation.
+    OutOfMemory {
+        /// Requested payload size.
+        requested: u64,
+    },
+    /// An allocation request exceeded the largest supported object size.
+    ObjectTooLarge {
+        /// Requested payload size.
+        requested: u64,
+        /// Largest supported payload size.
+        max: u64,
+    },
+    /// The address does not name a live object.
+    InvalidAddress(GlobalAddr),
+    /// A read/write exceeded the object's bounds.
+    AccessOutOfBounds {
+        /// Object address.
+        addr: GlobalAddr,
+        /// Requested offset within the object.
+        offset: u64,
+        /// Requested length.
+        len: u64,
+        /// The object's payload size.
+        size: u64,
+    },
+    /// Freeing an object that was already freed.
+    DoubleFree(GlobalAddr),
+    /// The RPC peer answered with an unexpected or malformed message.
+    ProtocolViolation(&'static str),
+    /// Lock acquisition gave up after exhausting retries.
+    LockContended(GlobalAddr),
+    /// A consistent read kept observing concurrent modification.
+    ReadContended(GlobalAddr),
+    /// The underlying RDMA transport failed.
+    Rdma(RdmaError),
+    /// The underlying simulated memory failed.
+    Memory(HybridMemError),
+    /// The server is shutting down or unreachable.
+    ServerUnavailable(u8),
+}
+
+impl fmt::Display for GengarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GengarError::UnknownServer(id) => write!(f, "unknown server {id}"),
+            GengarError::OutOfMemory { requested } => {
+                write!(f, "out of pool memory allocating {requested} bytes")
+            }
+            GengarError::ObjectTooLarge { requested, max } => {
+                write!(f, "object of {requested} bytes exceeds maximum {max}")
+            }
+            GengarError::InvalidAddress(a) => write!(f, "invalid address {a}"),
+            GengarError::AccessOutOfBounds {
+                addr,
+                offset,
+                len,
+                size,
+            } => write!(
+                f,
+                "access [{offset}, {offset}+{len}) out of bounds for object {addr} of {size} bytes"
+            ),
+            GengarError::DoubleFree(a) => write!(f, "double free of {a}"),
+            GengarError::ProtocolViolation(what) => write!(f, "protocol violation: {what}"),
+            GengarError::LockContended(a) => write!(f, "could not lock {a}: contended"),
+            GengarError::ReadContended(a) => {
+                write!(f, "consistent read of {a} kept observing writers")
+            }
+            GengarError::Rdma(e) => write!(f, "rdma error: {e}"),
+            GengarError::Memory(e) => write!(f, "memory error: {e}"),
+            GengarError::ServerUnavailable(id) => write!(f, "server {id} unavailable"),
+        }
+    }
+}
+
+impl Error for GengarError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GengarError::Rdma(e) => Some(e),
+            GengarError::Memory(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RdmaError> for GengarError {
+    fn from(e: RdmaError) -> Self {
+        GengarError::Rdma(e)
+    }
+}
+
+impl From<HybridMemError> for GengarError {
+    fn from(e: HybridMemError) -> Self {
+        GengarError::Memory(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_details() {
+        let e = GengarError::OutOfMemory { requested: 4096 };
+        assert!(e.to_string().contains("4096"));
+        let e = GengarError::ObjectTooLarge {
+            requested: 10,
+            max: 5,
+        };
+        assert!(e.to_string().contains("maximum 5"));
+    }
+
+    #[test]
+    fn conversions_wrap() {
+        let e: GengarError = RdmaError::Timeout.into();
+        assert_eq!(e, GengarError::Rdma(RdmaError::Timeout));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,564 @@
+//! Control-plane wire protocol (encoded by hand over SEND/RECV).
+//!
+//! Messages are small (bounded by [`MAX_MSG`]) and carry fixed-width
+//! little-endian fields behind a one-byte opcode. The data plane never uses
+//! these messages — reads, writes and atomics are one-sided.
+
+use bytes::{Buf, BufMut};
+
+use crate::error::GengarError;
+use crate::hotness::AccessEntry;
+
+/// Maximum encoded message size (fits one RPC buffer slot).
+pub const MAX_MSG: usize = 4096;
+
+/// Maximum access-report entries per message.
+pub const MAX_REPORT: usize = 128;
+
+/// Client-to-server requests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Learn the server's exported regions and feature flags.
+    Mount,
+    /// Allocate an object with `size` payload bytes.
+    Alloc {
+        /// Payload size in bytes.
+        size: u64,
+    },
+    /// Free the object whose payload starts at `addr` (raw global address).
+    Free {
+        /// Raw global address of the payload base.
+        addr: u64,
+    },
+    /// Open a proxy staging ring; the server assigns a client id.
+    OpenStaging,
+    /// Piggybacked hotness report. The response carries remap updates for
+    /// the reported addresses.
+    Report {
+        /// Batched access entries.
+        entries: Vec<AccessEntry>,
+    },
+    /// Make `[addr, addr+len)` durable and invalidate any cached copy
+    /// (direct-write path).
+    FlushRange {
+        /// Raw global address of the written payload base.
+        addr: u64,
+        /// Length of the written range.
+        len: u64,
+    },
+    /// Invalidate any cached copy of `addr` without flushing.
+    Invalidate {
+        /// Raw global address of the payload base.
+        addr: u64,
+    },
+    /// Read the drained watermark of ring `client_id`.
+    QueryDurable {
+        /// Ring owner.
+        client_id: u32,
+    },
+}
+
+/// Exported-region descriptions returned by `Mount`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MountInfo {
+    /// Server identifier within the pool.
+    pub server_id: u8,
+    /// rkey of the NVM data region.
+    pub nvm_rkey: u32,
+    /// rkey of the DRAM cache region.
+    pub cache_rkey: u32,
+    /// rkey of the staging region.
+    pub staging_rkey: u32,
+    /// rkey of the control region.
+    pub ctl_rkey: u32,
+    /// NVM bytes exported.
+    pub nvm_capacity: u64,
+    /// Whether server-side hot-data caching is enabled.
+    pub enable_cache: bool,
+    /// Whether the proxy write path is enabled.
+    pub enable_proxy: bool,
+    /// Staging-ring slot payload capacity (bytes).
+    pub slot_payload: u64,
+    /// Slots per staging ring.
+    pub slots_per_ring: u32,
+}
+
+/// One remap update piggybacked on a `Report` response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemapUpdate {
+    /// Raw global address of the object's payload base.
+    pub addr: u64,
+    /// Raw global address of the cached copy's slot frame, or 0 if the
+    /// object is not (or no longer) cached.
+    pub cache_addr: u64,
+}
+
+/// Server-to-client responses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Mount succeeded.
+    Mount(MountInfo),
+    /// Allocation succeeded; `addr` is the payload base (raw).
+    Alloc {
+        /// Raw global address of the payload base.
+        addr: u64,
+    },
+    /// Staging ring opened.
+    Staging {
+        /// Assigned client id (selects the ring).
+        client_id: u32,
+        /// Ring base offset within the staging region.
+        ring_offset: u64,
+    },
+    /// Report folded; remap updates for the reported addresses.
+    Report {
+        /// Current cache locations for reported addresses.
+        remaps: Vec<RemapUpdate>,
+    },
+    /// Drained watermark of the queried ring.
+    Durable {
+        /// Highest drained (and NVM-flushed) sequence number.
+        seq: u64,
+    },
+    /// Generic success.
+    Ok,
+    /// The request failed.
+    Err {
+        /// Error code (see [`err_code`]).
+        code: u16,
+    },
+}
+
+/// Error codes carried in [`Response::Err`].
+pub mod err_code {
+    /// Out of pool memory.
+    pub const OOM: u16 = 1;
+    /// Object too large.
+    pub const TOO_LARGE: u16 = 2;
+    /// Invalid address.
+    pub const INVALID_ADDR: u16 = 3;
+    /// Double free.
+    pub const DOUBLE_FREE: u16 = 4;
+    /// Server at client capacity.
+    pub const NO_CAPACITY: u16 = 5;
+    /// Malformed request.
+    pub const BAD_REQUEST: u16 = 6;
+}
+
+/// Maps an error-code response to the client-visible error.
+pub fn error_for_code(code: u16, requested: u64) -> GengarError {
+    match code {
+        err_code::OOM => GengarError::OutOfMemory { requested },
+        err_code::TOO_LARGE => GengarError::ObjectTooLarge {
+            requested,
+            max: crate::alloc::MAX_CLASS,
+        },
+        err_code::INVALID_ADDR | err_code::DOUBLE_FREE => GengarError::ProtocolViolation(
+            "server rejected address",
+        ),
+        err_code::NO_CAPACITY => GengarError::ProtocolViolation("server at client capacity"),
+        _ => GengarError::ProtocolViolation("unknown error code"),
+    }
+}
+
+const REQ_MOUNT: u8 = 1;
+const REQ_ALLOC: u8 = 2;
+const REQ_FREE: u8 = 3;
+const REQ_OPEN_STAGING: u8 = 4;
+const REQ_REPORT: u8 = 5;
+const REQ_FLUSH_RANGE: u8 = 6;
+const REQ_INVALIDATE: u8 = 7;
+const REQ_QUERY_DURABLE: u8 = 8;
+
+const RESP_MOUNT: u8 = 129;
+const RESP_ALLOC: u8 = 130;
+const RESP_STAGING: u8 = 131;
+const RESP_REPORT: u8 = 132;
+const RESP_DURABLE: u8 = 133;
+const RESP_OK: u8 = 134;
+const RESP_ERR: u8 = 135;
+
+impl Request {
+    /// Encodes into `buf`.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Request::Mount => buf.put_u8(REQ_MOUNT),
+            Request::Alloc { size } => {
+                buf.put_u8(REQ_ALLOC);
+                buf.put_u64_le(*size);
+            }
+            Request::Free { addr } => {
+                buf.put_u8(REQ_FREE);
+                buf.put_u64_le(*addr);
+            }
+            Request::OpenStaging => buf.put_u8(REQ_OPEN_STAGING),
+            Request::Report { entries } => {
+                buf.put_u8(REQ_REPORT);
+                buf.put_u16_le(entries.len().min(MAX_REPORT) as u16);
+                for e in entries.iter().take(MAX_REPORT) {
+                    buf.put_u64_le(e.addr);
+                    buf.put_u32_le(e.count);
+                    buf.put_u8(e.wrote as u8);
+                }
+            }
+            Request::FlushRange { addr, len } => {
+                buf.put_u8(REQ_FLUSH_RANGE);
+                buf.put_u64_le(*addr);
+                buf.put_u64_le(*len);
+            }
+            Request::Invalidate { addr } => {
+                buf.put_u8(REQ_INVALIDATE);
+                buf.put_u64_le(*addr);
+            }
+            Request::QueryDurable { client_id } => {
+                buf.put_u8(REQ_QUERY_DURABLE);
+                buf.put_u32_le(*client_id);
+            }
+        }
+    }
+
+    /// Decodes from `buf`.
+    ///
+    /// # Errors
+    ///
+    /// [`GengarError::ProtocolViolation`] on truncated or unknown input.
+    pub fn decode(mut buf: &[u8]) -> Result<Request, GengarError> {
+        let malformed = GengarError::ProtocolViolation("malformed request");
+        if buf.is_empty() {
+            return Err(malformed);
+        }
+        let tag = buf.get_u8();
+        let req = match tag {
+            REQ_MOUNT => Request::Mount,
+            REQ_ALLOC => {
+                if buf.remaining() < 8 {
+                    return Err(malformed);
+                }
+                Request::Alloc {
+                    size: buf.get_u64_le(),
+                }
+            }
+            REQ_FREE => {
+                if buf.remaining() < 8 {
+                    return Err(malformed);
+                }
+                Request::Free {
+                    addr: buf.get_u64_le(),
+                }
+            }
+            REQ_OPEN_STAGING => Request::OpenStaging,
+            REQ_REPORT => {
+                if buf.remaining() < 2 {
+                    return Err(malformed);
+                }
+                let n = buf.get_u16_le() as usize;
+                if n > MAX_REPORT || buf.remaining() < n * 13 {
+                    return Err(malformed);
+                }
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    entries.push(AccessEntry {
+                        addr: buf.get_u64_le(),
+                        count: buf.get_u32_le(),
+                        wrote: buf.get_u8() != 0,
+                    });
+                }
+                Request::Report { entries }
+            }
+            REQ_FLUSH_RANGE => {
+                if buf.remaining() < 16 {
+                    return Err(malformed);
+                }
+                Request::FlushRange {
+                    addr: buf.get_u64_le(),
+                    len: buf.get_u64_le(),
+                }
+            }
+            REQ_INVALIDATE => {
+                if buf.remaining() < 8 {
+                    return Err(malformed);
+                }
+                Request::Invalidate {
+                    addr: buf.get_u64_le(),
+                }
+            }
+            REQ_QUERY_DURABLE => {
+                if buf.remaining() < 4 {
+                    return Err(malformed);
+                }
+                Request::QueryDurable {
+                    client_id: buf.get_u32_le(),
+                }
+            }
+            _ => return Err(GengarError::ProtocolViolation("unknown request opcode")),
+        };
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encodes into `buf`.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Response::Mount(m) => {
+                buf.put_u8(RESP_MOUNT);
+                buf.put_u8(m.server_id);
+                buf.put_u32_le(m.nvm_rkey);
+                buf.put_u32_le(m.cache_rkey);
+                buf.put_u32_le(m.staging_rkey);
+                buf.put_u32_le(m.ctl_rkey);
+                buf.put_u64_le(m.nvm_capacity);
+                buf.put_u8(m.enable_cache as u8);
+                buf.put_u8(m.enable_proxy as u8);
+                buf.put_u64_le(m.slot_payload);
+                buf.put_u32_le(m.slots_per_ring);
+            }
+            Response::Alloc { addr } => {
+                buf.put_u8(RESP_ALLOC);
+                buf.put_u64_le(*addr);
+            }
+            Response::Staging {
+                client_id,
+                ring_offset,
+            } => {
+                buf.put_u8(RESP_STAGING);
+                buf.put_u32_le(*client_id);
+                buf.put_u64_le(*ring_offset);
+            }
+            Response::Report { remaps } => {
+                buf.put_u8(RESP_REPORT);
+                buf.put_u16_le(remaps.len().min(MAX_REPORT) as u16);
+                for r in remaps.iter().take(MAX_REPORT) {
+                    buf.put_u64_le(r.addr);
+                    buf.put_u64_le(r.cache_addr);
+                }
+            }
+            Response::Durable { seq } => {
+                buf.put_u8(RESP_DURABLE);
+                buf.put_u64_le(*seq);
+            }
+            Response::Ok => buf.put_u8(RESP_OK),
+            Response::Err { code } => {
+                buf.put_u8(RESP_ERR);
+                buf.put_u16_le(*code);
+            }
+        }
+    }
+
+    /// Decodes from `buf`.
+    ///
+    /// # Errors
+    ///
+    /// [`GengarError::ProtocolViolation`] on truncated or unknown input.
+    pub fn decode(mut buf: &[u8]) -> Result<Response, GengarError> {
+        let malformed = GengarError::ProtocolViolation("malformed response");
+        if buf.is_empty() {
+            return Err(malformed);
+        }
+        let tag = buf.get_u8();
+        let resp = match tag {
+            RESP_MOUNT => {
+                if buf.remaining() < 1 + 16 + 8 + 2 + 12 {
+                    return Err(malformed);
+                }
+                Response::Mount(MountInfo {
+                    server_id: buf.get_u8(),
+                    nvm_rkey: buf.get_u32_le(),
+                    cache_rkey: buf.get_u32_le(),
+                    staging_rkey: buf.get_u32_le(),
+                    ctl_rkey: buf.get_u32_le(),
+                    nvm_capacity: buf.get_u64_le(),
+                    enable_cache: buf.get_u8() != 0,
+                    enable_proxy: buf.get_u8() != 0,
+                    slot_payload: buf.get_u64_le(),
+                    slots_per_ring: buf.get_u32_le(),
+                })
+            }
+            RESP_ALLOC => {
+                if buf.remaining() < 8 {
+                    return Err(malformed);
+                }
+                Response::Alloc {
+                    addr: buf.get_u64_le(),
+                }
+            }
+            RESP_STAGING => {
+                if buf.remaining() < 12 {
+                    return Err(malformed);
+                }
+                Response::Staging {
+                    client_id: buf.get_u32_le(),
+                    ring_offset: buf.get_u64_le(),
+                }
+            }
+            RESP_REPORT => {
+                if buf.remaining() < 2 {
+                    return Err(malformed);
+                }
+                let n = buf.get_u16_le() as usize;
+                if n > MAX_REPORT || buf.remaining() < n * 16 {
+                    return Err(malformed);
+                }
+                let mut remaps = Vec::with_capacity(n);
+                for _ in 0..n {
+                    remaps.push(RemapUpdate {
+                        addr: buf.get_u64_le(),
+                        cache_addr: buf.get_u64_le(),
+                    });
+                }
+                Response::Report { remaps }
+            }
+            RESP_DURABLE => {
+                if buf.remaining() < 8 {
+                    return Err(malformed);
+                }
+                Response::Durable {
+                    seq: buf.get_u64_le(),
+                }
+            }
+            RESP_OK => Response::Ok,
+            RESP_ERR => {
+                if buf.remaining() < 2 {
+                    return Err(malformed);
+                }
+                Response::Err {
+                    code: buf.get_u16_le(),
+                }
+            }
+            _ => return Err(GengarError::ProtocolViolation("unknown response opcode")),
+        };
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(r: Request) {
+        let mut buf = Vec::new();
+        r.encode(&mut buf);
+        assert!(buf.len() <= MAX_MSG);
+        assert_eq!(Request::decode(&buf).unwrap(), r);
+    }
+
+    fn roundtrip_resp(r: Response) {
+        let mut buf = Vec::new();
+        r.encode(&mut buf);
+        assert!(buf.len() <= MAX_MSG);
+        assert_eq!(Response::decode(&buf).unwrap(), r);
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip_req(Request::Mount);
+        roundtrip_req(Request::Alloc { size: 12345 });
+        roundtrip_req(Request::Free { addr: u64::MAX / 3 });
+        roundtrip_req(Request::OpenStaging);
+        roundtrip_req(Request::Report {
+            entries: vec![
+                AccessEntry {
+                    addr: 7,
+                    count: 3,
+                    wrote: true,
+                },
+                AccessEntry {
+                    addr: 9,
+                    count: 1,
+                    wrote: false,
+                },
+            ],
+        });
+        roundtrip_req(Request::FlushRange { addr: 64, len: 128 });
+        roundtrip_req(Request::Invalidate { addr: 99 });
+        roundtrip_req(Request::QueryDurable { client_id: 4 });
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        roundtrip_resp(Response::Mount(MountInfo {
+            server_id: 2,
+            nvm_rkey: 10,
+            cache_rkey: 11,
+            staging_rkey: 12,
+            ctl_rkey: 13,
+            nvm_capacity: 1 << 30,
+            enable_cache: true,
+            enable_proxy: false,
+            slot_payload: 4064,
+            slots_per_ring: 16,
+        }));
+        roundtrip_resp(Response::Alloc { addr: 42 });
+        roundtrip_resp(Response::Staging {
+            client_id: 3,
+            ring_offset: 1 << 20,
+        });
+        roundtrip_resp(Response::Report {
+            remaps: vec![
+                RemapUpdate {
+                    addr: 1,
+                    cache_addr: 2,
+                },
+                RemapUpdate {
+                    addr: 3,
+                    cache_addr: 0,
+                },
+            ],
+        });
+        roundtrip_resp(Response::Durable { seq: 77 });
+        roundtrip_resp(Response::Ok);
+        roundtrip_resp(Response::Err {
+            code: err_code::OOM,
+        });
+    }
+
+    #[test]
+    fn full_report_fits_in_max_msg() {
+        let entries = vec![
+            AccessEntry {
+                addr: u64::MAX,
+                count: u32::MAX,
+                wrote: true,
+            };
+            MAX_REPORT
+        ];
+        let mut buf = Vec::new();
+        Request::Report { entries }.encode(&mut buf);
+        assert!(buf.len() <= MAX_MSG);
+        let remaps = vec![
+            RemapUpdate {
+                addr: u64::MAX,
+                cache_addr: u64::MAX,
+            };
+            MAX_REPORT
+        ];
+        let mut buf = Vec::new();
+        Response::Report { remaps }.encode(&mut buf);
+        assert!(buf.len() <= MAX_MSG);
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        assert!(Request::decode(&[]).is_err());
+        assert!(Request::decode(&[REQ_ALLOC, 1, 2]).is_err());
+        assert!(Response::decode(&[RESP_ALLOC]).is_err());
+        assert!(Request::decode(&[250]).is_err());
+        assert!(Response::decode(&[250]).is_err());
+    }
+
+    #[test]
+    fn error_codes_map() {
+        assert!(matches!(
+            error_for_code(err_code::OOM, 10),
+            GengarError::OutOfMemory { requested: 10 }
+        ));
+        assert!(matches!(
+            error_for_code(err_code::TOO_LARGE, 10),
+            GengarError::ObjectTooLarge { .. }
+        ));
+        assert!(matches!(
+            error_for_code(999, 0),
+            GengarError::ProtocolViolation(_)
+        ));
+    }
+}

@@ -1,0 +1,247 @@
+//! The proxy write protocol (client side).
+//!
+//! RDMA writes straight to remote NVM pay the NVM write/persist cost on the
+//! critical path. Gengar redesigns the write protocol around a *proxy*:
+//! the client places the write record into a per-client staging ring in the
+//! server's ADR-protected DRAM with a single WRITE_WITH_IMM (durable on
+//! completion), and the server's proxy thread drains records to NVM in the
+//! background. Client-visible write latency drops from
+//! `WRITE + flush-RPC + NVM persist` to one DRAM-speed round trip.
+//!
+//! Ring layout: ring `i` occupies `[i * ring_bytes, (i+1) * ring_bytes)` of
+//! the staging region; each ring has [`SLOTS_PER_RING`] fixed slots of
+//! `RECORD_HEADER + slot_payload` bytes. The immediate carries the slot
+//! index. Flow control: the client tracks in-flight slots and consults the
+//! server's drained-watermark word (one-sided READ of the control region)
+//! when the ring is full.
+
+use std::collections::VecDeque;
+
+use gengar_rdma::{Endpoint, MemoryRegion, Payload, RKey, RemoteAddr, Sge};
+
+use crate::error::GengarError;
+use crate::layout::{checksum, encode_record_header, RECORD_HEADER};
+
+/// Slots per staging ring.
+pub const SLOTS_PER_RING: u32 = 16;
+
+/// Ring geometry shared between client and server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingLayout {
+    /// Payload capacity of one slot.
+    pub slot_payload: u64,
+    /// Slots per ring.
+    pub slots: u32,
+}
+
+impl RingLayout {
+    /// Derives the layout from a configured per-ring byte budget.
+    pub fn for_ring_bytes(ring_bytes: u64) -> Self {
+        let slot_bytes = (ring_bytes / SLOTS_PER_RING as u64).max(RECORD_HEADER + 64);
+        RingLayout {
+            slot_payload: slot_bytes - RECORD_HEADER,
+            slots: SLOTS_PER_RING,
+        }
+    }
+
+    /// Bytes of one slot (header + payload).
+    pub fn slot_bytes(&self) -> u64 {
+        RECORD_HEADER + self.slot_payload
+    }
+
+    /// Bytes of one ring.
+    pub fn ring_bytes(&self) -> u64 {
+        self.slot_bytes() * self.slots as u64
+    }
+
+    /// Offset of slot `idx` within the ring.
+    pub fn slot_offset(&self, idx: u32) -> u64 {
+        self.slot_bytes() * idx as u64
+    }
+}
+
+/// Client-side handle to its staging ring.
+///
+/// Not thread-safe: each client thread owns its own ring, mirroring how
+/// each Gengar client owns its connection state.
+#[derive(Debug)]
+pub struct StagingWriter {
+    /// Dedicated proxy queue pair to the server.
+    ep: Endpoint,
+    staging_rkey: RKey,
+    ctl_rkey: RKey,
+    ring_offset: u64,
+    layout: RingLayout,
+    client_id: u32,
+    /// Local scratch MR used to gather records (and land watermark reads).
+    scratch: std::sync::Arc<MemoryRegion>,
+    /// Offset within the scratch MR reserved for this writer
+    /// (`slot_bytes + 8` bytes: record staging + watermark landing pad).
+    scratch_off: u64,
+    next_slot: u32,
+    next_seq: u64,
+    in_flight: VecDeque<u64>, // sequence numbers, oldest first
+    drained: u64,
+}
+
+impl StagingWriter {
+    /// Creates a writer for ring `client_id` at `ring_offset` of the
+    /// staging region.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        ep: Endpoint,
+        staging_rkey: RKey,
+        ctl_rkey: RKey,
+        ring_offset: u64,
+        layout: RingLayout,
+        client_id: u32,
+        scratch: std::sync::Arc<MemoryRegion>,
+        scratch_off: u64,
+    ) -> Self {
+        StagingWriter {
+            ep,
+            staging_rkey,
+            ctl_rkey,
+            ring_offset,
+            layout,
+            client_id,
+            scratch,
+            scratch_off,
+            next_slot: 0,
+            next_seq: 1,
+            in_flight: VecDeque::new(),
+            drained: 0,
+        }
+    }
+
+    /// Largest payload a single staged write can carry.
+    pub fn max_payload(&self) -> u64 {
+        self.layout.slot_payload
+    }
+
+    /// Sequence number the next staged write will use.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Highest sequence number known drained (from the last watermark read).
+    pub fn known_drained(&self) -> u64 {
+        self.drained
+    }
+
+    /// Stages a durable write of `data` to raw global address `addr_raw`.
+    /// Returns the record's sequence number. Durable when this returns.
+    ///
+    /// # Errors
+    ///
+    /// [`GengarError::ObjectTooLarge`] if `data` exceeds the slot payload;
+    /// transport failures as [`GengarError::Rdma`].
+    pub fn stage_write(&mut self, addr_raw: u64, data: &[u8]) -> Result<u64, GengarError> {
+        if data.len() as u64 > self.layout.slot_payload {
+            return Err(GengarError::ObjectTooLarge {
+                requested: data.len() as u64,
+                max: self.layout.slot_payload,
+            });
+        }
+        // Ring full: wait for the proxy to drain the oldest slot.
+        while self.in_flight.len() >= self.layout.slots as usize {
+            let oldest = *self.in_flight.front().expect("nonempty");
+            self.wait_drained(oldest)?;
+        }
+        let seq = self.next_seq;
+        let slot = self.next_slot;
+
+        // Gather the record in local scratch, then ship it with one
+        // WRITE_WITH_IMM. The immediate names the slot.
+        let mut header = [0u8; RECORD_HEADER as usize];
+        encode_record_header(&mut header, seq, addr_raw, data.len() as u64, checksum(data));
+        self.scratch.region().write(self.scratch_off, &header)?;
+        self.scratch
+            .region()
+            .write(self.scratch_off + RECORD_HEADER, data)?;
+        let record_len = RECORD_HEADER + data.len() as u64;
+        let remote = RemoteAddr::new(
+            self.staging_rkey,
+            self.ring_offset + self.layout.slot_offset(slot),
+        );
+        self.ep.write_with_imm(
+            Payload::Sge(Sge::new(self.scratch.lkey(), self.scratch_off, record_len)),
+            remote,
+            slot,
+        )?;
+
+        self.in_flight.push_back(seq);
+        self.next_seq += 1;
+        self.next_slot = (self.next_slot + 1) % self.layout.slots;
+        Ok(seq)
+    }
+
+    /// Reads the server's drained watermark for this ring (one-sided READ
+    /// of the control region) and retires in-flight records it covers.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures as [`GengarError::Rdma`].
+    pub fn refresh_drained(&mut self) -> Result<u64, GengarError> {
+        let pad = self.scratch_off + self.layout.slot_bytes();
+        self.ep.read(
+            Sge::new(self.scratch.lkey(), pad, 8),
+            RemoteAddr::new(self.ctl_rkey, self.client_id as u64 * 8),
+        )?;
+        let mut word = [0u8; 8];
+        self.scratch.region().read(pad, &mut word)?;
+        self.drained = u64::from_le_bytes(word);
+        while self
+            .in_flight
+            .front()
+            .is_some_and(|&seq| seq <= self.drained)
+        {
+            self.in_flight.pop_front();
+        }
+        Ok(self.drained)
+    }
+
+    /// Blocks until the record with sequence `seq` has been drained to NVM.
+    ///
+    /// Waits *politely*: after each unsuccessful watermark check the thread
+    /// sleeps with growing backoff. Flow-control stalls mean the proxy is
+    /// behind; burning the CPU here would only starve it further (clients
+    /// and servers share cores in the emulation).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures as [`GengarError::Rdma`].
+    pub fn wait_drained(&mut self, seq: u64) -> Result<(), GengarError> {
+        let mut sleep_us = 5u64;
+        while self.drained < seq {
+            self.refresh_drained()?;
+            if self.drained < seq {
+                std::thread::sleep(std::time::Duration::from_micros(sleep_us));
+                sleep_us = (sleep_us * 2).min(200);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_geometry() {
+        let l = RingLayout::for_ring_bytes(64 << 10);
+        assert_eq!(l.slots, SLOTS_PER_RING);
+        assert_eq!(l.slot_bytes(), 4096);
+        assert_eq!(l.slot_payload, 4096 - RECORD_HEADER);
+        assert_eq!(l.ring_bytes(), 64 << 10);
+        assert_eq!(l.slot_offset(0), 0);
+        assert_eq!(l.slot_offset(3), 3 * 4096);
+    }
+
+    #[test]
+    fn tiny_ring_budget_still_usable() {
+        let l = RingLayout::for_ring_bytes(100);
+        assert!(l.slot_payload >= 64);
+    }
+}

@@ -1,0 +1,253 @@
+//! Control-plane RPC over two-sided SEND/RECV verbs.
+//!
+//! Each client-server connection dedicates one RC queue pair to RPC. Each
+//! side owns a small registered message buffer with an outgoing slot and an
+//! incoming slot of [`MAX_MSG`] bytes. Calls are synchronous (one
+//! outstanding request per connection), which matches how Gengar uses the
+//! control plane: the data plane is entirely one-sided.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use gengar_rdma::{Endpoint, MemoryRegion, Payload, RdmaError, Sge};
+
+use crate::error::GengarError;
+use crate::proto::{Request, Response, MAX_MSG};
+
+/// Offset of the outgoing slot within an RPC message buffer.
+const OUT_SLOT: u64 = 0;
+/// Offset of the incoming slot within an RPC message buffer.
+const IN_SLOT: u64 = MAX_MSG as u64;
+
+/// Bytes an RPC message buffer MR must cover.
+pub const RPC_BUF_BYTES: u64 = 2 * MAX_MSG as u64;
+
+/// Client half of an RPC connection.
+#[derive(Debug)]
+pub struct RpcClient {
+    ep: Endpoint,
+    buf: Arc<MemoryRegion>,
+    timeout: Duration,
+}
+
+impl RpcClient {
+    /// Wraps a connected endpoint and a message buffer of at least
+    /// [`RPC_BUF_BYTES`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is smaller than [`RPC_BUF_BYTES`].
+    pub fn new(ep: Endpoint, buf: Arc<MemoryRegion>) -> Self {
+        assert!(
+            buf.len() >= RPC_BUF_BYTES,
+            "rpc buffer needs {RPC_BUF_BYTES} bytes, got {}",
+            buf.len()
+        );
+        RpcClient {
+            ep,
+            buf,
+            timeout: Duration::from_secs(10),
+        }
+    }
+
+    /// Adjusts the per-call timeout.
+    pub fn set_timeout(&mut self, timeout: Duration) {
+        self.timeout = timeout;
+    }
+
+    /// Issues one request and waits for the response.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures surface as [`GengarError::Rdma`]; malformed
+    /// responses as [`GengarError::ProtocolViolation`].
+    pub fn call(&self, req: &Request) -> Result<Response, GengarError> {
+        let mut out = Vec::with_capacity(256);
+        req.encode(&mut out);
+        debug_assert!(out.len() <= MAX_MSG);
+
+        // Arm the response buffer before sending the request.
+        self.ep
+            .post_recv(Sge::new(self.buf.lkey(), IN_SLOT, MAX_MSG as u64))?;
+
+        // Stage the request bytes in the outgoing slot and send.
+        self.buf.region().write(OUT_SLOT, &out)?;
+        self.ep.send(
+            Payload::Sge(Sge::new(self.buf.lkey(), OUT_SLOT, out.len() as u64)),
+            None,
+        )?;
+
+        let wc = self.ep.recv(self.timeout)?;
+        let mut resp_bytes = vec![0u8; wc.byte_len as usize];
+        self.buf.region().read(IN_SLOT, &mut resp_bytes)?;
+        Response::decode(&resp_bytes)
+    }
+}
+
+/// Server half of an RPC connection: a loop that decodes requests, invokes
+/// the handler and sends responses until shutdown or transport failure.
+#[derive(Debug)]
+pub struct RpcServerConn {
+    ep: Endpoint,
+    buf: Arc<MemoryRegion>,
+}
+
+impl RpcServerConn {
+    /// Wraps the server-side endpoint and message buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is smaller than [`RPC_BUF_BYTES`].
+    pub fn new(ep: Endpoint, buf: Arc<MemoryRegion>) -> Self {
+        assert!(
+            buf.len() >= RPC_BUF_BYTES,
+            "rpc buffer needs {RPC_BUF_BYTES} bytes, got {}",
+            buf.len()
+        );
+        RpcServerConn { ep, buf }
+    }
+
+    /// Serves requests until `shutdown` is set or the connection dies.
+    ///
+    /// Malformed requests are answered with
+    /// [`Response::Err`]`{ code: BAD_REQUEST }` rather than killing the
+    /// connection.
+    pub fn serve<H>(&self, shutdown: &AtomicBool, mut handler: H)
+    where
+        H: FnMut(Request) -> Response,
+    {
+        while !shutdown.load(Ordering::Relaxed) {
+            if self
+                .ep
+                .post_recv(Sge::new(self.buf.lkey(), IN_SLOT, MAX_MSG as u64))
+                .is_err()
+            {
+                return;
+            }
+            // Poll with a short patience so shutdown is honoured promptly.
+            let wc = loop {
+                match classify_recv(&self.ep, Duration::from_millis(50)) {
+                    Ok(wc) => break wc,
+                    Err(RecvFailure::WouldBlock) => {
+                        if shutdown.load(Ordering::Relaxed) {
+                            return;
+                        }
+                    }
+                    Err(RecvFailure::Dead) => return,
+                }
+            };
+            let mut req_bytes = vec![0u8; wc.byte_len as usize];
+            if self.buf.region().read(IN_SLOT, &mut req_bytes).is_err() {
+                return;
+            }
+            let resp = match Request::decode(&req_bytes) {
+                Ok(req) => handler(req),
+                Err(_) => Response::Err {
+                    code: crate::proto::err_code::BAD_REQUEST,
+                },
+            };
+            let mut out = Vec::with_capacity(256);
+            resp.encode(&mut out);
+            if self.buf.region().write(OUT_SLOT, &out).is_err() {
+                return;
+            }
+            if self
+                .ep
+                .send(
+                    Payload::Sge(Sge::new(self.buf.lkey(), OUT_SLOT, out.len() as u64)),
+                    None,
+                )
+                .is_err()
+            {
+                return;
+            }
+        }
+    }
+}
+
+/// Internal distinction between "no request yet" and "connection dead".
+enum RecvFailure {
+    WouldBlock,
+    Dead,
+}
+
+fn classify_recv(ep: &Endpoint, timeout: Duration) -> Result<gengar_rdma::Wc, RecvFailure> {
+    match ep.recv(timeout) {
+        Ok(wc) => Ok(wc),
+        Err(RdmaError::Timeout) => Err(RecvFailure::WouldBlock),
+        Err(_) => Err(RecvFailure::Dead),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gengar_hybridmem::{DeviceProfile, MemDevice, MemKind, MemRegion};
+    use gengar_rdma::{Access, Fabric, FabricConfig, QpOptions};
+
+    fn rpc_pair() -> (Arc<Fabric>, RpcClient, RpcServerConn) {
+        let fabric = Fabric::new(FabricConfig::instant());
+        let c_node = fabric.add_node();
+        let s_node = fabric.add_node();
+        let c_pd = c_node.alloc_pd();
+        let s_pd = s_node.alloc_pd();
+        let c_dev =
+            Arc::new(MemDevice::new(0, DeviceProfile::instant(MemKind::Dram), RPC_BUF_BYTES).unwrap());
+        let s_dev =
+            Arc::new(MemDevice::new(1, DeviceProfile::instant(MemKind::Dram), RPC_BUF_BYTES).unwrap());
+        let c_buf = c_pd.reg_mr(MemRegion::whole(c_dev), Access::all()).unwrap();
+        let s_buf = s_pd.reg_mr(MemRegion::whole(s_dev), Access::all()).unwrap();
+        let (ce, se) = Endpoint::pair((&c_node, &c_pd), (&s_node, &s_pd), QpOptions::default()).unwrap();
+        let client = RpcClient::new(ce, c_buf);
+        let server = RpcServerConn::new(se, s_buf);
+        (fabric, client, server)
+    }
+
+    #[test]
+    fn call_roundtrips_through_handler() {
+        let (_fabric, client, server) = rpc_pair();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let shutdown2 = Arc::clone(&shutdown);
+        let t = std::thread::spawn(move || {
+            server.serve(&shutdown2, |req| match req {
+                Request::Alloc { size } => Response::Alloc { addr: size * 2 },
+                _ => Response::Ok,
+            });
+        });
+        let resp = client.call(&Request::Alloc { size: 21 }).unwrap();
+        assert_eq!(resp, Response::Alloc { addr: 42 });
+        let resp = client.call(&Request::Mount).unwrap();
+        assert_eq!(resp, Response::Ok);
+        shutdown.store(true, Ordering::Relaxed);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn many_sequential_calls() {
+        let (_fabric, client, server) = rpc_pair();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let shutdown2 = Arc::clone(&shutdown);
+        let t = std::thread::spawn(move || {
+            let mut count = 0u64;
+            server.serve(&shutdown2, |_req| {
+                count += 1;
+                Response::Durable { seq: count }
+            });
+        });
+        for i in 1..=100u64 {
+            let resp = client.call(&Request::Mount).unwrap();
+            assert_eq!(resp, Response::Durable { seq: i });
+        }
+        shutdown.store(true, Ordering::Relaxed);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn server_shutdown_stops_loop() {
+        let (_fabric, _client, server) = rpc_pair();
+        let shutdown = Arc::new(AtomicBool::new(true));
+        // Already-set shutdown returns promptly.
+        server.serve(&shutdown, |_req| Response::Ok);
+    }
+}

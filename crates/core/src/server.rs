@@ -1,0 +1,712 @@
+//! The Gengar memory server.
+//!
+//! Each server contributes NVM and DRAM to the pool. It exports four RDMA
+//! regions (NVM data, DRAM cache, ADR staging rings, control words) and
+//! runs three kinds of background work:
+//!
+//! * **RPC threads** (one per connection) serve the control plane: mount,
+//!   allocation, hotness reports, flush/invalidate, staging setup.
+//! * The **epoch thread** folds hotness reports and promotes hot objects
+//!   into the DRAM cache.
+//! * The **proxy thread** drains staged writes from the per-client rings to
+//!   NVM, keeps cached copies fresh, and advances durable watermarks.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use gengar_hybridmem::{MemDevice, MemRegion};
+use gengar_rdma::{
+    Access, CompletionQueue, Endpoint, Fabric, MemoryRegion, ProtectionDomain, QpOptions, Qpn,
+    QueuePair, RdmaNode, Sge, WcOpcode,
+};
+use parking_lot::{Mutex, RwLock};
+
+use crate::addr::{GlobalAddr, MemClass};
+use crate::alloc::SlabAllocator;
+use crate::cache::{CacheManager, CacheStats};
+use crate::config::ServerConfig;
+use crate::error::GengarError;
+use crate::hotness::HotnessMonitor;
+use crate::layout::{checksum, decode_record_header, lockword, OBJ_HEADER};
+use crate::proto::{err_code, MountInfo, RemapUpdate, Request, Response};
+use crate::proxy::RingLayout;
+use crate::rpc::{RpcServerConn, RPC_BUF_BYTES};
+
+/// Everything a client needs after [`MemoryServer::accept`]: three
+/// endpoints (control RPC, one-sided data, proxy ring) on the client side.
+#[derive(Debug)]
+pub struct ClientChannel {
+    /// Control-plane endpoint (drive with [`crate::rpc::RpcClient`]).
+    pub rpc: Endpoint,
+    /// Data-plane endpoint for one-sided READ/WRITE/CAS.
+    pub data: Endpoint,
+    /// Proxy endpoint for staged writes.
+    pub proxy: Endpoint,
+}
+
+struct ClientTable {
+    next_id: u32,
+    /// Server-side proxy QPN -> client id (routes drain completions).
+    proxy_clients: HashMap<Qpn, u32>,
+    /// Server-side proxy QPs (for re-posting receives).
+    proxy_qps: HashMap<u32, Arc<QueuePair>>,
+}
+
+pub(crate) struct ServerInner {
+    id: u8,
+    config: ServerConfig,
+    ring: RingLayout,
+    node: Arc<RdmaNode>,
+    pd: ProtectionDomain,
+    nvm_dev: Arc<MemDevice>,
+    staging_dev: Arc<MemDevice>,
+    cache_dev: Arc<MemDevice>,
+    ctl_dev: Arc<MemDevice>,
+    msg_dev: Arc<MemDevice>,
+    nvm_mr: Arc<MemoryRegion>,
+    cache_mr: Arc<MemoryRegion>,
+    staging_mr: Arc<MemoryRegion>,
+    ctl_mr: Arc<MemoryRegion>,
+    alloc: Mutex<SlabAllocator>,
+    /// payload base offset -> payload length, ordered for containment
+    /// lookups.
+    objects: RwLock<BTreeMap<u64, u64>>,
+    hotness: Mutex<HotnessMonitor>,
+    cache: Mutex<CacheManager>,
+    clients: Mutex<ClientTable>,
+    /// One receive CQ per proxy drain thread; rings are pinned to threads
+    /// by client id so each ring's records drain in order.
+    proxy_recv_cqs: Vec<Arc<CompletionQueue>>,
+    shutdown: AtomicBool,
+}
+
+/// A running Gengar memory server.
+pub struct MemoryServer {
+    inner: Arc<ServerInner>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for MemoryServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoryServer")
+            .field("id", &self.inner.id)
+            .field("nvm_capacity", &self.inner.config.nvm_capacity)
+            .finish()
+    }
+}
+
+fn round_up(x: u64, to: u64) -> u64 {
+    x.div_ceil(to) * to
+}
+
+impl MemoryServer {
+    /// Creates the server's devices and regions on a fresh fabric node and
+    /// launches its background threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device/region/registration failures.
+    pub fn launch(fabric: &Arc<Fabric>, id: u8, config: ServerConfig) -> Result<Arc<MemoryServer>, GengarError> {
+        let node = fabric.add_node();
+        let pd = node.alloc_pd();
+        let ring = RingLayout::for_ring_bytes(config.staging_ring_capacity);
+
+        let wm_area = round_up(config.max_clients as u64 * 8, 4096);
+        let nvm_capacity = wm_area + config.nvm_capacity;
+        let nvm_dev = Arc::new(MemDevice::new(0, config.nvm_profile.clone(), nvm_capacity)?);
+        let cache_dev = Arc::new(MemDevice::new(
+            1,
+            config.dram_profile.clone(),
+            config.dram_cache_capacity.max(4096),
+        )?);
+        let staging_dev = Arc::new(MemDevice::new(
+            2,
+            config.staging_profile.clone(),
+            ring.ring_bytes() * config.max_clients as u64,
+        )?);
+        let ctl_dev = Arc::new(MemDevice::new(
+            3,
+            config.dram_profile.clone(),
+            round_up(config.max_clients as u64 * 8, 4096),
+        )?);
+        let msg_dev = Arc::new(MemDevice::new(
+            4,
+            config.dram_profile.clone(),
+            config.max_clients as u64 * RPC_BUF_BYTES,
+        )?);
+        if config.crash_sim {
+            nvm_dev.enable_crash_sim();
+            staging_dev.enable_crash_sim();
+        }
+
+        let nvm_mr = pd.reg_mr(
+            MemRegion::whole(Arc::clone(&nvm_dev)),
+            Access::all(),
+        )?;
+        let cache_mr = pd.reg_mr(
+            MemRegion::whole(Arc::clone(&cache_dev)),
+            Access::LOCAL_WRITE | Access::REMOTE_READ,
+        )?;
+        let staging_mr = pd.reg_mr(
+            MemRegion::whole(Arc::clone(&staging_dev)),
+            Access::LOCAL_WRITE | Access::REMOTE_WRITE,
+        )?;
+        let ctl_mr = pd.reg_mr(
+            MemRegion::whole(Arc::clone(&ctl_dev)),
+            Access::LOCAL_WRITE | Access::REMOTE_READ,
+        )?;
+
+        let cache = CacheManager::new(id, MemRegion::whole(Arc::clone(&cache_dev)));
+        let inner = Arc::new(ServerInner {
+            id,
+            ring,
+            alloc: Mutex::new(SlabAllocator::new(wm_area, config.nvm_capacity)),
+            objects: RwLock::new(BTreeMap::new()),
+            hotness: Mutex::new(HotnessMonitor::new(4096, 4, 1 << 16)),
+            cache: Mutex::new(cache),
+            clients: Mutex::new(ClientTable {
+                next_id: 0,
+                proxy_clients: HashMap::new(),
+                proxy_qps: HashMap::new(),
+            }),
+            proxy_recv_cqs: (0..config.proxy_threads.max(1))
+                .map(|_| Arc::new(CompletionQueue::new(65_536)))
+                .collect(),
+            shutdown: AtomicBool::new(false),
+            config,
+            node,
+            pd,
+            nvm_dev,
+            staging_dev,
+            cache_dev,
+            ctl_dev,
+            msg_dev,
+            nvm_mr,
+            cache_mr,
+            staging_mr,
+            ctl_mr,
+        });
+
+        let server = Arc::new(MemoryServer {
+            inner: Arc::clone(&inner),
+            threads: Mutex::new(Vec::new()),
+        });
+
+        // Epoch thread: hotness folding + promotion.
+        {
+            let inner = Arc::clone(&server.inner);
+            server.threads.lock().push(std::thread::spawn(move || {
+                while !inner.shutdown.load(Ordering::Relaxed) {
+                    std::thread::sleep(inner.config.epoch);
+                    inner.run_epoch();
+                }
+            }));
+        }
+        // Proxy drain threads (rings pinned by client id).
+        for t in 0..server.inner.proxy_recv_cqs.len() {
+            let inner = Arc::clone(&server.inner);
+            server.threads.lock().push(std::thread::spawn(move || {
+                let cq = Arc::clone(&inner.proxy_recv_cqs[t]);
+                while !inner.shutdown.load(Ordering::Relaxed) {
+                    let wcs = cq.wait(64, Duration::from_millis(20));
+                    for wc in wcs {
+                        if wc.opcode == WcOpcode::RecvRdmaWithImm && wc.status.is_ok() {
+                            let _ = inner.drain(wc.qpn, wc.imm.unwrap_or(0));
+                        }
+                    }
+                }
+            }));
+        }
+        Ok(server)
+    }
+
+    /// This server's pool identifier.
+    pub fn id(&self) -> u8 {
+        self.inner.id
+    }
+
+    /// The server's fabric node (for colocating tools or baselines).
+    pub fn node(&self) -> &Arc<RdmaNode> {
+        &self.inner.node
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.inner.config
+    }
+
+    /// Snapshot of cache statistics.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.inner.cache.lock().stats()
+    }
+
+    /// Number of objects currently cached in DRAM.
+    pub fn cached_objects(&self) -> usize {
+        self.inner.cache.lock().len()
+    }
+
+    /// Snapshot of allocator statistics.
+    pub fn alloc_stats(&self) -> crate::alloc::AllocStats {
+        self.inner.alloc.lock().stats()
+    }
+
+    /// Completed hotness epochs.
+    pub fn epochs(&self) -> u64 {
+        self.inner.hotness.lock().epoch()
+    }
+
+    /// The staging region (exposed for failure-injection tests and
+    /// diagnostic tools that inspect or forge ring contents).
+    pub fn staging_region(&self) -> MemRegion {
+        self.inner.staging_mr.region().clone()
+    }
+
+    /// Accepts a new client: builds the three QP pairs, assigns a client
+    /// id, spawns the connection's RPC thread and arms the proxy ring.
+    ///
+    /// # Errors
+    ///
+    /// [`GengarError::ServerUnavailable`] at client capacity; transport
+    /// setup failures as [`GengarError::Rdma`].
+    pub fn accept(
+        &self,
+        client_node: &Arc<RdmaNode>,
+        client_pd: &ProtectionDomain,
+    ) -> Result<ClientChannel, GengarError> {
+        let inner = &self.inner;
+        let cid = {
+            let mut clients = inner.clients.lock();
+            if clients.next_id >= inner.config.max_clients {
+                return Err(GengarError::ServerUnavailable(inner.id));
+            }
+            let cid = clients.next_id;
+            clients.next_id += 1;
+            cid
+        };
+
+        // Control-plane pair + its message buffer and serving thread.
+        let (c_rpc, s_rpc) = Endpoint::pair(
+            (client_node, client_pd),
+            (&inner.node, &inner.pd),
+            QpOptions::default(),
+        )?;
+        let msg_region = MemRegion::new(
+            Arc::clone(&inner.msg_dev),
+            cid as u64 * RPC_BUF_BYTES,
+            RPC_BUF_BYTES,
+        )?;
+        let msg_mr = inner.pd.reg_mr(msg_region, Access::LOCAL_WRITE)?;
+        let conn = RpcServerConn::new(s_rpc, Arc::clone(&msg_mr));
+        {
+            let handler_inner = Arc::clone(inner);
+            let loop_inner = Arc::clone(inner);
+            self.threads.lock().push(std::thread::spawn(move || {
+                conn.serve(&loop_inner.shutdown, move |req| handler_inner.handle(cid, req));
+            }));
+        }
+
+        // Data-plane pair (client drives it; the server side just exists).
+        let (c_data, _s_data) = Endpoint::pair(
+            (client_node, client_pd),
+            (&inner.node, &inner.pd),
+            QpOptions::default(),
+        )?;
+
+        // Proxy pair: the server side uses the recv CQ of the drain
+        // thread this ring is pinned to.
+        let drain_cq =
+            &inner.proxy_recv_cqs[cid as usize % inner.proxy_recv_cqs.len()];
+        let s_proxy = inner.node.create_qp(
+            &inner.pd,
+            inner.node.create_cq(1024),
+            Arc::clone(drain_cq),
+            QpOptions::default(),
+        );
+        let c_proxy_qp = client_node.create_qp(
+            client_pd,
+            client_node.create_cq(1024),
+            client_node.create_cq(1024),
+            QpOptions::default(),
+        );
+        c_proxy_qp.connect(inner.node.id(), s_proxy.qpn())?;
+        s_proxy.connect(client_node.id(), c_proxy_qp.qpn())?;
+        // Arm one receive per ring slot.
+        for _ in 0..inner.ring.slots {
+            s_proxy.post_recv(gengar_rdma::RecvWr::new(0, Sge::new(msg_mr.lkey(), 0, 0)))?;
+        }
+        {
+            let mut clients = inner.clients.lock();
+            clients.proxy_clients.insert(s_proxy.qpn(), cid);
+            clients.proxy_qps.insert(cid, Arc::clone(&s_proxy));
+        }
+
+        Ok(ClientChannel {
+            rpc: c_rpc,
+            data: c_data,
+            proxy: Endpoint::from_qp(Arc::clone(client_node), c_proxy_qp),
+        })
+    }
+
+    /// Stops background threads and joins them.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::Relaxed);
+        for t in self.threads.lock().drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// Restarts the epoch and proxy threads after a [`shutdown`] +
+    /// [`recover`] cycle. Existing client connections stay dead (their RPC
+    /// threads exited); new clients connect normally via
+    /// [`MemoryServer::accept`].
+    ///
+    /// [`shutdown`]: MemoryServer::shutdown
+    /// [`recover`]: MemoryServer::recover
+    pub fn restart(&self) {
+        self.inner.shutdown.store(false, Ordering::Relaxed);
+        let mut threads = self.threads.lock();
+        {
+            let inner = Arc::clone(&self.inner);
+            threads.push(std::thread::spawn(move || {
+                while !inner.shutdown.load(Ordering::Relaxed) {
+                    std::thread::sleep(inner.config.epoch);
+                    inner.run_epoch();
+                }
+            }));
+        }
+        for t in 0..self.inner.proxy_recv_cqs.len() {
+            let inner = Arc::clone(&self.inner);
+            threads.push(std::thread::spawn(move || {
+                let cq = Arc::clone(&inner.proxy_recv_cqs[t]);
+                while !inner.shutdown.load(Ordering::Relaxed) {
+                    let wcs = cq.wait(64, Duration::from_millis(20));
+                    for wc in wcs {
+                        if wc.opcode == WcOpcode::RecvRdmaWithImm && wc.status.is_ok() {
+                            let _ = inner.drain(wc.qpn, wc.imm.unwrap_or(0));
+                        }
+                    }
+                }
+            }));
+        }
+    }
+
+    /// Simulates a power failure of this server's machine: NVM reverts to
+    /// its last flushed state, staging survives (ADR), DRAM is lost.
+    ///
+    /// # Errors
+    ///
+    /// Requires `crash_sim` in the configuration.
+    pub fn crash(&self) -> Result<(), GengarError> {
+        self.inner.nvm_dev.crash()?;
+        self.inner.staging_dev.crash()?;
+        self.inner.cache_dev.crash()?;
+        self.inner.ctl_dev.crash()?;
+        Ok(())
+    }
+
+    /// Post-crash recovery: drops volatile state and replays staged writes
+    /// whose sequence exceeds the ring's durable watermark, in order.
+    /// Returns the number of records replayed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors during the replay.
+    pub fn recover(&self) -> Result<u64, GengarError> {
+        let inner = &self.inner;
+        inner.cache.lock().clear();
+        inner.hotness.lock().reset();
+        let nvm = inner.nvm_mr.region();
+        let staging = inner.staging_mr.region();
+        let n_clients = inner.clients.lock().next_id;
+        let mut replayed = 0u64;
+        for cid in 0..n_clients {
+            let wm_off = cid as u64 * 8;
+            let watermark = nvm.load_u64(wm_off)?;
+            let ring_off = cid as u64 * inner.ring.ring_bytes();
+            let mut records = Vec::new();
+            for slot in 0..inner.ring.slots {
+                let slot_off = ring_off + inner.ring.slot_offset(slot);
+                let mut hdr = [0u8; crate::layout::RECORD_HEADER as usize];
+                staging.read(slot_off, &mut hdr)?;
+                let rec = decode_record_header(&hdr);
+                if rec.seq == 0 || rec.seq <= watermark || rec.len > inner.ring.slot_payload {
+                    continue;
+                }
+                let mut payload = vec![0u8; rec.len as usize];
+                staging.read(slot_off + crate::layout::RECORD_HEADER, &mut payload)?;
+                if checksum(&payload) != rec.checksum {
+                    continue; // torn record from mid-crash staging write
+                }
+                records.push((rec.seq, rec.addr, payload));
+            }
+            records.sort_by_key(|r| r.0);
+            let mut max_seq = watermark;
+            for (seq, addr_raw, payload) in records {
+                if let Some(addr) = GlobalAddr::from_raw(addr_raw) {
+                    if addr.class() == MemClass::Nvm {
+                        let off = addr.offset();
+                        if off + payload.len() as u64 <= nvm.len() {
+                            nvm.write(off, &payload)?;
+                            nvm.flush(off, payload.len() as u64)?;
+                            max_seq = max_seq.max(seq);
+                            replayed += 1;
+                        }
+                    }
+                }
+            }
+            nvm.store_u64(wm_off, max_seq)?;
+            nvm.flush(wm_off, 8)?;
+            inner.ctl_mr.region().store_u64(cid as u64 * 8, max_seq)?;
+        }
+        Ok(replayed)
+    }
+}
+
+impl Drop for MemoryServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl ServerInner {
+    /// Drains one staged record (proxy thread).
+    fn drain(&self, qpn: Qpn, slot: u32) -> Result<(), GengarError> {
+        let (cid, qp) = {
+            let clients = self.clients.lock();
+            let cid = match clients.proxy_clients.get(&qpn) {
+                Some(&c) => c,
+                None => return Ok(()),
+            };
+            (cid, Arc::clone(&clients.proxy_qps[&cid]))
+        };
+        let staging = self.staging_mr.region();
+        let nvm = self.nvm_mr.region();
+        let slot_off = cid as u64 * self.ring.ring_bytes() + self.ring.slot_offset(slot);
+
+        let mut hdr = [0u8; crate::layout::RECORD_HEADER as usize];
+        staging.read(slot_off, &mut hdr)?;
+        let rec = decode_record_header(&hdr);
+        if rec.len <= self.ring.slot_payload {
+            let mut payload = vec![0u8; rec.len as usize];
+            staging.read(slot_off + crate::layout::RECORD_HEADER, &mut payload)?;
+            if checksum(&payload) == rec.checksum {
+                if let Some(addr) = GlobalAddr::from_raw(rec.addr) {
+                    if addr.class() == MemClass::Nvm
+                        && addr.offset() + rec.len <= nvm.len()
+                    {
+                        let off = addr.offset();
+                        nvm.write(off, &payload)?;
+                        nvm.flush(off, rec.len)?;
+                        // Keep the cached copy fresh.
+                        if self.config.enable_cache {
+                            if let Some((base, _len)) = self.containing_object(off) {
+                                let base_raw =
+                                    GlobalAddr::new(self.id, MemClass::Nvm, base).raw();
+                                let rel = off - base;
+                                let _ = self.cache.lock().update_range(base_raw, rel, &payload);
+                            }
+                        }
+                        // Advance the durable watermark: NVM word first
+                        // (crash consistency), then the client-visible one.
+                        let wm_off = cid as u64 * 8;
+                        nvm.store_u64(wm_off, rec.seq)?;
+                        nvm.flush(wm_off, 8)?;
+                        self.ctl_mr.region().store_u64(cid as u64 * 8, rec.seq)?;
+                    }
+                }
+            }
+        }
+        // Re-arm the consumed receive (zero-length: WRITE_WITH_IMM never
+        // scatters into it, any PD-local lkey satisfies the interface).
+        let _ = qp.post_recv(gengar_rdma::RecvWr::new(
+            0,
+            Sge::new(self.ctl_mr.lkey(), 0, 0),
+        ));
+        Ok(())
+    }
+
+    /// Finds the live object containing NVM offset `off`.
+    fn containing_object(&self, off: u64) -> Option<(u64, u64)> {
+        let objects = self.objects.read();
+        let (&base, &len) = objects.range(..=off).next_back()?;
+        if off < base + len {
+            Some((base, len))
+        } else {
+            None
+        }
+    }
+
+    /// One hotness epoch: fold reports, refresh/decay cache scores,
+    /// promote hot objects.
+    fn run_epoch(&self) {
+        let folded = self.hotness.lock().fold_epoch();
+        if !self.config.enable_cache {
+            return;
+        }
+        {
+            let mut cache = self.cache.lock();
+            cache.decay_scores();
+            cache.refresh_scores(&folded);
+        }
+        for (addr_raw, score) in folded {
+            if score < self.config.hot_threshold {
+                continue; // folded is sorted descending
+            }
+            let addr = match GlobalAddr::from_raw(addr_raw) {
+                Some(a) if a.class() == MemClass::Nvm && a.server() == self.id => a,
+                _ => continue,
+            };
+            let len = match self.objects.read().get(&addr.offset()) {
+                Some(&len) if len <= self.config.cacheable_max => len,
+                _ => continue,
+            };
+            if self.cache.lock().contains(addr_raw) {
+                continue;
+            }
+            let mut payload = vec![0u8; len as usize];
+            if self.nvm_mr.region().read(addr.offset(), &mut payload).is_err() {
+                continue;
+            }
+            let _ = self.cache.lock().promote(addr, &payload, score);
+        }
+    }
+
+    /// Control-plane request dispatch (RPC threads).
+    fn handle(&self, cid: u32, req: Request) -> Response {
+        match req {
+            Request::Mount => Response::Mount(MountInfo {
+                server_id: self.id,
+                nvm_rkey: self.nvm_mr.rkey().0,
+                cache_rkey: self.cache_mr.rkey().0,
+                staging_rkey: self.staging_mr.rkey().0,
+                ctl_rkey: self.ctl_mr.rkey().0,
+                nvm_capacity: self.config.nvm_capacity,
+                enable_cache: self.config.enable_cache,
+                enable_proxy: self.config.enable_proxy,
+                slot_payload: self.ring.slot_payload,
+                slots_per_ring: self.ring.slots,
+            }),
+            Request::Alloc { size } => self.handle_alloc(size),
+            Request::Free { addr } => self.handle_free(addr),
+            Request::OpenStaging => Response::Staging {
+                client_id: cid,
+                ring_offset: cid as u64 * self.ring.ring_bytes(),
+            },
+            Request::Report { entries } => {
+                self.hotness.lock().record(&entries);
+                let cache = self.cache.lock();
+                let remaps = entries
+                    .iter()
+                    .map(|e| RemapUpdate {
+                        addr: e.addr,
+                        cache_addr: cache.lookup(e.addr).unwrap_or(0),
+                    })
+                    .collect();
+                Response::Report { remaps }
+            }
+            Request::FlushRange { addr, len } => self.handle_flush(addr, len, true),
+            Request::Invalidate { addr } => self.handle_flush(addr, 0, false),
+            Request::QueryDurable { client_id } => {
+                match self.ctl_mr.region().load_u64(client_id as u64 * 8) {
+                    Ok(seq) => Response::Durable { seq },
+                    Err(_) => Response::Err {
+                        code: err_code::BAD_REQUEST,
+                    },
+                }
+            }
+        }
+    }
+
+    fn handle_alloc(&self, size: u64) -> Response {
+        if size == 0 || size > self.config.max_object {
+            return Response::Err {
+                code: err_code::TOO_LARGE,
+            };
+        }
+        let block = match self.alloc.lock().alloc(size + OBJ_HEADER) {
+            Ok(off) => off,
+            Err(GengarError::ObjectTooLarge { .. }) => {
+                return Response::Err {
+                    code: err_code::TOO_LARGE,
+                }
+            }
+            Err(_) => {
+                return Response::Err {
+                    code: err_code::OOM,
+                }
+            }
+        };
+        let payload_off = block + OBJ_HEADER;
+        let nvm = self.nvm_mr.region();
+        // Initialise the header: unlocked version-0 word + length.
+        if nvm.store_u64(block, lockword::INIT).is_err()
+            || nvm.store_u64(block + 8, size).is_err()
+            || nvm.flush(block, OBJ_HEADER).is_err()
+        {
+            let _ = self.alloc.lock().free(block);
+            return Response::Err {
+                code: err_code::BAD_REQUEST,
+            };
+        }
+        self.objects.write().insert(payload_off, size);
+        let addr = GlobalAddr::new(self.id, MemClass::Nvm, payload_off);
+        Response::Alloc { addr: addr.raw() }
+    }
+
+    fn handle_free(&self, addr_raw: u64) -> Response {
+        let addr = match GlobalAddr::from_raw(addr_raw) {
+            Some(a) if a.class() == MemClass::Nvm && a.server() == self.id => a,
+            _ => {
+                return Response::Err {
+                    code: err_code::INVALID_ADDR,
+                }
+            }
+        };
+        let payload_off = addr.offset();
+        if self.objects.write().remove(&payload_off).is_none() {
+            return Response::Err {
+                code: err_code::DOUBLE_FREE,
+            };
+        }
+        let _ = self.cache.lock().invalidate(addr_raw);
+        match self.alloc.lock().free(payload_off - OBJ_HEADER) {
+            Ok(_) => Response::Ok,
+            Err(_) => Response::Err {
+                code: err_code::DOUBLE_FREE,
+            },
+        }
+    }
+
+    /// Flush (and/or invalidate the cached copy of) a written range.
+    fn handle_flush(&self, addr_raw: u64, len: u64, flush: bool) -> Response {
+        let addr = match GlobalAddr::from_raw(addr_raw) {
+            Some(a) if a.class() == MemClass::Nvm && a.server() == self.id => a,
+            _ => {
+                return Response::Err {
+                    code: err_code::INVALID_ADDR,
+                }
+            }
+        };
+        let off = addr.offset();
+        if flush {
+            if off + len > self.nvm_mr.region().len() {
+                return Response::Err {
+                    code: err_code::INVALID_ADDR,
+                };
+            }
+            if self.nvm_mr.region().flush(off, len.max(1)).is_err() {
+                return Response::Err {
+                    code: err_code::INVALID_ADDR,
+                };
+            }
+        }
+        if let Some((base, _)) = self.containing_object(off) {
+            let base_raw = GlobalAddr::new(self.id, MemClass::Nvm, base).raw();
+            let _ = self.cache.lock().invalidate(base_raw);
+        }
+        Response::Ok
+    }
+}

@@ -1,0 +1,193 @@
+//! End-to-end tests of the hot-data caching machinery: promotion,
+//! eviction under pressure, invalidation, stale-remap self-healing and
+//! re-promotion.
+
+use std::time::{Duration, Instant};
+
+use gengar_core::cluster::Cluster;
+use gengar_core::config::{ClientConfig, ServerConfig};
+use gengar_rdma::FabricConfig;
+
+fn cache_cluster() -> Cluster {
+    let mut config = ServerConfig::small();
+    // Two 64-byte-payload slots' worth of cache (each slot block is 128 B:
+    // 32 B header + 64 B payload + 8 B tail rounds to 128).
+    config.dram_cache_capacity = 4096;
+    config.hot_threshold = 2;
+    config.epoch = Duration::from_millis(5);
+    Cluster::launch(1, config, FabricConfig::instant()).unwrap()
+}
+
+fn reporting_client(cluster: &Cluster) -> gengar_core::GengarClient {
+    cluster
+        .client(ClientConfig {
+            report_every: 8,
+            ..Default::default()
+        })
+        .unwrap()
+}
+
+/// Hammers `ptr` until the client observes a cache hit (with a deadline).
+fn wait_for_hit(client: &mut gengar_core::GengarClient, ptr: gengar_core::GlobalPtr) {
+    let mut buf = vec![0u8; ptr.size as usize];
+    let before = client.stats().cache_hits;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while client.stats().cache_hits == before {
+        client.read(ptr, 0, &mut buf).unwrap();
+        assert!(Instant::now() < deadline, "no promotion: {:?}", client.stats());
+    }
+}
+
+#[test]
+fn eviction_under_pressure_keeps_hottest() {
+    let cluster = cache_cluster();
+    let mut client = reporting_client(&cluster);
+    // Working set of 16 objects, cache holds ~2. Hammer two of them much
+    // harder than the rest.
+    let ptrs: Vec<_> = (0..16).map(|_| client.alloc(0, 64).unwrap()).collect();
+    for p in &ptrs {
+        client.write(*p, 0, &[9u8; 64]).unwrap();
+    }
+    client.drain_all().unwrap();
+    let mut buf = [0u8; 64];
+    for round in 0..400 {
+        client.read(ptrs[0], 0, &mut buf).unwrap();
+        client.read(ptrs[1], 0, &mut buf).unwrap();
+        if round % 8 == 0 {
+            client.read(ptrs[round % 16], 0, &mut buf).unwrap();
+        }
+    }
+    std::thread::sleep(Duration::from_millis(50));
+    // The server never caches more than capacity allows.
+    let server = cluster.server(0).unwrap();
+    assert!(server.cached_objects() <= 4096 / 128);
+    // The two hot objects dominate; reads of them hit.
+    wait_for_hit(&mut client, ptrs[0]);
+    wait_for_hit(&mut client, ptrs[1]);
+}
+
+#[test]
+fn stale_remap_self_heals_after_server_side_eviction() {
+    let cluster = cache_cluster();
+    let mut client = reporting_client(&cluster);
+    let hot = client.alloc(0, 64).unwrap();
+    client.write(hot, 0, &[1u8; 64]).unwrap();
+    client.drain_all().unwrap();
+    wait_for_hit(&mut client, hot);
+    assert!(client.remap_entries() >= 1);
+
+    // Evict server-side by making other objects hotter while this client
+    // still holds its remap entry.
+    let mut other = reporting_client(&cluster);
+    let fillers: Vec<_> = (0..8).map(|_| other.alloc(0, 64).unwrap()).collect();
+    let mut buf = [0u8; 64];
+    for p in &fillers {
+        other.write(*p, 0, &[2u8; 64]).unwrap();
+    }
+    other.drain_all().unwrap();
+    for _ in 0..600 {
+        for p in &fillers {
+            other.read(*p, 0, &mut buf).unwrap();
+        }
+    }
+    std::thread::sleep(Duration::from_millis(50));
+
+    // The first client's reads stay correct regardless of remap staleness:
+    // tag/version validation rejects recycled slots and falls back to NVM.
+    for _ in 0..50 {
+        client.read(hot, 0, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 1), "stale slot served: {buf:?}");
+    }
+}
+
+#[test]
+fn free_invalidates_cached_copy() {
+    let cluster = cache_cluster();
+    let mut client = reporting_client(&cluster);
+    let ptr = client.alloc(0, 64).unwrap();
+    client.write(ptr, 0, &[5u8; 64]).unwrap();
+    client.drain_all().unwrap();
+    wait_for_hit(&mut client, ptr);
+    client.free(ptr).unwrap();
+    std::thread::sleep(Duration::from_millis(20));
+    assert_eq!(
+        cluster.server(0).unwrap().cached_objects(),
+        0,
+        "freed object still cached"
+    );
+}
+
+#[test]
+fn repromotion_after_invalidation() {
+    let cluster = cache_cluster();
+    let mut client = reporting_client(&cluster);
+    let ptr = client.alloc(0, 64).unwrap();
+    client.write(ptr, 0, &[1u8; 64]).unwrap();
+    client.drain_all().unwrap();
+    wait_for_hit(&mut client, ptr);
+
+    // A direct write invalidates the cached copy...
+    let mut writer = cluster
+        .client(ClientConfig {
+            consistency: gengar_core::Consistency::Seqlock,
+            ..Default::default()
+        })
+        .unwrap();
+    writer.write(ptr, 0, &[2u8; 64]).unwrap();
+
+    // ...and continued heat re-promotes it with the new contents.
+    let mut buf = [0u8; 64];
+    let before = client.stats().cache_hits;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        client.read(ptr, 0, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 2), "stale data: {buf:?}");
+        if client.stats().cache_hits > before + 5 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "never re-promoted");
+    }
+}
+
+#[test]
+fn oversized_objects_never_cached() {
+    let mut config = ServerConfig::small();
+    config.cacheable_max = 128;
+    config.hot_threshold = 1;
+    config.epoch = Duration::from_millis(5);
+    let cluster = Cluster::launch(1, config, FabricConfig::instant()).unwrap();
+    let mut client = reporting_client(&cluster);
+    let big = client.alloc(0, 4096).unwrap();
+    client.write(big, 0, &[3u8; 4096]).unwrap();
+    client.drain_all().unwrap();
+    let mut buf = vec![0u8; 4096];
+    for _ in 0..200 {
+        client.read(big, 0, &mut buf).unwrap();
+    }
+    std::thread::sleep(Duration::from_millis(30));
+    assert_eq!(cluster.server(0).unwrap().cached_objects(), 0);
+    assert_eq!(client.stats().cache_hits, 0);
+}
+
+#[test]
+fn second_client_benefits_from_first_clients_heat() {
+    // The key contrast with client-side caching: the server cache serves
+    // every client, including ones that never touched the object before.
+    let cluster = cache_cluster();
+    let mut hotter = reporting_client(&cluster);
+    let ptr = hotter.alloc(0, 64).unwrap();
+    hotter.write(ptr, 0, &[7u8; 64]).unwrap();
+    hotter.drain_all().unwrap();
+    wait_for_hit(&mut hotter, ptr);
+
+    // The second client learns the remap on its very first report round
+    // and then hits the same server-side copy.
+    let mut cold = reporting_client(&cluster);
+    let mut buf = [0u8; 64];
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while cold.stats().cache_hits == 0 {
+        cold.read(ptr, 0, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 7));
+        assert!(Instant::now() < deadline, "second client never hit");
+    }
+}

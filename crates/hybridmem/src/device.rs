@@ -1,0 +1,613 @@
+//! The simulated memory device.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::bandwidth::BandwidthLimiter;
+use crate::error::HybridMemError;
+use crate::latency::spin_for_ns;
+use crate::profile::{DeviceProfile, PersistenceMode};
+use crate::registry::DeviceId;
+use crate::stats::DeviceStats;
+use crate::Result;
+
+/// Cache-line size assumed by the flush cost model.
+pub const CACHE_LINE: u64 = 64;
+
+/// Word-aligned backing storage accessed through raw pointers.
+///
+/// Remote (RDMA) accesses are executed by initiator threads directly against
+/// the target device, so concurrent overlapping access to the same bytes is
+/// possible — exactly as it is on real RDMA hardware, where the NIC DMAs
+/// into host memory with no CPU synchronisation. Protocols built above this
+/// layer (seqlock versions, single-writer rings) are responsible for making
+/// such races benign, again mirroring real deployments.
+struct Backing {
+    /// Kept alive for the lifetime of the device; `ptr` points into it.
+    _words: Box<[u64]>,
+    ptr: *mut u8,
+    capacity: u64,
+}
+
+// SAFETY: `Backing` hands out raw-pointer access guarded by bounds checks.
+// Concurrent access is part of the emulation's contract (see type docs).
+unsafe impl Send for Backing {}
+unsafe impl Sync for Backing {}
+
+impl Backing {
+    fn new(capacity: u64) -> Self {
+        let words = vec![0u64; capacity.div_ceil(8) as usize].into_boxed_slice();
+        let ptr = words.as_ptr() as *mut u8;
+        Backing {
+            _words: words,
+            ptr,
+            capacity,
+        }
+    }
+}
+
+/// A byte-addressable simulated memory device (one DRAM or NVM DIMM set).
+///
+/// All accesses are bounds-checked, charged against the device's latency and
+/// bandwidth model, and counted in [`DeviceStats`]. Word atomics
+/// ([`MemDevice::cas_u64`] and friends) are truly atomic across threads; they
+/// are the substrate for RDMA CAS/FAA and for Gengar's lock tables.
+pub struct MemDevice {
+    id: DeviceId,
+    profile: DeviceProfile,
+    backing: Backing,
+    read_bw: BandwidthLimiter,
+    write_bw: BandwidthLimiter,
+    stats: DeviceStats,
+    /// Durable image for crash simulation; `None` until enabled.
+    durable: Mutex<Option<Box<[u8]>>>,
+}
+
+impl std::fmt::Debug for MemDevice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemDevice")
+            .field("id", &self.id)
+            .field("profile", &self.profile.name)
+            .field("kind", &self.profile.kind)
+            .field("capacity", &self.backing.capacity)
+            .finish()
+    }
+}
+
+impl MemDevice {
+    /// Creates a device with `capacity` bytes, zero-initialised.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HybridMemError::InvalidCapacity`] if `capacity` is zero.
+    pub fn new(id: DeviceId, profile: DeviceProfile, capacity: u64) -> Result<Self> {
+        if capacity == 0 || capacity > (1 << 48) {
+            return Err(HybridMemError::InvalidCapacity { capacity });
+        }
+        Ok(MemDevice {
+            id,
+            read_bw: BandwidthLimiter::new(profile.read_bw_bytes_per_sec),
+            write_bw: BandwidthLimiter::new(profile.write_bw_bytes_per_sec),
+            profile,
+            backing: Backing::new(capacity),
+            stats: DeviceStats::new(),
+            durable: Mutex::new(None),
+        })
+    }
+
+    /// The device identifier.
+    pub fn id(&self) -> DeviceId {
+        self.id
+    }
+
+    /// The timing/persistence profile.
+    pub fn profile(&self) -> &DeviceProfile {
+        &self.profile
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.backing.capacity
+    }
+
+    /// Access counters.
+    pub fn stats(&self) -> &DeviceStats {
+        &self.stats
+    }
+
+    fn check(&self, offset: u64, len: u64) -> Result<()> {
+        if offset.checked_add(len).is_none_or(|end| end > self.backing.capacity) {
+            return Err(HybridMemError::OutOfBounds {
+                offset,
+                len,
+                capacity: self.backing.capacity,
+            });
+        }
+        Ok(())
+    }
+
+    fn check_aligned(&self, offset: u64) -> Result<()> {
+        self.check(offset, 8)?;
+        if offset % 8 != 0 {
+            return Err(HybridMemError::Misaligned { offset });
+        }
+        Ok(())
+    }
+
+    /// Reads `dst.len()` bytes starting at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HybridMemError::OutOfBounds`] if the range exceeds capacity.
+    pub fn read(&self, offset: u64, dst: &mut [u8]) -> Result<()> {
+        self.check(offset, dst.len() as u64)?;
+        spin_for_ns(self.profile.read_latency_ns);
+        self.read_bw.acquire(dst.len() as u64);
+        // SAFETY: bounds checked above; racing remote writers are part of
+        // the emulation contract (see `Backing`).
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                self.backing.ptr.add(offset as usize),
+                dst.as_mut_ptr(),
+                dst.len(),
+            );
+        }
+        self.stats.record_read(dst.len() as u64);
+        Ok(())
+    }
+
+    /// Writes `src` starting at `offset`.
+    ///
+    /// On a [`PersistenceMode::Adr`] device with crash simulation enabled the
+    /// bytes become durable immediately; on a [`PersistenceMode::Flush`]
+    /// device they stay volatile until [`MemDevice::flush`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HybridMemError::OutOfBounds`] if the range exceeds capacity.
+    pub fn write(&self, offset: u64, src: &[u8]) -> Result<()> {
+        self.check(offset, src.len() as u64)?;
+        spin_for_ns(self.profile.write_latency_ns);
+        self.write_bw.acquire(src.len() as u64);
+        // SAFETY: bounds checked above; see `Backing` for the race model.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                src.as_ptr(),
+                self.backing.ptr.add(offset as usize),
+                src.len(),
+            );
+        }
+        if self.profile.persistence == PersistenceMode::Adr {
+            if let Some(image) = self.durable.lock().as_mut() {
+                image[offset as usize..offset as usize + src.len()].copy_from_slice(src);
+            }
+        }
+        self.stats.record_write(src.len() as u64);
+        Ok(())
+    }
+
+    /// Fills `[offset, offset+len)` with `byte`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HybridMemError::OutOfBounds`] if the range exceeds capacity.
+    pub fn fill(&self, offset: u64, len: u64, byte: u8) -> Result<()> {
+        self.check(offset, len)?;
+        spin_for_ns(self.profile.write_latency_ns);
+        self.write_bw.acquire(len);
+        // SAFETY: bounds checked above.
+        unsafe {
+            std::ptr::write_bytes(self.backing.ptr.add(offset as usize), byte, len as usize);
+        }
+        if self.profile.persistence == PersistenceMode::Adr {
+            if let Some(image) = self.durable.lock().as_mut() {
+                image[offset as usize..(offset + len) as usize].fill(byte);
+            }
+        }
+        self.stats.record_write(len);
+        Ok(())
+    }
+
+    /// Copies `len` bytes from `src` (at `src_offset`) into this device at
+    /// `dst_offset` with a single memcpy, charging read costs on `src` and
+    /// write costs on `self`. This is the DMA path used by the simulated
+    /// NIC: it avoids staging through an intermediate buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HybridMemError::OutOfBounds`] if either range exceeds its
+    /// device's capacity.
+    pub fn copy_from(
+        &self,
+        dst_offset: u64,
+        src: &MemDevice,
+        src_offset: u64,
+        len: u64,
+    ) -> Result<()> {
+        self.check(dst_offset, len)?;
+        src.check(src_offset, len)?;
+        spin_for_ns(src.profile.read_latency_ns + self.profile.write_latency_ns);
+        src.read_bw.acquire(len);
+        self.write_bw.acquire(len);
+        // SAFETY: both ranges bounds-checked; devices are distinct
+        // allocations (and a same-device overlapping copy is still sound
+        // with `copy`, which allows overlap).
+        unsafe {
+            std::ptr::copy(
+                src.backing.ptr.add(src_offset as usize),
+                self.backing.ptr.add(dst_offset as usize),
+                len as usize,
+            );
+        }
+        if self.profile.persistence == PersistenceMode::Adr {
+            if let Some(image) = self.durable.lock().as_mut() {
+                // SAFETY: dst range bounds-checked; image has capacity bytes.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(
+                        self.backing.ptr.add(dst_offset as usize),
+                        image.as_mut_ptr().add(dst_offset as usize),
+                        len as usize,
+                    );
+                }
+            }
+        }
+        src.stats.record_read(len);
+        self.stats.record_write(len);
+        Ok(())
+    }
+
+    /// Returns an atomic view of the 8-byte word at `offset`.
+    fn word(&self, offset: u64) -> Result<&AtomicU64> {
+        self.check_aligned(offset)?;
+        // SAFETY: offset is 8-aligned relative to a u64-aligned allocation
+        // and in bounds; AtomicU64 has the same layout as u64.
+        Ok(unsafe { &*(self.backing.ptr.add(offset as usize) as *const AtomicU64) })
+    }
+
+    /// Atomically loads the u64 at 8-byte-aligned `offset` (Acquire).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HybridMemError::Misaligned`] or
+    /// [`HybridMemError::OutOfBounds`].
+    pub fn load_u64(&self, offset: u64) -> Result<u64> {
+        let w = self.word(offset)?;
+        spin_for_ns(self.profile.read_latency_ns);
+        self.stats.record_atomic();
+        Ok(w.load(Ordering::Acquire))
+    }
+
+    /// Atomically stores `value` at 8-byte-aligned `offset` (Release).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HybridMemError::Misaligned`] or
+    /// [`HybridMemError::OutOfBounds`].
+    pub fn store_u64(&self, offset: u64, value: u64) -> Result<()> {
+        let w = self.word(offset)?;
+        spin_for_ns(self.profile.write_latency_ns);
+        w.store(value, Ordering::Release);
+        self.stats.record_atomic();
+        if self.profile.persistence == PersistenceMode::Adr {
+            if let Some(image) = self.durable.lock().as_mut() {
+                image[offset as usize..offset as usize + 8].copy_from_slice(&value.to_le_bytes());
+            }
+        }
+        Ok(())
+    }
+
+    /// Atomic compare-and-swap on the u64 at `offset`. Returns the value
+    /// observed before the operation (equal to `expected` iff it succeeded).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HybridMemError::Misaligned`] or
+    /// [`HybridMemError::OutOfBounds`].
+    pub fn cas_u64(&self, offset: u64, expected: u64, new: u64) -> Result<u64> {
+        let w = self.word(offset)?;
+        spin_for_ns(self.profile.read_latency_ns.max(self.profile.write_latency_ns));
+        self.stats.record_atomic();
+        let observed = match w.compare_exchange(expected, new, Ordering::AcqRel, Ordering::Acquire)
+        {
+            Ok(prev) => prev,
+            Err(prev) => prev,
+        };
+        if observed == expected && self.profile.persistence == PersistenceMode::Adr {
+            if let Some(image) = self.durable.lock().as_mut() {
+                image[offset as usize..offset as usize + 8].copy_from_slice(&new.to_le_bytes());
+            }
+        }
+        Ok(observed)
+    }
+
+    /// Atomic fetch-and-add on the u64 at `offset`. Returns the prior value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HybridMemError::Misaligned`] or
+    /// [`HybridMemError::OutOfBounds`].
+    pub fn faa_u64(&self, offset: u64, delta: u64) -> Result<u64> {
+        let w = self.word(offset)?;
+        spin_for_ns(self.profile.read_latency_ns.max(self.profile.write_latency_ns));
+        self.stats.record_atomic();
+        let prev = w.fetch_add(delta, Ordering::AcqRel);
+        if self.profile.persistence == PersistenceMode::Adr {
+            if let Some(image) = self.durable.lock().as_mut() {
+                image[offset as usize..offset as usize + 8]
+                    .copy_from_slice(&prev.wrapping_add(delta).to_le_bytes());
+            }
+        }
+        Ok(prev)
+    }
+
+    /// Flushes `[offset, offset+len)` to the persistence domain.
+    ///
+    /// Charged one [`DeviceProfile::flush_latency_ns`] per call plus
+    /// [`DeviceProfile::flush_line_ns`] per cache line (the flushed data
+    /// already paid write bandwidth when it was stored). On a volatile or
+    /// ADR device this is a no-op apart from the latency. With crash
+    /// simulation enabled on a [`PersistenceMode::Flush`] device the range
+    /// is copied into the durable image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HybridMemError::OutOfBounds`] if the range exceeds capacity.
+    pub fn flush(&self, offset: u64, len: u64) -> Result<()> {
+        self.check(offset, len)?;
+        let lines = len.div_ceil(CACHE_LINE).max(1);
+        spin_for_ns(
+            self.profile
+                .flush_latency_ns
+                .saturating_add(self.profile.flush_line_ns.saturating_mul(lines)),
+        );
+        self.stats.record_flush();
+        if self.profile.persistence == PersistenceMode::Flush {
+            if let Some(image) = self.durable.lock().as_mut() {
+                // SAFETY: bounds checked above.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(
+                        self.backing.ptr.add(offset as usize),
+                        image.as_mut_ptr().add(offset as usize),
+                        len as usize,
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Enables crash simulation: from this point on the device tracks a
+    /// durable image (initialised from current contents) that [`crash`]
+    /// restores.
+    ///
+    /// [`crash`]: MemDevice::crash
+    pub fn enable_crash_sim(&self) {
+        let mut durable = self.durable.lock();
+        if durable.is_none() {
+            let mut image = vec![0u8; self.backing.capacity as usize].into_boxed_slice();
+            // SAFETY: image has exactly `capacity` bytes.
+            unsafe {
+                std::ptr::copy_nonoverlapping(
+                    self.backing.ptr,
+                    image.as_mut_ptr(),
+                    self.backing.capacity as usize,
+                );
+            }
+            *durable = Some(image);
+        }
+    }
+
+    /// Returns whether crash simulation is enabled.
+    pub fn crash_sim_enabled(&self) -> bool {
+        self.durable.lock().is_some()
+    }
+
+    /// Simulates a power failure.
+    ///
+    /// A volatile device loses all contents (zeroed). A persistent device
+    /// reverts to its durable image: every store that was not flushed (or
+    /// not ADR-covered) disappears.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HybridMemError::CrashSimDisabled`] on a persistent device
+    /// where [`MemDevice::enable_crash_sim`] was never called (a volatile
+    /// device can always crash: it just zeroes).
+    pub fn crash(&self) -> Result<()> {
+        match self.profile.persistence {
+            PersistenceMode::Volatile => {
+                // SAFETY: in-bounds fill of the whole device.
+                unsafe {
+                    std::ptr::write_bytes(self.backing.ptr, 0, self.backing.capacity as usize);
+                }
+                Ok(())
+            }
+            PersistenceMode::Flush | PersistenceMode::Adr => {
+                let durable = self.durable.lock();
+                let image = durable.as_ref().ok_or(HybridMemError::CrashSimDisabled)?;
+                // SAFETY: image has exactly `capacity` bytes.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(
+                        image.as_ptr(),
+                        self.backing.ptr,
+                        self.backing.capacity as usize,
+                    );
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::MemKind;
+    use std::sync::Arc;
+
+    fn dev(kind: MemKind) -> MemDevice {
+        MemDevice::new(1, DeviceProfile::instant(kind), 4096).unwrap()
+    }
+
+    #[test]
+    fn zero_capacity_rejected() {
+        let err = MemDevice::new(0, DeviceProfile::instant(MemKind::Dram), 0).unwrap_err();
+        assert_eq!(err, HybridMemError::InvalidCapacity { capacity: 0 });
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let d = dev(MemKind::Dram);
+        d.write(100, b"gengar").unwrap();
+        let mut buf = [0u8; 6];
+        d.read(100, &mut buf).unwrap();
+        assert_eq!(&buf, b"gengar");
+    }
+
+    #[test]
+    fn fresh_device_is_zeroed() {
+        let d = dev(MemKind::Nvm);
+        let mut buf = [0xFFu8; 64];
+        d.read(0, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn out_of_bounds_read_rejected() {
+        let d = dev(MemKind::Dram);
+        let mut buf = [0u8; 16];
+        let err = d.read(4090, &mut buf).unwrap_err();
+        assert!(matches!(err, HybridMemError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn offset_overflow_rejected() {
+        let d = dev(MemKind::Dram);
+        let err = d.write(u64::MAX - 2, b"abcd").unwrap_err();
+        assert!(matches!(err, HybridMemError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn fill_sets_bytes() {
+        let d = dev(MemKind::Dram);
+        d.fill(10, 20, 0xAB).unwrap();
+        let mut buf = [0u8; 22];
+        d.read(9, &mut buf).unwrap();
+        assert_eq!(buf[0], 0);
+        assert!(buf[1..21].iter().all(|&b| b == 0xAB));
+        assert_eq!(buf[21], 0);
+    }
+
+    #[test]
+    fn atomics_roundtrip() {
+        let d = dev(MemKind::Dram);
+        d.store_u64(64, 42).unwrap();
+        assert_eq!(d.load_u64(64).unwrap(), 42);
+        assert_eq!(d.cas_u64(64, 42, 43).unwrap(), 42);
+        assert_eq!(d.load_u64(64).unwrap(), 43);
+        // Failed CAS returns observed value, does not store.
+        assert_eq!(d.cas_u64(64, 999, 7).unwrap(), 43);
+        assert_eq!(d.load_u64(64).unwrap(), 43);
+        assert_eq!(d.faa_u64(64, 10).unwrap(), 43);
+        assert_eq!(d.load_u64(64).unwrap(), 53);
+    }
+
+    #[test]
+    fn misaligned_atomic_rejected() {
+        let d = dev(MemKind::Dram);
+        assert_eq!(
+            d.load_u64(3).unwrap_err(),
+            HybridMemError::Misaligned { offset: 3 }
+        );
+    }
+
+    #[test]
+    fn concurrent_faa_is_atomic() {
+        let d = Arc::new(dev(MemKind::Dram));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let d = Arc::clone(&d);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        d.faa_u64(0, 1).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(d.load_u64(0).unwrap(), 8000);
+    }
+
+    #[test]
+    fn crash_zeroes_volatile_device() {
+        let d = dev(MemKind::Dram);
+        d.write(0, b"data").unwrap();
+        d.crash().unwrap();
+        let mut buf = [0xFFu8; 4];
+        d.read(0, &mut buf).unwrap();
+        assert_eq!(buf, [0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn crash_reverts_unflushed_nvm_writes() {
+        let d = dev(MemKind::Nvm);
+        d.enable_crash_sim();
+        d.write(0, b"durable!").unwrap();
+        d.flush(0, 8).unwrap();
+        d.write(0, b"volatile").unwrap(); // never flushed
+        d.crash().unwrap();
+        let mut buf = [0u8; 8];
+        d.read(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"durable!");
+    }
+
+    #[test]
+    fn crash_without_sim_on_nvm_fails() {
+        let d = dev(MemKind::Nvm);
+        assert_eq!(d.crash().unwrap_err(), HybridMemError::CrashSimDisabled);
+    }
+
+    #[test]
+    fn adr_device_survives_crash_without_flush() {
+        let mut p = DeviceProfile::instant(MemKind::Dram);
+        p.persistence = PersistenceMode::Adr;
+        let d = MemDevice::new(7, p, 4096).unwrap();
+        d.enable_crash_sim();
+        d.write(16, b"staged").unwrap();
+        d.crash().unwrap();
+        let mut buf = [0u8; 6];
+        d.read(16, &mut buf).unwrap();
+        assert_eq!(&buf, b"staged");
+    }
+
+    #[test]
+    fn adr_atomics_survive_crash() {
+        let mut p = DeviceProfile::instant(MemKind::Dram);
+        p.persistence = PersistenceMode::Adr;
+        let d = MemDevice::new(7, p, 4096).unwrap();
+        d.enable_crash_sim();
+        d.store_u64(8, 11).unwrap();
+        d.faa_u64(8, 4).unwrap();
+        d.cas_u64(8, 15, 99).unwrap();
+        d.crash().unwrap();
+        assert_eq!(d.load_u64(8).unwrap(), 99);
+    }
+
+    #[test]
+    fn stats_count_accesses() {
+        let d = dev(MemKind::Nvm);
+        d.write(0, &[1, 2, 3]).unwrap();
+        let mut b = [0u8; 3];
+        d.read(0, &mut b).unwrap();
+        d.flush(0, 3).unwrap();
+        let s = d.stats().snapshot();
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.write_bytes, 3);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.read_bytes, 3);
+        assert_eq!(s.flushes, 1);
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type for hybrid-memory device operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by device and region operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HybridMemError {
+    /// An access fell outside the device or region bounds.
+    OutOfBounds {
+        /// Requested start offset of the access.
+        offset: u64,
+        /// Requested length of the access in bytes.
+        len: u64,
+        /// Capacity of the device or region that was accessed.
+        capacity: u64,
+    },
+    /// A word-atomic operation used an address that is not 8-byte aligned.
+    Misaligned {
+        /// The offending offset.
+        offset: u64,
+    },
+    /// A device was created with zero capacity or a capacity that does not
+    /// fit in the simulated address space.
+    InvalidCapacity {
+        /// The rejected capacity.
+        capacity: u64,
+    },
+    /// Crash simulation was requested on a device where it is not enabled.
+    CrashSimDisabled,
+    /// A region was carved out of a device with an invalid window.
+    InvalidRegion {
+        /// Start of the requested window.
+        offset: u64,
+        /// Length of the requested window.
+        len: u64,
+    },
+}
+
+impl fmt::Display for HybridMemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HybridMemError::OutOfBounds {
+                offset,
+                len,
+                capacity,
+            } => write!(
+                f,
+                "access [{offset}, {offset}+{len}) out of bounds for capacity {capacity}"
+            ),
+            HybridMemError::Misaligned { offset } => {
+                write!(f, "atomic access at offset {offset} is not 8-byte aligned")
+            }
+            HybridMemError::InvalidCapacity { capacity } => {
+                write!(f, "invalid device capacity {capacity}")
+            }
+            HybridMemError::CrashSimDisabled => {
+                write!(f, "crash simulation is not enabled on this device")
+            }
+            HybridMemError::InvalidRegion { offset, len } => {
+                write!(f, "invalid region window [{offset}, {offset}+{len})")
+            }
+        }
+    }
+}
+
+impl Error for HybridMemError {}

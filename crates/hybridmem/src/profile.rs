@@ -1,0 +1,180 @@
+//! Device timing/persistence profiles.
+//!
+//! The Optane numbers follow the published characterisation of Intel Optane
+//! DC Persistent Memory (Izraelevitz et al., "Basic Performance Measurements
+//! of the Intel Optane DC Persistent Memory Module", 2019), which is the
+//! hardware generation used by the Gengar testbed: ~300 ns read latency,
+//! ~100 ns ADR-buffered write latency, ~6.6 GB/s read and ~2.3 GB/s write
+//! bandwidth per DIMM set. DRAM is modelled at ~80 ns and ~13 GB/s.
+
+use serde::{Deserialize, Serialize};
+
+/// The physical kind of a memory device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemKind {
+    /// Volatile DRAM.
+    Dram,
+    /// Byte-addressable non-volatile memory (Optane-class).
+    Nvm,
+}
+
+impl std::fmt::Display for MemKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemKind::Dram => write!(f, "DRAM"),
+            MemKind::Nvm => write!(f, "NVM"),
+        }
+    }
+}
+
+/// How stores on the device become durable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PersistenceMode {
+    /// Volatile: contents are lost on crash (DRAM).
+    Volatile,
+    /// Stores must be explicitly flushed (clwb + fence) to become durable.
+    Flush,
+    /// Asynchronous DRAM Refresh: stores are durable as soon as they are
+    /// accepted by the memory controller; `flush` is a no-op.
+    Adr,
+}
+
+/// Latency, bandwidth and persistence parameters of one device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Human-readable profile name (e.g. `"optane"`).
+    pub name: String,
+    /// Physical kind.
+    pub kind: MemKind,
+    /// Fixed latency of a read access, nanoseconds.
+    pub read_latency_ns: u64,
+    /// Fixed latency of a write access, nanoseconds.
+    pub write_latency_ns: u64,
+    /// Fixed per-call latency of a flush (fence + WPQ drain overhead).
+    pub flush_latency_ns: u64,
+    /// Additional latency per flushed cache line. Small: the bulk of the
+    /// data movement was already charged against write bandwidth when the
+    /// stores executed.
+    pub flush_line_ns: u64,
+    /// Sustained read bandwidth, bytes per second.
+    pub read_bw_bytes_per_sec: u64,
+    /// Sustained write bandwidth, bytes per second.
+    pub write_bw_bytes_per_sec: u64,
+    /// Durability semantics of stores.
+    pub persistence: PersistenceMode,
+}
+
+impl DeviceProfile {
+    /// DRAM DIMM profile: ~80 ns access, ~13 GB/s, volatile.
+    pub fn dram() -> Self {
+        DeviceProfile {
+            name: "dram".to_owned(),
+            kind: MemKind::Dram,
+            read_latency_ns: 80,
+            write_latency_ns: 80,
+            flush_latency_ns: 0,
+            flush_line_ns: 0,
+            read_bw_bytes_per_sec: 13_000_000_000,
+            write_bw_bytes_per_sec: 13_000_000_000,
+            persistence: PersistenceMode::Volatile,
+        }
+    }
+
+    /// Optane DC PMM profile: ~300 ns read, ~100 ns buffered write,
+    /// 6.6 / 2.3 GB/s read/write bandwidth, flush-to-persist.
+    pub fn optane() -> Self {
+        DeviceProfile {
+            name: "optane".to_owned(),
+            kind: MemKind::Nvm,
+            read_latency_ns: 300,
+            write_latency_ns: 100,
+            flush_latency_ns: 250,
+            flush_line_ns: 8,
+            read_bw_bytes_per_sec: 6_600_000_000,
+            write_bw_bytes_per_sec: 2_300_000_000,
+            persistence: PersistenceMode::Flush,
+        }
+    }
+
+    /// DRAM that sits inside the ADR persistence domain. Used for proxy
+    /// staging buffers whose durability the paper's write protocol relies on.
+    pub fn adr_dram() -> Self {
+        DeviceProfile {
+            name: "adr-dram".to_owned(),
+            persistence: PersistenceMode::Adr,
+            ..Self::dram()
+        }
+    }
+
+    /// A zero-latency, unlimited-bandwidth profile for functional unit tests
+    /// that must not depend on timing.
+    pub fn instant(kind: MemKind) -> Self {
+        DeviceProfile {
+            name: format!("instant-{kind}"),
+            kind,
+            read_latency_ns: 0,
+            write_latency_ns: 0,
+            flush_latency_ns: 0,
+            flush_line_ns: 0,
+            read_bw_bytes_per_sec: u64::MAX,
+            write_bw_bytes_per_sec: u64::MAX,
+            persistence: match kind {
+                MemKind::Dram => PersistenceMode::Volatile,
+                MemKind::Nvm => PersistenceMode::Flush,
+            },
+        }
+    }
+
+    /// Returns whether stores on this device survive a crash without an
+    /// explicit flush.
+    pub fn durable_on_write(&self) -> bool {
+        self.persistence == PersistenceMode::Adr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optane_is_slower_than_dram() {
+        let dram = DeviceProfile::dram();
+        let nvm = DeviceProfile::optane();
+        assert!(nvm.read_latency_ns > dram.read_latency_ns);
+        assert!(nvm.write_bw_bytes_per_sec < dram.write_bw_bytes_per_sec);
+        assert!(nvm.read_bw_bytes_per_sec > nvm.write_bw_bytes_per_sec);
+    }
+
+    #[test]
+    fn adr_dram_is_durable_on_write() {
+        assert!(DeviceProfile::adr_dram().durable_on_write());
+        assert!(!DeviceProfile::dram().durable_on_write());
+        assert!(!DeviceProfile::optane().durable_on_write());
+    }
+
+    #[test]
+    fn instant_profile_has_no_delays() {
+        let p = DeviceProfile::instant(MemKind::Nvm);
+        assert_eq!(p.read_latency_ns, 0);
+        assert_eq!(p.write_latency_ns, 0);
+        assert_eq!(p.read_bw_bytes_per_sec, u64::MAX);
+        assert_eq!(p.kind, MemKind::Nvm);
+    }
+
+    #[test]
+    fn profile_serde_roundtrip() {
+        // serde_json is not in the dependency set; exercise the Serialize
+        // impl through the serde test in-memory format instead: use
+        // `serde::Serialize` via a manual token check would need serde_test.
+        // Keep it simple: Clone + PartialEq roundtrip.
+        let p = DeviceProfile::optane();
+        let q = p.clone();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(MemKind::Dram.to_string(), "DRAM");
+        assert_eq!(MemKind::Nvm.to_string(), "NVM");
+    }
+}

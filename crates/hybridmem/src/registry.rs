@@ -1,0 +1,109 @@
+//! Process-wide device registry.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::device::MemDevice;
+use crate::profile::DeviceProfile;
+use crate::Result;
+
+/// Identifier of a device within a [`DeviceRegistry`].
+pub type DeviceId = u32;
+
+/// Allocates ids and tracks every device of a simulated deployment.
+///
+/// Each node in a simulated cluster typically owns one DRAM and one NVM
+/// device; the registry gives tests and tools a way to enumerate them and
+/// aggregate statistics.
+#[derive(Debug, Default)]
+pub struct DeviceRegistry {
+    next_id: AtomicU32,
+    devices: RwLock<HashMap<DeviceId, Arc<MemDevice>>>,
+}
+
+impl DeviceRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates and registers a device, returning its handle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::HybridMemError::InvalidCapacity`].
+    pub fn create(&self, profile: DeviceProfile, capacity: u64) -> Result<Arc<MemDevice>> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let dev = Arc::new(MemDevice::new(id, profile, capacity)?);
+        self.devices.write().insert(id, Arc::clone(&dev));
+        Ok(dev)
+    }
+
+    /// Looks up a device by id.
+    pub fn get(&self, id: DeviceId) -> Option<Arc<MemDevice>> {
+        self.devices.read().get(&id).cloned()
+    }
+
+    /// Removes a device, returning it if present.
+    pub fn remove(&self, id: DeviceId) -> Option<Arc<MemDevice>> {
+        self.devices.write().remove(&id)
+    }
+
+    /// Number of registered devices.
+    pub fn len(&self) -> usize {
+        self.devices.read().len()
+    }
+
+    /// Returns `true` if no devices are registered.
+    pub fn is_empty(&self) -> bool {
+        self.devices.read().is_empty()
+    }
+
+    /// Snapshot of all registered devices.
+    pub fn all(&self) -> Vec<Arc<MemDevice>> {
+        self.devices.read().values().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::MemKind;
+
+    #[test]
+    fn create_get_remove() {
+        let reg = DeviceRegistry::new();
+        assert!(reg.is_empty());
+        let d = reg
+            .create(DeviceProfile::instant(MemKind::Dram), 1024)
+            .unwrap();
+        assert_eq!(reg.len(), 1);
+        let got = reg.get(d.id()).unwrap();
+        assert_eq!(got.id(), d.id());
+        assert!(reg.remove(d.id()).is_some());
+        assert!(reg.get(d.id()).is_none());
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let reg = DeviceRegistry::new();
+        let a = reg
+            .create(DeviceProfile::instant(MemKind::Dram), 64)
+            .unwrap();
+        let b = reg
+            .create(DeviceProfile::instant(MemKind::Nvm), 64)
+            .unwrap();
+        assert_ne!(a.id(), b.id());
+        assert_eq!(reg.all().len(), 2);
+    }
+
+    #[test]
+    fn invalid_capacity_propagates() {
+        let reg = DeviceRegistry::new();
+        assert!(reg.create(DeviceProfile::instant(MemKind::Dram), 0).is_err());
+    }
+}

@@ -1,0 +1,98 @@
+//! Per-device access counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free access counters maintained by every [`crate::MemDevice`].
+///
+/// Counters are advisory (Relaxed ordering); they are read by benchmarks and
+/// the hotness experiments, never by correctness-critical code.
+#[derive(Debug, Default)]
+pub struct DeviceStats {
+    reads: AtomicU64,
+    writes: AtomicU64,
+    read_bytes: AtomicU64,
+    write_bytes: AtomicU64,
+    flushes: AtomicU64,
+    atomics: AtomicU64,
+}
+
+/// A point-in-time copy of [`DeviceStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Number of read operations.
+    pub reads: u64,
+    /// Number of write operations.
+    pub writes: u64,
+    /// Total bytes read.
+    pub read_bytes: u64,
+    /// Total bytes written.
+    pub write_bytes: u64,
+    /// Number of flush operations.
+    pub flushes: u64,
+    /// Number of word-atomic operations (CAS/FAA/atomic load/store).
+    pub atomics: u64,
+}
+
+impl DeviceStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_read(&self, bytes: u64) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.read_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_write(&self, bytes: u64) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.write_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_flush(&self) {
+        self.flushes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_atomic(&self) {
+        self.atomics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Returns a consistent-enough snapshot of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            read_bytes: self.read_bytes.load(Ordering::Relaxed),
+            write_bytes: self.write_bytes.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            atomics: self.atomics.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = DeviceStats::new();
+        s.record_read(10);
+        s.record_read(20);
+        s.record_write(5);
+        s.record_flush();
+        s.record_atomic();
+        let snap = s.snapshot();
+        assert_eq!(snap.reads, 2);
+        assert_eq!(snap.read_bytes, 30);
+        assert_eq!(snap.writes, 1);
+        assert_eq!(snap.write_bytes, 5);
+        assert_eq!(snap.flushes, 1);
+        assert_eq!(snap.atomics, 1);
+    }
+
+    #[test]
+    fn snapshot_default_is_zero() {
+        assert_eq!(DeviceStats::new().snapshot(), StatsSnapshot::default());
+    }
+}

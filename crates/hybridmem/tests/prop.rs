@@ -1,0 +1,110 @@
+//! Property-based tests for the hybrid-memory substrate.
+
+use gengar_hybridmem::{DeviceProfile, HybridMemError, MemDevice, MemKind, MemRegion};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const CAP: u64 = 8192;
+
+fn instant_dev() -> Arc<MemDevice> {
+    Arc::new(MemDevice::new(0, DeviceProfile::instant(MemKind::Nvm), CAP).unwrap())
+}
+
+proptest! {
+    /// Whatever is written can be read back, byte for byte.
+    #[test]
+    fn write_then_read_roundtrips(offset in 0u64..CAP, data in proptest::collection::vec(any::<u8>(), 1..256)) {
+        let d = instant_dev();
+        let len = data.len() as u64;
+        if offset + len <= CAP {
+            d.write(offset, &data).unwrap();
+            let mut out = vec![0u8; data.len()];
+            d.read(offset, &mut out).unwrap();
+            prop_assert_eq!(out, data);
+        } else {
+            let is_oob = matches!(
+                d.write(offset, &data),
+                Err(HybridMemError::OutOfBounds { .. })
+            );
+            prop_assert!(is_oob);
+        }
+    }
+
+    /// Disjoint writes never clobber each other.
+    #[test]
+    fn disjoint_writes_do_not_interfere(
+        a_off in 0u64..(CAP / 2 - 256),
+        a in proptest::collection::vec(any::<u8>(), 1..256),
+        b_rel in 0u64..(CAP / 2 - 256),
+        b in proptest::collection::vec(any::<u8>(), 1..256),
+    ) {
+        let d = instant_dev();
+        let b_off = CAP / 2 + b_rel;
+        d.write(a_off, &a).unwrap();
+        d.write(b_off, &b).unwrap();
+        let mut out_a = vec![0u8; a.len()];
+        let mut out_b = vec![0u8; b.len()];
+        d.read(a_off, &mut out_a).unwrap();
+        d.read(b_off, &mut out_b).unwrap();
+        prop_assert_eq!(out_a, a);
+        prop_assert_eq!(out_b, b);
+    }
+
+    /// A crash reverts exactly to the last flushed state.
+    #[test]
+    fn crash_recovers_flushed_prefix(
+        first in proptest::collection::vec(any::<u8>(), 8..128),
+        second in proptest::collection::vec(any::<u8>(), 8..128),
+    ) {
+        let d = instant_dev();
+        d.enable_crash_sim();
+        d.write(0, &first).unwrap();
+        d.flush(0, first.len() as u64).unwrap();
+        d.write(0, &second).unwrap(); // unflushed overwrite
+        d.crash().unwrap();
+        let mut out = vec![0u8; first.len()];
+        d.read(0, &mut out).unwrap();
+        prop_assert_eq!(out, first);
+    }
+
+    /// Region translation: an access through a region lands at base+offset.
+    #[test]
+    fn region_translation_is_affine(
+        base in 0u64..(CAP - 512),
+        off in 0u64..256,
+        data in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let d = instant_dev();
+        let r = MemRegion::new(Arc::clone(&d), base, 512).unwrap();
+        r.write(off, &data).unwrap();
+        let mut out = vec![0u8; data.len()];
+        d.read(base + off, &mut out).unwrap();
+        prop_assert_eq!(out, data);
+    }
+
+    /// load/store/cas agree with a model u64.
+    #[test]
+    fn atomic_ops_match_model(ops in proptest::collection::vec((0u8..3, any::<u64>()), 1..64)) {
+        let d = instant_dev();
+        let mut model: u64 = 0;
+        for (op, v) in ops {
+            match op {
+                0 => {
+                    d.store_u64(128, v).unwrap();
+                    model = v;
+                }
+                1 => {
+                    let prev = d.faa_u64(128, v).unwrap();
+                    prop_assert_eq!(prev, model);
+                    model = model.wrapping_add(v);
+                }
+                _ => {
+                    let observed = d.cas_u64(128, model, v).unwrap();
+                    prop_assert_eq!(observed, model);
+                    model = v;
+                }
+            }
+            prop_assert_eq!(d.load_u64(128).unwrap(), model);
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Connection management and the synchronous [`Endpoint`] convenience API.
+//!
+//! Real deployments exchange QP numbers out of band (TCP, RDMA CM). In the
+//! simulation the exchange is a function call: [`Endpoint::pair`] creates
+//! two RC queue pairs, wires them together and returns both ends.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::cq::{Wc, WcStatus};
+use crate::error::RdmaError;
+use crate::mr::ProtectionDomain;
+use crate::node::RdmaNode;
+use crate::qp::{QpOptions, QueuePair};
+use crate::types::RemoteAddr;
+use crate::wr::{Payload, RecvWr, SendOp, SendWr, Sge};
+
+/// Default patience of the blocking helpers.
+pub const DEFAULT_OP_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// One end of an RC connection, with synchronous one-operation-at-a-time
+/// helpers.
+///
+/// An `Endpoint` owns its queue pair and both completion queues. The
+/// blocking helpers (`read`, `write`, `send`, ...) post one work request
+/// and wait for its completion; they are designed for one thread driving
+/// one endpoint, which is how Gengar clients use their connections.
+#[derive(Debug)]
+pub struct Endpoint {
+    node: Arc<RdmaNode>,
+    qp: Arc<QueuePair>,
+    next_wr: AtomicU64,
+    op_timeout: Duration,
+}
+
+impl Endpoint {
+    /// Creates a connected pair of endpoints between `a` and `b`.
+    ///
+    /// Each endpoint's QP lives in the supplied protection domain, so MRs
+    /// registered through those PDs are usable with the returned endpoints.
+    ///
+    /// # Errors
+    ///
+    /// Propagates queue-pair connection errors (never, in practice, for
+    /// freshly created QPs).
+    pub fn pair(
+        a: (&Arc<RdmaNode>, &ProtectionDomain),
+        b: (&Arc<RdmaNode>, &ProtectionDomain),
+        opts: QpOptions,
+    ) -> Result<(Endpoint, Endpoint), RdmaError> {
+        let (a_node, a_pd) = a;
+        let (b_node, b_pd) = b;
+        let qa = a_node.create_qp(
+            a_pd,
+            a_node.create_cq(4096),
+            a_node.create_cq(4096),
+            opts.clone(),
+        );
+        let qb = b_node.create_qp(
+            b_pd,
+            b_node.create_cq(4096),
+            b_node.create_cq(4096),
+            opts,
+        );
+        qa.connect(b_node.id(), qb.qpn())?;
+        qb.connect(a_node.id(), qa.qpn())?;
+        Ok((
+            Endpoint::from_qp(Arc::clone(a_node), qa),
+            Endpoint::from_qp(Arc::clone(b_node), qb),
+        ))
+    }
+
+    /// Wraps an already-connected queue pair.
+    pub fn from_qp(node: Arc<RdmaNode>, qp: Arc<QueuePair>) -> Endpoint {
+        Endpoint {
+            node,
+            qp,
+            next_wr: AtomicU64::new(1),
+            op_timeout: DEFAULT_OP_TIMEOUT,
+        }
+    }
+
+    /// The owning node.
+    pub fn node(&self) -> &Arc<RdmaNode> {
+        &self.node
+    }
+
+    /// The underlying queue pair.
+    pub fn qp(&self) -> &Arc<QueuePair> {
+        &self.qp
+    }
+
+    /// Changes the patience of the blocking helpers.
+    pub fn set_op_timeout(&mut self, timeout: Duration) {
+        self.op_timeout = timeout;
+    }
+
+    fn next_wr_id(&self) -> u64 {
+        self.next_wr.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Posts `op` and waits for its completion.
+    ///
+    /// # Errors
+    ///
+    /// Programming errors surface immediately; transport/remote failures
+    /// surface as [`RdmaError::CompletionError`]; patience exhaustion as
+    /// [`RdmaError::Timeout`].
+    pub fn execute(&self, op: SendOp) -> Result<Wc, RdmaError> {
+        let wr_id = self.next_wr_id();
+        self.qp.post_send(SendWr::new(wr_id, op))?;
+        let deadline = Instant::now() + self.op_timeout;
+        loop {
+            for wc in self.qp.send_cq().poll(16) {
+                if wc.wr_id == wr_id {
+                    if wc.status.is_ok() {
+                        return Ok(wc);
+                    }
+                    return Err(RdmaError::CompletionError(wc.status));
+                }
+                // Stale completion from an earlier unmatched wait: drop it.
+            }
+            if Instant::now() >= deadline {
+                return Err(RdmaError::Timeout);
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// One-sided READ of `local.len` bytes from `remote` into `local`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Endpoint::execute`].
+    pub fn read(&self, local: Sge, remote: RemoteAddr) -> Result<Wc, RdmaError> {
+        self.execute(SendOp::Read { local, remote })
+    }
+
+    /// One-sided WRITE of `payload` to `remote`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Endpoint::execute`].
+    pub fn write(&self, payload: Payload, remote: RemoteAddr) -> Result<Wc, RdmaError> {
+        self.execute(SendOp::Write {
+            payload,
+            remote,
+            imm: None,
+        })
+    }
+
+    /// One-sided WRITE_WITH_IMM: places `payload` at `remote` and consumes
+    /// a receive at the peer, delivering `imm`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Endpoint::execute`].
+    pub fn write_with_imm(
+        &self,
+        payload: Payload,
+        remote: RemoteAddr,
+        imm: u32,
+    ) -> Result<Wc, RdmaError> {
+        self.execute(SendOp::Write {
+            payload,
+            remote,
+            imm: Some(imm),
+        })
+    }
+
+    /// Two-sided SEND.
+    ///
+    /// # Errors
+    ///
+    /// See [`Endpoint::execute`].
+    pub fn send(&self, payload: Payload, imm: Option<u32>) -> Result<Wc, RdmaError> {
+        self.execute(SendOp::Send { payload, imm })
+    }
+
+    /// Remote compare-and-swap; the prior value lands in `local` (8 bytes).
+    ///
+    /// # Errors
+    ///
+    /// See [`Endpoint::execute`].
+    pub fn compare_swap(
+        &self,
+        local: Sge,
+        remote: RemoteAddr,
+        expected: u64,
+        swap: u64,
+    ) -> Result<Wc, RdmaError> {
+        self.execute(SendOp::CompareSwap {
+            local,
+            remote,
+            expected,
+            swap,
+        })
+    }
+
+    /// Remote fetch-and-add; the prior value lands in `local` (8 bytes).
+    ///
+    /// # Errors
+    ///
+    /// See [`Endpoint::execute`].
+    pub fn fetch_add(&self, local: Sge, remote: RemoteAddr, add: u64) -> Result<Wc, RdmaError> {
+        self.execute(SendOp::FetchAdd { local, remote, add })
+    }
+
+    /// Posts a receive buffer.
+    ///
+    /// # Errors
+    ///
+    /// See [`QueuePair::post_recv`].
+    pub fn post_recv(&self, sge: Sge) -> Result<u64, RdmaError> {
+        let wr_id = self.next_wr_id();
+        self.qp.post_recv(RecvWr::new(wr_id, sge))?;
+        Ok(wr_id)
+    }
+
+    /// Waits for one receive completion.
+    ///
+    /// # Errors
+    ///
+    /// [`RdmaError::Timeout`] if nothing arrives in `timeout`;
+    /// [`RdmaError::CompletionError`] if the receive completed with error.
+    pub fn recv(&self, timeout: Duration) -> Result<Wc, RdmaError> {
+        let got = self.qp.recv_cq().wait(1, timeout);
+        match got.first() {
+            Some(wc) if wc.status == WcStatus::Success => Ok(*wc),
+            Some(wc) => Err(RdmaError::CompletionError(wc.status)),
+            None => Err(RdmaError::Timeout),
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Completion queues and work completions.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::types::{Qpn, WrId};
+
+/// Status of a work completion (subset of `ibv_wc_status`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WcStatus {
+    /// Operation completed successfully.
+    Success,
+    /// The remote side rejected the access (bad rkey, permissions, bounds).
+    RemoteAccessError,
+    /// Receiver had no posted receive and RNR retries were exhausted.
+    RnrRetryExceeded,
+    /// The peer was unreachable (partition / node removed); RC gives up
+    /// after transport retries.
+    TransportError,
+    /// The work request was flushed because the QP entered the error state.
+    WrFlushed,
+}
+
+impl WcStatus {
+    /// Returns whether this status is [`WcStatus::Success`].
+    pub fn is_ok(self) -> bool {
+        self == WcStatus::Success
+    }
+}
+
+/// Opcode recorded in a work completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WcOpcode {
+    /// SEND completed (sender side).
+    Send,
+    /// RDMA WRITE completed (sender side).
+    RdmaWrite,
+    /// RDMA READ completed (sender side).
+    RdmaRead,
+    /// Atomic compare-and-swap completed (sender side).
+    CompSwap,
+    /// Atomic fetch-and-add completed (sender side).
+    FetchAdd,
+    /// Incoming SEND consumed a receive (receiver side).
+    Recv,
+    /// Incoming WRITE_WITH_IMM consumed a receive (receiver side).
+    RecvRdmaWithImm,
+}
+
+/// A work completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Wc {
+    /// The id of the work request this completion reports on.
+    pub wr_id: WrId,
+    /// Completion status.
+    pub status: WcStatus,
+    /// Operation kind.
+    pub opcode: WcOpcode,
+    /// Bytes transferred (receive: payload length).
+    pub byte_len: u64,
+    /// Immediate data, if the peer sent any.
+    pub imm: Option<u32>,
+    /// The queue pair this completion belongs to.
+    pub qpn: Qpn,
+}
+
+#[derive(Debug, Default)]
+struct CqInner {
+    queue: VecDeque<Wc>,
+    overflowed: bool,
+}
+
+/// A completion queue.
+///
+/// Completions are appended by the fabric when operations finish and
+/// harvested with [`CompletionQueue::poll`] (non-blocking, like
+/// `ibv_poll_cq`) or [`CompletionQueue::wait`] (blocking with timeout,
+/// standing in for a completion channel).
+#[derive(Debug)]
+pub struct CompletionQueue {
+    capacity: usize,
+    inner: Mutex<CqInner>,
+    available: Condvar,
+}
+
+impl CompletionQueue {
+    /// Creates a CQ that can hold `capacity` unharvested completions.
+    pub fn new(capacity: usize) -> Self {
+        CompletionQueue {
+            capacity: capacity.max(1),
+            inner: Mutex::new(CqInner::default()),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Capacity in completions.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends a completion. Returns `false` (and marks the CQ overflowed)
+    /// if capacity was exceeded — a fatal condition on real hardware.
+    pub(crate) fn push(&self, wc: Wc) -> bool {
+        let mut inner = self.inner.lock();
+        if inner.queue.len() >= self.capacity {
+            inner.overflowed = true;
+            return false;
+        }
+        inner.queue.push_back(wc);
+        self.available.notify_all();
+        true
+    }
+
+    /// Returns whether the CQ has ever overflowed.
+    pub fn overflowed(&self) -> bool {
+        self.inner.lock().overflowed
+    }
+
+    /// Harvests up to `max` completions without blocking.
+    pub fn poll(&self, max: usize) -> Vec<Wc> {
+        let mut inner = self.inner.lock();
+        let n = max.min(inner.queue.len());
+        inner.queue.drain(..n).collect()
+    }
+
+    /// Blocks until at least one completion is available (or `timeout`
+    /// expires) and harvests up to `max`.
+    pub fn wait(&self, max: usize, timeout: Duration) -> Vec<Wc> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.inner.lock();
+        while inner.queue.is_empty() {
+            let now = Instant::now();
+            if now >= deadline {
+                return Vec::new();
+            }
+            if self
+                .available
+                .wait_until(&mut inner, deadline)
+                .timed_out()
+            {
+                break;
+            }
+        }
+        let n = max.min(inner.queue.len());
+        inner.queue.drain(..n).collect()
+    }
+
+    /// Number of unharvested completions.
+    pub fn len(&self) -> usize {
+        self.inner.lock().queue.len()
+    }
+
+    /// Returns `true` if no completions are pending.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn wc(id: WrId) -> Wc {
+        Wc {
+            wr_id: id,
+            status: WcStatus::Success,
+            opcode: WcOpcode::Send,
+            byte_len: 0,
+            imm: None,
+            qpn: Qpn(1),
+        }
+    }
+
+    #[test]
+    fn poll_drains_in_order() {
+        let cq = CompletionQueue::new(8);
+        for i in 0..5 {
+            assert!(cq.push(wc(i)));
+        }
+        assert_eq!(cq.len(), 5);
+        let got = cq.poll(3);
+        assert_eq!(got.iter().map(|w| w.wr_id).collect::<Vec<_>>(), [0, 1, 2]);
+        let got = cq.poll(10);
+        assert_eq!(got.iter().map(|w| w.wr_id).collect::<Vec<_>>(), [3, 4]);
+        assert!(cq.is_empty());
+    }
+
+    #[test]
+    fn overflow_is_sticky() {
+        let cq = CompletionQueue::new(2);
+        assert!(cq.push(wc(0)));
+        assert!(cq.push(wc(1)));
+        assert!(!cq.push(wc(2)));
+        assert!(cq.overflowed());
+        assert_eq!(cq.len(), 2);
+    }
+
+    #[test]
+    fn wait_times_out_when_empty() {
+        let cq = CompletionQueue::new(2);
+        let got = cq.wait(1, Duration::from_millis(20));
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn wait_wakes_on_push() {
+        let cq = Arc::new(CompletionQueue::new(4));
+        let cq2 = Arc::clone(&cq);
+        let t = std::thread::spawn(move || cq2.wait(4, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(10));
+        cq.push(wc(9));
+        let got = t.join().unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].wr_id, 9);
+    }
+
+    #[test]
+    fn status_is_ok() {
+        assert!(WcStatus::Success.is_ok());
+        assert!(!WcStatus::TransportError.is_ok());
+    }
+}

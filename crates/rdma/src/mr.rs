@@ -1,0 +1,164 @@
+//! Protection domains and memory regions.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Weak};
+
+use gengar_hybridmem::MemRegion;
+
+use crate::error::RdmaError;
+use crate::node::RdmaNode;
+use crate::types::{Access, LKey, NodeId, RKey};
+
+/// A registered memory region.
+///
+/// Registration pins a [`MemRegion`] (a window of a simulated device) and
+/// assigns it a key pair. In this model the lkey and rkey share one value;
+/// what matters is that every remote access is validated against the
+/// region's bounds, its [`Access`] flags and its protection domain, exactly
+/// like a real HCA validates rkeys.
+#[derive(Debug)]
+pub struct MemoryRegion {
+    node: NodeId,
+    pd_id: u32,
+    key: u32,
+    access: Access,
+    region: MemRegion,
+}
+
+impl MemoryRegion {
+    pub(crate) fn new(node: NodeId, pd_id: u32, key: u32, access: Access, region: MemRegion) -> Self {
+        MemoryRegion {
+            node,
+            pd_id,
+            key,
+            access,
+            region,
+        }
+    }
+
+    /// The node the region is registered on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Protection-domain id.
+    pub fn pd_id(&self) -> u32 {
+        self.pd_id
+    }
+
+    /// Local key.
+    pub fn lkey(&self) -> LKey {
+        LKey(self.key)
+    }
+
+    /// Remote key.
+    pub fn rkey(&self) -> RKey {
+        RKey(self.key)
+    }
+
+    /// Granted access flags.
+    pub fn access(&self) -> Access {
+        self.access
+    }
+
+    /// Length of the registered window in bytes.
+    pub fn len(&self) -> u64 {
+        self.region.len()
+    }
+
+    /// Returns `true` if the window is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.region.is_empty()
+    }
+
+    /// The underlying memory window. Local users (the owning node's CPU)
+    /// access their own registered memory directly through this.
+    pub fn region(&self) -> &MemRegion {
+        &self.region
+    }
+}
+
+/// A protection domain: MRs and QPs in the same PD may be used together.
+#[derive(Debug, Clone)]
+pub struct ProtectionDomain {
+    node: Weak<RdmaNode>,
+    id: u32,
+    next_key: Arc<AtomicU32>,
+}
+
+impl ProtectionDomain {
+    pub(crate) fn new(node: Weak<RdmaNode>, id: u32, next_key: Arc<AtomicU32>) -> Self {
+        ProtectionDomain { node, id, next_key }
+    }
+
+    /// Protection-domain id (unique within the node).
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Registers `region` with the given access flags, returning the MR.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RdmaError::ConnectionRefused`] if the owning node has been
+    /// dropped.
+    pub fn reg_mr(&self, region: MemRegion, access: Access) -> Result<Arc<MemoryRegion>, RdmaError> {
+        let node = self
+            .node
+            .upgrade()
+            .ok_or(RdmaError::ConnectionRefused("node dropped"))?;
+        let key = self.next_key.fetch_add(1, Ordering::Relaxed) + 1; // keys start at 1
+        let mr = Arc::new(MemoryRegion::new(node.id(), self.id, key, access, region));
+        node.insert_mr(Arc::clone(&mr));
+        Ok(mr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::{Fabric, FabricConfig};
+    use gengar_hybridmem::{DeviceProfile, MemDevice, MemKind};
+
+    fn region() -> MemRegion {
+        let dev = Arc::new(MemDevice::new(0, DeviceProfile::instant(MemKind::Dram), 4096).unwrap());
+        MemRegion::whole(dev)
+    }
+
+    #[test]
+    fn keys_are_unique_and_nonzero() {
+        let fabric = Fabric::new(FabricConfig::instant());
+        let node = fabric.add_node();
+        let pd = node.alloc_pd();
+        let a = pd.reg_mr(region(), Access::all()).unwrap();
+        let b = pd.reg_mr(region(), Access::REMOTE_READ).unwrap();
+        assert_ne!(a.lkey().0, 0);
+        assert_ne!(a.lkey().0, b.lkey().0);
+        assert_eq!(a.lkey().0, a.rkey().0);
+    }
+
+    #[test]
+    fn mr_reflects_registration() {
+        let fabric = Fabric::new(FabricConfig::instant());
+        let node = fabric.add_node();
+        let pd = node.alloc_pd();
+        let mr = pd.reg_mr(region(), Access::REMOTE_READ).unwrap();
+        assert_eq!(mr.node(), node.id());
+        assert_eq!(mr.pd_id(), pd.id());
+        assert_eq!(mr.len(), 4096);
+        assert!(!mr.is_empty());
+        assert!(mr.access().contains(Access::REMOTE_READ));
+        assert!(!mr.access().contains(Access::REMOTE_WRITE));
+    }
+
+    #[test]
+    fn node_lookup_finds_registered_mr() {
+        let fabric = Fabric::new(FabricConfig::instant());
+        let node = fabric.add_node();
+        let pd = node.alloc_pd();
+        let mr = pd.reg_mr(region(), Access::all()).unwrap();
+        let found = node.mr_by_key(mr.lkey().0).unwrap();
+        assert_eq!(found.lkey(), mr.lkey());
+        assert!(node.mr_by_key(9999).is_none());
+    }
+}

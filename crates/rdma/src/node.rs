@@ -1,0 +1,175 @@
+//! Per-node RDMA context (one simulated machine with one NIC).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Weak};
+
+use gengar_hybridmem::BandwidthLimiter;
+use parking_lot::RwLock;
+
+use crate::cq::CompletionQueue;
+use crate::fabric::Fabric;
+use crate::mr::{MemoryRegion, ProtectionDomain};
+use crate::qp::{QpOptions, QueuePair};
+use crate::types::{LKey, NodeId, Qpn};
+
+/// One node on the fabric: a machine with an RDMA NIC, registered memory
+/// regions and queue pairs.
+///
+/// Created via [`Fabric::add_node`]. Memory registration goes through a
+/// [`ProtectionDomain`] from [`RdmaNode::alloc_pd`].
+pub struct RdmaNode {
+    id: NodeId,
+    fabric: Weak<Fabric>,
+    next_key: Arc<AtomicU32>,
+    next_qpn: AtomicU32,
+    next_pd: AtomicU32,
+    mrs: RwLock<HashMap<u32, Arc<MemoryRegion>>>,
+    qps: RwLock<HashMap<Qpn, Arc<QueuePair>>>,
+    nic_bw: BandwidthLimiter,
+    self_ref: RwLock<Weak<RdmaNode>>,
+}
+
+impl std::fmt::Debug for RdmaNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RdmaNode")
+            .field("id", &self.id)
+            .field("mrs", &self.mrs.read().len())
+            .field("qps", &self.qps.read().len())
+            .finish()
+    }
+}
+
+impl RdmaNode {
+    pub(crate) fn new(id: NodeId, fabric: Weak<Fabric>, nic_bw_bytes_per_sec: u64) -> Arc<Self> {
+        let node = Arc::new(RdmaNode {
+            id,
+            fabric,
+            next_key: Arc::new(AtomicU32::new(0)),
+            next_qpn: AtomicU32::new(0),
+            next_pd: AtomicU32::new(0),
+            mrs: RwLock::new(HashMap::new()),
+            qps: RwLock::new(HashMap::new()),
+            nic_bw: BandwidthLimiter::new(nic_bw_bytes_per_sec),
+            self_ref: RwLock::new(Weak::new()),
+        });
+        *node.self_ref.write() = Arc::downgrade(&node);
+        node
+    }
+
+    /// This node's fabric identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The fabric this node is attached to, if it still exists.
+    pub fn fabric(&self) -> Option<Arc<Fabric>> {
+        self.fabric.upgrade()
+    }
+
+    /// NIC port bandwidth limiter (shared by all QPs on the node).
+    pub(crate) fn nic_bw(&self) -> &BandwidthLimiter {
+        &self.nic_bw
+    }
+
+    /// Allocates a protection domain.
+    pub fn alloc_pd(&self) -> ProtectionDomain {
+        let id = self.next_pd.fetch_add(1, Ordering::Relaxed);
+        ProtectionDomain::new(self.self_ref.read().clone(), id, Arc::clone(&self.next_key))
+    }
+
+    /// Creates a completion queue with the given capacity.
+    pub fn create_cq(&self, capacity: usize) -> Arc<CompletionQueue> {
+        Arc::new(CompletionQueue::new(capacity))
+    }
+
+    /// Creates a queue pair in `pd` bound to the given CQs.
+    pub fn create_qp(
+        &self,
+        pd: &ProtectionDomain,
+        send_cq: Arc<CompletionQueue>,
+        recv_cq: Arc<CompletionQueue>,
+        opts: QpOptions,
+    ) -> Arc<QueuePair> {
+        let qpn = Qpn(self.next_qpn.fetch_add(1, Ordering::Relaxed) + 1);
+        let qp = Arc::new(QueuePair::new(
+            self.self_ref.read().clone(),
+            qpn,
+            pd.id(),
+            send_cq,
+            recv_cq,
+            opts,
+        ));
+        self.qps.write().insert(qpn, Arc::clone(&qp));
+        qp
+    }
+
+    /// Looks up a queue pair by number.
+    pub fn qp(&self, qpn: Qpn) -> Option<Arc<QueuePair>> {
+        self.qps.read().get(&qpn).cloned()
+    }
+
+    pub(crate) fn insert_mr(&self, mr: Arc<MemoryRegion>) {
+        self.mrs.write().insert(mr.lkey().0, mr);
+    }
+
+    /// Looks up an MR by key (lkeys and rkeys share the key space).
+    pub fn mr_by_key(&self, key: u32) -> Option<Arc<MemoryRegion>> {
+        self.mrs.read().get(&key).cloned()
+    }
+
+    /// Deregisters a memory region. Returns whether it existed.
+    pub fn dereg_mr(&self, lkey: LKey) -> bool {
+        self.mrs.write().remove(&lkey.0).is_some()
+    }
+
+    /// Number of registered MRs.
+    pub fn mr_count(&self) -> usize {
+        self.mrs.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::FabricConfig;
+    use crate::types::Access;
+    use gengar_hybridmem::{DeviceProfile, MemDevice, MemKind, MemRegion};
+
+    #[test]
+    fn node_ids_increment() {
+        let fabric = Fabric::new(FabricConfig::instant());
+        let a = fabric.add_node();
+        let b = fabric.add_node();
+        assert_ne!(a.id(), b.id());
+        assert!(fabric.node(a.id()).is_some());
+    }
+
+    #[test]
+    fn dereg_mr_removes() {
+        let fabric = Fabric::new(FabricConfig::instant());
+        let node = fabric.add_node();
+        let pd = node.alloc_pd();
+        let dev = Arc::new(MemDevice::new(0, DeviceProfile::instant(MemKind::Dram), 64).unwrap());
+        let mr = pd.reg_mr(MemRegion::whole(dev), Access::all()).unwrap();
+        assert_eq!(node.mr_count(), 1);
+        assert!(node.dereg_mr(mr.lkey()));
+        assert!(!node.dereg_mr(mr.lkey()));
+        assert_eq!(node.mr_count(), 0);
+    }
+
+    #[test]
+    fn qp_lookup() {
+        let fabric = Fabric::new(FabricConfig::instant());
+        let node = fabric.add_node();
+        let pd = node.alloc_pd();
+        let qp = node.create_qp(
+            &pd,
+            node.create_cq(8),
+            node.create_cq(8),
+            QpOptions::default(),
+        );
+        assert!(node.qp(qp.qpn()).is_some());
+        assert!(node.qp(Qpn(999)).is_none());
+    }
+}

@@ -1,0 +1,177 @@
+//! Identifier newtypes and access flags for the verbs layer.
+
+use std::fmt;
+use std::ops::BitOr;
+
+/// Identifier of a node (one simulated machine / NIC) on the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// Queue-pair number, unique within a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Qpn(pub u32);
+
+impl fmt::Display for Qpn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "qp{}", self.0)
+    }
+}
+
+/// Local key authorising local access to a registered memory region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct LKey(pub u32);
+
+/// Remote key authorising remote (one-sided) access to a memory region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct RKey(pub u32);
+
+impl fmt::Display for RKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rkey{:#x}", self.0)
+    }
+}
+
+/// Caller-chosen work-request identifier, echoed in the completion.
+pub type WrId = u64;
+
+/// Memory-region access permissions (a subset of `ibv_access_flags`).
+///
+/// ```
+/// use gengar_rdma::Access;
+///
+/// let flags = Access::REMOTE_READ | Access::REMOTE_WRITE;
+/// assert!(flags.contains(Access::REMOTE_READ));
+/// assert!(!flags.contains(Access::REMOTE_ATOMIC));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Access(u32);
+
+impl Access {
+    /// No remote permissions; the owning node may read/write locally.
+    pub const LOCAL: Access = Access(0);
+    /// Permit local writes through the MR (always implied in this model).
+    pub const LOCAL_WRITE: Access = Access(1);
+    /// Permit remote one-sided READ.
+    pub const REMOTE_READ: Access = Access(2);
+    /// Permit remote one-sided WRITE.
+    pub const REMOTE_WRITE: Access = Access(4);
+    /// Permit remote CAS / fetch-and-add.
+    pub const REMOTE_ATOMIC: Access = Access(8);
+
+    /// All permissions.
+    pub fn all() -> Access {
+        Access::LOCAL_WRITE | Access::REMOTE_READ | Access::REMOTE_WRITE | Access::REMOTE_ATOMIC
+    }
+
+    /// Returns whether every flag in `other` is present in `self`.
+    pub fn contains(self, other: Access) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Raw bit representation.
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+}
+
+impl BitOr for Access {
+    type Output = Access;
+
+    fn bitor(self, rhs: Access) -> Access {
+        Access(self.0 | rhs.0)
+    }
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut names = Vec::new();
+        if self.contains(Access::LOCAL_WRITE) {
+            names.push("LOCAL_WRITE");
+        }
+        if self.contains(Access::REMOTE_READ) {
+            names.push("REMOTE_READ");
+        }
+        if self.contains(Access::REMOTE_WRITE) {
+            names.push("REMOTE_WRITE");
+        }
+        if self.contains(Access::REMOTE_ATOMIC) {
+            names.push("REMOTE_ATOMIC");
+        }
+        if names.is_empty() {
+            write!(f, "LOCAL")
+        } else {
+            write!(f, "{}", names.join("|"))
+        }
+    }
+}
+
+/// Address of remote memory targeted by a one-sided verb: an offset within
+/// the memory region named by `rkey` on the connected peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RemoteAddr {
+    /// Remote key of the target memory region.
+    pub rkey: RKey,
+    /// Byte offset within that region.
+    pub offset: u64,
+}
+
+impl RemoteAddr {
+    /// Creates a remote address.
+    pub fn new(rkey: RKey, offset: u64) -> Self {
+        RemoteAddr { rkey, offset }
+    }
+
+    /// Returns this address advanced by `delta` bytes.
+    pub fn add(self, delta: u64) -> Self {
+        RemoteAddr {
+            rkey: self.rkey,
+            offset: self.offset + delta,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_flag_algebra() {
+        let rw = Access::REMOTE_READ | Access::REMOTE_WRITE;
+        assert!(rw.contains(Access::REMOTE_READ));
+        assert!(rw.contains(Access::REMOTE_WRITE));
+        assert!(!rw.contains(Access::REMOTE_ATOMIC));
+        assert!(Access::all().contains(rw));
+        assert!(Access::LOCAL.contains(Access::LOCAL));
+        assert!(!Access::LOCAL.contains(Access::REMOTE_READ));
+    }
+
+    #[test]
+    fn access_display() {
+        assert_eq!(Access::LOCAL.to_string(), "LOCAL");
+        assert_eq!(
+            (Access::REMOTE_READ | Access::REMOTE_ATOMIC).to_string(),
+            "REMOTE_READ|REMOTE_ATOMIC"
+        );
+    }
+
+    #[test]
+    fn remote_addr_add() {
+        let a = RemoteAddr::new(RKey(7), 100);
+        let b = a.add(28);
+        assert_eq!(b.rkey, RKey(7));
+        assert_eq!(b.offset, 128);
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(NodeId(3).to_string(), "node3");
+        assert_eq!(Qpn(9).to_string(), "qp9");
+        assert_eq!(RKey(255).to_string(), "rkey0xff");
+    }
+}

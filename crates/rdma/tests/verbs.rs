@@ -1,0 +1,347 @@
+//! End-to-end tests of the verbs substrate: two (or more) nodes on an
+//! instant fabric exercising every opcode and every failure path.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use gengar_hybridmem::{DeviceProfile, MemDevice, MemKind, MemRegion};
+use gengar_rdma::{
+    Access, Endpoint, Fabric, FabricConfig, Payload, ProtectionDomain, QpOptions, QpState,
+    RdmaError, RdmaNode, RemoteAddr, Sge, WcOpcode, WcStatus,
+};
+
+struct TestNode {
+    node: Arc<RdmaNode>,
+    pd: ProtectionDomain,
+    mr: Arc<gengar_rdma::MemoryRegion>,
+}
+
+fn make_node(fabric: &Arc<Fabric>, kind: MemKind, capacity: u64, access: Access) -> TestNode {
+    let node = fabric.add_node();
+    let pd = node.alloc_pd();
+    let dev = Arc::new(MemDevice::new(0, DeviceProfile::instant(kind), capacity).unwrap());
+    let mr = pd.reg_mr(MemRegion::whole(dev), access).unwrap();
+    TestNode { node, pd, mr }
+}
+
+fn pair(fabric: &Arc<Fabric>) -> (TestNode, TestNode, Endpoint, Endpoint) {
+    let a = make_node(fabric, MemKind::Dram, 1 << 16, Access::all());
+    let b = make_node(fabric, MemKind::Nvm, 1 << 16, Access::all());
+    let (ea, eb) = Endpoint::pair((&a.node, &a.pd), (&b.node, &b.pd), QpOptions::default()).unwrap();
+    (a, b, ea, eb)
+}
+
+#[test]
+fn write_then_read_roundtrip() {
+    let fabric = Fabric::new(FabricConfig::instant());
+    let (a, b, ea, _eb) = pair(&fabric);
+    ea.write(
+        Payload::Inline(b"hello nvm".to_vec()),
+        RemoteAddr::new(b.mr.rkey(), 128),
+    )
+    .unwrap();
+    let wc = ea
+        .read(Sge::new(a.mr.lkey(), 0, 9), RemoteAddr::new(b.mr.rkey(), 128))
+        .unwrap();
+    assert_eq!(wc.opcode, WcOpcode::RdmaRead);
+    assert_eq!(wc.byte_len, 9);
+    let mut buf = [0u8; 9];
+    a.mr.region().read(0, &mut buf).unwrap();
+    assert_eq!(&buf, b"hello nvm");
+}
+
+#[test]
+fn write_from_registered_buffer() {
+    let fabric = Fabric::new(FabricConfig::instant());
+    let (a, b, ea, _eb) = pair(&fabric);
+    a.mr.region().write(256, b"from-sge").unwrap();
+    ea.write(
+        Payload::Sge(Sge::new(a.mr.lkey(), 256, 8)),
+        RemoteAddr::new(b.mr.rkey(), 0),
+    )
+    .unwrap();
+    let mut buf = [0u8; 8];
+    b.mr.region().read(0, &mut buf).unwrap();
+    assert_eq!(&buf, b"from-sge");
+}
+
+#[test]
+fn send_recv_delivers_payload_and_imm() {
+    let fabric = Fabric::new(FabricConfig::instant());
+    let (_a, b, ea, eb) = pair(&fabric);
+    eb.post_recv(Sge::new(b.mr.lkey(), 512, 64)).unwrap();
+    ea.send(Payload::Inline(b"ping".to_vec()), Some(0xBEEF)).unwrap();
+    let wc = eb.recv(Duration::from_secs(1)).unwrap();
+    assert_eq!(wc.opcode, WcOpcode::Recv);
+    assert_eq!(wc.byte_len, 4);
+    assert_eq!(wc.imm, Some(0xBEEF));
+    let mut buf = [0u8; 4];
+    b.mr.region().read(512, &mut buf).unwrap();
+    assert_eq!(&buf, b"ping");
+}
+
+#[test]
+fn send_without_posted_recv_hits_rnr() {
+    let fabric = Fabric::new(FabricConfig::instant());
+    let a = make_node(&fabric, MemKind::Dram, 4096, Access::all());
+    let b = make_node(&fabric, MemKind::Dram, 4096, Access::all());
+    let opts = QpOptions {
+        rnr_timeout: Duration::from_millis(10),
+        ..Default::default()
+    };
+    let (ea, _eb) = Endpoint::pair((&a.node, &a.pd), (&b.node, &b.pd), opts).unwrap();
+    let err = ea.send(Payload::Inline(vec![1]), None).unwrap_err();
+    assert_eq!(err, RdmaError::CompletionError(WcStatus::RnrRetryExceeded));
+    assert_eq!(ea.qp().state(), QpState::Error);
+}
+
+#[test]
+fn write_with_imm_consumes_recv() {
+    let fabric = Fabric::new(FabricConfig::instant());
+    let (_a, b, ea, eb) = pair(&fabric);
+    eb.post_recv(Sge::new(b.mr.lkey(), 0, 0)).unwrap();
+    ea.write_with_imm(
+        Payload::Inline(b"doorbell".to_vec()),
+        RemoteAddr::new(b.mr.rkey(), 1024),
+        42,
+    )
+    .unwrap();
+    let wc = eb.recv(Duration::from_secs(1)).unwrap();
+    assert_eq!(wc.opcode, WcOpcode::RecvRdmaWithImm);
+    assert_eq!(wc.imm, Some(42));
+    assert_eq!(wc.byte_len, 8);
+    // Data is placed at the remote address, not the recv buffer.
+    let mut buf = [0u8; 8];
+    b.mr.region().read(1024, &mut buf).unwrap();
+    assert_eq!(&buf, b"doorbell");
+}
+
+#[test]
+fn cas_and_faa_operate_remotely() {
+    let fabric = Fabric::new(FabricConfig::instant());
+    let (a, b, ea, _eb) = pair(&fabric);
+    b.mr.region().store_u64(64, 100).unwrap();
+
+    let wc = ea
+        .fetch_add(Sge::new(a.mr.lkey(), 0, 8), RemoteAddr::new(b.mr.rkey(), 64), 5)
+        .unwrap();
+    assert_eq!(wc.opcode, WcOpcode::FetchAdd);
+    let mut prev = [0u8; 8];
+    a.mr.region().read(0, &mut prev).unwrap();
+    assert_eq!(u64::from_le_bytes(prev), 100);
+    assert_eq!(b.mr.region().load_u64(64).unwrap(), 105);
+
+    // Successful CAS.
+    ea.compare_swap(
+        Sge::new(a.mr.lkey(), 8, 8),
+        RemoteAddr::new(b.mr.rkey(), 64),
+        105,
+        7,
+    )
+    .unwrap();
+    assert_eq!(b.mr.region().load_u64(64).unwrap(), 7);
+
+    // Failed CAS leaves memory untouched and returns the observed value.
+    ea.compare_swap(
+        Sge::new(a.mr.lkey(), 16, 8),
+        RemoteAddr::new(b.mr.rkey(), 64),
+        999,
+        13,
+    )
+    .unwrap();
+    let mut observed = [0u8; 8];
+    a.mr.region().read(16, &mut observed).unwrap();
+    assert_eq!(u64::from_le_bytes(observed), 7);
+    assert_eq!(b.mr.region().load_u64(64).unwrap(), 7);
+}
+
+#[test]
+fn remote_access_checks_rkey_bounds_and_permissions() {
+    let fabric = Fabric::new(FabricConfig::instant());
+    let a = make_node(&fabric, MemKind::Dram, 4096, Access::all());
+    // Server MR allows only REMOTE_READ.
+    let b = make_node(&fabric, MemKind::Nvm, 4096, Access::REMOTE_READ);
+    let (ea, _eb) = Endpoint::pair((&a.node, &a.pd), (&b.node, &b.pd), QpOptions::default()).unwrap();
+
+    // Read is fine.
+    ea.read(Sge::new(a.mr.lkey(), 0, 8), RemoteAddr::new(b.mr.rkey(), 0))
+        .unwrap();
+
+    // Write is denied: error completion + QP errored.
+    let err = ea
+        .write(Payload::Inline(vec![1]), RemoteAddr::new(b.mr.rkey(), 0))
+        .unwrap_err();
+    assert_eq!(err, RdmaError::CompletionError(WcStatus::RemoteAccessError));
+    assert_eq!(ea.qp().state(), QpState::Error);
+
+    // Posting on the errored QP is a programming error now.
+    let again = ea.read(Sge::new(a.mr.lkey(), 0, 8), RemoteAddr::new(b.mr.rkey(), 0));
+    assert!(matches!(again, Err(RdmaError::InvalidQpState { .. })));
+}
+
+#[test]
+fn out_of_bounds_remote_read_fails() {
+    let fabric = Fabric::new(FabricConfig::instant());
+    let (a, b, ea, _eb) = pair(&fabric);
+    let err = ea
+        .read(
+            Sge::new(a.mr.lkey(), 0, 128),
+            RemoteAddr::new(b.mr.rkey(), (1 << 16) - 64),
+        )
+        .unwrap_err();
+    assert_eq!(err, RdmaError::CompletionError(WcStatus::RemoteAccessError));
+}
+
+#[test]
+fn bogus_rkey_fails() {
+    let fabric = Fabric::new(FabricConfig::instant());
+    let (a, _b, ea, _eb) = pair(&fabric);
+    let err = ea
+        .read(
+            Sge::new(a.mr.lkey(), 0, 8),
+            RemoteAddr::new(gengar_rdma::RKey(0xDEAD), 0),
+        )
+        .unwrap_err();
+    assert_eq!(err, RdmaError::CompletionError(WcStatus::RemoteAccessError));
+}
+
+#[test]
+fn unknown_lkey_fails_fast() {
+    let fabric = Fabric::new(FabricConfig::instant());
+    let (_a, b, ea, _eb) = pair(&fabric);
+    let err = ea
+        .read(
+            Sge::new(gengar_rdma::LKey(0xAAAA), 0, 8),
+            RemoteAddr::new(b.mr.rkey(), 0),
+        )
+        .unwrap_err();
+    assert_eq!(err, RdmaError::UnknownLKey(0xAAAA));
+    // Programming errors do not kill the QP.
+    assert_eq!(ea.qp().state(), QpState::ReadyToSend);
+}
+
+#[test]
+fn inline_limit_enforced() {
+    let fabric = Fabric::new(FabricConfig::instant());
+    let (_a, b, ea, _eb) = pair(&fabric);
+    let max = ea.qp().options().max_inline;
+    let err = ea
+        .write(
+            Payload::Inline(vec![0u8; max + 1]),
+            RemoteAddr::new(b.mr.rkey(), 0),
+        )
+        .unwrap_err();
+    assert!(matches!(err, RdmaError::InlineTooLarge { .. }));
+}
+
+#[test]
+fn partition_causes_transport_error() {
+    let fabric = Fabric::new(FabricConfig::instant());
+    let (a, b, ea, _eb) = pair(&fabric);
+    fabric.partition(a.node.id(), b.node.id(), true);
+    let err = ea
+        .read(Sge::new(a.mr.lkey(), 0, 8), RemoteAddr::new(b.mr.rkey(), 0))
+        .unwrap_err();
+    assert_eq!(err, RdmaError::CompletionError(WcStatus::TransportError));
+    assert_eq!(ea.qp().state(), QpState::Error);
+
+    // Healing the link and resetting the QP restores service.
+    fabric.partition(a.node.id(), b.node.id(), false);
+    let remote = ea.qp().remote();
+    assert!(remote.is_none() || remote.is_some()); // remote recorded pre-error
+    ea.qp().reset();
+    ea.qp().connect(b.node.id(), gengar_rdma::Qpn(1)).unwrap();
+}
+
+#[test]
+fn removed_node_causes_transport_error() {
+    let fabric = Fabric::new(FabricConfig::instant());
+    let (a, b, ea, _eb) = pair(&fabric);
+    fabric.remove_node(b.node.id());
+    let err = ea
+        .read(Sge::new(a.mr.lkey(), 0, 8), RemoteAddr::new(b.mr.rkey(), 0))
+        .unwrap_err();
+    assert_eq!(err, RdmaError::CompletionError(WcStatus::TransportError));
+}
+
+#[test]
+fn pd_mismatch_is_rejected_remotely() {
+    let fabric = Fabric::new(FabricConfig::instant());
+    let a = make_node(&fabric, MemKind::Dram, 4096, Access::all());
+    // Register the server MR in a *different* PD than the server QP uses.
+    let b_node = fabric.add_node();
+    let qp_pd = b_node.alloc_pd();
+    let other_pd = b_node.alloc_pd();
+    let dev = Arc::new(MemDevice::new(0, DeviceProfile::instant(MemKind::Nvm), 4096).unwrap());
+    let foreign_mr = other_pd.reg_mr(MemRegion::whole(dev), Access::all()).unwrap();
+    let (ea, _eb) =
+        Endpoint::pair((&a.node, &a.pd), (&b_node, &qp_pd), QpOptions::default()).unwrap();
+    let err = ea
+        .read(
+            Sge::new(a.mr.lkey(), 0, 8),
+            RemoteAddr::new(foreign_mr.rkey(), 0),
+        )
+        .unwrap_err();
+    assert_eq!(err, RdmaError::CompletionError(WcStatus::RemoteAccessError));
+}
+
+#[test]
+fn concurrent_remote_faa_is_linearizable() {
+    let fabric = Fabric::new(FabricConfig::instant());
+    let server = make_node(&fabric, MemKind::Nvm, 4096, Access::all());
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let client = make_node(&fabric, MemKind::Dram, 4096, Access::all());
+        let (ec, _es) = Endpoint::pair(
+            (&client.node, &client.pd),
+            (&server.node, &server.pd),
+            QpOptions::default(),
+        )
+        .unwrap();
+        let rkey = server.mr.rkey();
+        let lkey = client.mr.lkey();
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..500 {
+                ec.fetch_add(Sge::new(lkey, 0, 8), RemoteAddr::new(rkey, 0), 1)
+                    .unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(server.mr.region().load_u64(0).unwrap(), 2000);
+}
+
+#[test]
+fn unsignaled_writes_produce_no_completion() {
+    let fabric = Fabric::new(FabricConfig::instant());
+    let (_a, b, ea, _eb) = pair(&fabric);
+    use gengar_rdma::{SendOp, SendWr};
+    ea.qp()
+        .post_send(SendWr::unsignaled(
+            77,
+            SendOp::Write {
+                payload: Payload::Inline(vec![9]),
+                remote: RemoteAddr::new(b.mr.rkey(), 0),
+                imm: None,
+            },
+        ))
+        .unwrap();
+    assert!(ea.qp().send_cq().is_empty());
+    let mut buf = [0u8; 1];
+    b.mr.region().read(0, &mut buf).unwrap();
+    assert_eq!(buf[0], 9);
+}
+
+#[test]
+fn extra_link_delay_slows_ops() {
+    gengar_hybridmem::set_time_scale(1.0);
+    let fabric = Fabric::new(FabricConfig::instant());
+    let (a, b, ea, _eb) = pair(&fabric);
+    fabric.set_extra_delay_ns(a.node.id(), b.node.id(), 2_000_000); // 2 ms each way
+    let t0 = std::time::Instant::now();
+    ea.read(Sge::new(a.mr.lkey(), 0, 8), RemoteAddr::new(b.mr.rkey(), 0))
+        .unwrap();
+    assert!(t0.elapsed() >= Duration::from_millis(4));
+}

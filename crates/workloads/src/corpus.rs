@@ -1,0 +1,78 @@
+//! Deterministic synthetic inputs for the MapReduce experiments.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::zipf::{KeyChooser, Zipfian};
+
+/// A compact word list; frequencies follow a zipfian so WordCount output
+/// has realistic heavy hitters.
+const WORDS: &[&str] = &[
+    "memory", "pool", "remote", "rdma", "nvm", "dram", "cache", "proxy", "write", "read",
+    "latency", "bandwidth", "server", "client", "hybrid", "hot", "cold", "byte", "verb", "queue",
+    "fabric", "region", "object", "lock", "version", "epoch", "drain", "ring", "slot", "flush",
+    "gengar", "persistent", "optane", "dimm", "global", "space", "share", "user", "data",
+    "consistency",
+];
+
+/// Generates `n_words` of zipfian-weighted text, deterministic in `seed`.
+pub fn text(n_words: usize, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut zipf = Zipfian::new(WORDS.len() as u64, 0.9);
+    let mut out = String::with_capacity(n_words * 8);
+    for i in 0..n_words {
+        if i > 0 {
+            // Occasional newlines so grep has lines to match.
+            if i % 12 == 0 {
+                out.push('\n');
+            } else {
+                out.push(' ');
+            }
+        }
+        out.push_str(WORDS[zipf.next_key(&mut rng) as usize]);
+    }
+    out
+}
+
+/// Exact word counts of a text (the reference answer for WordCount).
+pub fn reference_word_counts(text: &str) -> std::collections::HashMap<String, u64> {
+    let mut counts = std::collections::HashMap::new();
+    for w in text.split_whitespace() {
+        *counts.entry(w.to_owned()).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Generates `n` random u64 records, deterministic in `seed` (input for
+/// the Sort experiment).
+pub fn records(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_is_deterministic() {
+        assert_eq!(text(100, 7), text(100, 7));
+        assert_ne!(text(100, 7), text(100, 8));
+    }
+
+    #[test]
+    fn text_has_heavy_hitters() {
+        let t = text(10_000, 1);
+        let counts = reference_word_counts(&t);
+        let max = counts.values().max().copied().unwrap_or(0);
+        let min = counts.values().min().copied().unwrap_or(0);
+        assert!(max > min * 5, "max={max} min={min}");
+        assert_eq!(counts.values().sum::<u64>(), 10_000);
+    }
+
+    #[test]
+    fn records_are_deterministic() {
+        assert_eq!(records(50, 3), records(50, 3));
+        assert_ne!(records(50, 3), records(50, 4));
+    }
+}

@@ -1,0 +1,314 @@
+//! A key-value store layered on a DSHM pool.
+//!
+//! The YCSB experiments need a KV abstraction over the global memory
+//! space. The index is a fixed-capacity open-addressing hash table living
+//! *in the pool* (split into per-segment objects so multiple clients can
+//! attach to the same store), and every value is its own pool object, so
+//! hot values benefit from Gengar's DRAM caching. Bucket claims use remote
+//! CAS, mirroring how RDMA KV stores (Pilaf-style) build lock-free indexes.
+
+use gengar_core::error::GengarError;
+use gengar_core::pool::DshmPool;
+use gengar_core::GlobalPtr;
+
+/// Buckets per index segment object (16 bytes per bucket).
+const BUCKETS_PER_SEGMENT: u64 = 4096;
+/// Bytes per bucket: `[key+1 (u64)][value addr raw (u64)]`.
+const BUCKET_BYTES: u64 = 16;
+/// Linear-probe limit before declaring the table full.
+const MAX_PROBES: u64 = 256;
+
+/// Shareable description of a KV store: pass it to other clients so they
+/// can [`KvStore::attach`] to the same table.
+#[derive(Debug, Clone)]
+pub struct KvSpec {
+    /// Index segment objects, in order.
+    pub segments: Vec<GlobalPtr>,
+    /// Total bucket count (power of two).
+    pub buckets: u64,
+    /// Fixed value size.
+    pub value_size: u64,
+}
+
+/// A fixed-value-size hash table over a [`DshmPool`].
+#[derive(Debug, Clone)]
+pub struct KvStore {
+    spec: KvSpec,
+}
+
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl KvStore {
+    /// Creates a table able to hold roughly `capacity` keys (sized at 2x
+    /// for low probe lengths), spreading index segments round-robin over
+    /// the pool's servers.
+    ///
+    /// # Errors
+    ///
+    /// Pool exhaustion or transport failures.
+    pub fn create<P: DshmPool>(
+        pool: &mut P,
+        capacity: u64,
+        value_size: u64,
+    ) -> Result<KvStore, GengarError> {
+        let buckets = (capacity * 2).next_power_of_two().max(BUCKETS_PER_SEGMENT);
+        let n_segments = buckets / BUCKETS_PER_SEGMENT;
+        let servers = pool.servers();
+        let mut segments = Vec::with_capacity(n_segments as usize);
+        for i in 0..n_segments {
+            let server = servers[i as usize % servers.len()];
+            let seg = pool.alloc(server, BUCKETS_PER_SEGMENT * BUCKET_BYTES)?;
+            segments.push(seg);
+        }
+        Ok(KvStore {
+            spec: KvSpec {
+                segments,
+                buckets,
+                value_size,
+            },
+        })
+    }
+
+    /// Attaches to an existing table.
+    pub fn attach(spec: KvSpec) -> KvStore {
+        KvStore { spec }
+    }
+
+    /// The shareable description of this table.
+    pub fn spec(&self) -> &KvSpec {
+        &self.spec
+    }
+
+    /// Fixed value size.
+    pub fn value_size(&self) -> u64 {
+        self.spec.value_size
+    }
+
+    fn bucket_location(&self, bucket: u64) -> (GlobalPtr, u64) {
+        let seg = bucket / BUCKETS_PER_SEGMENT;
+        let off = (bucket % BUCKETS_PER_SEGMENT) * BUCKET_BYTES;
+        (self.spec.segments[seg as usize], off)
+    }
+
+    fn read_bucket<P: DshmPool>(
+        &self,
+        pool: &mut P,
+        bucket: u64,
+    ) -> Result<(u64, u64), GengarError> {
+        let (seg, off) = self.bucket_location(bucket);
+        let mut buf = [0u8; BUCKET_BYTES as usize];
+        pool.read(seg, off, &mut buf)?;
+        Ok((
+            u64::from_le_bytes(buf[0..8].try_into().expect("16-byte bucket")),
+            u64::from_le_bytes(buf[8..16].try_into().expect("16-byte bucket")),
+        ))
+    }
+
+    /// Looks up `key`, filling `out` (must be `value_size` long) on a hit.
+    /// Returns whether the key was found.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures; `out` length mismatches are a bounds error.
+    pub fn get<P: DshmPool>(
+        &self,
+        pool: &mut P,
+        key: u64,
+        out: &mut [u8],
+    ) -> Result<bool, GengarError> {
+        let tagged = key.wrapping_add(1);
+        let start = mix(key) & (self.spec.buckets - 1);
+        for probe in 0..MAX_PROBES {
+            let bucket = (start + probe) & (self.spec.buckets - 1);
+            let (slot_key, addr_raw) = self.read_bucket(pool, bucket)?;
+            if slot_key == 0 {
+                return Ok(false);
+            }
+            if slot_key == tagged {
+                if addr_raw == 0 {
+                    // Claimed but not yet published; treat as missing.
+                    return Ok(false);
+                }
+                let addr = gengar_core::GlobalAddr::from_raw(addr_raw)
+                    .ok_or(GengarError::ProtocolViolation("corrupt bucket"))?;
+                let vptr = GlobalPtr::new(addr, self.spec.value_size);
+                pool.read(vptr, 0, out)?;
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Inserts or updates `key` with `value` (must be `value_size` long).
+    ///
+    /// # Errors
+    ///
+    /// [`GengarError::OutOfMemory`] when the probe window is exhausted;
+    /// transport failures.
+    pub fn put<P: DshmPool>(
+        &self,
+        pool: &mut P,
+        key: u64,
+        value: &[u8],
+    ) -> Result<(), GengarError> {
+        let tagged = key.wrapping_add(1);
+        let start = mix(key) & (self.spec.buckets - 1);
+        for probe in 0..MAX_PROBES {
+            let bucket = (start + probe) & (self.spec.buckets - 1);
+            let (slot_key, addr_raw) = self.read_bucket(pool, bucket)?;
+            if slot_key == tagged {
+                // Update in place.
+                if addr_raw == 0 {
+                    continue; // concurrent inserter mid-publish; next probe
+                }
+                let addr = gengar_core::GlobalAddr::from_raw(addr_raw)
+                    .ok_or(GengarError::ProtocolViolation("corrupt bucket"))?;
+                let vptr = GlobalPtr::new(addr, self.spec.value_size);
+                pool.write(vptr, 0, value)?;
+                return Ok(());
+            }
+            if slot_key == 0 {
+                // Claim the bucket with CAS, then publish value + address.
+                let (seg, off) = self.bucket_location(bucket);
+                let observed = pool.cas_u64(seg, off, 0, tagged)?;
+                if observed != 0 && observed != tagged {
+                    continue; // lost the race to a different key
+                }
+                if observed == tagged {
+                    // We (or a same-key racer) already own it; fall through
+                    // to update once the address is published.
+                    continue;
+                }
+                let vptr = pool.alloc(seg.addr.server(), self.spec.value_size)?;
+                pool.write(vptr, 0, value)?;
+                pool.write(seg, off + 8, &vptr.addr.raw().to_le_bytes())?;
+                return Ok(());
+            }
+        }
+        Err(GengarError::OutOfMemory {
+            requested: self.spec.value_size,
+        })
+    }
+
+    /// Reads up to `count` consecutive keys starting at `start_key`
+    /// (YCSB-style scan over the integer key space). Returns the number of
+    /// keys found.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn scan<P: DshmPool>(
+        &self,
+        pool: &mut P,
+        start_key: u64,
+        count: u64,
+        out: &mut Vec<Vec<u8>>,
+    ) -> Result<u64, GengarError> {
+        out.clear();
+        let mut found = 0;
+        let mut buf = vec![0u8; self.spec.value_size as usize];
+        for key in start_key..start_key + count {
+            if self.get(pool, key, &mut buf)? {
+                out.push(buf.clone());
+                found += 1;
+            }
+        }
+        Ok(found)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gengar_core::cluster::Cluster;
+    use gengar_core::config::ServerConfig;
+    use gengar_rdma::FabricConfig;
+
+    fn pool() -> (Cluster, gengar_core::GengarClient) {
+        let cluster =
+            Cluster::launch(2, ServerConfig::small(), FabricConfig::instant()).unwrap();
+        let client = cluster.default_client().unwrap();
+        (cluster, client)
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let (_c, mut p) = pool();
+        let kv = KvStore::create(&mut p, 100, 64).unwrap();
+        let value = [7u8; 64];
+        kv.put(&mut p, 42, &value).unwrap();
+        let mut out = [0u8; 64];
+        assert!(kv.get(&mut p, 42, &mut out).unwrap());
+        assert_eq!(out, value);
+        assert!(!kv.get(&mut p, 43, &mut out).unwrap());
+    }
+
+    #[test]
+    fn updates_overwrite() {
+        let (_c, mut p) = pool();
+        let kv = KvStore::create(&mut p, 100, 16).unwrap();
+        kv.put(&mut p, 1, &[1u8; 16]).unwrap();
+        kv.put(&mut p, 1, &[2u8; 16]).unwrap();
+        let mut out = [0u8; 16];
+        assert!(kv.get(&mut p, 1, &mut out).unwrap());
+        assert_eq!(out, [2u8; 16]);
+    }
+
+    #[test]
+    fn many_keys_survive() {
+        let (_c, mut p) = pool();
+        let kv = KvStore::create(&mut p, 500, 16).unwrap();
+        for k in 0..500u64 {
+            kv.put(&mut p, k, &(k.to_le_bytes().repeat(2))).unwrap();
+        }
+        let mut out = [0u8; 16];
+        for k in 0..500u64 {
+            assert!(kv.get(&mut p, k, &mut out).unwrap(), "key {k} missing");
+            assert_eq!(&out[..8], &k.to_le_bytes());
+        }
+    }
+
+    #[test]
+    fn attach_shares_the_table() {
+        let (cluster, mut a) = pool();
+        let kv = KvStore::create(&mut a, 100, 16).unwrap();
+        kv.put(&mut a, 5, &[9u8; 16]).unwrap();
+        a.drain_all().unwrap();
+        let mut b = cluster.default_client().unwrap();
+        let kv2 = KvStore::attach(kv.spec().clone());
+        let mut out = [0u8; 16];
+        assert!(kv2.get(&mut b, 5, &mut out).unwrap());
+        assert_eq!(out, [9u8; 16]);
+    }
+
+    #[test]
+    fn scan_returns_consecutive_keys() {
+        let (_c, mut p) = pool();
+        let kv = KvStore::create(&mut p, 100, 16).unwrap();
+        for k in 10..20u64 {
+            kv.put(&mut p, k, &[k as u8; 16]).unwrap();
+        }
+        let mut out = Vec::new();
+        let found = kv.scan(&mut p, 8, 10, &mut out).unwrap();
+        assert_eq!(found, 8); // keys 10..18 present, 8..10 missing
+        assert_eq!(out[0], vec![10u8; 16]);
+    }
+
+    #[test]
+    fn segments_spread_across_servers() {
+        let (_c, mut p) = pool();
+        let kv = KvStore::create(&mut p, 10_000, 16).unwrap();
+        let servers: std::collections::HashSet<u8> = kv
+            .spec()
+            .segments
+            .iter()
+            .map(|s| s.addr.server())
+            .collect();
+        assert_eq!(servers.len(), 2, "segments should use both servers");
+    }
+}

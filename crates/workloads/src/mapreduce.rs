@@ -1,0 +1,478 @@
+//! MapReduce-lite over the global memory space.
+//!
+//! The paper's application-level evaluation runs MapReduce on the DSHM
+//! pool. This engine keeps *all data movement* in the pool — input
+//! partitions, shuffle buffers and outputs are pool objects read/written
+//! with one-sided verbs — while task coordination happens in the driver
+//! (mirroring a MapReduce master). Mappers and reducers run on their own
+//! threads with their own pool clients, like processes on different
+//! machines sharing the memory pool.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use gengar_core::error::GengarError;
+use gengar_core::pool::DshmPool;
+use gengar_core::GlobalPtr;
+
+/// Chunk size for large blobs: stays under every config's object cap AND
+/// within the default proxy slot payload, so blob writes take the staged
+/// fast path.
+const BLOB_CHUNK: usize = 32 << 10;
+
+/// Writes `bytes` into the pool as a chain of chunk objects, spreading
+/// them across servers round-robin starting at `server_hint`.
+///
+/// # Errors
+///
+/// Pool/transport failures.
+pub fn write_blob<P: DshmPool>(
+    pool: &mut P,
+    server_hint: usize,
+    bytes: &[u8],
+) -> Result<Vec<GlobalPtr>, GengarError> {
+    let servers = pool.servers();
+    let mut ptrs = Vec::new();
+    if bytes.is_empty() {
+        return Ok(ptrs);
+    }
+    for (i, chunk) in bytes.chunks(BLOB_CHUNK).enumerate() {
+        let server = servers[(server_hint + i) % servers.len()];
+        let ptr = pool.alloc(server, chunk.len() as u64)?;
+        pool.write(ptr, 0, chunk)?;
+        ptrs.push(ptr);
+    }
+    Ok(ptrs)
+}
+
+/// Reads a blob chain back into memory.
+///
+/// # Errors
+///
+/// Pool/transport failures.
+pub fn read_blob<P: DshmPool>(pool: &mut P, ptrs: &[GlobalPtr]) -> Result<Vec<u8>, GengarError> {
+    let total: u64 = ptrs.iter().map(|p| p.size).sum();
+    let mut out = vec![0u8; total as usize];
+    let mut off = 0usize;
+    for ptr in ptrs {
+        pool.read(*ptr, 0, &mut out[off..off + ptr.size as usize])?;
+        off += ptr.size as usize;
+    }
+    Ok(out)
+}
+
+fn encode_pairs(pairs: &HashMap<String, u64>) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
+    for (k, v) in pairs {
+        out.extend_from_slice(&(k.len() as u16).to_le_bytes());
+        out.extend_from_slice(k.as_bytes());
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+fn decode_pairs(buf: &[u8]) -> Result<Vec<(String, u64)>, GengarError> {
+    let corrupt = GengarError::ProtocolViolation("corrupt shuffle buffer");
+    if buf.len() < 4 {
+        return Err(corrupt);
+    }
+    let n = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes")) as usize;
+    let mut pairs = Vec::with_capacity(n);
+    let mut pos = 4usize;
+    for _ in 0..n {
+        if pos + 2 > buf.len() {
+            return Err(corrupt);
+        }
+        let klen = u16::from_le_bytes(buf[pos..pos + 2].try_into().expect("2 bytes")) as usize;
+        pos += 2;
+        if pos + klen + 8 > buf.len() {
+            return Err(corrupt);
+        }
+        let key = String::from_utf8(buf[pos..pos + klen].to_vec())
+            .map_err(|_| GengarError::ProtocolViolation("non-utf8 shuffle key"))?;
+        pos += klen;
+        let v = u64::from_le_bytes(buf[pos..pos + 8].try_into().expect("8 bytes"));
+        pos += 8;
+        pairs.push((key, v));
+    }
+    Ok(pairs)
+}
+
+fn key_partition(key: &str, reducers: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    (h % reducers as u64) as usize
+}
+
+/// Splits text into `n` partitions on whitespace boundaries.
+fn split_text(input: &str, n: usize) -> Vec<&str> {
+    let mut parts = Vec::with_capacity(n);
+    let bytes = input.as_bytes();
+    let target = input.len().div_ceil(n.max(1));
+    let mut start = 0usize;
+    for _ in 0..n {
+        if start >= input.len() {
+            parts.push("");
+            continue;
+        }
+        let mut end = (start + target).min(input.len());
+        while end < input.len() && !bytes[end].is_ascii_whitespace() {
+            end += 1;
+        }
+        parts.push(&input[start..end]);
+        start = end;
+    }
+    parts
+}
+
+/// Timing breakdown of one MapReduce run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MrTimings {
+    /// Writing input partitions into the pool.
+    pub input: Duration,
+    /// Map phase (includes writing shuffle buffers).
+    pub map: Duration,
+    /// Reduce phase (includes reading shuffle buffers).
+    pub reduce: Duration,
+}
+
+impl MrTimings {
+    /// End-to-end job time.
+    pub fn total(&self) -> Duration {
+        self.input + self.map + self.reduce
+    }
+}
+
+/// Runs a keyed map/aggregate job: `map_fn` turns one input partition into
+/// `(key, count)` pairs; the engine shuffles through the pool and sums
+/// counts per key.
+///
+/// # Errors
+///
+/// Pool/transport failures from any phase; worker panics propagate.
+pub fn run_keyed<P, F, M>(
+    factory: &F,
+    input: &str,
+    mappers: usize,
+    reducers: usize,
+    map_fn: M,
+) -> Result<(HashMap<String, u64>, MrTimings), GengarError>
+where
+    P: DshmPool,
+    F: Fn() -> Result<P, GengarError> + Sync,
+    M: Fn(&str) -> HashMap<String, u64> + Sync,
+{
+    let mut timings = MrTimings::default();
+    let mut driver = factory()?;
+
+    // Input phase: partition the text and place partitions in the pool.
+    let t = Instant::now();
+    let parts = split_text(input, mappers);
+    let mut input_blobs = Vec::new();
+    for (i, part) in parts.iter().enumerate() {
+        input_blobs.push(write_blob(&mut driver, i, part.as_bytes())?);
+    }
+    driver.barrier()?; // inputs visible to mappers
+    timings.input = t.elapsed();
+
+    // Map phase.
+    let t = Instant::now();
+    let shuffle: Vec<Vec<Vec<GlobalPtr>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = input_blobs
+            .iter()
+            .enumerate()
+            .map(|(m, blob)| {
+                let map_fn = &map_fn;
+                scope.spawn(move || -> Result<Vec<Vec<GlobalPtr>>, GengarError> {
+                    let mut pool = factory()?;
+                    let bytes = read_blob(&mut pool, blob)?;
+                    let text = String::from_utf8_lossy(&bytes);
+                    let counts = map_fn(&text);
+                    // Partition by reducer and write shuffle buffers.
+                    let mut per_reducer: Vec<HashMap<String, u64>> =
+                        (0..reducers).map(|_| HashMap::new()).collect();
+                    for (k, v) in counts {
+                        let r = key_partition(&k, reducers);
+                        *per_reducer[r].entry(k).or_insert(0) += v;
+                    }
+                    let mut out = Vec::with_capacity(reducers);
+                    for (r, pairs) in per_reducer.iter().enumerate() {
+                        let encoded = encode_pairs(pairs);
+                        out.push(write_blob(&mut pool, m + r, &encoded)?);
+                    }
+                    pool.barrier()?; // shuffle buffers visible to reducers
+                    Ok(out)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("mapper panicked"))
+            .collect::<Result<Vec<_>, _>>()
+    })?;
+    timings.map = t.elapsed();
+
+    // Reduce phase.
+    let t = Instant::now();
+    let partials: Vec<HashMap<String, u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..reducers)
+            .map(|r| {
+                let shuffle = &shuffle;
+                scope.spawn(move || -> Result<HashMap<String, u64>, GengarError> {
+                    let mut pool = factory()?;
+                    let mut agg: HashMap<String, u64> = HashMap::new();
+                    for mapper_out in shuffle {
+                        let bytes = read_blob(&mut pool, &mapper_out[r])?;
+                        for (k, v) in decode_pairs(&bytes)? {
+                            *agg.entry(k).or_insert(0) += v;
+                        }
+                    }
+                    Ok(agg)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("reducer panicked"))
+            .collect::<Result<Vec<_>, _>>()
+    })?;
+    timings.reduce = t.elapsed();
+
+    let mut result = HashMap::new();
+    for partial in partials {
+        for (k, v) in partial {
+            *result.entry(k).or_insert(0) += v;
+        }
+    }
+    Ok((result, timings))
+}
+
+/// WordCount: counts every word of `input`.
+///
+/// # Errors
+///
+/// See [`run_keyed`].
+pub fn wordcount<P, F>(
+    factory: &F,
+    input: &str,
+    mappers: usize,
+    reducers: usize,
+) -> Result<(HashMap<String, u64>, MrTimings), GengarError>
+where
+    P: DshmPool,
+    F: Fn() -> Result<P, GengarError> + Sync,
+{
+    run_keyed(factory, input, mappers, reducers, |part| {
+        let mut counts = HashMap::new();
+        for w in part.split_whitespace() {
+            *counts.entry(w.to_owned()).or_insert(0) += 1;
+        }
+        counts
+    })
+}
+
+/// Grep: counts lines of `input` containing `pattern`, keyed by line.
+///
+/// # Errors
+///
+/// See [`run_keyed`].
+pub fn grep<P, F>(
+    factory: &F,
+    input: &str,
+    pattern: &str,
+    mappers: usize,
+    reducers: usize,
+) -> Result<(HashMap<String, u64>, MrTimings), GengarError>
+where
+    P: DshmPool,
+    F: Fn() -> Result<P, GengarError> + Sync,
+{
+    run_keyed(factory, input, mappers, reducers, |part| {
+        let mut counts = HashMap::new();
+        for line in part.lines() {
+            if line.contains(pattern) {
+                *counts.entry(line.to_owned()).or_insert(0) += 1;
+            }
+        }
+        counts
+    })
+}
+
+/// Distributed sort of u64 records: range-partitioned shuffle, per-reducer
+/// sort, concatenated output. Returns the globally sorted records.
+///
+/// # Errors
+///
+/// Pool/transport failures.
+pub fn sort<P, F>(
+    factory: &F,
+    records: &[u64],
+    mappers: usize,
+    reducers: usize,
+) -> Result<(Vec<u64>, MrTimings), GengarError>
+where
+    P: DshmPool,
+    F: Fn() -> Result<P, GengarError> + Sync,
+{
+    let mut timings = MrTimings::default();
+    let mut driver = factory()?;
+
+    let t = Instant::now();
+    let per_mapper = records.len().div_ceil(mappers.max(1));
+    let mut input_blobs = Vec::new();
+    for (i, chunk) in records.chunks(per_mapper.max(1)).enumerate() {
+        let bytes: Vec<u8> = chunk.iter().flat_map(|r| r.to_le_bytes()).collect();
+        input_blobs.push(write_blob(&mut driver, i, &bytes)?);
+    }
+    driver.barrier()?; // inputs visible to mappers
+    timings.input = t.elapsed();
+
+    let range = u64::MAX / reducers as u64 + 1;
+
+    let t = Instant::now();
+    let shuffle: Vec<Vec<Vec<GlobalPtr>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = input_blobs
+            .iter()
+            .enumerate()
+            .map(|(m, blob)| {
+                scope.spawn(move || -> Result<Vec<Vec<GlobalPtr>>, GengarError> {
+                    let mut pool = factory()?;
+                    let bytes = read_blob(&mut pool, blob)?;
+                    let mut buckets: Vec<Vec<u8>> = (0..reducers).map(|_| Vec::new()).collect();
+                    for rec in bytes.chunks_exact(8) {
+                        let v = u64::from_le_bytes(rec.try_into().expect("8 bytes"));
+                        buckets[(v / range) as usize].extend_from_slice(rec);
+                    }
+                    let mut out = Vec::with_capacity(reducers);
+                    for (r, bucket) in buckets.iter().enumerate() {
+                        out.push(write_blob(&mut pool, m + r, bucket)?);
+                    }
+                    pool.barrier()?; // shuffle buffers visible to reducers
+                    Ok(out)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("mapper panicked"))
+            .collect::<Result<Vec<_>, _>>()
+    })?;
+    timings.map = t.elapsed();
+
+    let t = Instant::now();
+    let partials: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..reducers)
+            .map(|r| {
+                let shuffle = &shuffle;
+                scope.spawn(move || -> Result<Vec<u64>, GengarError> {
+                    let mut pool = factory()?;
+                    let mut vals = Vec::new();
+                    for mapper_out in shuffle {
+                        let bytes = read_blob(&mut pool, &mapper_out[r])?;
+                        for rec in bytes.chunks_exact(8) {
+                            vals.push(u64::from_le_bytes(rec.try_into().expect("8 bytes")));
+                        }
+                    }
+                    vals.sort_unstable();
+                    Ok(vals)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("reducer panicked"))
+            .collect::<Result<Vec<_>, _>>()
+    })?;
+    timings.reduce = t.elapsed();
+
+    let mut out = Vec::with_capacity(records.len());
+    for partial in partials {
+        out.extend(partial);
+    }
+    Ok((out, timings))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus;
+    use gengar_core::cluster::Cluster;
+    use gengar_core::config::ServerConfig;
+    use gengar_rdma::FabricConfig;
+
+    fn cluster() -> Cluster {
+        Cluster::launch(2, ServerConfig::small(), FabricConfig::instant()).unwrap()
+    }
+
+    #[test]
+    fn blob_roundtrip_spans_chunks() {
+        let cluster = cluster();
+        let mut pool = cluster.default_client().unwrap();
+        let data: Vec<u8> = (0..200_000).map(|i| (i % 251) as u8).collect();
+        let ptrs = write_blob(&mut pool, 0, &data).unwrap();
+        assert!(ptrs.len() >= 3, "expected multiple chunks");
+        let back = read_blob(&mut pool, &ptrs).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn pairs_roundtrip() {
+        let mut m = HashMap::new();
+        m.insert("alpha".to_owned(), 3u64);
+        m.insert("beta".to_owned(), 9);
+        let enc = encode_pairs(&m);
+        let dec: HashMap<String, u64> = decode_pairs(&enc).unwrap().into_iter().collect();
+        assert_eq!(dec, m);
+        assert!(decode_pairs(&[1, 2]).is_err());
+    }
+
+    #[test]
+    fn split_text_preserves_words() {
+        let text = "one two three four five six seven";
+        let parts = split_text(text, 3);
+        assert_eq!(parts.len(), 3);
+        let rejoined: Vec<&str> = parts
+            .iter()
+            .flat_map(|p| p.split_whitespace())
+            .collect();
+        assert_eq!(rejoined.len(), 7);
+    }
+
+    #[test]
+    fn wordcount_matches_reference() {
+        let cluster = cluster();
+        let input = corpus::text(2_000, 11);
+        let reference = corpus::reference_word_counts(&input);
+        let factory = || cluster.default_client();
+        let (counts, timings) = wordcount(&factory, &input, 3, 2).unwrap();
+        assert_eq!(counts, reference);
+        assert!(timings.total() > Duration::ZERO);
+    }
+
+    #[test]
+    fn grep_finds_matching_lines() {
+        let cluster = cluster();
+        let input = "hot cache line\ncold path\nanother hot line\n";
+        let factory = || cluster.default_client();
+        let (matches, _) = grep(&factory, input, "hot", 2, 2).unwrap();
+        assert_eq!(matches.len(), 2);
+        assert!(matches.keys().all(|l| l.contains("hot")));
+    }
+
+    #[test]
+    fn sort_produces_sorted_output() {
+        let cluster = cluster();
+        let records = corpus::records(5_000, 21);
+        let factory = || cluster.default_client();
+        let (sorted, _) = sort(&factory, &records, 3, 2).unwrap();
+        assert_eq!(sorted.len(), records.len());
+        assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+        let mut expect = records.clone();
+        expect.sort_unstable();
+        assert_eq!(sorted, expect);
+    }
+}

@@ -1,0 +1,330 @@
+//! Key-distribution generators in the YCSB style.
+
+use rand::Rng;
+
+/// Chooses keys in `[0, n)` according to some popularity distribution.
+pub trait KeyChooser {
+    /// Draws the next key.
+    fn next_key<R: Rng>(&mut self, rng: &mut R) -> u64;
+
+    /// Key-space size.
+    fn n(&self) -> u64;
+}
+
+/// Uniform keys.
+#[derive(Debug, Clone)]
+pub struct Uniform {
+    n: u64,
+}
+
+impl Uniform {
+    /// Uniform over `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: u64) -> Self {
+        assert!(n > 0, "key space must be nonempty");
+        Uniform { n }
+    }
+}
+
+impl KeyChooser for Uniform {
+    fn next_key<R: Rng>(&mut self, rng: &mut R) -> u64 {
+        rng.gen_range(0..self.n)
+    }
+
+    fn n(&self) -> u64 {
+        self.n
+    }
+}
+
+/// The YCSB zipfian generator (Gray et al.'s algorithm): key `k` has
+/// probability proportional to `1 / (k+1)^theta`. Key 0 is the hottest.
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+fn zeta(n: u64, theta: f64) -> f64 {
+    // Direct summation; fine for the key-space sizes benchmarks use.
+    let mut sum = 0.0;
+    for i in 1..=n {
+        sum += 1.0 / (i as f64).powf(theta);
+    }
+    sum
+}
+
+impl Zipfian {
+    /// Zipfian over `[0, n)` with skew `theta` (YCSB default 0.99).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `theta` is not in `(0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "key space must be nonempty");
+        assert!(
+            theta > 0.0 && theta < 1.0,
+            "theta must be in (0,1), got {theta}"
+        );
+        let zetan = zeta(n, theta);
+        let zeta2 = zeta(2, theta);
+        Zipfian {
+            n,
+            theta,
+            alpha: 1.0 / (1.0 - theta),
+            zetan,
+            eta: (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan),
+        }
+    }
+}
+
+impl KeyChooser for Zipfian {
+    fn next_key<R: Rng>(&mut self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let k = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        k.min(self.n - 1)
+    }
+
+    fn n(&self) -> u64 {
+        self.n
+    }
+}
+
+/// Zipfian with the popularity ranking scattered across the key space
+/// (YCSB's "scrambled zipfian"): hot keys are spread out rather than
+/// clustered at low ids.
+#[derive(Debug, Clone)]
+pub struct ScrambledZipfian {
+    inner: Zipfian,
+}
+
+fn fnv1a(mut x: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for _ in 0..8 {
+        h ^= x & 0xFF;
+        h = h.wrapping_mul(0x100_0000_01b3);
+        x >>= 8;
+    }
+    h
+}
+
+impl ScrambledZipfian {
+    /// Scrambled zipfian over `[0, n)`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        ScrambledZipfian {
+            inner: Zipfian::new(n, theta),
+        }
+    }
+}
+
+impl KeyChooser for ScrambledZipfian {
+    fn next_key<R: Rng>(&mut self, rng: &mut R) -> u64 {
+        fnv1a(self.inner.next_key(rng)) % self.inner.n
+    }
+
+    fn n(&self) -> u64 {
+        self.inner.n
+    }
+}
+
+/// YCSB's "latest" distribution: recently inserted keys are hottest.
+#[derive(Debug, Clone)]
+pub struct Latest {
+    zipf: Zipfian,
+    max_key: u64,
+}
+
+impl Latest {
+    /// Latest-skewed over `[0, n)` where `n` grows as keys are inserted.
+    pub fn new(n: u64, theta: f64) -> Self {
+        Latest {
+            zipf: Zipfian::new(n, theta),
+            max_key: n,
+        }
+    }
+
+    /// Informs the generator that the key space grew to `n`.
+    pub fn grow(&mut self, n: u64) {
+        if n > self.max_key {
+            self.max_key = n;
+            // YCSB recomputes zeta incrementally; our key spaces are small
+            // enough to recompute directly.
+            self.zipf = Zipfian::new(n, self.zipf.theta);
+        }
+    }
+}
+
+impl KeyChooser for Latest {
+    fn next_key<R: Rng>(&mut self, rng: &mut R) -> u64 {
+        let offset = self.zipf.next_key(rng);
+        self.max_key - 1 - offset.min(self.max_key - 1)
+    }
+
+    fn n(&self) -> u64 {
+        self.max_key
+    }
+}
+
+/// The distributions the harness sweeps over.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Distribution {
+    /// Uniform popularity.
+    Uniform,
+    /// Zipfian with the given theta.
+    Zipfian(f64),
+    /// Scrambled zipfian with the given theta.
+    ScrambledZipfian(f64),
+    /// Latest-skewed with the given theta.
+    Latest(f64),
+}
+
+/// A boxed chooser covering every [`Distribution`].
+#[derive(Debug, Clone)]
+pub enum AnyChooser {
+    /// Uniform.
+    Uniform(Uniform),
+    /// Zipfian.
+    Zipfian(Zipfian),
+    /// Scrambled zipfian.
+    Scrambled(ScrambledZipfian),
+    /// Latest.
+    Latest(Latest),
+}
+
+impl AnyChooser {
+    /// Instantiates the chooser for a key space of `n`.
+    pub fn new(dist: Distribution, n: u64) -> Self {
+        match dist {
+            Distribution::Uniform => AnyChooser::Uniform(Uniform::new(n)),
+            Distribution::Zipfian(t) => AnyChooser::Zipfian(Zipfian::new(n, t)),
+            Distribution::ScrambledZipfian(t) => {
+                AnyChooser::Scrambled(ScrambledZipfian::new(n, t))
+            }
+            Distribution::Latest(t) => AnyChooser::Latest(Latest::new(n, t)),
+        }
+    }
+}
+
+impl KeyChooser for AnyChooser {
+    fn next_key<R: Rng>(&mut self, rng: &mut R) -> u64 {
+        match self {
+            AnyChooser::Uniform(c) => c.next_key(rng),
+            AnyChooser::Zipfian(c) => c.next_key(rng),
+            AnyChooser::Scrambled(c) => c.next_key(rng),
+            AnyChooser::Latest(c) => c.next_key(rng),
+        }
+    }
+
+    fn n(&self) -> u64 {
+        match self {
+            AnyChooser::Uniform(c) => c.n(),
+            AnyChooser::Zipfian(c) => c.n(),
+            AnyChooser::Scrambled(c) => c.n(),
+            AnyChooser::Latest(c) => c.n(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn frequencies<C: KeyChooser>(mut c: C, draws: usize) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut freq = vec![0u64; c.n() as usize];
+        for _ in 0..draws {
+            freq[c.next_key(&mut rng) as usize] += 1;
+        }
+        freq
+    }
+
+    #[test]
+    fn uniform_stays_in_range_and_is_flat() {
+        let freq = frequencies(Uniform::new(100), 100_000);
+        let min = *freq.iter().min().unwrap();
+        let max = *freq.iter().max().unwrap();
+        assert!(min > 700 && max < 1300, "min={min} max={max}");
+    }
+
+    #[test]
+    fn zipfian_is_heavily_skewed() {
+        let freq = frequencies(Zipfian::new(1000, 0.99), 100_000);
+        // Key 0 should dominate; top-10 should carry a large share.
+        assert!(freq[0] > freq[500] * 10, "freq0={} freq500={}", freq[0], freq[500]);
+        let top10: u64 = freq[..10].iter().sum();
+        assert!(
+            top10 > 100_000 / 3,
+            "top-10 carries only {top10} of 100000"
+        );
+    }
+
+    #[test]
+    fn lower_theta_is_less_skewed() {
+        let hot_99 = frequencies(Zipfian::new(1000, 0.99), 50_000)[0];
+        let hot_50 = frequencies(Zipfian::new(1000, 0.5), 50_000)[0];
+        assert!(hot_99 > hot_50 * 2, "0.99: {hot_99}, 0.5: {hot_50}");
+    }
+
+    #[test]
+    fn scrambled_spreads_hot_keys() {
+        let freq = frequencies(ScrambledZipfian::new(1000, 0.99), 100_000);
+        // Still skewed overall...
+        let mut sorted = freq.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        assert!(sorted[0] > 1000);
+        // ...but the hottest key is (almost surely) not key 0.
+        let hottest = freq.iter().enumerate().max_by_key(|(_, &f)| f).unwrap().0;
+        assert_ne!(hottest, 0, "scrambling left key 0 hottest");
+    }
+
+    #[test]
+    fn latest_prefers_recent_keys() {
+        let mut c = Latest::new(1000, 0.99);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut recent = 0;
+        for _ in 0..10_000 {
+            if c.next_key(&mut rng) >= 900 {
+                recent += 1;
+            }
+        }
+        assert!(recent > 5_000, "only {recent} of 10000 in the newest decile");
+        c.grow(2000);
+        assert_eq!(c.n(), 2000);
+    }
+
+    #[test]
+    fn all_choosers_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for dist in [
+            Distribution::Uniform,
+            Distribution::Zipfian(0.99),
+            Distribution::ScrambledZipfian(0.9),
+            Distribution::Latest(0.99),
+        ] {
+            let mut c = AnyChooser::new(dist, 37);
+            for _ in 0..10_000 {
+                assert!(c.next_key(&mut rng) < 37);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "key space must be nonempty")]
+    fn empty_keyspace_rejected() {
+        Uniform::new(0);
+    }
+}

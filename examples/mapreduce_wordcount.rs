@@ -1,0 +1,46 @@
+//! MapReduce WordCount over the pool: input, shuffle and output all live
+//! in global memory; mappers and reducers are threads with their own pool
+//! clients, like processes spread across a cluster.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example mapreduce_wordcount
+//! ```
+
+use gengar::prelude::*;
+use gengar::workloads::corpus;
+use gengar::workloads::mapreduce::wordcount;
+
+fn main() -> Result<(), GengarError> {
+    gengar::hybridmem::set_time_scale(1.0);
+    let mut server_config = ServerConfig::default();
+    server_config.nvm_capacity = 128 << 20;
+    let cluster = Cluster::launch(2, server_config, FabricConfig::infiniband_100g())?;
+
+    let input = corpus::text(200_000, 42);
+    println!("input: {} bytes of synthetic text", input.len());
+
+    let factory = || cluster.client(ClientConfig::default());
+    let (counts, timings) = wordcount(&factory, &input, 4, 2)?;
+
+    let mut top: Vec<(&String, &u64)> = counts.iter().collect();
+    top.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+    println!("top 10 words:");
+    for (word, count) in top.iter().take(10) {
+        println!("  {word:>12} {count}");
+    }
+    println!(
+        "phases: input {:?}, map {:?}, reduce {:?}, total {:?}",
+        timings.input,
+        timings.map,
+        timings.reduce,
+        timings.total()
+    );
+
+    // Sanity: the distributed result matches a local count.
+    let reference = corpus::reference_word_counts(&input);
+    assert_eq!(counts, reference, "distributed result diverged");
+    println!("verified against local reference: {} distinct words", counts.len());
+    Ok(())
+}

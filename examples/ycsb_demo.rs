@@ -1,0 +1,63 @@
+//! YCSB demo: run workloads A–F over Gengar and the direct-to-NVM
+//! baseline, printing a side-by-side throughput comparison.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example ycsb_demo
+//! ```
+
+use gengar::baselines::NvmDirect;
+use gengar::prelude::*;
+use gengar::workloads::ycsb::{load, run, WorkloadSpec};
+
+const RECORDS: u64 = 2_000;
+const OPS: u64 = 5_000;
+const VALUE_SIZE: u64 = 4096;
+
+fn main() -> Result<(), GengarError> {
+    gengar::hybridmem::set_time_scale(1.0);
+    let mut server_config = ServerConfig::default();
+    server_config.nvm_capacity = 128 << 20;
+    server_config.dram_cache_capacity = 16 << 20;
+    server_config.hot_threshold = 2;
+    server_config.epoch = std::time::Duration::from_millis(10);
+
+    // Gengar: cache + proxy on.
+    let gengar_cluster = Cluster::launch(2, server_config.clone(), FabricConfig::infiniband_100g())?;
+    let mut gengar_client = gengar_cluster.client(ClientConfig {
+        report_every: 128,
+        ..Default::default()
+    })?;
+    let gengar_kv = load(&mut gengar_client, RECORDS, VALUE_SIZE, 1)?;
+    // Warm pass: let the hotness monitor promote the skewed working set.
+    run(&mut gengar_client, &gengar_kv, WorkloadSpec::c(), RECORDS, OPS / 4, 5)?;
+    std::thread::sleep(std::time::Duration::from_millis(50));
+
+    // Baseline: one-sided access to NVM, nothing else.
+    let base_cluster = NvmDirect::launch(2, server_config, FabricConfig::infiniband_100g())?;
+    let mut base_client = NvmDirect::client(&base_cluster)?;
+    let base_kv = load(&mut base_client, RECORDS, VALUE_SIZE, 1)?;
+
+    println!(
+        "{RECORDS} records x {VALUE_SIZE} B, {OPS} ops per workload\n\
+         workload | gengar kops/s | nvm-direct kops/s | speedup"
+    );
+    for spec in WorkloadSpec::all() {
+        let g = run(&mut gengar_client, &gengar_kv, spec, RECORDS, OPS, 7)?;
+        let b = run(&mut base_client, &base_kv, spec, RECORDS, OPS, 7)?;
+        println!(
+            "{:>8} | {:>13.1} | {:>17.1} | {:>6.2}x",
+            spec.name,
+            g.kops_per_sec(),
+            b.kops_per_sec(),
+            g.kops_per_sec() / b.kops_per_sec().max(1e-9),
+        );
+    }
+    let stats = gengar_client.stats();
+    println!(
+        "\ngengar client: cache_hits={} nvm_reads={} staged={} direct={}",
+        stats.cache_hits, stats.nvm_reads, stats.staged_writes, stats.direct_writes
+    );
+    Ok(())
+}
