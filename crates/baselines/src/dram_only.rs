@@ -116,7 +116,10 @@ mod tests {
         let mut buf = [0u8; 64];
         pool.read(ptr, 0, &mut buf).unwrap();
         assert!(buf.iter().all(|&b| b == 8));
-        assert!(pool.inner().stats().staged_writes >= 1, "proxy path expected");
+        assert!(
+            pool.inner().stats().staged_writes >= 1,
+            "proxy path expected"
+        );
     }
 
     #[test]

@@ -112,12 +112,8 @@ mod tests {
 
     #[test]
     fn baseline_disables_gengar_mechanisms() {
-        let (_cluster, mut pool) = launch_with_client(
-            1,
-            ServerConfig::small(),
-            FabricConfig::instant(),
-        )
-        .unwrap();
+        let (_cluster, mut pool) =
+            launch_with_client(1, ServerConfig::small(), FabricConfig::instant()).unwrap();
         let ptr = pool.alloc(0, 64).unwrap();
         for _ in 0..20 {
             pool.write(ptr, 0, &[3u8; 64]).unwrap();

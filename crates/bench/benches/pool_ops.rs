@@ -7,7 +7,11 @@ use gengar_core::pool::DshmPool;
 fn bench_pool_ops(c: &mut Criterion) {
     gengar_hybridmem::set_time_scale(1.0);
     let mut group = c.benchmark_group("pool_ops");
-    for kind in [SystemKind::Gengar, SystemKind::NvmDirect, SystemKind::DramOnly] {
+    for kind in [
+        SystemKind::Gengar,
+        SystemKind::NvmDirect,
+        SystemKind::DramOnly,
+    ] {
         let system = System::launch(kind, 1, base_config());
         let mut pool = system.client();
         for size in [64u64, 4096] {

@@ -27,10 +27,13 @@ fn bed() -> Bed {
         Arc::new(MemDevice::new(0, DeviceProfile::instant(MemKind::Dram), 1 << 20).unwrap());
     let dram = Arc::new(MemDevice::new(1, DeviceProfile::dram(), 1 << 20).unwrap());
     let nvm = Arc::new(MemDevice::new(2, DeviceProfile::optane(), 1 << 20).unwrap());
-    let local = c_pd.reg_mr(MemRegion::whole(scratch), Access::all()).unwrap();
+    let local = c_pd
+        .reg_mr(MemRegion::whole(scratch), Access::all())
+        .unwrap();
     let remote_dram = s_pd.reg_mr(MemRegion::whole(dram), Access::all()).unwrap();
     let remote_nvm = s_pd.reg_mr(MemRegion::whole(nvm), Access::all()).unwrap();
-    let (ep, peer) = Endpoint::pair((&client, &c_pd), (&server, &s_pd), QpOptions::default()).unwrap();
+    let (ep, peer) =
+        Endpoint::pair((&client, &c_pd), (&server, &s_pd), QpOptions::default()).unwrap();
     Bed {
         ep,
         local,

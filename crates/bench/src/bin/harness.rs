@@ -5,14 +5,23 @@
 //! cargo run -p gengar-bench --release --bin harness            # all, full size
 //! cargo run -p gengar-bench --release --bin harness -- e7     # one experiment
 //! cargo run -p gengar-bench --release --bin harness -- all --quick
+//! cargo run -p gengar-bench --release --bin harness -- e4 --no-telemetry
 //! ```
+//!
+//! After each experiment the harness emits a one-line JSON record with a
+//! `telemetry` section — the global registry snapshot (per-verb op counts,
+//! cache hit/miss, proxy drain backlog, client latency percentiles, …).
+//! `--no-telemetry` disables collection to measure its overhead.
 
-use gengar_bench::{run_experiment, Scale, ALL_EXPERIMENTS};
+use gengar_bench::{run_experiment, set_telemetry, Scale, ALL_EXPERIMENTS};
+use gengar_telemetry::{json_escape, Registry};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let no_telemetry = args.iter().any(|a| a == "--no-telemetry");
     let scale = if quick { Scale::Quick } else { Scale::Full };
+    set_telemetry(!no_telemetry);
     let selected: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -26,18 +35,32 @@ fn main() {
     };
 
     println!(
-        "gengar evaluation harness ({} mode), experiments: {}",
+        "gengar evaluation harness ({} mode{}), experiments: {}",
         if quick { "quick" } else { "full" },
+        if no_telemetry { ", telemetry off" } else { "" },
         ids.join(", ")
     );
     let t0 = std::time::Instant::now();
     for id in &ids {
+        // Each experiment gets a clean slate so its telemetry section
+        // reflects that experiment alone. Reset keeps handles valid.
+        Registry::global().reset();
         let started = std::time::Instant::now();
         if !run_experiment(id, scale) {
             eprintln!("unknown experiment id: {id} (known: {ALL_EXPERIMENTS:?})");
             std::process::exit(2);
         }
-        println!("[{id} done in {:.1?}]", started.elapsed());
+        let elapsed = started.elapsed();
+        if !no_telemetry {
+            let snap = Registry::global().snapshot();
+            println!(
+                "{{\"experiment\":\"{}\",\"elapsed_ms\":{},\"telemetry\":{}}}",
+                json_escape(id),
+                elapsed.as_millis(),
+                snap.to_json()
+            );
+        }
+        println!("[{id} done in {elapsed:.1?}]");
     }
-    println!("\nall done in {:.1?}", t0.elapsed());
+    println!("\nall done in {t0:.1?}", t0 = t0.elapsed());
 }

@@ -38,7 +38,14 @@ pub fn run(scale: Scale) {
 
     let mut devices = Table::new(
         "E1a: device characterisation",
-        &["device", "read 64B", "write 64B", "read 64K", "write 64K", "flush line"],
+        &[
+            "device",
+            "read 64B",
+            "write 64B",
+            "read 64K",
+            "write 64K",
+            "flush line",
+        ],
     );
     device_row(&mut devices, "dram", DeviceProfile::dram(), iters);
     device_row(&mut devices, "optane-nvm", DeviceProfile::optane(), iters);
@@ -60,7 +67,14 @@ pub fn run(scale: Scale) {
 
     let mut verbs = Table::new(
         "E1b: verb round trips (100 Gb/s fabric)",
-        &["target", "READ 64B", "READ 4K", "WRITE 64B", "WRITE 4K", "CAS 8B"],
+        &[
+            "target",
+            "READ 64B",
+            "READ 4K",
+            "WRITE 64B",
+            "WRITE 4K",
+            "CAS 8B",
+        ],
     );
     for (name, profile) in [
         ("remote DRAM", DeviceProfile::dram()),
@@ -77,8 +91,11 @@ pub fn run(scale: Scale) {
                 .expect("read");
         });
         let r4k = median_ns(iters, || {
-            ep.read(Sge::new(local.lkey(), 0, 4096), RemoteAddr::new(mr.rkey(), 0))
-                .expect("read");
+            ep.read(
+                Sge::new(local.lkey(), 0, 4096),
+                RemoteAddr::new(mr.rkey(), 0),
+            )
+            .expect("read");
         });
         let w64 = median_ns(iters, || {
             ep.write(

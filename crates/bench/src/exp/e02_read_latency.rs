@@ -22,12 +22,13 @@ pub fn run(scale: Scale) {
         "E2: whole-object read latency vs size (median)",
         &["size", "gengar(hot)", "nvm-direct", "dram-only"],
     );
-    let mut rows: Vec<Vec<String>> = SIZES
-        .iter()
-        .map(|s| vec![format!("{s}B")])
-        .collect();
+    let mut rows: Vec<Vec<String>> = SIZES.iter().map(|s| vec![format!("{s}B")]).collect();
 
-    for kind in [SystemKind::Gengar, SystemKind::NvmDirect, SystemKind::DramOnly] {
+    for kind in [
+        SystemKind::Gengar,
+        SystemKind::NvmDirect,
+        SystemKind::DramOnly,
+    ] {
         let system = System::launch(kind, 1, base_config());
         let mut pool = system.client();
         for (i, &size) in SIZES.iter().enumerate() {

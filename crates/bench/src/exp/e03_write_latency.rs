@@ -24,7 +24,11 @@ pub fn run(scale: Scale) {
     );
     let mut rows: Vec<Vec<String>> = SIZES.iter().map(|s| vec![format!("{s}B")]).collect();
 
-    for kind in [SystemKind::Gengar, SystemKind::NvmDirect, SystemKind::DramOnly] {
+    for kind in [
+        SystemKind::Gengar,
+        SystemKind::NvmDirect,
+        SystemKind::DramOnly,
+    ] {
         let system = System::launch(kind, 1, base_config());
         let mut pool = system.client();
         for (i, &size) in SIZES.iter().enumerate() {

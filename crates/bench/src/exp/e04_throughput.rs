@@ -67,7 +67,10 @@ pub fn run(scale: Scale) {
     gengar_hybridmem::set_time_scale(1.0);
     let ops = scale.ops(2_000);
 
-    for (mix_name, mix) in [("95/5 r/w", OpMix::read_heavy()), ("50/50 r/w", OpMix::balanced())] {
+    for (mix_name, mix) in [
+        ("95/5 r/w", OpMix::read_heavy()),
+        ("50/50 r/w", OpMix::balanced()),
+    ] {
         let mut table = Table::new(
             &format!("E4: throughput vs client threads ({mix_name}, zipfian 0.99, kops/s)"),
             &["threads", "gengar", "nvm-direct"],

@@ -49,9 +49,8 @@ pub fn run(scale: Scale) {
                 .expect("warmup");
             std::thread::sleep(std::time::Duration::from_millis(50));
             let before = client.stats();
-            let result =
-                closed_loop(&mut client, &objects, dist, OpMix::read_only(), ops, 12)
-                    .expect("measure");
+            let result = closed_loop(&mut client, &objects, dist, OpMix::read_only(), ops, 12)
+                .expect("measure");
             let after = client.stats();
             if cache_on {
                 let hits = after.cache_hits - before.cache_hits;

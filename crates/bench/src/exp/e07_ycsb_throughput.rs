@@ -22,7 +22,14 @@ pub fn run(scale: Scale) {
 
     let mut table = Table::new(
         &format!("E7: YCSB throughput, kops/s ({RECORDS} x {VALUE_SIZE} B, {ops} ops)"),
-        &["workload", "gengar", "nvm-direct", "client-cache", "dram-only", "gengar/direct"],
+        &[
+            "workload",
+            "gengar",
+            "nvm-direct",
+            "client-cache",
+            "dram-only",
+            "gengar/direct",
+        ],
     );
 
     let mut results: Vec<Vec<f64>> = vec![Vec::new(); WorkloadSpec::all().len()];

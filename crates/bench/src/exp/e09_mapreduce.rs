@@ -24,7 +24,9 @@ pub fn run(scale: Scale) {
     let reducers = 2;
 
     let mut table = Table::new(
-        &format!("E9: MapReduce completion time ({words} words / {records} records, {mappers} mappers)"),
+        &format!(
+            "E9: MapReduce completion time ({words} words / {records} records, {mappers} mappers)"
+        ),
         &["app", "gengar", "nvm-direct", "dram-only"],
     );
     let mut rows: Vec<Vec<String>> = ["wordcount", "grep", "sort"]
@@ -32,7 +34,11 @@ pub fn run(scale: Scale) {
         .map(|a| vec![(*a).to_owned()])
         .collect();
 
-    for kind in [SystemKind::Gengar, SystemKind::NvmDirect, SystemKind::DramOnly] {
+    for kind in [
+        SystemKind::Gengar,
+        SystemKind::NvmDirect,
+        SystemKind::DramOnly,
+    ] {
         let system = System::launch(kind, 2, base_config());
         let factory = || Ok(system.client());
 

@@ -29,8 +29,7 @@ pub fn run(scale: Scale) {
         let system = Arc::new(System::launch(SystemKind::Gengar, 1, base_config()));
         let mut owner = system.gengar_client(seqlock_client_config());
         let ptr = gengar_core::pool::DshmPool::alloc(&mut owner, 0, 64).expect("alloc");
-        gengar_core::pool::DshmPool::write(&mut owner, ptr, 0, &0u64.to_le_bytes())
-            .expect("init");
+        gengar_core::pool::DshmPool::write(&mut owner, ptr, 0, &0u64.to_le_bytes()).expect("init");
 
         let t0 = Instant::now();
         let handles: Vec<_> = (0..sharers)
@@ -59,10 +58,7 @@ pub fn run(scale: Scale) {
         assert_eq!(total, sharers as u64 * incs, "lost updates!");
         sharing.row(vec![
             sharers.to_string(),
-            format!(
-                "{:.1}",
-                total as f64 / elapsed.as_secs_f64() / 1e3
-            ),
+            format!("{:.1}", total as f64 / elapsed.as_secs_f64() / 1e3),
             retries.to_string(),
             total.to_string(),
         ]);
@@ -86,11 +82,7 @@ pub fn run(scale: Scale) {
         let mut buf = vec![0u8; 1024];
         let read = median_ns(iters, || c.read(ptr, 0, &mut buf).expect("read"));
         let write = median_ns(iters, || c.write(ptr, 0, &data).expect("write"));
-        overhead.row(vec![
-            format!("{consistency:?}"),
-            ns(read),
-            ns(write),
-        ]);
+        overhead.row(vec![format!("{consistency:?}"), ns(read), ns(write)]);
     }
     overhead.print();
 }

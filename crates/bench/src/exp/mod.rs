@@ -28,6 +28,7 @@ pub fn base_config() -> ServerConfig {
         dram_cache_capacity: 16 << 20,
         epoch: Duration::from_millis(10),
         hot_threshold: 2,
+        telemetry: crate::telemetry_config(),
         ..Default::default()
     }
 }
@@ -36,6 +37,7 @@ pub fn base_config() -> ServerConfig {
 pub fn base_client_config() -> ClientConfig {
     ClientConfig {
         report_every: 128,
+        telemetry: crate::telemetry_config(),
         ..Default::default()
     }
 }
@@ -84,11 +86,10 @@ pub struct System {
 impl System {
     /// Launches `kind` with `n_servers`, deriving from `base`.
     pub fn launch(kind: SystemKind, n_servers: usize, base: ServerConfig) -> System {
-        let fabric = FabricConfig::infiniband_100g();
+        let mut fabric = FabricConfig::infiniband_100g();
+        fabric.telemetry = crate::telemetry_config();
         let cluster = match kind {
-            SystemKind::Gengar => {
-                Cluster::launch(n_servers, base, fabric).expect("launch gengar")
-            }
+            SystemKind::Gengar => Cluster::launch(n_servers, base, fabric).expect("launch gengar"),
             SystemKind::NvmDirect => {
                 NvmDirect::launch(n_servers, base, fabric).expect("launch nvm-direct")
             }
@@ -123,9 +124,9 @@ impl System {
             SystemKind::NvmDirect => {
                 Box::new(NvmDirect::client(&self.cluster).expect("nvm-direct client"))
             }
-            SystemKind::ClientCache => Box::new(
-                ClientCache::client(&self.cluster, 16 << 20).expect("client-cache client"),
-            ),
+            SystemKind::ClientCache => {
+                Box::new(ClientCache::client(&self.cluster, 16 << 20).expect("client-cache client"))
+            }
             SystemKind::DramOnly => {
                 Box::new(DramOnly::client(&self.cluster).expect("dram-only client"))
             }

@@ -13,7 +13,28 @@
 pub mod exp;
 pub mod table;
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
+
+use gengar_telemetry::TelemetryConfig;
+
+/// Whether launched systems and clients collect telemetry (on by default;
+/// the harness's `--no-telemetry` flag clears it to measure overhead).
+static TELEMETRY: AtomicBool = AtomicBool::new(true);
+
+/// Turns telemetry collection on or off for subsequently launched systems.
+pub fn set_telemetry(enabled: bool) {
+    TELEMETRY.store(enabled, Ordering::Relaxed);
+}
+
+/// The [`TelemetryConfig`] experiments thread through every config.
+pub fn telemetry_config() -> TelemetryConfig {
+    if TELEMETRY.load(Ordering::Relaxed) {
+        TelemetryConfig::enabled()
+    } else {
+        TelemetryConfig::disabled()
+    }
+}
 
 /// Experiment sizing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

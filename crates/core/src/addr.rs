@@ -119,6 +119,7 @@ impl GlobalAddr {
     /// # Panics
     ///
     /// Panics if the result overflows the 48-bit offset.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, delta: u64) -> Self {
         GlobalAddr::new(self.server(), self.class(), self.offset() + delta)
     }

@@ -122,9 +122,11 @@ impl SlabAllocator {
     /// catches double frees.
     pub fn free(&mut self, offset: u64) -> Result<u64, GengarError> {
         let class = self.live.remove(&offset).ok_or_else(|| {
-            GengarError::DoubleFree(
-                crate::addr::GlobalAddr::new(0, crate::addr::MemClass::Nvm, offset & ((1 << 48) - 1)),
-            )
+            GengarError::DoubleFree(crate::addr::GlobalAddr::new(
+                0,
+                crate::addr::MemClass::Nvm,
+                offset & ((1 << 48) - 1),
+            ))
         })?;
         self.free_lists[class].push(offset);
         self.stats.live -= 1;
@@ -198,10 +200,7 @@ mod tests {
         let mut a = SlabAllocator::new(0, 256);
         a.alloc(128).unwrap();
         a.alloc(128).unwrap();
-        assert!(matches!(
-            a.alloc(128),
-            Err(GengarError::OutOfMemory { .. })
-        ));
+        assert!(matches!(a.alloc(128), Err(GengarError::OutOfMemory { .. })));
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use std::collections::HashMap;
 
 use gengar_hybridmem::MemRegion;
+use gengar_telemetry::{CounterHandle, TelemetryConfig};
 
 use crate::addr::{GlobalAddr, MemClass};
 use crate::alloc::SlabAllocator;
@@ -38,6 +39,33 @@ pub struct CacheStats {
     pub updates: u64,
 }
 
+/// Global-registry handles under the `cache` component. Per-instance
+/// [`CacheStats`] stays authoritative for tests; these feed the harness
+/// telemetry export.
+#[derive(Debug, Clone, Default)]
+struct CacheMetrics {
+    hits: CounterHandle,
+    misses: CounterHandle,
+    promotions: CounterHandle,
+    evictions: CounterHandle,
+    invalidations: CounterHandle,
+    updates: CounterHandle,
+}
+
+impl CacheMetrics {
+    fn new(config: TelemetryConfig) -> Self {
+        let tel = config.handle();
+        CacheMetrics {
+            hits: tel.counter("cache", "hits"),
+            misses: tel.counter("cache", "misses"),
+            promotions: tel.counter("cache", "promotions"),
+            evictions: tel.counter("cache", "evictions"),
+            invalidations: tel.counter("cache", "invalidations"),
+            updates: tel.counter("cache", "updates"),
+        }
+    }
+}
+
 /// Manages the DRAM cache region of one memory server.
 ///
 /// All methods run server-locally (promotion/eviction on the epoch thread,
@@ -50,11 +78,18 @@ pub struct CacheManager {
     alloc: SlabAllocator,
     entries: HashMap<u64, CacheEntry>,
     stats: CacheStats,
+    metrics: CacheMetrics,
 }
 
 impl CacheManager {
     /// Creates a manager over the server's cache region.
     pub fn new(server_id: u8, region: MemRegion) -> Self {
+        Self::with_telemetry(server_id, region, TelemetryConfig::default())
+    }
+
+    /// Creates a manager whose global-registry metrics follow `telemetry`
+    /// (the server threads this from [`crate::ServerConfig`]).
+    pub fn with_telemetry(server_id: u8, region: MemRegion, telemetry: TelemetryConfig) -> Self {
         let capacity = region.len();
         CacheManager {
             server_id,
@@ -62,6 +97,7 @@ impl CacheManager {
             alloc: SlabAllocator::new(0, capacity),
             entries: HashMap::new(),
             stats: CacheStats::default(),
+            metrics: CacheMetrics::new(telemetry),
         }
     }
 
@@ -83,9 +119,16 @@ impl CacheManager {
     /// Looks up the cached copy of `addr` (raw payload-base address),
     /// returning the raw global address of its slot frame.
     pub fn lookup(&self, addr_raw: u64) -> Option<u64> {
-        self.entries.get(&addr_raw).map(|e| {
-            GlobalAddr::new(self.server_id, MemClass::DramCache, e.slot_off).raw()
-        })
+        let hit = self
+            .entries
+            .get(&addr_raw)
+            .map(|e| GlobalAddr::new(self.server_id, MemClass::DramCache, e.slot_off).raw());
+        if hit.is_some() {
+            self.metrics.hits.inc();
+        } else {
+            self.metrics.misses.inc();
+        }
+        hit
     }
 
     /// Returns whether `addr` is cached.
@@ -100,7 +143,12 @@ impl CacheManager {
     /// # Errors
     ///
     /// Propagates device errors from slot writes.
-    pub fn promote(&mut self, addr: GlobalAddr, payload: &[u8], score: u32) -> Result<bool, GengarError> {
+    pub fn promote(
+        &mut self,
+        addr: GlobalAddr,
+        payload: &[u8],
+        score: u32,
+    ) -> Result<bool, GengarError> {
         let addr_raw = addr.raw();
         if self.entries.contains_key(&addr_raw) {
             return Ok(true);
@@ -121,13 +169,21 @@ impl CacheManager {
         };
         let mut header = [0u8; SLOT_HEADER as usize];
         // Publish with an even version so readers accept it immediately.
-        encode_slot_header(&mut header, addr_raw, 2, checksum(payload), payload.len() as u64);
+        encode_slot_header(
+            &mut header,
+            addr_raw,
+            2,
+            checksum(payload),
+            payload.len() as u64,
+        );
         // Payload and tail version first, header (with the tag) last: a
         // concurrent reader of a recycled slot sees the old tag or the new
         // one, never a mix that passes tag + head/tail validation.
         self.region.write(slot_off + SLOT_HEADER, payload)?;
-        self.region
-            .write(slot_off + SLOT_HEADER + payload.len() as u64, &2u64.to_le_bytes())?;
+        self.region.write(
+            slot_off + SLOT_HEADER + payload.len() as u64,
+            &2u64.to_le_bytes(),
+        )?;
         self.region.write(slot_off, &header)?;
         self.entries.insert(
             addr_raw,
@@ -138,6 +194,7 @@ impl CacheManager {
             },
         );
         self.stats.promotions += 1;
+        self.metrics.promotions.inc();
         Ok(true)
     }
 
@@ -166,8 +223,10 @@ impl CacheManager {
             self.alloc.free(e.slot_off)?;
             if eviction {
                 self.stats.evictions += 1;
+                self.metrics.evictions.inc();
             } else {
                 self.stats.invalidations += 1;
+                self.metrics.invalidations.inc();
             }
             Ok(true)
         } else {
@@ -193,7 +252,12 @@ impl CacheManager {
     /// # Errors
     ///
     /// Propagates device errors; out-of-object writes invalidate instead.
-    pub fn update_range(&mut self, addr_raw: u64, rel_off: u64, data: &[u8]) -> Result<bool, GengarError> {
+    pub fn update_range(
+        &mut self,
+        addr_raw: u64,
+        rel_off: u64,
+        data: &[u8],
+    ) -> Result<bool, GengarError> {
         let entry = match self.entries.get(&addr_raw) {
             Some(e) => *e,
             None => return Ok(false),
@@ -210,7 +274,8 @@ impl CacheManager {
         // Seqlock update: head version odd, mutate, tail then head to the
         // new even version. The diagnostic checksum is cleared rather than
         // recomputed (readers validate via head/tail versions).
-        self.region.write(slot + 8, &(hdr.version + 1).to_le_bytes())?;
+        self.region
+            .write(slot + 8, &(hdr.version + 1).to_le_bytes())?;
         self.region.write(slot + SLOT_HEADER + rel_off, data)?;
         self.region.write(slot + 16, &0u64.to_le_bytes())?;
         self.region.write(
@@ -220,6 +285,7 @@ impl CacheManager {
         self.region
             .write(slot + 8, &(hdr.version + 2).to_le_bytes())?;
         self.stats.updates += 1;
+        self.metrics.updates.inc();
         Ok(true)
     }
 
@@ -279,7 +345,10 @@ mod tests {
         assert_eq!(h.version % 2, 0);
         assert_eq!(h.len, 8);
         assert_eq!(h.checksum, checksum(b"hot-data"));
-        assert_eq!(&frame[SLOT_HEADER as usize..(SLOT_HEADER + 8) as usize], b"hot-data");
+        assert_eq!(
+            &frame[SLOT_HEADER as usize..(SLOT_HEADER + 8) as usize],
+            b"hot-data"
+        );
         let tail = u64::from_le_bytes(frame[(SLOT_HEADER + 8) as usize..].try_into().unwrap());
         assert_eq!(tail, h.version);
     }
@@ -353,8 +422,7 @@ mod tests {
             b"hello gengar"
         );
         assert_eq!(h.version, 4);
-        let tail =
-            u64::from_le_bytes(frame[(SLOT_HEADER + 12) as usize..].try_into().unwrap());
+        let tail = u64::from_le_bytes(frame[(SLOT_HEADER + 12) as usize..].try_into().unwrap());
         assert_eq!(tail, 4);
         assert_eq!(c.stats().updates, 1);
     }

@@ -14,8 +14,9 @@ use std::sync::Arc;
 
 use gengar_hybridmem::{DeviceProfile, MemDevice, MemRegion};
 use gengar_rdma::{
-    Access, Fabric, MemoryRegion, Payload, ProtectionDomain, RdmaNode, RemoteAddr, RKey, Sge,
+    Access, Fabric, MemoryRegion, Payload, ProtectionDomain, RKey, RdmaNode, RemoteAddr, Sge,
 };
+use gengar_telemetry::{Counter, CounterHandle, HistogramHandle, Telemetry, TelemetryConfig};
 
 use crate::addr::{GlobalAddr, GlobalPtr, MemClass};
 use crate::config::{ClientConfig, Consistency};
@@ -24,7 +25,7 @@ use crate::error::GengarError;
 use crate::hotness::AccessEntry;
 use crate::layout::{decode_slot_header, lockword, OBJ_HEADER, SLOT_HEADER, SLOT_TAIL};
 use crate::proto::{error_for_code, MountInfo, Request, Response, MAX_REPORT};
-use crate::proxy::{RingLayout, StagingWriter};
+use crate::proxy::StagingWriter;
 use crate::rpc::{RpcClient, RPC_BUF_BYTES};
 use crate::server::MemoryServer;
 
@@ -53,6 +54,90 @@ pub struct ClientStats {
     pub read_retries: u64,
     /// Access reports sent.
     pub reports: u64,
+}
+
+/// One client statistic: a per-instance counter (authoritative for
+/// [`ClientStats`] snapshots, so concurrent clients in one process never
+/// share counts) plus the pooled `client.*` registry counter the bench
+/// harness exports.
+#[derive(Debug, Default)]
+struct StatCounter {
+    local: Counter,
+    global: CounterHandle,
+}
+
+impl StatCounter {
+    fn new(tel: &Telemetry, metric: &str) -> Self {
+        StatCounter {
+            local: Counter::new(),
+            global: tel.counter("client", metric),
+        }
+    }
+
+    fn inc(&self) {
+        self.local.inc();
+        self.global.inc();
+    }
+
+    fn get(&self) -> u64 {
+        self.local.get()
+    }
+}
+
+/// The client's metric set: [`ClientStats`] is a snapshot view over these
+/// counters, and the two histograms record whole-operation latency.
+#[derive(Debug, Default)]
+struct ClientMetrics {
+    reads: StatCounter,
+    writes: StatCounter,
+    cache_hits: StatCounter,
+    cache_rejects: StatCounter,
+    nvm_reads: StatCounter,
+    writeback_hits: StatCounter,
+    staged_writes: StatCounter,
+    direct_writes: StatCounter,
+    lock_retries: StatCounter,
+    read_retries: StatCounter,
+    reports: StatCounter,
+    read_ns: HistogramHandle,
+    write_ns: HistogramHandle,
+}
+
+impl ClientMetrics {
+    fn new(config: TelemetryConfig) -> Self {
+        let tel = config.handle();
+        ClientMetrics {
+            reads: StatCounter::new(&tel, "reads"),
+            writes: StatCounter::new(&tel, "writes"),
+            cache_hits: StatCounter::new(&tel, "cache_hits"),
+            cache_rejects: StatCounter::new(&tel, "cache_rejects"),
+            nvm_reads: StatCounter::new(&tel, "nvm_reads"),
+            writeback_hits: StatCounter::new(&tel, "writeback_hits"),
+            staged_writes: StatCounter::new(&tel, "staged_writes"),
+            direct_writes: StatCounter::new(&tel, "direct_writes"),
+            lock_retries: StatCounter::new(&tel, "lock_retries"),
+            read_retries: StatCounter::new(&tel, "read_retries"),
+            reports: StatCounter::new(&tel, "reports"),
+            read_ns: tel.histogram("client", "read_ns"),
+            write_ns: tel.histogram("client", "write_ns"),
+        }
+    }
+
+    fn snapshot(&self) -> ClientStats {
+        ClientStats {
+            reads: self.reads.get(),
+            writes: self.writes.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_rejects: self.cache_rejects.get(),
+            nvm_reads: self.nvm_reads.get(),
+            writeback_hits: self.writeback_hits.get(),
+            staged_writes: self.staged_writes.get(),
+            direct_writes: self.direct_writes.get(),
+            lock_retries: self.lock_retries.get(),
+            read_retries: self.read_retries.get(),
+            reports: self.reports.get(),
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -107,7 +192,7 @@ pub struct GengarClient {
     /// store-buffer read path.
     wb_checks: u32,
     config: ClientConfig,
-    stats: ClientStats,
+    metrics: ClientMetrics,
 }
 
 impl GengarClient {
@@ -162,10 +247,7 @@ impl GengarClient {
                     Response::Err { code } => return Err(error_for_code(code, 0)),
                     _ => return Err(GengarError::ProtocolViolation("bad staging response")),
                 };
-                let layout = RingLayout {
-                    slot_payload: mount.slot_payload,
-                    slots: mount.slots_per_ring,
-                };
+                let layout = mount.ring_layout();
                 let scratch_off = bump;
                 bump += layout.slot_bytes() + 8;
                 Some(StagingWriter::new(
@@ -177,6 +259,7 @@ impl GengarClient {
                     client_id,
                     Arc::clone(&mr),
                     scratch_off,
+                    config.telemetry,
                 ))
             } else {
                 None
@@ -218,8 +301,8 @@ impl GengarClient {
             op_buf,
             op_buf_len,
             wb_checks: 0,
+            metrics: ClientMetrics::new(config.telemetry),
             config,
-            stats: ClientStats::default(),
         })
     }
 
@@ -228,9 +311,10 @@ impl GengarClient {
         &self.node
     }
 
-    /// Operation counters.
+    /// Operation counters (snapshot view over the client's telemetry
+    /// counters).
     pub fn stats(&self) -> ClientStats {
-        self.stats
+        self.metrics.snapshot()
     }
 
     /// Server ids this client is connected to, in connection order.
@@ -387,7 +471,8 @@ impl GengarClient {
     /// writers.
     pub fn read(&mut self, ptr: GlobalPtr, offset: u64, buf: &mut [u8]) -> Result<(), GengarError> {
         Self::check_access(ptr, offset, buf.len() as u64)?;
-        self.stats.reads += 1;
+        self.metrics.reads.inc();
+        let _t = self.metrics.read_ns.span();
         let base = ptr.addr.raw();
         let server = ptr.addr.server();
 
@@ -397,10 +482,10 @@ impl GengarClient {
         // shortly after the proxy drains them without taxing every read.
         if let Some(wb) = self.write_back.get(&base) {
             let seq = wb.seq;
-            let covers = offset >= wb.off
-                && offset + buf.len() as u64 <= wb.off + wb.data.len() as u64;
+            let covers =
+                offset >= wb.off && offset + buf.len() as u64 <= wb.off + wb.data.len() as u64;
             self.wb_checks = self.wb_checks.wrapping_add(1);
-            let refresh = self.wb_checks % 16 == 0 || !covers;
+            let refresh = self.wb_checks.is_multiple_of(16) || !covers;
             let drained = match self.conn_mut(server)?.staging.as_mut() {
                 Some(st) => {
                     if st.known_drained() < seq && refresh {
@@ -416,7 +501,7 @@ impl GengarClient {
                 let wb = self.write_back.get(&base).expect("checked above");
                 let start = (offset - wb.off) as usize;
                 buf.copy_from_slice(&wb.data[start..start + buf.len()]);
-                self.stats.writeback_hits += 1;
+                self.metrics.writeback_hits.inc();
                 self.record(server, base, false)?;
                 return Ok(());
             } else {
@@ -436,12 +521,12 @@ impl GengarClient {
         if worth_caching {
             if let Some(&slot_raw) = self.remap.get(&base) {
                 if self.try_cached_read(ptr, offset, buf, slot_raw)? {
-                    self.stats.cache_hits += 1;
+                    self.metrics.cache_hits.inc();
                     self.record(server, base, false)?;
                     return Ok(());
                 }
                 self.remap.remove(&base);
-                self.stats.cache_rejects += 1;
+                self.metrics.cache_rejects.inc();
             }
         }
 
@@ -455,7 +540,7 @@ impl GengarClient {
         } else {
             self.read_nvm_seqlock(ptr, offset, buf)?;
         }
-        self.stats.nvm_reads += 1;
+        self.metrics.nvm_reads.inc();
         // Only cache-worthy reads feed the hotness monitor: promoting an
         // object that is probed 16 bytes at a time would waste DRAM on a
         // copy no read path would use.
@@ -504,7 +589,7 @@ impl GengarClient {
         // FaRM-style validation: correct tag and length, even head version,
         // tail version matching head (rejects torn/stale/mid-update frames).
         let valid = hdr.tag == ptr.addr.raw()
-            && hdr.version % 2 == 0
+            && hdr.version.is_multiple_of(2)
             && hdr.len == ptr.size
             && tail == hdr.version;
         if valid {
@@ -525,7 +610,7 @@ impl GengarClient {
         for _ in 0..self.config.read_retries {
             let before = self.read_lockword(ptr.addr)?;
             if lockword::is_locked(before) {
-                self.stats.read_retries += 1;
+                self.metrics.read_retries.inc();
                 backoff.wait();
                 continue;
             }
@@ -535,7 +620,7 @@ impl GengarClient {
             if after == before {
                 return Ok(());
             }
-            self.stats.read_retries += 1;
+            self.metrics.read_retries.inc();
             backoff.wait();
         }
         Err(GengarError::ReadContended(ptr.addr))
@@ -553,7 +638,8 @@ impl GengarClient {
     /// Bounds violations, lock contention, transport failures.
     pub fn write(&mut self, ptr: GlobalPtr, offset: u64, data: &[u8]) -> Result<(), GengarError> {
         Self::check_access(ptr, offset, data.len() as u64)?;
-        self.stats.writes += 1;
+        self.metrics.writes.inc();
+        let _t = self.metrics.write_ns.span();
         let base = ptr.addr.raw();
         let server = ptr.addr.server();
 
@@ -593,7 +679,7 @@ impl GengarClient {
                         },
                     );
                     self.purge_write_back(server)?;
-                    self.stats.staged_writes += 1;
+                    self.metrics.staged_writes.inc();
                 } else {
                     self.write_direct(ptr, offset, data)?;
                 }
@@ -604,7 +690,12 @@ impl GengarClient {
     }
 
     /// Direct write path: RDMA WRITE to NVM, then flush+invalidate RPC.
-    fn write_direct(&mut self, ptr: GlobalPtr, offset: u64, data: &[u8]) -> Result<(), GengarError> {
+    fn write_direct(
+        &mut self,
+        ptr: GlobalPtr,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<(), GengarError> {
         let server = ptr.addr.server();
         let nvm_rkey = self.conn(server)?.nvm_rkey();
         self.write_remote(server, nvm_rkey, ptr.addr.offset() + offset, data)?;
@@ -620,7 +711,7 @@ impl GengarClient {
         let base = ptr.addr.raw();
         self.remap.remove(&base);
         self.write_back.remove(&base);
-        self.stats.direct_writes += 1;
+        self.metrics.direct_writes.inc();
         Ok(())
     }
 
@@ -746,7 +837,7 @@ impl GengarClient {
                     return Ok(());
                 }
             }
-            self.stats.lock_retries += 1;
+            self.metrics.lock_retries.inc();
             backoff.wait();
         }
         Err(GengarError::LockContended(ptr.addr))
@@ -815,8 +906,7 @@ impl GengarClient {
                 .map(|(addr, (count, wrote))| AccessEntry { addr, count, wrote })
                 .collect();
             while !batch.is_empty() {
-                let chunk: Vec<AccessEntry> =
-                    batch.drain(..batch.len().min(MAX_REPORT)).collect();
+                let chunk: Vec<AccessEntry> = batch.drain(..batch.len().min(MAX_REPORT)).collect();
                 let conn = self.conn(server)?;
                 match conn.rpc.call(&Request::Report { entries: chunk })? {
                     Response::Report { remaps } => {
@@ -836,7 +926,7 @@ impl GengarClient {
                     Response::Err { .. } => {}
                     _ => return Err(GengarError::ProtocolViolation("bad report response")),
                 }
-                self.stats.reports += 1;
+                self.metrics.reports.inc();
             }
         }
         Ok(())

@@ -4,6 +4,7 @@
 use std::time::Duration;
 
 use gengar_hybridmem::DeviceProfile;
+use gengar_telemetry::TelemetryConfig;
 use serde::{Deserialize, Serialize};
 
 /// Consistency level for shared objects.
@@ -50,6 +51,9 @@ pub struct ServerConfig {
     /// Proxy drain threads. Rings are assigned to threads by client id, so
     /// per-ring ordering is preserved while drain bandwidth scales.
     pub proxy_threads: u32,
+    /// Whether server-side metrics (cache, proxy, hotness) are recorded
+    /// into the global telemetry registry.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for ServerConfig {
@@ -70,6 +74,7 @@ impl Default for ServerConfig {
             staging_profile: DeviceProfile::adr_dram(),
             crash_sim: false,
             proxy_threads: 2,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -123,6 +128,9 @@ pub struct ClientConfig {
     pub lock_retries: u32,
     /// Remember at most this many remote-cache remap entries.
     pub remap_cache_entries: usize,
+    /// Whether client-side metrics (per-op latency, stats counters) are
+    /// recorded into the global telemetry registry.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for ClientConfig {
@@ -134,6 +142,7 @@ impl Default for ClientConfig {
             read_retries: 16,
             lock_retries: 10_000,
             remap_cache_entries: 65_536,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }

@@ -83,6 +83,18 @@ pub struct MountInfo {
     pub slots_per_ring: u32,
 }
 
+impl MountInfo {
+    /// The staging-ring geometry this mount advertises. Client and server
+    /// both derive their ring arithmetic from this one value, so the two
+    /// sides can never disagree on slot sizes or offsets.
+    pub fn ring_layout(&self) -> crate::proxy::RingLayout {
+        crate::proxy::RingLayout {
+            slot_payload: self.slot_payload,
+            slots: self.slots_per_ring,
+        }
+    }
+}
+
 /// One remap update piggybacked on a `Report` response.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RemapUpdate {
@@ -153,9 +165,9 @@ pub fn error_for_code(code: u16, requested: u64) -> GengarError {
             requested,
             max: crate::alloc::MAX_CLASS,
         },
-        err_code::INVALID_ADDR | err_code::DOUBLE_FREE => GengarError::ProtocolViolation(
-            "server rejected address",
-        ),
+        err_code::INVALID_ADDR | err_code::DOUBLE_FREE => {
+            GengarError::ProtocolViolation("server rejected address")
+        }
         err_code::NO_CAPACITY => GengarError::ProtocolViolation("server at client capacity"),
         _ => GengarError::ProtocolViolation("unknown error code"),
     }

@@ -18,6 +18,7 @@
 use std::collections::VecDeque;
 
 use gengar_rdma::{Endpoint, MemoryRegion, Payload, RKey, RemoteAddr, Sge};
+use gengar_telemetry::{CounterHandle, GaugeHandle, HistogramHandle, TelemetryConfig};
 
 use crate::error::GengarError;
 use crate::layout::{checksum, encode_record_header, RECORD_HEADER};
@@ -82,6 +83,12 @@ pub struct StagingWriter {
     next_seq: u64,
     in_flight: VecDeque<u64>, // sequence numbers, oldest first
     drained: u64,
+    /// `proxy.*` handles: in-flight ring occupancy, staged-record count,
+    /// ring-full stalls and staging latency.
+    occupancy: GaugeHandle,
+    staged: CounterHandle,
+    ring_full_waits: CounterHandle,
+    stage_ns: HistogramHandle,
 }
 
 impl StagingWriter {
@@ -97,7 +104,9 @@ impl StagingWriter {
         client_id: u32,
         scratch: std::sync::Arc<MemoryRegion>,
         scratch_off: u64,
+        telemetry: TelemetryConfig,
     ) -> Self {
+        let tel = telemetry.handle();
         StagingWriter {
             ep,
             staging_rkey,
@@ -111,6 +120,10 @@ impl StagingWriter {
             next_seq: 1,
             in_flight: VecDeque::new(),
             drained: 0,
+            occupancy: tel.gauge("proxy", "ring_occupancy"),
+            staged: tel.counter("proxy", "staged_records"),
+            ring_full_waits: tel.counter("proxy", "ring_full_waits"),
+            stage_ns: tel.histogram("proxy", "stage_ns"),
         }
     }
 
@@ -143,8 +156,10 @@ impl StagingWriter {
                 max: self.layout.slot_payload,
             });
         }
+        let _t = self.stage_ns.span();
         // Ring full: wait for the proxy to drain the oldest slot.
         while self.in_flight.len() >= self.layout.slots as usize {
+            self.ring_full_waits.inc();
             let oldest = *self.in_flight.front().expect("nonempty");
             self.wait_drained(oldest)?;
         }
@@ -154,7 +169,13 @@ impl StagingWriter {
         // Gather the record in local scratch, then ship it with one
         // WRITE_WITH_IMM. The immediate names the slot.
         let mut header = [0u8; RECORD_HEADER as usize];
-        encode_record_header(&mut header, seq, addr_raw, data.len() as u64, checksum(data));
+        encode_record_header(
+            &mut header,
+            seq,
+            addr_raw,
+            data.len() as u64,
+            checksum(data),
+        );
         self.scratch.region().write(self.scratch_off, &header)?;
         self.scratch
             .region()
@@ -171,6 +192,8 @@ impl StagingWriter {
         )?;
 
         self.in_flight.push_back(seq);
+        self.staged.inc();
+        self.occupancy.set(self.in_flight.len() as i64);
         self.next_seq += 1;
         self.next_slot = (self.next_slot + 1) % self.layout.slots;
         Ok(seq)
@@ -198,6 +221,7 @@ impl StagingWriter {
         {
             self.in_flight.pop_front();
         }
+        self.occupancy.set(self.in_flight.len() as i64);
         Ok(self.drained)
     }
 
@@ -243,5 +267,39 @@ mod tests {
     fn tiny_ring_budget_still_usable() {
         let l = RingLayout::for_ring_bytes(100);
         assert!(l.slot_payload >= 64);
+    }
+
+    #[test]
+    fn tiny_ring_bytes_clamp_keeps_slots_addressable() {
+        // Budgets below one minimal slot per ring still produce a layout
+        // whose slot arithmetic is self-consistent: every slot fits inside
+        // ring_bytes() and the clamp floor holds for any budget.
+        for ring_bytes in [0, 1, 63, 64, 100, RECORD_HEADER, RECORD_HEADER + 64, 4096] {
+            let l = RingLayout::for_ring_bytes(ring_bytes);
+            assert!(l.slot_bytes() >= RECORD_HEADER + 64, "budget {ring_bytes}");
+            assert_eq!(l.slots, SLOTS_PER_RING);
+            let last = l.slot_offset(l.slots - 1);
+            assert_eq!(last + l.slot_bytes(), l.ring_bytes());
+        }
+    }
+
+    #[test]
+    fn mount_info_round_trips_the_server_layout() {
+        // The server derives its geometry once; the mount response carries
+        // it and the client reconstructs the identical layout.
+        let server_side = RingLayout::for_ring_bytes(100);
+        let mount = crate::proto::MountInfo {
+            server_id: 1,
+            nvm_rkey: 0,
+            cache_rkey: 0,
+            staging_rkey: 0,
+            ctl_rkey: 0,
+            nvm_capacity: 0,
+            enable_cache: true,
+            enable_proxy: true,
+            slot_payload: server_side.slot_payload,
+            slots_per_ring: server_side.slots,
+        };
+        assert_eq!(mount.ring_layout(), server_side);
     }
 }

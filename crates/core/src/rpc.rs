@@ -192,13 +192,16 @@ mod tests {
         let s_node = fabric.add_node();
         let c_pd = c_node.alloc_pd();
         let s_pd = s_node.alloc_pd();
-        let c_dev =
-            Arc::new(MemDevice::new(0, DeviceProfile::instant(MemKind::Dram), RPC_BUF_BYTES).unwrap());
-        let s_dev =
-            Arc::new(MemDevice::new(1, DeviceProfile::instant(MemKind::Dram), RPC_BUF_BYTES).unwrap());
+        let c_dev = Arc::new(
+            MemDevice::new(0, DeviceProfile::instant(MemKind::Dram), RPC_BUF_BYTES).unwrap(),
+        );
+        let s_dev = Arc::new(
+            MemDevice::new(1, DeviceProfile::instant(MemKind::Dram), RPC_BUF_BYTES).unwrap(),
+        );
         let c_buf = c_pd.reg_mr(MemRegion::whole(c_dev), Access::all()).unwrap();
         let s_buf = s_pd.reg_mr(MemRegion::whole(s_dev), Access::all()).unwrap();
-        let (ce, se) = Endpoint::pair((&c_node, &c_pd), (&s_node, &s_pd), QpOptions::default()).unwrap();
+        let (ce, se) =
+            Endpoint::pair((&c_node, &c_pd), (&s_node, &s_pd), QpOptions::default()).unwrap();
         let client = RpcClient::new(ce, c_buf);
         let server = RpcServerConn::new(se, s_buf);
         (fabric, client, server)

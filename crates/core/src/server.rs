@@ -22,6 +22,7 @@ use gengar_rdma::{
     Access, CompletionQueue, Endpoint, Fabric, MemoryRegion, ProtectionDomain, QpOptions, Qpn,
     QueuePair, RdmaNode, Sge, WcOpcode,
 };
+use gengar_telemetry::{CounterHandle, GaugeHandle, HistogramHandle, TelemetryConfig};
 use parking_lot::{Mutex, RwLock};
 
 use crate::addr::{GlobalAddr, MemClass};
@@ -45,6 +46,33 @@ pub struct ClientChannel {
     pub data: Endpoint,
     /// Proxy endpoint for staged writes.
     pub proxy: Endpoint,
+}
+
+/// Server-side telemetry handles (`proxy.*` drain-side and `server.*`),
+/// resolved once at launch from [`ServerConfig::telemetry`].
+#[derive(Debug, Clone, Default)]
+struct ServerMetrics {
+    /// Completions waiting in the proxy drain CQs (staged records the
+    /// drain threads have not reached yet).
+    drain_backlog: GaugeHandle,
+    /// Staged records durably applied to NVM.
+    drained_records: CounterHandle,
+    /// Latency of draining one staged record.
+    drain_ns: HistogramHandle,
+    /// Control-plane requests served.
+    rpc_requests: CounterHandle,
+}
+
+impl ServerMetrics {
+    fn new(config: TelemetryConfig) -> Self {
+        let tel = config.handle();
+        ServerMetrics {
+            drain_backlog: tel.gauge("proxy", "drain_backlog"),
+            drained_records: tel.counter("proxy", "drained_records"),
+            drain_ns: tel.histogram("proxy", "drain_ns"),
+            rpc_requests: tel.counter("server", "rpc_requests"),
+        }
+    }
 }
 
 struct ClientTable {
@@ -80,6 +108,7 @@ pub(crate) struct ServerInner {
     /// One receive CQ per proxy drain thread; rings are pinned to threads
     /// by client id so each ring's records drain in order.
     proxy_recv_cqs: Vec<Arc<CompletionQueue>>,
+    metrics: ServerMetrics,
     shutdown: AtomicBool,
 }
 
@@ -109,23 +138,37 @@ impl MemoryServer {
     /// # Errors
     ///
     /// Propagates device/region/registration failures.
-    pub fn launch(fabric: &Arc<Fabric>, id: u8, config: ServerConfig) -> Result<Arc<MemoryServer>, GengarError> {
+    pub fn launch(
+        fabric: &Arc<Fabric>,
+        id: u8,
+        config: ServerConfig,
+    ) -> Result<Arc<MemoryServer>, GengarError> {
         let node = fabric.add_node();
         let pd = node.alloc_pd();
         let ring = RingLayout::for_ring_bytes(config.staging_ring_capacity);
 
         let wm_area = round_up(config.max_clients as u64 * 8, 4096);
         let nvm_capacity = wm_area + config.nvm_capacity;
-        let nvm_dev = Arc::new(MemDevice::new(0, config.nvm_profile.clone(), nvm_capacity)?);
-        let cache_dev = Arc::new(MemDevice::new(
+        let nvm_dev = Arc::new(MemDevice::with_telemetry(
+            0,
+            config.nvm_profile.clone(),
+            nvm_capacity,
+            "nvm",
+            config.telemetry,
+        )?);
+        let cache_dev = Arc::new(MemDevice::with_telemetry(
             1,
             config.dram_profile.clone(),
             config.dram_cache_capacity.max(4096),
+            "dram_cache",
+            config.telemetry,
         )?);
-        let staging_dev = Arc::new(MemDevice::new(
+        let staging_dev = Arc::new(MemDevice::with_telemetry(
             2,
             config.staging_profile.clone(),
             ring.ring_bytes() * config.max_clients as u64,
+            "staging",
+            config.telemetry,
         )?);
         let ctl_dev = Arc::new(MemDevice::new(
             3,
@@ -142,10 +185,7 @@ impl MemoryServer {
             staging_dev.enable_crash_sim();
         }
 
-        let nvm_mr = pd.reg_mr(
-            MemRegion::whole(Arc::clone(&nvm_dev)),
-            Access::all(),
-        )?;
+        let nvm_mr = pd.reg_mr(MemRegion::whole(Arc::clone(&nvm_dev)), Access::all())?;
         let cache_mr = pd.reg_mr(
             MemRegion::whole(Arc::clone(&cache_dev)),
             Access::LOCAL_WRITE | Access::REMOTE_READ,
@@ -159,13 +199,22 @@ impl MemoryServer {
             Access::LOCAL_WRITE | Access::REMOTE_READ,
         )?;
 
-        let cache = CacheManager::new(id, MemRegion::whole(Arc::clone(&cache_dev)));
+        let cache = CacheManager::with_telemetry(
+            id,
+            MemRegion::whole(Arc::clone(&cache_dev)),
+            config.telemetry,
+        );
         let inner = Arc::new(ServerInner {
             id,
             ring,
             alloc: Mutex::new(SlabAllocator::new(wm_area, config.nvm_capacity)),
             objects: RwLock::new(BTreeMap::new()),
-            hotness: Mutex::new(HotnessMonitor::new(4096, 4, 1 << 16)),
+            hotness: Mutex::new(HotnessMonitor::with_telemetry(
+                4096,
+                4,
+                1 << 16,
+                config.telemetry,
+            )),
             cache: Mutex::new(cache),
             clients: Mutex::new(ClientTable {
                 next_id: 0,
@@ -175,6 +224,7 @@ impl MemoryServer {
             proxy_recv_cqs: (0..config.proxy_threads.max(1))
                 .map(|_| Arc::new(CompletionQueue::new(65_536)))
                 .collect(),
+            metrics: ServerMetrics::new(config.telemetry),
             shutdown: AtomicBool::new(false),
             config,
             node,
@@ -208,17 +258,10 @@ impl MemoryServer {
         // Proxy drain threads (rings pinned by client id).
         for t in 0..server.inner.proxy_recv_cqs.len() {
             let inner = Arc::clone(&server.inner);
-            server.threads.lock().push(std::thread::spawn(move || {
-                let cq = Arc::clone(&inner.proxy_recv_cqs[t]);
-                while !inner.shutdown.load(Ordering::Relaxed) {
-                    let wcs = cq.wait(64, Duration::from_millis(20));
-                    for wc in wcs {
-                        if wc.opcode == WcOpcode::RecvRdmaWithImm && wc.status.is_ok() {
-                            let _ = inner.drain(wc.qpn, wc.imm.unwrap_or(0));
-                        }
-                    }
-                }
-            }));
+            server
+                .threads
+                .lock()
+                .push(std::thread::spawn(move || inner.drain_loop(t)));
         }
         Ok(server)
     }
@@ -304,7 +347,9 @@ impl MemoryServer {
             let handler_inner = Arc::clone(inner);
             let loop_inner = Arc::clone(inner);
             self.threads.lock().push(std::thread::spawn(move || {
-                conn.serve(&loop_inner.shutdown, move |req| handler_inner.handle(cid, req));
+                conn.serve(&loop_inner.shutdown, move |req| {
+                    handler_inner.handle(cid, req)
+                });
             }));
         }
 
@@ -317,8 +362,7 @@ impl MemoryServer {
 
         // Proxy pair: the server side uses the recv CQ of the drain
         // thread this ring is pinned to.
-        let drain_cq =
-            &inner.proxy_recv_cqs[cid as usize % inner.proxy_recv_cqs.len()];
+        let drain_cq = &inner.proxy_recv_cqs[cid as usize % inner.proxy_recv_cqs.len()];
         let s_proxy = inner.node.create_qp(
             &inner.pd,
             inner.node.create_cq(1024),
@@ -379,17 +423,7 @@ impl MemoryServer {
         }
         for t in 0..self.inner.proxy_recv_cqs.len() {
             let inner = Arc::clone(&self.inner);
-            threads.push(std::thread::spawn(move || {
-                let cq = Arc::clone(&inner.proxy_recv_cqs[t]);
-                while !inner.shutdown.load(Ordering::Relaxed) {
-                    let wcs = cq.wait(64, Duration::from_millis(20));
-                    for wc in wcs {
-                        if wc.opcode == WcOpcode::RecvRdmaWithImm && wc.status.is_ok() {
-                            let _ = inner.drain(wc.qpn, wc.imm.unwrap_or(0));
-                        }
-                    }
-                }
-            }));
+            threads.push(std::thread::spawn(move || inner.drain_loop(t)));
         }
     }
 
@@ -472,8 +506,28 @@ impl Drop for MemoryServer {
 }
 
 impl ServerInner {
+    /// Body of one proxy drain thread: harvest WRITE_WITH_IMM completions
+    /// from the thread's recv CQ and drain the named slots. The backlog
+    /// gauge tracks how many staged records are waiting across harvest and
+    /// drain, so a proxy that falls behind is visible in telemetry.
+    fn drain_loop(&self, t: usize) {
+        let cq = &self.proxy_recv_cqs[t];
+        while !self.shutdown.load(Ordering::Relaxed) {
+            let wcs = cq.wait(64, Duration::from_millis(20));
+            self.metrics
+                .drain_backlog
+                .set((wcs.len() + cq.len()) as i64);
+            for wc in wcs {
+                if wc.opcode == WcOpcode::RecvRdmaWithImm && wc.status.is_ok() {
+                    let _ = self.drain(wc.qpn, wc.imm.unwrap_or(0));
+                }
+            }
+        }
+    }
+
     /// Drains one staged record (proxy thread).
     fn drain(&self, qpn: Qpn, slot: u32) -> Result<(), GengarError> {
+        let _t = self.metrics.drain_ns.span();
         let (cid, qp) = {
             let clients = self.clients.lock();
             let cid = match clients.proxy_clients.get(&qpn) {
@@ -494,17 +548,14 @@ impl ServerInner {
             staging.read(slot_off + crate::layout::RECORD_HEADER, &mut payload)?;
             if checksum(&payload) == rec.checksum {
                 if let Some(addr) = GlobalAddr::from_raw(rec.addr) {
-                    if addr.class() == MemClass::Nvm
-                        && addr.offset() + rec.len <= nvm.len()
-                    {
+                    if addr.class() == MemClass::Nvm && addr.offset() + rec.len <= nvm.len() {
                         let off = addr.offset();
                         nvm.write(off, &payload)?;
                         nvm.flush(off, rec.len)?;
                         // Keep the cached copy fresh.
                         if self.config.enable_cache {
                             if let Some((base, _len)) = self.containing_object(off) {
-                                let base_raw =
-                                    GlobalAddr::new(self.id, MemClass::Nvm, base).raw();
+                                let base_raw = GlobalAddr::new(self.id, MemClass::Nvm, base).raw();
                                 let rel = off - base;
                                 let _ = self.cache.lock().update_range(base_raw, rel, &payload);
                             }
@@ -515,6 +566,7 @@ impl ServerInner {
                         nvm.store_u64(wm_off, rec.seq)?;
                         nvm.flush(wm_off, 8)?;
                         self.ctl_mr.region().store_u64(cid as u64 * 8, rec.seq)?;
+                        self.metrics.drained_records.inc();
                     }
                 }
             }
@@ -567,7 +619,12 @@ impl ServerInner {
                 continue;
             }
             let mut payload = vec![0u8; len as usize];
-            if self.nvm_mr.region().read(addr.offset(), &mut payload).is_err() {
+            if self
+                .nvm_mr
+                .region()
+                .read(addr.offset(), &mut payload)
+                .is_err()
+            {
                 continue;
             }
             let _ = self.cache.lock().promote(addr, &payload, score);
@@ -576,6 +633,7 @@ impl ServerInner {
 
     /// Control-plane request dispatch (RPC threads).
     fn handle(&self, cid: u32, req: Request) -> Response {
+        self.metrics.rpc_requests.inc();
         match req {
             Request::Mount => Response::Mount(MountInfo {
                 server_id: self.id,

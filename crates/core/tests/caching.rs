@@ -34,7 +34,11 @@ fn wait_for_hit(client: &mut gengar_core::GengarClient, ptr: gengar_core::Global
     let deadline = Instant::now() + Duration::from_secs(10);
     while client.stats().cache_hits == before {
         client.read(ptr, 0, &mut buf).unwrap();
-        assert!(Instant::now() < deadline, "no promotion: {:?}", client.stats());
+        assert!(
+            Instant::now() < deadline,
+            "no promotion: {:?}",
+            client.stats()
+        );
     }
 }
 

@@ -3,7 +3,6 @@
 
 use gengar_core::cluster::Cluster;
 use gengar_core::config::{ClientConfig, ServerConfig};
-use gengar_core::pool::DshmPool;
 use gengar_core::GengarError;
 use gengar_rdma::FabricConfig;
 

@@ -147,15 +147,17 @@ fn many_staged_writes_wrap_the_ring() {
     client.drain_all().unwrap();
     let mut buf = [0u8; 64];
     client.read(ptr, 0, &mut buf).unwrap();
-    assert!(buf.iter().all(|&b| b == (199 % 251) as u8));
+    assert!(buf.iter().all(|&b| b == 199u8));
     assert!(client.stats().staged_writes == 200);
 }
 
 #[test]
 fn hot_objects_get_cached_and_served_from_dram() {
     let cluster = small_cluster(1);
-    let mut config = ClientConfig::default();
-    config.report_every = 8;
+    let config = ClientConfig {
+        report_every: 8,
+        ..ClientConfig::default()
+    };
     let mut client = cluster.client(config).unwrap();
     let ptr = client.alloc(0, 512).unwrap();
     client.write(ptr, 0, &[7u8; 512]).unwrap();
@@ -182,8 +184,10 @@ fn hot_objects_get_cached_and_served_from_dram() {
 #[test]
 fn cached_copy_stays_fresh_across_proxied_writes() {
     let cluster = small_cluster(1);
-    let mut config = ClientConfig::default();
-    config.report_every = 8;
+    let config = ClientConfig {
+        report_every: 8,
+        ..ClientConfig::default()
+    };
     let mut client = cluster.client(config).unwrap();
     let ptr = client.alloc(0, 64).unwrap();
     client.write(ptr, 0, &[1u8; 64]).unwrap();
@@ -208,9 +212,11 @@ fn cached_copy_stays_fresh_across_proxied_writes() {
 #[test]
 fn direct_writes_invalidate_the_cache() {
     let cluster = small_cluster(1);
-    let mut config = ClientConfig::default();
-    config.report_every = 8;
-    config.consistency = Consistency::Seqlock; // forces the direct path
+    let config = ClientConfig {
+        report_every: 8,
+        consistency: Consistency::Seqlock, // forces the direct path
+        ..ClientConfig::default()
+    };
     let mut client = cluster.client(config).unwrap();
     let ptr = client.alloc(0, 64).unwrap();
     client.write(ptr, 0, &[1u8; 64]).unwrap();

@@ -4,8 +4,8 @@ use gengar_core::addr::{GlobalAddr, MemClass};
 use gengar_core::alloc::{SlabAllocator, MAX_CLASS};
 use gengar_core::hotness::{AccessEntry, CountMinSketch, HotnessMonitor};
 use gengar_core::layout::{
-    checksum, decode_record_header, decode_slot_header, encode_record_header,
-    encode_slot_header, lockword,
+    checksum, decode_record_header, decode_slot_header, encode_record_header, encode_slot_header,
+    lockword,
 };
 use gengar_core::proto::{Request, Response};
 use proptest::prelude::*;

@@ -37,26 +37,35 @@ impl BandwidthLimiter {
         self.bytes_per_sec
     }
 
+    /// Occupies the channel for `bytes` worth of transfer time and returns
+    /// the instant this transfer's slot completes, without waiting. Returns
+    /// `None` when no wait is needed (unlimited rate, zero bytes, or time
+    /// scale 0). Use this to model one transfer flowing through several
+    /// channels concurrently: reserve all of them, then wait for the latest
+    /// deadline.
+    pub fn reserve(&self, bytes: u64) -> Option<Instant> {
+        if self.bytes_per_sec == u64::MAX || bytes == 0 {
+            return None;
+        }
+        let scale = time_scale();
+        if scale == 0.0 {
+            return None;
+        }
+        let dur = Duration::from_secs_f64(bytes as f64 / self.bytes_per_sec as f64 * scale);
+        let mut next_free = self.next_free.lock();
+        let now = Instant::now();
+        let start = (*next_free).max(now);
+        *next_free = start + dur;
+        Some(*next_free)
+    }
+
     /// Occupies the channel for `bytes` worth of transfer time and
     /// busy-waits until this transfer's slot completes. Scaled by the
     /// global time scale; at scale 0 this returns immediately.
     pub fn acquire(&self, bytes: u64) {
-        if self.bytes_per_sec == u64::MAX || bytes == 0 {
-            return;
+        if let Some(deadline) = self.reserve(bytes) {
+            spin_until(deadline);
         }
-        let scale = time_scale();
-        if scale == 0.0 {
-            return;
-        }
-        let dur = Duration::from_secs_f64(bytes as f64 / self.bytes_per_sec as f64 * scale);
-        let deadline = {
-            let mut next_free = self.next_free.lock();
-            let now = Instant::now();
-            let start = (*next_free).max(now);
-            *next_free = start + dur;
-            *next_free
-        };
-        spin_until(deadline);
     }
 }
 

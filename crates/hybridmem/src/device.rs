@@ -96,6 +96,25 @@ impl MemDevice {
         })
     }
 
+    /// Creates a device whose [`DeviceStats`] also feed the global
+    /// telemetry registry under `device.{role}_*` (see
+    /// [`DeviceStats::registered`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HybridMemError::InvalidCapacity`] if `capacity` is zero.
+    pub fn with_telemetry(
+        id: DeviceId,
+        profile: DeviceProfile,
+        capacity: u64,
+        role: &str,
+        telemetry: gengar_telemetry::TelemetryConfig,
+    ) -> Result<Self> {
+        let mut dev = Self::new(id, profile, capacity)?;
+        dev.stats = DeviceStats::registered(role, telemetry);
+        Ok(dev)
+    }
+
     /// The device identifier.
     pub fn id(&self) -> DeviceId {
         self.id
@@ -117,7 +136,10 @@ impl MemDevice {
     }
 
     fn check(&self, offset: u64, len: u64) -> Result<()> {
-        if offset.checked_add(len).is_none_or(|end| end > self.backing.capacity) {
+        if offset
+            .checked_add(len)
+            .is_none_or(|end| end > self.backing.capacity)
+        {
             return Err(HybridMemError::OutOfBounds {
                 offset,
                 len,
@@ -129,7 +151,7 @@ impl MemDevice {
 
     fn check_aligned(&self, offset: u64) -> Result<()> {
         self.check(offset, 8)?;
-        if offset % 8 != 0 {
+        if !offset.is_multiple_of(8) {
             return Err(HybridMemError::Misaligned { offset });
         }
         Ok(())
@@ -228,8 +250,14 @@ impl MemDevice {
         self.check(dst_offset, len)?;
         src.check(src_offset, len)?;
         spin_for_ns(src.profile.read_latency_ns + self.profile.write_latency_ns);
-        src.read_bw.acquire(len);
-        self.write_bw.acquire(len);
+        // The DMA engine streams: the source-read and destination-write
+        // channels are occupied concurrently, so the transfer's latency is
+        // the slower of the two, not their sum.
+        let src_done = src.read_bw.reserve(len);
+        let dst_done = self.write_bw.reserve(len);
+        if let Some(deadline) = src_done.max(dst_done) {
+            crate::latency::spin_until(deadline);
+        }
         // SAFETY: both ranges bounds-checked; devices are distinct
         // allocations (and a same-device overlapping copy is still sound
         // with `copy`, which allows overlap).
@@ -306,7 +334,11 @@ impl MemDevice {
     /// [`HybridMemError::OutOfBounds`].
     pub fn cas_u64(&self, offset: u64, expected: u64, new: u64) -> Result<u64> {
         let w = self.word(offset)?;
-        spin_for_ns(self.profile.read_latency_ns.max(self.profile.write_latency_ns));
+        spin_for_ns(
+            self.profile
+                .read_latency_ns
+                .max(self.profile.write_latency_ns),
+        );
         self.stats.record_atomic();
         let observed = match w.compare_exchange(expected, new, Ordering::AcqRel, Ordering::Acquire)
         {
@@ -329,7 +361,11 @@ impl MemDevice {
     /// [`HybridMemError::OutOfBounds`].
     pub fn faa_u64(&self, offset: u64, delta: u64) -> Result<u64> {
         let w = self.word(offset)?;
-        spin_for_ns(self.profile.read_latency_ns.max(self.profile.write_latency_ns));
+        spin_for_ns(
+            self.profile
+                .read_latency_ns
+                .max(self.profile.write_latency_ns),
+        );
         self.stats.record_atomic();
         let prev = w.fetch_add(delta, Ordering::AcqRel);
         if self.profile.persistence == PersistenceMode::Adr {

@@ -27,7 +27,11 @@ impl MemRegion {
     /// Returns [`HybridMemError::InvalidRegion`] if the window is empty or
     /// exceeds the device capacity.
     pub fn new(device: Arc<MemDevice>, base: u64, len: u64) -> Result<Self> {
-        if len == 0 || base.checked_add(len).is_none_or(|end| end > device.capacity()) {
+        if len == 0
+            || base
+                .checked_add(len)
+                .is_none_or(|end| end > device.capacity())
+        {
             return Err(HybridMemError::InvalidRegion { offset: base, len });
         }
         Ok(MemRegion { device, base, len })

@@ -104,6 +104,8 @@ mod tests {
     #[test]
     fn invalid_capacity_propagates() {
         let reg = DeviceRegistry::new();
-        assert!(reg.create(DeviceProfile::instant(MemKind::Dram), 0).is_err());
+        assert!(reg
+            .create(DeviceProfile::instant(MemKind::Dram), 0)
+            .is_err());
     }
 }

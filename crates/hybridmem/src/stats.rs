@@ -1,19 +1,35 @@
 //! Per-device access counters.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use gengar_telemetry::{Counter, CounterHandle, TelemetryConfig};
 
 /// Lock-free access counters maintained by every [`crate::MemDevice`].
 ///
-/// Counters are advisory (Relaxed ordering); they are read by benchmarks and
-/// the hotness experiments, never by correctness-critical code.
+/// Counters are advisory (relaxed ordering); they are read by benchmarks and
+/// the hotness experiments, never by correctness-critical code. The fields
+/// are [`gengar_telemetry::Counter`]s owned by the device — per-instance
+/// truth is never shared — and a device created with
+/// [`crate::MemDevice::with_telemetry`] additionally mirrors every bump into
+/// the global registry under `device.{role}_*` so harness snapshots see it.
 #[derive(Debug, Default)]
 pub struct DeviceStats {
-    reads: AtomicU64,
-    writes: AtomicU64,
-    read_bytes: AtomicU64,
-    write_bytes: AtomicU64,
-    flushes: AtomicU64,
-    atomics: AtomicU64,
+    reads: Counter,
+    writes: Counter,
+    read_bytes: Counter,
+    write_bytes: Counter,
+    flushes: Counter,
+    atomics: Counter,
+    mirror: Mirror,
+}
+
+/// Global-registry mirror handles; all no-ops for unregistered devices.
+#[derive(Debug, Default)]
+struct Mirror {
+    reads: CounterHandle,
+    writes: CounterHandle,
+    read_bytes: CounterHandle,
+    write_bytes: CounterHandle,
+    flushes: CounterHandle,
+    atomics: CounterHandle,
 }
 
 /// A point-in-time copy of [`DeviceStats`].
@@ -34,38 +50,62 @@ pub struct StatsSnapshot {
 }
 
 impl DeviceStats {
-    /// Creates zeroed counters.
+    /// Creates zeroed counters with no registry mirror.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Creates zeroed counters that also feed the global registry under
+    /// `device.{role}_reads`, `device.{role}_write_bytes`, … when
+    /// `telemetry` is enabled.
+    pub fn registered(role: &str, telemetry: TelemetryConfig) -> Self {
+        let tel = telemetry.handle();
+        DeviceStats {
+            mirror: Mirror {
+                reads: tel.counter("device", &format!("{role}_reads")),
+                writes: tel.counter("device", &format!("{role}_writes")),
+                read_bytes: tel.counter("device", &format!("{role}_read_bytes")),
+                write_bytes: tel.counter("device", &format!("{role}_write_bytes")),
+                flushes: tel.counter("device", &format!("{role}_flushes")),
+                atomics: tel.counter("device", &format!("{role}_atomics")),
+            },
+            ..Default::default()
+        }
+    }
+
     pub(crate) fn record_read(&self, bytes: u64) {
-        self.reads.fetch_add(1, Ordering::Relaxed);
-        self.read_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.reads.inc();
+        self.read_bytes.add(bytes);
+        self.mirror.reads.inc();
+        self.mirror.read_bytes.add(bytes);
     }
 
     pub(crate) fn record_write(&self, bytes: u64) {
-        self.writes.fetch_add(1, Ordering::Relaxed);
-        self.write_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.writes.inc();
+        self.write_bytes.add(bytes);
+        self.mirror.writes.inc();
+        self.mirror.write_bytes.add(bytes);
     }
 
     pub(crate) fn record_flush(&self) {
-        self.flushes.fetch_add(1, Ordering::Relaxed);
+        self.flushes.inc();
+        self.mirror.flushes.inc();
     }
 
     pub(crate) fn record_atomic(&self) {
-        self.atomics.fetch_add(1, Ordering::Relaxed);
+        self.atomics.inc();
+        self.mirror.atomics.inc();
     }
 
     /// Returns a consistent-enough snapshot of all counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
-            reads: self.reads.load(Ordering::Relaxed),
-            writes: self.writes.load(Ordering::Relaxed),
-            read_bytes: self.read_bytes.load(Ordering::Relaxed),
-            write_bytes: self.write_bytes.load(Ordering::Relaxed),
-            flushes: self.flushes.load(Ordering::Relaxed),
-            atomics: self.atomics.load(Ordering::Relaxed),
+            reads: self.reads.get(),
+            writes: self.writes.get(),
+            read_bytes: self.read_bytes.get(),
+            write_bytes: self.write_bytes.get(),
+            flushes: self.flushes.get(),
+            atomics: self.atomics.get(),
         }
     }
 }
@@ -94,5 +134,33 @@ mod tests {
     #[test]
     fn snapshot_default_is_zero() {
         assert_eq!(DeviceStats::new().snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn registered_stats_mirror_into_global_registry() {
+        use gengar_telemetry::Registry;
+        let before = Registry::global()
+            .snapshot()
+            .counter("device.statstest_reads")
+            .unwrap_or(0);
+        let s = DeviceStats::registered("statstest", TelemetryConfig::enabled());
+        s.record_read(8);
+        s.record_read(8);
+        let after = Registry::global()
+            .snapshot()
+            .counter("device.statstest_reads")
+            .unwrap_or(0);
+        assert!(after >= before + 2);
+        // Per-instance truth is still local to this value.
+        assert_eq!(s.snapshot().reads, 2);
+    }
+
+    #[test]
+    fn disabled_telemetry_keeps_local_counts() {
+        let s = DeviceStats::registered("off", TelemetryConfig::disabled());
+        s.record_write(4);
+        s.record_atomic();
+        assert_eq!(s.snapshot().writes, 1);
+        assert_eq!(s.snapshot().atomics, 1);
     }
 }

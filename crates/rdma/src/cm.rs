@@ -57,12 +57,7 @@ impl Endpoint {
             a_node.create_cq(4096),
             opts.clone(),
         );
-        let qb = b_node.create_qp(
-            b_pd,
-            b_node.create_cq(4096),
-            b_node.create_cq(4096),
-            opts,
-        );
+        let qb = b_node.create_qp(b_pd, b_node.create_cq(4096), b_node.create_cq(4096), opts);
         qa.connect(b_node.id(), qb.qpn())?;
         qb.connect(a_node.id(), qa.qpn())?;
         Ok((

@@ -135,11 +135,7 @@ impl CompletionQueue {
             if now >= deadline {
                 return Vec::new();
             }
-            if self
-                .available
-                .wait_until(&mut inner, deadline)
-                .timed_out()
-            {
+            if self.available.wait_until(&mut inner, deadline).timed_out() {
                 break;
             }
         }

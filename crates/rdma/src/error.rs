@@ -74,7 +74,11 @@ impl fmt::Display for RdmaError {
             RdmaError::QpNotFound(n, q) => write!(f, "no queue pair {q} on {n}"),
             RdmaError::UnknownLKey(k) => write!(f, "unknown local key {k:#x}"),
             RdmaError::UnknownRKey(k) => write!(f, "unknown remote key {k}"),
-            RdmaError::LocalAccessOutOfBounds { offset, len, mr_len } => write!(
+            RdmaError::LocalAccessOutOfBounds {
+                offset,
+                len,
+                mr_len,
+            } => write!(
                 f,
                 "local sge [{offset}, {offset}+{len}) out of bounds for MR of {mr_len} bytes"
             ),

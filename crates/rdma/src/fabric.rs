@@ -4,16 +4,32 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
-use gengar_hybridmem::latency::spin_for_ns;
+use gengar_hybridmem::latency::{spin_for_ns, spin_until};
+use gengar_hybridmem::BandwidthLimiter;
+use gengar_telemetry::TelemetryConfig;
 use parking_lot::RwLock;
 
-use crate::cq::{Wc, WcOpcode, WcStatus};
+use crate::cq::{CompletionQueue, Wc, WcOpcode, WcStatus};
 use crate::error::RdmaError;
+use crate::metrics::FabricMetrics;
 use crate::mr::MemoryRegion;
 use crate::node::RdmaNode;
 use crate::qp::QueuePair;
 use crate::types::{Access, NodeId, RemoteAddr};
 use crate::wr::{Payload, SendOp, SendWr, Sge};
+
+/// Occupies both NIC ports for one transfer's bytes and waits for the
+/// later deadline. The same bytes flow through both ports concurrently
+/// (cut-through forwarding), so the transfer's latency is the slower
+/// channel, not the sum — while each port still stays busy for the full
+/// transfer time, so saturation effects are preserved per node.
+fn occupy_ports(a: &BandwidthLimiter, b: &BandwidthLimiter, bytes: u64) {
+    let da = a.reserve(bytes);
+    let db = b.reserve(bytes);
+    if let Some(deadline) = da.max(db) {
+        spin_until(deadline);
+    }
+}
 
 /// Timing parameters of the simulated network.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,6 +44,9 @@ pub struct FabricConfig {
     pub nic_bw_bytes_per_sec: u64,
     /// Extra cost of remote atomics (PCIe round trip on the responder).
     pub atomic_extra_ns: u64,
+    /// Whether the verbs layer records telemetry (per-verb counters,
+    /// completion latency histograms) into the global registry.
+    pub telemetry: TelemetryConfig,
 }
 
 impl FabricConfig {
@@ -40,6 +59,7 @@ impl FabricConfig {
             nic_rx_ns: 150,
             nic_bw_bytes_per_sec: 12_500_000_000,
             atomic_extra_ns: 100,
+            telemetry: TelemetryConfig::default(),
         }
     }
 
@@ -51,6 +71,7 @@ impl FabricConfig {
             nic_rx_ns: 0,
             nic_bw_bytes_per_sec: u64::MAX,
             atomic_extra_ns: 0,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -77,11 +98,7 @@ impl Gathered {
     }
 
     /// Places the payload into `dst` at `offset` with one copy pass.
-    fn place_into(
-        &self,
-        dst: &gengar_hybridmem::MemRegion,
-        offset: u64,
-    ) -> Result<(), RdmaError> {
+    fn place_into(&self, dst: &gengar_hybridmem::MemRegion, offset: u64) -> Result<(), RdmaError> {
         match self {
             Gathered::Bytes(b) => dst.write(offset, b)?,
             Gathered::Mr(mr, src_off, len) => {
@@ -105,6 +122,7 @@ pub struct Fabric {
     next_node: AtomicU32,
     nodes: RwLock<HashMap<NodeId, Arc<RdmaNode>>>,
     faults: RwLock<HashMap<(NodeId, NodeId), LinkFault>>,
+    metrics: FabricMetrics,
 }
 
 impl std::fmt::Debug for Fabric {
@@ -127,11 +145,13 @@ fn link_key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
 impl Fabric {
     /// Creates an empty fabric.
     pub fn new(config: FabricConfig) -> Arc<Self> {
+        let metrics = FabricMetrics::new(config.telemetry);
         Arc::new(Fabric {
             config,
             next_node: AtomicU32::new(0),
             nodes: RwLock::new(HashMap::new()),
             faults: RwLock::new(HashMap::new()),
+            metrics,
         })
     }
 
@@ -143,7 +163,12 @@ impl Fabric {
     /// Attaches a new node and returns its context.
     pub fn add_node(self: &Arc<Self>) -> Arc<RdmaNode> {
         let id = NodeId(self.next_node.fetch_add(1, Ordering::Relaxed));
-        let node = RdmaNode::new(id, Arc::downgrade(self), self.config.nic_bw_bytes_per_sec);
+        let node = RdmaNode::new(
+            id,
+            Arc::downgrade(self),
+            self.config.nic_bw_bytes_per_sec,
+            self.metrics.clone(),
+        );
         self.nodes.write().insert(id, Arc::clone(&node));
         node
     }
@@ -166,12 +191,20 @@ impl Fabric {
 
     /// Partitions (or heals) the link between `a` and `b`.
     pub fn partition(&self, a: NodeId, b: NodeId, partitioned: bool) {
-        self.faults.write().entry(link_key(a, b)).or_default().partitioned = partitioned;
+        self.faults
+            .write()
+            .entry(link_key(a, b))
+            .or_default()
+            .partitioned = partitioned;
     }
 
     /// Adds fixed extra one-way delay on the link between `a` and `b`.
     pub fn set_extra_delay_ns(&self, a: NodeId, b: NodeId, delay_ns: u64) {
-        self.faults.write().entry(link_key(a, b)).or_default().extra_delay_ns = delay_ns;
+        self.faults
+            .write()
+            .entry(link_key(a, b))
+            .or_default()
+            .extra_delay_ns = delay_ns;
     }
 
     fn fault(&self, a: NodeId, b: NodeId) -> LinkFault {
@@ -196,7 +229,10 @@ impl Fabric {
         };
         if mr.pd_id() != dst_pd
             || !mr.access().contains(need)
-            || raddr.offset.checked_add(len).is_none_or(|end| end > mr.len())
+            || raddr
+                .offset
+                .checked_add(len)
+                .is_none_or(|end| end > mr.len())
         {
             return Err(WcStatus::RemoteAccessError);
         }
@@ -205,18 +241,18 @@ impl Fabric {
 
     /// Resolves the local side of a payload/sge, failing fast on
     /// programming errors.
-    fn local_mr(
-        src: &Arc<RdmaNode>,
-        qp_pd: u32,
-        sge: Sge,
-    ) -> Result<Arc<MemoryRegion>, RdmaError> {
+    fn local_mr(src: &Arc<RdmaNode>, qp_pd: u32, sge: Sge) -> Result<Arc<MemoryRegion>, RdmaError> {
         let mr = src
             .mr_by_key(sge.lkey.0)
             .ok_or(RdmaError::UnknownLKey(sge.lkey.0))?;
         if mr.pd_id() != qp_pd {
             return Err(RdmaError::UnknownLKey(sge.lkey.0));
         }
-        if sge.offset.checked_add(sge.len).is_none_or(|end| end > mr.len()) {
+        if sge
+            .offset
+            .checked_add(sge.len)
+            .is_none_or(|end| end > mr.len())
+        {
             return Err(RdmaError::LocalAccessOutOfBounds {
                 offset: sge.offset,
                 len: sge.len,
@@ -249,16 +285,42 @@ impl Fabric {
         }
     }
 
-    fn complete(qp: &Arc<QueuePair>, wr: &SendWr, status: WcStatus, opcode: WcOpcode, byte_len: u64) {
+    /// Pushes a work completion onto `cq`, counting it (or the overflow)
+    /// in the fabric metrics. Every CQ push goes through here, so CQs the
+    /// application constructed directly are covered too.
+    fn push_wc(&self, cq: &CompletionQueue, wc: Wc) {
+        if cq.push(wc) {
+            self.metrics.cq_completions.inc();
+        } else {
+            self.metrics.cq_overflows.inc();
+        }
+    }
+
+    fn complete(
+        &self,
+        qp: &Arc<QueuePair>,
+        wr: &SendWr,
+        status: WcStatus,
+        opcode: WcOpcode,
+        byte_len: u64,
+    ) {
+        if status == WcStatus::Success {
+            self.metrics.verb(opcode).bytes.add(byte_len);
+        } else {
+            self.metrics.error_completions.inc();
+        }
         if wr.signaled || status != WcStatus::Success {
-            qp.send_cq().push(Wc {
-                wr_id: wr.wr_id,
-                status,
-                opcode,
-                byte_len,
-                imm: None,
-                qpn: qp.qpn(),
-            });
+            self.push_wc(
+                qp.send_cq(),
+                Wc {
+                    wr_id: wr.wr_id,
+                    status,
+                    opcode,
+                    byte_len,
+                    imm: None,
+                    qpn: qp.qpn(),
+                },
+            );
         }
         if status != WcStatus::Success {
             qp.set_error();
@@ -296,20 +358,26 @@ impl Fabric {
             }
         };
 
+        // Past the programming-error checks the verb is on the wire: count
+        // it and time it to completion (error completions included).
+        let verb = self.metrics.verb(sender_opcode);
+        verb.ops.inc();
+        let _lat = verb.lat_ns.span();
+
         let cfg = &self.config;
         let fault = self.fault(src.id(), dst_id);
         let dst = match self.node(dst_id) {
             Some(d) if !fault.partitioned => d,
             _ => {
                 // Transport retry exceeded: error completion, QP to error.
-                Self::complete(qp, &wr, WcStatus::TransportError, sender_opcode, 0);
+                self.complete(qp, &wr, WcStatus::TransportError, sender_opcode, 0);
                 return Ok(());
             }
         };
         let dst_qp = match dst.qp(dst_qpn) {
             Some(q) => q,
             None => {
-                Self::complete(qp, &wr, WcStatus::TransportError, sender_opcode, 0);
+                self.complete(qp, &wr, WcStatus::TransportError, sender_opcode, 0);
                 return Ok(());
             }
         };
@@ -321,12 +389,17 @@ impl Fabric {
             SendOp::Write { remote, imm, .. } => {
                 let data = payload.expect("write has payload");
                 let len = data.len();
-                src.nic_bw().acquire(len);
-                dst.nic_bw().acquire(len);
-                let mr = match Self::remote_mr(&dst, dst_qp.pd_id(), remote, len, Access::REMOTE_WRITE) {
+                occupy_ports(src.nic_bw(), dst.nic_bw(), len);
+                let mr = match Self::remote_mr(
+                    &dst,
+                    dst_qp.pd_id(),
+                    remote,
+                    len,
+                    Access::REMOTE_WRITE,
+                ) {
                     Ok(mr) => mr,
                     Err(status) => {
-                        Self::complete(qp, &wr, status, sender_opcode, 0);
+                        self.complete(qp, &wr, status, sender_opcode, 0);
                         return Ok(());
                     }
                 };
@@ -335,95 +408,101 @@ impl Fabric {
                     // WRITE_WITH_IMM consumes a receive at the target.
                     match dst_qp.take_recv() {
                         Some(recv) => {
-                            dst_qp.recv_cq().push(Wc {
-                                wr_id: recv.wr_id,
-                                status: WcStatus::Success,
-                                opcode: WcOpcode::RecvRdmaWithImm,
-                                byte_len: len,
-                                imm: Some(imm),
-                                qpn: dst_qp.qpn(),
-                            });
+                            self.push_wc(
+                                dst_qp.recv_cq(),
+                                Wc {
+                                    wr_id: recv.wr_id,
+                                    status: WcStatus::Success,
+                                    opcode: WcOpcode::RecvRdmaWithImm,
+                                    byte_len: len,
+                                    imm: Some(imm),
+                                    qpn: dst_qp.qpn(),
+                                },
+                            );
                         }
                         None => {
-                            Self::complete(qp, &wr, WcStatus::RnrRetryExceeded, sender_opcode, 0);
+                            self.complete(qp, &wr, WcStatus::RnrRetryExceeded, sender_opcode, 0);
                             return Ok(());
                         }
                     }
                 }
                 spin_for_ns(cfg.one_way_ns + fault.extra_delay_ns);
-                Self::complete(qp, &wr, WcStatus::Success, sender_opcode, len);
+                self.complete(qp, &wr, WcStatus::Success, sender_opcode, len);
             }
             SendOp::Read { local, remote } => {
                 let len = local.len;
-                let mr = match Self::remote_mr(&dst, dst_qp.pd_id(), remote, len, Access::REMOTE_READ) {
-                    Ok(mr) => mr,
-                    Err(status) => {
-                        Self::complete(qp, &wr, status, sender_opcode, 0);
-                        return Ok(());
-                    }
-                };
-                dst.nic_bw().acquire(len);
-                src.nic_bw().acquire(len);
+                let mr =
+                    match Self::remote_mr(&dst, dst_qp.pd_id(), remote, len, Access::REMOTE_READ) {
+                        Ok(mr) => mr,
+                        Err(status) => {
+                            self.complete(qp, &wr, status, sender_opcode, 0);
+                            return Ok(());
+                        }
+                    };
+                occupy_ports(dst.nic_bw(), src.nic_bw(), len);
                 spin_for_ns(cfg.one_way_ns + fault.extra_delay_ns);
                 let local_mr = Self::local_mr(src, qp.pd_id(), local)?;
                 // Response data DMAs straight into the local MR.
                 local_mr
                     .region()
                     .copy_from(local.offset, mr.region(), remote.offset, len)?;
-                Self::complete(qp, &wr, WcStatus::Success, sender_opcode, len);
+                self.complete(qp, &wr, WcStatus::Success, sender_opcode, len);
             }
             SendOp::Send { imm, .. } => {
                 let data = payload.expect("send has payload");
                 let len = data.len();
-                src.nic_bw().acquire(len);
-                dst.nic_bw().acquire(len);
+                occupy_ports(src.nic_bw(), dst.nic_bw(), len);
                 let recv = match dst_qp.take_recv() {
                     Some(r) => r,
                     None => {
-                        Self::complete(qp, &wr, WcStatus::RnrRetryExceeded, sender_opcode, 0);
+                        self.complete(qp, &wr, WcStatus::RnrRetryExceeded, sender_opcode, 0);
                         return Ok(());
                     }
                 };
                 // Scatter into the posted receive buffer on the target node.
-                let scatter = dst
-                    .mr_by_key(recv.sge.lkey.0)
-                    .filter(|mr| {
-                        mr.pd_id() == dst_qp.pd_id()
-                            && recv
-                                .sge
-                                .offset
-                                .checked_add(len)
-                                .is_some_and(|end| end <= mr.len())
-                            && len <= recv.sge.len
-                    });
+                let scatter = dst.mr_by_key(recv.sge.lkey.0).filter(|mr| {
+                    mr.pd_id() == dst_qp.pd_id()
+                        && recv
+                            .sge
+                            .offset
+                            .checked_add(len)
+                            .is_some_and(|end| end <= mr.len())
+                        && len <= recv.sge.len
+                });
                 let scatter = match scatter {
                     Some(mr) => mr,
                     None => {
                         // Receiver-side length/key error: both sides learn.
-                        dst_qp.recv_cq().push(Wc {
-                            wr_id: recv.wr_id,
-                            status: WcStatus::RemoteAccessError,
-                            opcode: WcOpcode::Recv,
-                            byte_len: 0,
-                            imm: None,
-                            qpn: dst_qp.qpn(),
-                        });
+                        self.push_wc(
+                            dst_qp.recv_cq(),
+                            Wc {
+                                wr_id: recv.wr_id,
+                                status: WcStatus::RemoteAccessError,
+                                opcode: WcOpcode::Recv,
+                                byte_len: 0,
+                                imm: None,
+                                qpn: dst_qp.qpn(),
+                            },
+                        );
                         dst_qp.set_error();
-                        Self::complete(qp, &wr, WcStatus::RemoteAccessError, sender_opcode, 0);
+                        self.complete(qp, &wr, WcStatus::RemoteAccessError, sender_opcode, 0);
                         return Ok(());
                     }
                 };
                 data.place_into(scatter.region(), recv.sge.offset)?;
-                dst_qp.recv_cq().push(Wc {
-                    wr_id: recv.wr_id,
-                    status: WcStatus::Success,
-                    opcode: WcOpcode::Recv,
-                    byte_len: len,
-                    imm,
-                    qpn: dst_qp.qpn(),
-                });
+                self.push_wc(
+                    dst_qp.recv_cq(),
+                    Wc {
+                        wr_id: recv.wr_id,
+                        status: WcStatus::Success,
+                        opcode: WcOpcode::Recv,
+                        byte_len: len,
+                        imm,
+                        qpn: dst_qp.qpn(),
+                    },
+                );
                 spin_for_ns(cfg.one_way_ns + fault.extra_delay_ns);
-                Self::complete(qp, &wr, WcStatus::Success, sender_opcode, len);
+                self.complete(qp, &wr, WcStatus::Success, sender_opcode, len);
             }
             SendOp::CompareSwap {
                 local,
@@ -432,45 +511,47 @@ impl Fabric {
                 swap,
             } => {
                 spin_for_ns(cfg.atomic_extra_ns);
-                let mr = match Self::remote_mr(&dst, dst_qp.pd_id(), remote, 8, Access::REMOTE_ATOMIC) {
-                    Ok(mr) => mr,
-                    Err(status) => {
-                        Self::complete(qp, &wr, status, sender_opcode, 0);
-                        return Ok(());
-                    }
-                };
+                let mr =
+                    match Self::remote_mr(&dst, dst_qp.pd_id(), remote, 8, Access::REMOTE_ATOMIC) {
+                        Ok(mr) => mr,
+                        Err(status) => {
+                            self.complete(qp, &wr, status, sender_opcode, 0);
+                            return Ok(());
+                        }
+                    };
                 let prev = match mr.region().cas_u64(remote.offset, expected, swap) {
                     Ok(prev) => prev,
                     Err(_) => {
-                        Self::complete(qp, &wr, WcStatus::RemoteAccessError, sender_opcode, 0);
+                        self.complete(qp, &wr, WcStatus::RemoteAccessError, sender_opcode, 0);
                         return Ok(());
                     }
                 };
                 spin_for_ns(cfg.one_way_ns + fault.extra_delay_ns);
                 let local_mr = Self::local_mr(src, qp.pd_id(), local)?;
                 local_mr.region().write(local.offset, &prev.to_le_bytes())?;
-                Self::complete(qp, &wr, WcStatus::Success, sender_opcode, 8);
+                self.complete(qp, &wr, WcStatus::Success, sender_opcode, 8);
             }
             SendOp::FetchAdd { local, remote, add } => {
                 spin_for_ns(cfg.atomic_extra_ns);
-                let mr = match Self::remote_mr(&dst, dst_qp.pd_id(), remote, 8, Access::REMOTE_ATOMIC) {
-                    Ok(mr) => mr,
-                    Err(status) => {
-                        Self::complete(qp, &wr, status, sender_opcode, 0);
-                        return Ok(());
-                    }
-                };
+                let mr =
+                    match Self::remote_mr(&dst, dst_qp.pd_id(), remote, 8, Access::REMOTE_ATOMIC) {
+                        Ok(mr) => mr,
+                        Err(status) => {
+                            self.complete(qp, &wr, status, sender_opcode, 0);
+                            return Ok(());
+                        }
+                    };
                 let prev = match mr.region().faa_u64(remote.offset, add) {
                     Ok(prev) => prev,
                     Err(_) => {
-                        Self::complete(qp, &wr, WcStatus::RemoteAccessError, sender_opcode, 0);
+                        self.complete(qp, &wr, WcStatus::RemoteAccessError, sender_opcode, 0);
                         return Ok(());
                     }
                 };
                 spin_for_ns(cfg.one_way_ns + fault.extra_delay_ns);
                 let local_mr = Self::local_mr(src, qp.pd_id(), local)?;
                 local_mr.region().write(local.offset, &prev.to_le_bytes())?;
-                Self::complete(qp, &wr, WcStatus::Success, sender_opcode, 8);
+                self.complete(qp, &wr, WcStatus::Success, sender_opcode, 8);
             }
         }
         Ok(())

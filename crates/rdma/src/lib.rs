@@ -56,6 +56,7 @@ pub mod cm;
 pub mod cq;
 pub mod error;
 pub mod fabric;
+pub(crate) mod metrics;
 pub mod mr;
 pub mod node;
 pub mod qp;
@@ -71,6 +72,10 @@ pub use node::RdmaNode;
 pub use qp::{QpOptions, QpState, QueuePair};
 pub use types::{Access, LKey, NodeId, Qpn, RKey, RemoteAddr, WrId};
 pub use wr::{Payload, RecvWr, SendOp, SendWr, Sge};
+
+// The telemetry switch travels inside [`FabricConfig`]; re-export it so
+// fabric consumers don't need a direct gengar-telemetry dependency.
+pub use gengar_telemetry::TelemetryConfig;
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, RdmaError>;

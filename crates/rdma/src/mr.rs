@@ -26,7 +26,13 @@ pub struct MemoryRegion {
 }
 
 impl MemoryRegion {
-    pub(crate) fn new(node: NodeId, pd_id: u32, key: u32, access: Access, region: MemRegion) -> Self {
+    pub(crate) fn new(
+        node: NodeId,
+        pd_id: u32,
+        key: u32,
+        access: Access,
+        region: MemRegion,
+    ) -> Self {
         MemoryRegion {
             node,
             pd_id,
@@ -102,7 +108,11 @@ impl ProtectionDomain {
     ///
     /// Returns [`RdmaError::ConnectionRefused`] if the owning node has been
     /// dropped.
-    pub fn reg_mr(&self, region: MemRegion, access: Access) -> Result<Arc<MemoryRegion>, RdmaError> {
+    pub fn reg_mr(
+        &self,
+        region: MemRegion,
+        access: Access,
+    ) -> Result<Arc<MemoryRegion>, RdmaError> {
         let node = self
             .node
             .upgrade()

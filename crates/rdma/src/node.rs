@@ -9,6 +9,7 @@ use parking_lot::RwLock;
 
 use crate::cq::CompletionQueue;
 use crate::fabric::Fabric;
+use crate::metrics::FabricMetrics;
 use crate::mr::{MemoryRegion, ProtectionDomain};
 use crate::qp::{QpOptions, QueuePair};
 use crate::types::{LKey, NodeId, Qpn};
@@ -27,6 +28,7 @@ pub struct RdmaNode {
     mrs: RwLock<HashMap<u32, Arc<MemoryRegion>>>,
     qps: RwLock<HashMap<Qpn, Arc<QueuePair>>>,
     nic_bw: BandwidthLimiter,
+    metrics: FabricMetrics,
     self_ref: RwLock<Weak<RdmaNode>>,
 }
 
@@ -41,7 +43,12 @@ impl std::fmt::Debug for RdmaNode {
 }
 
 impl RdmaNode {
-    pub(crate) fn new(id: NodeId, fabric: Weak<Fabric>, nic_bw_bytes_per_sec: u64) -> Arc<Self> {
+    pub(crate) fn new(
+        id: NodeId,
+        fabric: Weak<Fabric>,
+        nic_bw_bytes_per_sec: u64,
+        metrics: FabricMetrics,
+    ) -> Arc<Self> {
         let node = Arc::new(RdmaNode {
             id,
             fabric,
@@ -51,6 +58,7 @@ impl RdmaNode {
             mrs: RwLock::new(HashMap::new()),
             qps: RwLock::new(HashMap::new()),
             nic_bw: BandwidthLimiter::new(nic_bw_bytes_per_sec),
+            metrics,
             self_ref: RwLock::new(Weak::new()),
         });
         *node.self_ref.write() = Arc::downgrade(&node);
@@ -99,6 +107,7 @@ impl RdmaNode {
             send_cq,
             recv_cq,
             opts,
+            self.metrics.clone(),
         ));
         self.qps.write().insert(qpn, Arc::clone(&qp));
         qp

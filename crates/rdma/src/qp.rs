@@ -8,6 +8,7 @@ use parking_lot::{Condvar, Mutex};
 
 use crate::cq::CompletionQueue;
 use crate::error::RdmaError;
+use crate::metrics::FabricMetrics;
 use crate::node::RdmaNode;
 use crate::types::{NodeId, Qpn};
 use crate::wr::{RecvWr, SendWr};
@@ -82,6 +83,7 @@ pub struct QueuePair {
     recv_cq: Arc<CompletionQueue>,
     recvs: Mutex<RecvQueue>,
     recv_posted: Condvar,
+    metrics: FabricMetrics,
 }
 
 impl QueuePair {
@@ -92,6 +94,7 @@ impl QueuePair {
         send_cq: Arc<CompletionQueue>,
         recv_cq: Arc<CompletionQueue>,
         opts: QpOptions,
+        metrics: FabricMetrics,
     ) -> Self {
         QueuePair {
             node,
@@ -104,6 +107,7 @@ impl QueuePair {
             recv_cq,
             recvs: Mutex::new(RecvQueue::default()),
             recv_posted: Condvar::new(),
+            metrics,
         }
     }
 
@@ -196,6 +200,7 @@ impl QueuePair {
         }
         recvs.queue.push_back(wr);
         drop(recvs);
+        self.metrics.recv_posted.inc();
         self.recv_posted.notify_all();
         Ok(())
     }
@@ -222,7 +227,11 @@ impl QueuePair {
                 .wait_until(&mut recvs, deadline)
                 .timed_out()
             {
-                return recvs.queue.pop_front();
+                let wr = recvs.queue.pop_front();
+                if wr.is_none() {
+                    self.metrics.rnr_timeouts.inc();
+                }
+                return wr;
             }
         }
     }

@@ -128,6 +128,7 @@ impl RemoteAddr {
     }
 
     /// Returns this address advanced by `delta` bytes.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, delta: u64) -> Self {
         RemoteAddr {
             rkey: self.rkey,

@@ -174,10 +174,7 @@ mod tests {
     fn op_names() {
         let remote = RemoteAddr::new(RKey(1), 0);
         let local = Sge::new(LKey(1), 0, 8);
-        assert_eq!(
-            SendOp::Read { local, remote }.name(),
-            "READ"
-        );
+        assert_eq!(SendOp::Read { local, remote }.name(), "READ");
         assert_eq!(
             SendOp::FetchAdd {
                 local,

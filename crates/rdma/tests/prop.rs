@@ -3,9 +3,7 @@
 use std::sync::Arc;
 
 use gengar_hybridmem::{DeviceProfile, MemDevice, MemKind, MemRegion};
-use gengar_rdma::{
-    Access, Endpoint, Fabric, FabricConfig, Payload, QpOptions, RemoteAddr, Sge,
-};
+use gengar_rdma::{Access, Endpoint, Fabric, FabricConfig, Payload, QpOptions, RemoteAddr, Sge};
 use proptest::prelude::*;
 
 const CAP: u64 = 1 << 16;

@@ -27,7 +27,8 @@ fn make_node(fabric: &Arc<Fabric>, kind: MemKind, capacity: u64, access: Access)
 fn pair(fabric: &Arc<Fabric>) -> (TestNode, TestNode, Endpoint, Endpoint) {
     let a = make_node(fabric, MemKind::Dram, 1 << 16, Access::all());
     let b = make_node(fabric, MemKind::Nvm, 1 << 16, Access::all());
-    let (ea, eb) = Endpoint::pair((&a.node, &a.pd), (&b.node, &b.pd), QpOptions::default()).unwrap();
+    let (ea, eb) =
+        Endpoint::pair((&a.node, &a.pd), (&b.node, &b.pd), QpOptions::default()).unwrap();
     (a, b, ea, eb)
 }
 
@@ -41,7 +42,10 @@ fn write_then_read_roundtrip() {
     )
     .unwrap();
     let wc = ea
-        .read(Sge::new(a.mr.lkey(), 0, 9), RemoteAddr::new(b.mr.rkey(), 128))
+        .read(
+            Sge::new(a.mr.lkey(), 0, 9),
+            RemoteAddr::new(b.mr.rkey(), 128),
+        )
         .unwrap();
     assert_eq!(wc.opcode, WcOpcode::RdmaRead);
     assert_eq!(wc.byte_len, 9);
@@ -70,7 +74,8 @@ fn send_recv_delivers_payload_and_imm() {
     let fabric = Fabric::new(FabricConfig::instant());
     let (_a, b, ea, eb) = pair(&fabric);
     eb.post_recv(Sge::new(b.mr.lkey(), 512, 64)).unwrap();
-    ea.send(Payload::Inline(b"ping".to_vec()), Some(0xBEEF)).unwrap();
+    ea.send(Payload::Inline(b"ping".to_vec()), Some(0xBEEF))
+        .unwrap();
     let wc = eb.recv(Duration::from_secs(1)).unwrap();
     assert_eq!(wc.opcode, WcOpcode::Recv);
     assert_eq!(wc.byte_len, 4);
@@ -123,7 +128,11 @@ fn cas_and_faa_operate_remotely() {
     b.mr.region().store_u64(64, 100).unwrap();
 
     let wc = ea
-        .fetch_add(Sge::new(a.mr.lkey(), 0, 8), RemoteAddr::new(b.mr.rkey(), 64), 5)
+        .fetch_add(
+            Sge::new(a.mr.lkey(), 0, 8),
+            RemoteAddr::new(b.mr.rkey(), 64),
+            5,
+        )
         .unwrap();
     assert_eq!(wc.opcode, WcOpcode::FetchAdd);
     let mut prev = [0u8; 8];
@@ -161,7 +170,8 @@ fn remote_access_checks_rkey_bounds_and_permissions() {
     let a = make_node(&fabric, MemKind::Dram, 4096, Access::all());
     // Server MR allows only REMOTE_READ.
     let b = make_node(&fabric, MemKind::Nvm, 4096, Access::REMOTE_READ);
-    let (ea, _eb) = Endpoint::pair((&a.node, &a.pd), (&b.node, &b.pd), QpOptions::default()).unwrap();
+    let (ea, _eb) =
+        Endpoint::pair((&a.node, &a.pd), (&b.node, &b.pd), QpOptions::default()).unwrap();
 
     // Read is fine.
     ea.read(Sge::new(a.mr.lkey(), 0, 8), RemoteAddr::new(b.mr.rkey(), 0))
@@ -273,7 +283,9 @@ fn pd_mismatch_is_rejected_remotely() {
     let qp_pd = b_node.alloc_pd();
     let other_pd = b_node.alloc_pd();
     let dev = Arc::new(MemDevice::new(0, DeviceProfile::instant(MemKind::Nvm), 4096).unwrap());
-    let foreign_mr = other_pd.reg_mr(MemRegion::whole(dev), Access::all()).unwrap();
+    let foreign_mr = other_pd
+        .reg_mr(MemRegion::whole(dev), Access::all())
+        .unwrap();
     let (ea, _eb) =
         Endpoint::pair((&a.node, &a.pd), (&b_node, &qp_pd), QpOptions::default()).unwrap();
     let err = ea
@@ -344,4 +356,56 @@ fn extra_link_delay_slows_ops() {
     ea.read(Sge::new(a.mr.lkey(), 0, 8), RemoteAddr::new(b.mr.rkey(), 0))
         .unwrap();
     assert!(t0.elapsed() >= Duration::from_millis(4));
+}
+
+#[test]
+fn telemetry_counts_verbs_on_global_registry() {
+    use gengar_telemetry::Registry;
+
+    // Other tests in this binary share the global registry, so assert on
+    // deltas of monotone counters rather than absolute values.
+    let reg = Registry::global();
+    let read_ops = reg.counter("rdma", "read_ops");
+    let write_bytes = reg.counter("rdma", "write_bytes");
+    let read_lat = reg.histogram("rdma", "read_ns");
+    let (ops0, bytes0, lat0) = (read_ops.get(), write_bytes.get(), read_lat.snapshot().count);
+
+    let fabric = Fabric::new(FabricConfig::instant());
+    let (a, b, ea, _eb) = pair(&fabric);
+    ea.write(
+        Payload::Inline(vec![7u8; 100]),
+        RemoteAddr::new(b.mr.rkey(), 0),
+    )
+    .unwrap();
+    for _ in 0..3 {
+        ea.read(
+            Sge::new(a.mr.lkey(), 0, 100),
+            RemoteAddr::new(b.mr.rkey(), 0),
+        )
+        .unwrap();
+    }
+
+    assert!(read_ops.get() >= ops0 + 3);
+    assert!(write_bytes.get() >= bytes0 + 100);
+    assert!(read_lat.snapshot().count >= lat0 + 3);
+}
+
+#[test]
+fn disabled_telemetry_fabric_still_works() {
+    let mut config = FabricConfig::instant();
+    config.telemetry = gengar_rdma::TelemetryConfig::disabled();
+    let fabric = Fabric::new(config);
+    let (a, b, ea, _eb) = pair(&fabric);
+    ea.write(
+        Payload::Inline(vec![1u8; 32]),
+        RemoteAddr::new(b.mr.rkey(), 0),
+    )
+    .unwrap();
+    let wc = ea
+        .read(
+            Sge::new(a.mr.lkey(), 0, 32),
+            RemoteAddr::new(b.mr.rkey(), 0),
+        )
+        .unwrap();
+    assert!(wc.status.is_ok());
 }

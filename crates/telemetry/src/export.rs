@@ -1,0 +1,176 @@
+//! Snapshot export: a hand-rolled JSON serializer (no serde_json in the
+//! dependency set) and a human-readable `Display` table.
+
+use std::fmt;
+
+use crate::metrics::HistogramSnapshot;
+use crate::registry::{MetricSnapshot, RegistrySnapshot};
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats nanoseconds with an adaptive unit for human output.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn histogram_json(h: &HistogramSnapshot) -> String {
+    format!(
+        "{{\"count\":{},\"mean_ns\":{},\"min_ns\":{},\"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{},\"p999_ns\":{},\"max_ns\":{}}}",
+        h.count,
+        h.mean_ns(),
+        h.min_ns(),
+        h.p50_ns(),
+        h.p90_ns(),
+        h.p99_ns(),
+        h.p999_ns(),
+        h.max_ns()
+    )
+}
+
+impl RegistrySnapshot {
+    /// Serializes the snapshot as a compact JSON object: counters and
+    /// gauges as numbers, histograms as objects with count/mean/min,
+    /// p50/p90/p99/p999, and max (all nanoseconds). Keys are sorted, so
+    /// output is deterministic for a given snapshot.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let mut first = true;
+        for (key, metric) in &self.entries {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push('"');
+            out.push_str(&json_escape(key));
+            out.push_str("\":");
+            match metric {
+                MetricSnapshot::Counter(v) => out.push_str(&v.to_string()),
+                MetricSnapshot::Gauge(v) => out.push_str(&v.to_string()),
+                MetricSnapshot::Histogram(h) => out.push_str(&histogram_json(h)),
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+impl fmt::Display for RegistrySnapshot {
+    /// Renders a fixed-width table, one metric per row, histograms
+    /// condensed to count/mean/percentiles.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.entries.is_empty() {
+            return writeln!(f, "(no metrics recorded)");
+        }
+        let width = self
+            .entries
+            .keys()
+            .map(String::len)
+            .max()
+            .unwrap_or(0)
+            .max(16);
+        for (key, metric) in &self.entries {
+            match metric {
+                MetricSnapshot::Counter(v) => writeln!(f, "{key:width$}  {v}")?,
+                MetricSnapshot::Gauge(v) => writeln!(f, "{key:width$}  {v}")?,
+                MetricSnapshot::Histogram(h) => writeln!(
+                    f,
+                    "{key:width$}  n={} mean={} p50={} p90={} p99={} p999={} max={}",
+                    h.count,
+                    fmt_ns(h.mean_ns()),
+                    fmt_ns(h.p50_ns()),
+                    fmt_ns(h.p90_ns()),
+                    fmt_ns(h.p99_ns()),
+                    fmt_ns(h.p999_ns()),
+                    fmt_ns(h.max_ns())
+                )?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        r.counter("rdma", "read_ops").add(12);
+        r.gauge("proxy", "ring_occupancy").set(-1);
+        let h = r.histogram("client", "read_ns");
+        for ns in [100, 200, 300, 400_000] {
+            h.record_ns(ns);
+        }
+        r
+    }
+
+    #[test]
+    fn json_is_deterministic_and_parsable_shape() {
+        let json = sample_registry().snapshot().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"rdma.read_ops\":12"));
+        assert!(json.contains("\"proxy.ring_occupancy\":-1"));
+        assert!(json.contains("\"client.read_ns\":{\"count\":4"));
+        assert!(json.contains("\"p99_ns\":"));
+        assert!(json.contains("\"p999_ns\":"));
+        // Balanced braces, no trailing commas.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced: {json}"
+        );
+        assert!(!json.contains(",}"), "trailing comma: {json}");
+    }
+
+    #[test]
+    fn empty_snapshot_serializes() {
+        assert_eq!(Registry::new().snapshot().to_json(), "{}");
+    }
+
+    #[test]
+    fn display_lists_every_metric() {
+        let table = sample_registry().snapshot().to_string();
+        assert!(table.contains("rdma.read_ops"));
+        assert!(table.contains("proxy.ring_occupancy"));
+        assert!(table.contains("client.read_ns"));
+        assert!(table.contains("p99="));
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert_eq!(fmt_ns(999), "999ns");
+        assert_eq!(fmt_ns(1_500), "1.50us");
+        assert_eq!(fmt_ns(2_500_000), "2.50ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00s");
+    }
+}

@@ -1,0 +1,177 @@
+//! RAII timing spans and the ring-buffer event trace.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::metrics::LatencyHistogram;
+
+/// An RAII guard that records its lifetime into a histogram on drop.
+///
+/// ```
+/// use gengar_telemetry::Registry;
+///
+/// let registry = Registry::new();
+/// {
+///     let _span = registry.span("proxy", "drain");
+///     // ... timed work ...
+/// }
+/// assert_eq!(registry.snapshot().histogram("proxy.drain_ns").unwrap().count, 1);
+/// ```
+#[derive(Debug)]
+pub struct Span {
+    start: Option<Instant>,
+    target: Option<Arc<LatencyHistogram>>,
+}
+
+impl Span {
+    /// Starts a span against the global registry's `component.{op}_ns`
+    /// histogram. Prefer a cached
+    /// [`HistogramHandle::span`](crate::HistogramHandle::span) on hot
+    /// paths; this form resolves the metric by name each call.
+    pub fn enter(component: &str, op: &str) -> Span {
+        crate::Registry::global().span(component, op)
+    }
+
+    /// Starts a span recording into `target` on drop.
+    pub fn recording(target: Arc<LatencyHistogram>) -> Span {
+        Span {
+            start: Some(Instant::now()),
+            target: Some(target),
+        }
+    }
+
+    /// A span that records nothing and never reads the clock.
+    pub fn disabled() -> Span {
+        Span {
+            start: None,
+            target: None,
+        }
+    }
+
+    /// Whether this span will record on drop.
+    pub fn is_recording(&self) -> bool {
+        self.target.is_some()
+    }
+
+    /// Drops the span without recording.
+    pub fn cancel(mut self) {
+        self.target = None;
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let (Some(start), Some(target)) = (self.start, self.target.take()) {
+            target.record(start.elapsed());
+        }
+    }
+}
+
+/// One traced event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Nanoseconds since the owning registry was created.
+    pub ts_ns: u64,
+    /// Reporting component (e.g. `proxy`).
+    pub component: String,
+    /// Operation name (e.g. `drain`).
+    pub op: String,
+    /// Operation-specific payload (slot index, sequence number, ...).
+    pub detail: u64,
+}
+
+/// A bounded ring buffer of [`Event`]s keeping the newest entries. Used to
+/// reconstruct ordering in paths like the proxy drain loop, where a
+/// breakpoint would perturb the timing under investigation.
+#[derive(Debug)]
+pub struct EventTrace {
+    capacity: usize,
+    ring: Mutex<VecDeque<Event>>,
+}
+
+impl EventTrace {
+    /// Creates a trace keeping the newest `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "EventTrace capacity must be non-zero");
+        EventTrace {
+            capacity,
+            ring: Mutex::new(VecDeque::with_capacity(capacity)),
+        }
+    }
+
+    /// Appends an event, evicting the oldest when full.
+    pub fn push(&self, event: Event) {
+        let mut ring = self.ring.lock().expect("trace ring lock");
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(event);
+    }
+
+    /// The buffered events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.ring
+            .lock()
+            .expect("trace ring lock")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Empties the buffer.
+    pub fn clear(&self) {
+        self.ring.lock().expect("trace ring lock").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_on_drop() {
+        let h = Arc::new(LatencyHistogram::new());
+        {
+            let _s = Span::recording(Arc::clone(&h));
+        }
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn disabled_span_records_nothing() {
+        let s = Span::disabled();
+        assert!(!s.is_recording());
+        drop(s);
+    }
+
+    #[test]
+    fn cancelled_span_records_nothing() {
+        let h = Arc::new(LatencyHistogram::new());
+        let s = Span::recording(Arc::clone(&h));
+        assert!(s.is_recording());
+        s.cancel();
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let trace = EventTrace::new(3);
+        for i in 0..5 {
+            trace.push(Event {
+                ts_ns: i,
+                component: "t".into(),
+                op: "op".into(),
+                detail: i,
+            });
+        }
+        let events = trace.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(
+            events.iter().map(|e| e.detail).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+        trace.clear();
+        assert!(trace.events().is_empty());
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests for the telemetry primitives.
+
+use std::sync::Arc;
+
+use gengar_telemetry::{HistogramSnapshot, LatencyHistogram};
+use proptest::prelude::*;
+
+/// Builds a snapshot from a list of samples.
+fn snap_of(samples: &[u64]) -> HistogramSnapshot {
+    let h = LatencyHistogram::new();
+    for &s in samples {
+        h.record_ns(s);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    /// Merge is commutative: a+b == b+a.
+    #[test]
+    fn merge_is_commutative(
+        a in proptest::collection::vec(0u64..(1 << 50), 0..64),
+        b in proptest::collection::vec(0u64..(1 << 50), 0..64),
+    ) {
+        let (sa, sb) = (snap_of(&a), snap_of(&b));
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Merge is associative: (a+b)+c == a+(b+c).
+    #[test]
+    fn merge_is_associative(
+        a in proptest::collection::vec(0u64..(1 << 50), 0..32),
+        b in proptest::collection::vec(0u64..(1 << 50), 0..32),
+        c in proptest::collection::vec(0u64..(1 << 50), 0..32),
+    ) {
+        let (sa, sb, sc) = (snap_of(&a), snap_of(&b), snap_of(&c));
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Empty is the merge identity.
+    #[test]
+    fn merge_identity(a in proptest::collection::vec(any::<u64>(), 0..64)) {
+        let sa = snap_of(&a);
+        let mut merged = sa.clone();
+        merged.merge(&HistogramSnapshot::empty());
+        prop_assert_eq!(&merged, &sa);
+        let mut other = HistogramSnapshot::empty();
+        other.merge(&sa);
+        prop_assert_eq!(&other, &sa);
+    }
+
+    /// Merging shards equals recording everything into one histogram.
+    #[test]
+    fn merge_equals_single_recording(
+        a in proptest::collection::vec(0u64..(1 << 50), 0..64),
+        b in proptest::collection::vec(0u64..(1 << 50), 0..64),
+    ) {
+        let mut merged = snap_of(&a);
+        merged.merge(&snap_of(&b));
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        prop_assert_eq!(merged, snap_of(&all));
+    }
+
+    /// Percentiles are monotone in p and bounded by [min-bucket, max].
+    #[test]
+    fn percentiles_monotone(samples in proptest::collection::vec(1u64..(1 << 50), 1..256)) {
+        let s = snap_of(&samples);
+        let ps = [0.1, 1.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0];
+        for w in ps.windows(2) {
+            prop_assert!(
+                s.percentile_ns(w[0]) <= s.percentile_ns(w[1]),
+                "p{} > p{}", w[0], w[1]
+            );
+        }
+        prop_assert!(s.percentile_ns(100.0) <= s.max_ns());
+        // Every percentile is a representable bucket value or max_ns, and
+        // the histogram never loses samples.
+        prop_assert_eq!(s.count, samples.len() as u64);
+    }
+
+    /// The log-scale buckets bound relative error: p50 of a constant
+    /// stream is within one sub-bucket step (~3.2%) of the true value.
+    #[test]
+    fn constant_stream_percentile_is_close(v in 1u64..1_000_000_000_000) {
+        let s = snap_of(&[v; 16]);
+        let p50 = s.p50_ns() as f64;
+        prop_assert!(p50 <= v as f64 * 1.05, "p50 {} vs true {}", p50, v);
+        prop_assert!(p50 >= v as f64 * 0.90, "p50 {} vs true {}", p50, v);
+    }
+}
+
+/// 8 threads hammer one histogram; no sample is lost or double-counted
+/// and the aggregates match the per-thread truth.
+#[test]
+fn concurrent_recording_conserves_counts() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 10_000;
+    let h = Arc::new(LatencyHistogram::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let h = Arc::clone(&h);
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Spread samples across buckets deterministically.
+                    h.record_ns((i * 31 + t * 7) % 1_000_000 + 1);
+                }
+            })
+        })
+        .collect();
+    for j in handles {
+        j.join().unwrap();
+    }
+    let s = h.snapshot();
+    assert_eq!(s.count, THREADS * PER_THREAD);
+    assert_eq!(s.buckets.iter().sum::<u64>(), THREADS * PER_THREAD);
+    assert!(s.min_ns() >= 1);
+    assert!(s.max_ns() < 1_000_001);
+    let expected_sum: u128 = (0..THREADS)
+        .flat_map(|t| (0..PER_THREAD).map(move |i| u128::from((i * 31 + t * 7) % 1_000_000 + 1)))
+        .sum();
+    assert_eq!(s.sum_ns, expected_sum);
+}
+
+/// Counters survive the same treatment: 8 threads, exact conservation.
+#[test]
+fn concurrent_counter_is_exact() {
+    use gengar_telemetry::Counter;
+    let c = Arc::new(Counter::new());
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let c = Arc::clone(&c);
+            std::thread::spawn(move || {
+                for _ in 0..25_000 {
+                    c.inc();
+                }
+            })
+        })
+        .collect();
+    for j in handles {
+        j.join().unwrap();
+    }
+    assert_eq!(c.get(), 8 * 25_000);
+}

@@ -8,10 +8,45 @@ use crate::zipf::{KeyChooser, Zipfian};
 /// A compact word list; frequencies follow a zipfian so WordCount output
 /// has realistic heavy hitters.
 const WORDS: &[&str] = &[
-    "memory", "pool", "remote", "rdma", "nvm", "dram", "cache", "proxy", "write", "read",
-    "latency", "bandwidth", "server", "client", "hybrid", "hot", "cold", "byte", "verb", "queue",
-    "fabric", "region", "object", "lock", "version", "epoch", "drain", "ring", "slot", "flush",
-    "gengar", "persistent", "optane", "dimm", "global", "space", "share", "user", "data",
+    "memory",
+    "pool",
+    "remote",
+    "rdma",
+    "nvm",
+    "dram",
+    "cache",
+    "proxy",
+    "write",
+    "read",
+    "latency",
+    "bandwidth",
+    "server",
+    "client",
+    "hybrid",
+    "hot",
+    "cold",
+    "byte",
+    "verb",
+    "queue",
+    "fabric",
+    "region",
+    "object",
+    "lock",
+    "version",
+    "epoch",
+    "drain",
+    "ring",
+    "slot",
+    "flush",
+    "gengar",
+    "persistent",
+    "optane",
+    "dimm",
+    "global",
+    "space",
+    "share",
+    "user",
+    "data",
     "consistency",
 ];
 

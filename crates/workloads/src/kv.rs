@@ -230,8 +230,7 @@ mod tests {
     use gengar_rdma::FabricConfig;
 
     fn pool() -> (Cluster, gengar_core::GengarClient) {
-        let cluster =
-            Cluster::launch(2, ServerConfig::small(), FabricConfig::instant()).unwrap();
+        let cluster = Cluster::launch(2, ServerConfig::small(), FabricConfig::instant()).unwrap();
         let client = cluster.default_client().unwrap();
         (cluster, client)
     }
@@ -303,12 +302,8 @@ mod tests {
     fn segments_spread_across_servers() {
         let (_c, mut p) = pool();
         let kv = KvStore::create(&mut p, 10_000, 16).unwrap();
-        let servers: std::collections::HashSet<u8> = kv
-            .spec()
-            .segments
-            .iter()
-            .map(|s| s.addr.server())
-            .collect();
+        let servers: std::collections::HashSet<u8> =
+            kv.spec().segments.iter().map(|s| s.addr.server()).collect();
         assert_eq!(servers.len(), 2, "segments should use both servers");
     }
 }

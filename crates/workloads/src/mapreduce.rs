@@ -435,10 +435,7 @@ mod tests {
         let text = "one two three four five six seven";
         let parts = split_text(text, 3);
         assert_eq!(parts.len(), 3);
-        let rejoined: Vec<&str> = parts
-            .iter()
-            .flat_map(|p| p.split_whitespace())
-            .collect();
+        let rejoined: Vec<&str> = parts.iter().flat_map(|p| p.split_whitespace()).collect();
         assert_eq!(rejoined.len(), 7);
     }
 

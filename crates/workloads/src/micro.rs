@@ -180,8 +180,7 @@ mod tests {
     use gengar_rdma::FabricConfig;
 
     fn pool() -> (Cluster, gengar_core::GengarClient) {
-        let cluster =
-            Cluster::launch(1, ServerConfig::small(), FabricConfig::instant()).unwrap();
+        let cluster = Cluster::launch(1, ServerConfig::small(), FabricConfig::instant()).unwrap();
         let client = cluster.default_client().unwrap();
         (cluster, client)
     }

@@ -258,8 +258,7 @@ mod tests {
 
     #[test]
     fn all_workloads_run_end_to_end() {
-        let cluster =
-            Cluster::launch(1, ServerConfig::small(), FabricConfig::instant()).unwrap();
+        let cluster = Cluster::launch(1, ServerConfig::small(), FabricConfig::instant()).unwrap();
         let mut pool = cluster.default_client().unwrap();
         let kv = load(&mut pool, 100, 32, 1).unwrap();
         for spec in WorkloadSpec::all() {
@@ -273,8 +272,7 @@ mod tests {
 
     #[test]
     fn reads_after_load_hit_loaded_values() {
-        let cluster =
-            Cluster::launch(1, ServerConfig::small(), FabricConfig::instant()).unwrap();
+        let cluster = Cluster::launch(1, ServerConfig::small(), FabricConfig::instant()).unwrap();
         let mut pool = cluster.default_client().unwrap();
         let kv = load(&mut pool, 50, 16, 3).unwrap();
         let mut out = [0u8; 16];

@@ -209,9 +209,7 @@ impl AnyChooser {
         match dist {
             Distribution::Uniform => AnyChooser::Uniform(Uniform::new(n)),
             Distribution::Zipfian(t) => AnyChooser::Zipfian(Zipfian::new(n, t)),
-            Distribution::ScrambledZipfian(t) => {
-                AnyChooser::Scrambled(ScrambledZipfian::new(n, t))
-            }
+            Distribution::ScrambledZipfian(t) => AnyChooser::Scrambled(ScrambledZipfian::new(n, t)),
             Distribution::Latest(t) => AnyChooser::Latest(Latest::new(n, t)),
         }
     }
@@ -264,12 +262,14 @@ mod tests {
     fn zipfian_is_heavily_skewed() {
         let freq = frequencies(Zipfian::new(1000, 0.99), 100_000);
         // Key 0 should dominate; top-10 should carry a large share.
-        assert!(freq[0] > freq[500] * 10, "freq0={} freq500={}", freq[0], freq[500]);
-        let top10: u64 = freq[..10].iter().sum();
         assert!(
-            top10 > 100_000 / 3,
-            "top-10 carries only {top10} of 100000"
+            freq[0] > freq[500] * 10,
+            "freq0={} freq500={}",
+            freq[0],
+            freq[500]
         );
+        let top10: u64 = freq[..10].iter().sum();
+        assert!(top10 > 100_000 / 3, "top-10 carries only {top10} of 100000");
     }
 
     #[test]
@@ -301,7 +301,10 @@ mod tests {
                 recent += 1;
             }
         }
-        assert!(recent > 5_000, "only {recent} of 10000 in the newest decile");
+        assert!(
+            recent > 5_000,
+            "only {recent} of 10000 in the newest decile"
+        );
         c.grow(2000);
         assert_eq!(c.n(), 2000);
     }

@@ -11,9 +11,11 @@ use gengar::prelude::*;
 
 fn main() -> Result<(), GengarError> {
     gengar::hybridmem::set_time_scale(1.0);
-    let mut server_config = ServerConfig::default();
-    server_config.nvm_capacity = 32 << 20;
-    server_config.crash_sim = true; // track durable images
+    let server_config = ServerConfig {
+        nvm_capacity: 32 << 20,
+        crash_sim: true, // track durable images
+        ..ServerConfig::default()
+    };
     let cluster = Cluster::launch(1, server_config, FabricConfig::infiniband_100g())?;
 
     let mut client = cluster.client(ClientConfig::default())?;

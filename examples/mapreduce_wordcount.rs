@@ -14,8 +14,10 @@ use gengar::workloads::mapreduce::wordcount;
 
 fn main() -> Result<(), GengarError> {
     gengar::hybridmem::set_time_scale(1.0);
-    let mut server_config = ServerConfig::default();
-    server_config.nvm_capacity = 128 << 20;
+    let server_config = ServerConfig {
+        nvm_capacity: 128 << 20,
+        ..ServerConfig::default()
+    };
     let cluster = Cluster::launch(2, server_config, FabricConfig::infiniband_100g())?;
 
     let input = corpus::text(200_000, 42);
@@ -41,6 +43,9 @@ fn main() -> Result<(), GengarError> {
     // Sanity: the distributed result matches a local count.
     let reference = corpus::reference_word_counts(&input);
     assert_eq!(counts, reference, "distributed result diverged");
-    println!("verified against local reference: {} distinct words", counts.len());
+    println!(
+        "verified against local reference: {} distinct words",
+        counts.len()
+    );
     Ok(())
 }

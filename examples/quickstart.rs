@@ -16,9 +16,11 @@ fn main() -> Result<(), GengarError> {
 
     // A pool of two memory servers, each exporting Optane-profile NVM plus
     // a DRAM cache, connected by a 100 Gb/s-class simulated fabric.
-    let mut server_config = ServerConfig::default();
-    server_config.nvm_capacity = 64 << 20;
-    server_config.dram_cache_capacity = 8 << 20;
+    let server_config = ServerConfig {
+        nvm_capacity: 64 << 20,
+        dram_cache_capacity: 8 << 20,
+        ..ServerConfig::default()
+    };
     let cluster = Cluster::launch(2, server_config, FabricConfig::infiniband_100g())?;
     let mut client = cluster.client(ClientConfig::default())?;
     println!("pool up: servers {:?}", client.server_ids());

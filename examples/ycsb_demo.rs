@@ -17,21 +17,31 @@ const VALUE_SIZE: u64 = 4096;
 
 fn main() -> Result<(), GengarError> {
     gengar::hybridmem::set_time_scale(1.0);
-    let mut server_config = ServerConfig::default();
-    server_config.nvm_capacity = 128 << 20;
-    server_config.dram_cache_capacity = 16 << 20;
-    server_config.hot_threshold = 2;
-    server_config.epoch = std::time::Duration::from_millis(10);
+    let server_config = ServerConfig {
+        nvm_capacity: 128 << 20,
+        dram_cache_capacity: 16 << 20,
+        hot_threshold: 2,
+        epoch: std::time::Duration::from_millis(10),
+        ..ServerConfig::default()
+    };
 
     // Gengar: cache + proxy on.
-    let gengar_cluster = Cluster::launch(2, server_config.clone(), FabricConfig::infiniband_100g())?;
+    let gengar_cluster =
+        Cluster::launch(2, server_config.clone(), FabricConfig::infiniband_100g())?;
     let mut gengar_client = gengar_cluster.client(ClientConfig {
         report_every: 128,
         ..Default::default()
     })?;
     let gengar_kv = load(&mut gengar_client, RECORDS, VALUE_SIZE, 1)?;
     // Warm pass: let the hotness monitor promote the skewed working set.
-    run(&mut gengar_client, &gengar_kv, WorkloadSpec::c(), RECORDS, OPS / 4, 5)?;
+    run(
+        &mut gengar_client,
+        &gengar_kv,
+        WorkloadSpec::c(),
+        RECORDS,
+        OPS / 4,
+        5,
+    )?;
     std::thread::sleep(std::time::Duration::from_millis(50));
 
     // Baseline: one-sided access to NVM, nothing else.

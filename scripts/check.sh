@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Repo-wide hygiene gate: format, lints, tests. Run before every push.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy --workspace -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test --workspace"
+cargo test --workspace -q
+
+echo "all checks passed"

@@ -22,7 +22,7 @@ fn calibrated() -> ServerConfig {
 
 /// Median of per-op latencies: robust against the preemption outliers a
 /// busy-wait emulation suffers on small machines.
-fn median_ns(f: impl FnMut() -> ()) -> u64 {
+fn median_ns(f: impl FnMut()) -> u64 {
     let mut f = f;
     for _ in 0..20 {
         f(); // warm-up
@@ -42,8 +42,7 @@ fn median_ns(f: impl FnMut() -> ()) -> u64 {
 fn remote_nvm_reads_are_slower_than_remote_dram_reads() {
     gengar::hybridmem::set_time_scale(1.0);
     // Compare raw device models through the verbs layer.
-    let nvm_cluster =
-        NvmDirect::launch(1, calibrated(), FabricConfig::infiniband_100g()).unwrap();
+    let nvm_cluster = NvmDirect::launch(1, calibrated(), FabricConfig::infiniband_100g()).unwrap();
     let mut nvm = NvmDirect::client(&nvm_cluster).unwrap();
     let dram_cluster = DramOnly::launch(1, calibrated(), FabricConfig::infiniband_100g()).unwrap();
     let mut dram = DramOnly::client(&dram_cluster).unwrap();
@@ -66,8 +65,7 @@ fn remote_nvm_reads_are_slower_than_remote_dram_reads() {
 fn proxy_writes_beat_direct_nvm_writes() {
     gengar::hybridmem::set_time_scale(1.0);
     // Gengar with proxy vs the same pool with direct writes only.
-    let proxy_cluster =
-        Cluster::launch(1, calibrated(), FabricConfig::infiniband_100g()).unwrap();
+    let proxy_cluster = Cluster::launch(1, calibrated(), FabricConfig::infiniband_100g()).unwrap();
     let mut proxy = proxy_cluster.client(ClientConfig::default()).unwrap();
     let direct_cluster =
         NvmDirect::launch(1, calibrated(), FabricConfig::infiniband_100g()).unwrap();

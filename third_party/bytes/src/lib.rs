@@ -1,0 +1,121 @@
+//! Offline stand-in for `bytes`: the `Buf`/`BufMut` subset this workspace
+//! uses — little-endian integer accessors over `&[u8]` and `Vec<u8>`.
+
+/// Read access to a contiguous buffer, consuming from the front.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// Advances the read cursor by `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Copies the next `dst.len()` bytes into `dst` and advances.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of buffer");
+        *self = &self[cnt..];
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(dst.len() <= self.len(), "read past end of buffer");
+        dst.copy_from_slice(&self[..dst.len()]);
+        *self = &self[dst.len()..];
+    }
+}
+
+/// Write access to a growable buffer, appending at the back.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_le_integers() {
+        let mut out: Vec<u8> = Vec::new();
+        out.put_u8(0xAB);
+        out.put_u16_le(0x1234);
+        out.put_u32_le(0xDEAD_BEEF);
+        out.put_u64_le(0x0102_0304_0506_0708);
+
+        let mut cur: &[u8] = &out;
+        assert_eq!(cur.remaining(), 15);
+        assert_eq!(cur.get_u8(), 0xAB);
+        assert_eq!(cur.get_u16_le(), 0x1234);
+        assert_eq!(cur.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(cur.get_u64_le(), 0x0102_0304_0506_0708);
+        assert_eq!(cur.remaining(), 0);
+    }
+
+    #[test]
+    fn advance_skips_bytes() {
+        let data = [1u8, 2, 3, 4];
+        let mut cur: &[u8] = &data;
+        cur.advance(2);
+        assert_eq!(cur.get_u8(), 3);
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`: marker traits plus the derive macros.
+//!
+//! Nothing in this workspace actually serializes through serde (there is no
+//! `serde_json` here); the derives on config structs exist so downstream
+//! users can swap in the real crate. These marker traits keep the
+//! `#[derive(Serialize, Deserialize)]` attributes compiling offline.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that the real serde could serialize.
+pub trait Serialize {}
+
+/// Marker for types that the real serde could deserialize.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,37 @@
+//! Offline stand-in for `serde_derive`: emits the marker-trait impls for
+//! `third_party/serde` without pulling in syn/quote.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following the `struct`/`enum`/`union` keyword.
+fn type_name(input: TokenStream) -> Option<String> {
+    let mut saw_keyword = false;
+    for tree in input {
+        if let TokenTree::Ident(ident) = tree {
+            let text = ident.to_string();
+            if saw_keyword {
+                return Some(text);
+            }
+            if matches!(text.as_str(), "struct" | "enum" | "union") {
+                saw_keyword = true;
+            }
+        }
+    }
+    None
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input).expect("derive(Serialize): no type name found");
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("derive(Serialize): emitted impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input).expect("derive(Deserialize): no type name found");
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("derive(Deserialize): emitted impl failed to parse")
+}
