@@ -6,27 +6,57 @@
 //! cargo run -p gengar-bench --release --bin harness -- e7     # one experiment
 //! cargo run -p gengar-bench --release --bin harness -- all --quick
 //! cargo run -p gengar-bench --release --bin harness -- e4 --no-telemetry
+//! cargo run -p gengar-bench --release --bin harness -- e4 --quick \
+//!     --faults 'drop:p=0.01 + delay:ns=20000,p=0.05'
 //! ```
 //!
 //! After each experiment the harness emits a one-line JSON record with a
 //! `telemetry` section — the global registry snapshot (per-verb op counts,
 //! cache hit/miss, proxy drain backlog, client latency percentiles, …).
 //! `--no-telemetry` disables collection to measure its overhead.
+//!
+//! `--faults <spec>` arms a deterministic fault plane (fixed seed) on every
+//! Gengar fabric the experiments launch (baselines run fault-free: they
+//! have no retry machinery to measure); see `gengar_rdma::FaultPlane` for
+//! the spec grammar. The spec is echoed in each JSON record and the
+//! plane's `fault.*` counters appear in the telemetry section, so a
+//! faulted run is fully self-describing.
 
-use gengar_bench::{run_experiment, set_telemetry, Scale, ALL_EXPERIMENTS};
+use gengar_bench::{fault_spec, run_experiment, set_faults, set_telemetry, Scale, ALL_EXPERIMENTS};
 use gengar_telemetry::{json_escape, Registry};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let no_telemetry = args.iter().any(|a| a == "--no-telemetry");
+    let mut quick = false;
+    let mut no_telemetry = false;
+    let mut faults: Option<String> = None;
+    let mut selected: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--no-telemetry" => no_telemetry = true,
+            "--faults" => match it.next() {
+                Some(spec) => faults = Some(spec),
+                None => {
+                    eprintln!("--faults needs a spec, e.g. --faults 'drop:p=0.01'");
+                    std::process::exit(2);
+                }
+            },
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag: {flag}");
+                std::process::exit(2);
+            }
+            id => selected.push(id.to_owned()),
+        }
+    }
     let scale = if quick { Scale::Quick } else { Scale::Full };
     set_telemetry(!no_telemetry);
-    let selected: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    if let Err(e) = set_faults(faults.as_deref()) {
+        eprintln!("bad --faults spec: {e}");
+        std::process::exit(2);
+    }
+    let selected: Vec<&str> = selected.iter().map(String::as_str).collect();
 
     let ids: Vec<&str> = if selected.is_empty() || selected.contains(&"all") {
         ALL_EXPERIMENTS.to_vec()
@@ -35,9 +65,13 @@ fn main() {
     };
 
     println!(
-        "gengar evaluation harness ({} mode{}), experiments: {}",
+        "gengar evaluation harness ({} mode{}{}), experiments: {}",
         if quick { "quick" } else { "full" },
         if no_telemetry { ", telemetry off" } else { "" },
+        match fault_spec() {
+            Some(ref s) => format!(", faults: {s}"),
+            None => String::new(),
+        },
         ids.join(", ")
     );
     let t0 = std::time::Instant::now();
@@ -53,9 +87,14 @@ fn main() {
         let elapsed = started.elapsed();
         if !no_telemetry {
             let snap = Registry::global().snapshot();
+            let faults_field = match fault_spec() {
+                Some(ref s) => format!("\"faults\":\"{}\",", json_escape(s)),
+                None => String::new(),
+            };
             println!(
-                "{{\"experiment\":\"{}\",\"elapsed_ms\":{},\"telemetry\":{}}}",
+                "{{\"experiment\":\"{}\",{}\"elapsed_ms\":{},\"telemetry\":{}}}",
                 json_escape(id),
+                faults_field,
                 elapsed.as_millis(),
                 snap.to_json()
             );

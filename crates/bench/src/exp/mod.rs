@@ -88,6 +88,12 @@ impl System {
     pub fn launch(kind: SystemKind, n_servers: usize, base: ServerConfig) -> System {
         let mut fabric = FabricConfig::infiniband_100g();
         fabric.telemetry = crate::telemetry_config();
+        // The `--faults` schedule arms Gengar fabrics only: the baselines
+        // have no retry/reconnect machinery, so a single injected fault
+        // would abort their run instead of measuring anything.
+        if kind == SystemKind::Gengar {
+            fabric.faults = crate::fault_plane();
+        }
         let cluster = match kind {
             SystemKind::Gengar => Cluster::launch(n_servers, base, fabric).expect("launch gengar"),
             SystemKind::NvmDirect => {

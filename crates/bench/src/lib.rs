@@ -14,8 +14,10 @@ pub mod exp;
 pub mod table;
 
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use gengar_rdma::FaultPlane;
 use gengar_telemetry::TelemetryConfig;
 
 /// Whether launched systems and clients collect telemetry (on by default;
@@ -34,6 +36,44 @@ pub fn telemetry_config() -> TelemetryConfig {
     } else {
         TelemetryConfig::disabled()
     }
+}
+
+/// Fault schedule for subsequently launched systems (the harness's
+/// `--faults <spec>` flag). `None` leaves the fabric fault-free.
+static FAULT_SPEC: Mutex<Option<String>> = Mutex::new(None);
+
+/// Seed every harness fault plane is built with, so `--faults` runs are
+/// reproducible without a separate seed flag.
+pub const FAULT_SEED: u64 = 42;
+
+/// Installs (or clears) the fault-spec applied to every system launched
+/// afterwards.
+///
+/// # Errors
+///
+/// The parse error for a malformed spec; nothing is installed.
+pub fn set_faults(spec: Option<&str>) -> Result<(), String> {
+    if let Some(s) = spec {
+        // Parse eagerly so a typo fails at the CLI, not mid-experiment.
+        FaultPlane::from_spec(s, FAULT_SEED, TelemetryConfig::disabled())?;
+    }
+    *FAULT_SPEC.lock().unwrap() = spec.map(str::to_owned);
+    Ok(())
+}
+
+/// The installed fault-spec, if any.
+pub fn fault_spec() -> Option<String> {
+    FAULT_SPEC.lock().unwrap().clone()
+}
+
+/// A fresh fault plane for one launched system, built from the installed
+/// spec with the fixed [`FAULT_SEED`] and the current telemetry config
+/// (so `fault.*` counters land in each experiment's telemetry snapshot).
+pub fn fault_plane() -> Option<Arc<FaultPlane>> {
+    let spec = fault_spec()?;
+    let plane = FaultPlane::from_spec(&spec, FAULT_SEED, telemetry_config())
+        .expect("spec validated by set_faults");
+    Some(Arc::new(plane))
 }
 
 /// Experiment sizing.

@@ -26,6 +26,7 @@ use crate::hotness::AccessEntry;
 use crate::layout::{decode_slot_header, lockword, OBJ_HEADER, SLOT_HEADER, SLOT_TAIL};
 use crate::proto::{error_for_code, MountInfo, Request, Response, MAX_REPORT};
 use crate::proxy::StagingWriter;
+use crate::retry::{classify, Disposition, RetryPolicy, RetryState};
 use crate::rpc::{RpcClient, RPC_BUF_BYTES};
 use crate::server::MemoryServer;
 
@@ -54,6 +55,13 @@ pub struct ClientStats {
     pub read_retries: u64,
     /// Access reports sent.
     pub reports: u64,
+    /// Fault-recovery retries (backoff rounds after a transient failure).
+    pub retries: u64,
+    /// Successful reconnects after a dead connection or refused server.
+    pub reconnects: u64,
+    /// Writes forced onto the direct NVM path because the connection was
+    /// degraded (staging repeatedly faulted).
+    pub degraded_ops: u64,
 }
 
 /// One client statistic: a per-instance counter (authoritative for
@@ -99,6 +107,9 @@ struct ClientMetrics {
     lock_retries: StatCounter,
     read_retries: StatCounter,
     reports: StatCounter,
+    retries: StatCounter,
+    reconnects: StatCounter,
+    degraded_ops: StatCounter,
     read_ns: HistogramHandle,
     write_ns: HistogramHandle,
 }
@@ -118,6 +129,9 @@ impl ClientMetrics {
             lock_retries: StatCounter::new(&tel, "lock_retries"),
             read_retries: StatCounter::new(&tel, "read_retries"),
             reports: StatCounter::new(&tel, "reports"),
+            retries: StatCounter::new(&tel, "retries"),
+            reconnects: StatCounter::new(&tel, "reconnects"),
+            degraded_ops: StatCounter::new(&tel, "degraded_ops"),
             read_ns: tel.histogram("client", "read_ns"),
             write_ns: tel.histogram("client", "write_ns"),
         }
@@ -136,6 +150,9 @@ impl ClientMetrics {
             lock_retries: self.lock_retries.get(),
             read_retries: self.read_retries.get(),
             reports: self.reports.get(),
+            retries: self.retries.get(),
+            reconnects: self.reconnects.get(),
+            degraded_ops: self.degraded_ops.get(),
         }
     }
 }
@@ -153,6 +170,21 @@ struct ServerConn {
     rpc: RpcClient,
     data: gengar_rdma::Endpoint,
     staging: Option<StagingWriter>,
+    /// The RPC message buffer MR, kept so a reconnect can rebuild the
+    /// [`RpcClient`] over the same scratch slots.
+    rpc_mr: Arc<MemoryRegion>,
+    /// Scratch offset reserved for this connection's staging writer (slot
+    /// gather area + watermark landing pad). `None` when the server mounts
+    /// without the proxy. Reused verbatim on reconnect: the ring geometry
+    /// is a server-config constant.
+    staging_scratch_off: Option<u64>,
+    /// Consecutive staged-write failures. Reset by any staged success or a
+    /// successful reconnect.
+    staging_faults: u32,
+    /// Degraded mode: staging has faulted `staging_fault_threshold` times
+    /// in a row, so writes bypass the proxy and go straight to NVM until
+    /// the next successful reconnect.
+    degraded: bool,
 }
 
 impl ServerConn {
@@ -165,6 +197,19 @@ impl ServerConn {
     }
 }
 
+/// The product of one mount handshake: everything a [`ServerConn`] swaps
+/// out when it (re)connects.
+struct Handshake {
+    /// Server-assigned client id for this tenure. Kept so the id can be
+    /// handed back ([`MemoryServer::release_client`]) if the connection is
+    /// abandoned before any write is staged under it.
+    cid: u32,
+    mount: MountInfo,
+    rpc: RpcClient,
+    data: gengar_rdma::Endpoint,
+    staging: Option<StagingWriter>,
+}
+
 /// A single-threaded handle onto the Gengar pool.
 #[derive(Debug)]
 pub struct GengarClient {
@@ -173,6 +218,8 @@ pub struct GengarClient {
     pd: ProtectionDomain,
     mr: Arc<MemoryRegion>,
     conns: Vec<ServerConn>,
+    /// Server handles in connection order, kept for reconnects.
+    servers: Vec<Arc<MemoryServer>>,
     server_index: HashMap<u8, usize>,
     /// NVM payload-base raw address -> cache-slot raw address.
     remap: HashMap<u64, u64>,
@@ -191,6 +238,10 @@ pub struct GengarClient {
     /// Counter that amortises drained-watermark refreshes on the
     /// store-buffer read path.
     wb_checks: u32,
+    /// Fault-recovery pacing derived from the configuration.
+    policy: RetryPolicy,
+    /// Per-operation jitter salt (monotonic; deterministic per client).
+    op_salt: u64,
     config: ClientConfig,
     metrics: ClientMetrics,
 }
@@ -219,11 +270,11 @@ impl GengarClient {
         )?);
         let mr = pd.reg_mr(MemRegion::whole(Arc::clone(&scratch_dev)), Access::all())?;
 
+        let policy = RetryPolicy::from_config(&config);
         let mut bump: u64 = 0;
         let mut conns = Vec::new();
         let mut server_index = HashMap::new();
         for server in servers {
-            let channel = server.accept(&node, &pd)?;
             // Dedicated RPC buffer (its own MR: the RPC slots are
             // MR-relative).
             let rpc_mr = pd.reg_mr(
@@ -231,45 +282,48 @@ impl GengarClient {
                 Access::LOCAL_WRITE,
             )?;
             bump += RPC_BUF_BYTES;
-            let rpc = RpcClient::new(channel.rpc, rpc_mr);
-
-            let mount = match rpc.call(&Request::Mount)? {
-                Response::Mount(m) => m,
-                Response::Err { code } => return Err(error_for_code(code, 0)),
-                _ => return Err(GengarError::ProtocolViolation("bad mount response")),
+            let mut staging_scratch_off = None;
+            // The initial dial runs under the same recovery policy as the
+            // data operations: a fault-riddled link or a restarting server
+            // is retried until the deadline, not surfaced on first loss.
+            // The scratch reservation sticks across attempts (the closure
+            // is idempotent), so retries don't leak bump space.
+            let mut state = policy.start(u64::from(node.id().0) << 32 | conns.len() as u64);
+            let hs = loop {
+                let result = Self::handshake(
+                    server,
+                    &node,
+                    &pd,
+                    &mr,
+                    Arc::clone(&rpc_mr),
+                    &mut |need| match staging_scratch_off {
+                        Some(off) => off,
+                        None => {
+                            let off = bump;
+                            bump += need;
+                            staging_scratch_off = Some(off);
+                            off
+                        }
+                    },
+                    &config,
+                    &policy,
+                );
+                match result {
+                    Ok(hs) => break hs,
+                    Err(e) if classify(&e) == Disposition::Fatal => return Err(e),
+                    Err(e) => state.charge(&policy, e)?,
+                }
             };
-            let staging = if mount.enable_proxy {
-                let (client_id, ring_offset) = match rpc.call(&Request::OpenStaging)? {
-                    Response::Staging {
-                        client_id,
-                        ring_offset,
-                    } => (client_id, ring_offset),
-                    Response::Err { code } => return Err(error_for_code(code, 0)),
-                    _ => return Err(GengarError::ProtocolViolation("bad staging response")),
-                };
-                let layout = mount.ring_layout();
-                let scratch_off = bump;
-                bump += layout.slot_bytes() + 8;
-                Some(StagingWriter::new(
-                    channel.proxy,
-                    RKey(mount.staging_rkey),
-                    RKey(mount.ctl_rkey),
-                    ring_offset,
-                    layout,
-                    client_id,
-                    Arc::clone(&mr),
-                    scratch_off,
-                    config.telemetry,
-                ))
-            } else {
-                None
-            };
-            server_index.insert(mount.server_id, conns.len());
+            server_index.insert(hs.mount.server_id, conns.len());
             conns.push(ServerConn {
-                mount,
-                rpc,
-                data: channel.data,
-                staging,
+                mount: hs.mount,
+                rpc: hs.rpc,
+                data: hs.data,
+                staging: hs.staging,
+                rpc_mr,
+                staging_scratch_off,
+                staging_faults: 0,
+                degraded: false,
             });
         }
 
@@ -286,10 +340,12 @@ impl GengarClient {
             ))?;
 
         Ok(GengarClient {
+            op_salt: u64::from(node.id().0) << 32,
             node,
             pd,
             mr,
             conns,
+            servers: servers.to_vec(),
             server_index,
             remap: HashMap::new(),
             write_back: HashMap::new(),
@@ -301,8 +357,97 @@ impl GengarClient {
             op_buf,
             op_buf_len,
             wb_checks: 0,
+            policy,
             metrics: ClientMetrics::new(config.telemetry),
             config,
+        })
+    }
+
+    /// Runs the accept + Mount (+ OpenStaging) handshake against `server`.
+    ///
+    /// `alloc_scratch` reserves scratch bytes for the staging writer when
+    /// the server mounts with the proxy enabled: `connect` passes a bump
+    /// allocator, `reconnect` returns the connection's existing
+    /// reservation (the ring geometry is a server-config constant, so the
+    /// size never changes across reconnects).
+    #[allow(clippy::too_many_arguments)]
+    fn handshake(
+        server: &Arc<MemoryServer>,
+        node: &Arc<RdmaNode>,
+        pd: &ProtectionDomain,
+        scratch_mr: &Arc<MemoryRegion>,
+        rpc_mr: Arc<MemoryRegion>,
+        alloc_scratch: &mut dyn FnMut(u64) -> u64,
+        config: &ClientConfig,
+        policy: &RetryPolicy,
+    ) -> Result<Handshake, GengarError> {
+        let channel = server.accept(node, pd)?;
+        let cid = channel.cid;
+        // A handshake that dies after accept (e.g. its Mount RPC is lost to
+        // a fault) never staged anything under this id, so hand it straight
+        // back — otherwise every failed re-dial through a partition would
+        // burn a slot of `max_clients` forever.
+        Self::finish_handshake(channel, scratch_mr, rpc_mr, alloc_scratch, config, policy)
+            .inspect_err(|_| server.release_client(cid))
+    }
+
+    /// The post-accept half of [`GengarClient::handshake`]: Mount, optional
+    /// OpenStaging, endpoint timeout setup.
+    fn finish_handshake(
+        mut channel: crate::server::ClientChannel,
+        scratch_mr: &Arc<MemoryRegion>,
+        rpc_mr: Arc<MemoryRegion>,
+        alloc_scratch: &mut dyn FnMut(u64) -> u64,
+        config: &ClientConfig,
+        policy: &RetryPolicy,
+    ) -> Result<Handshake, GengarError> {
+        let cid = channel.cid;
+        // Verbs must give up well inside the operation deadline so the
+        // retry loop gets several attempts (and a reconnect) per budget.
+        let attempt = policy.attempt_timeout();
+        channel.rpc.set_op_timeout(attempt);
+        channel.data.set_op_timeout(attempt);
+        channel.proxy.set_op_timeout(attempt);
+        let rpc = RpcClient::with_deadline(channel.rpc, rpc_mr, config.op_deadline);
+
+        let mount = match rpc.call(&Request::Mount)? {
+            Response::Mount(m) => m,
+            Response::Err { code } => return Err(error_for_code(code, 0)),
+            _ => return Err(GengarError::ProtocolViolation("bad mount response")),
+        };
+        let staging = if mount.enable_proxy {
+            let (client_id, ring_offset) = match rpc.call(&Request::OpenStaging)? {
+                Response::Staging {
+                    client_id,
+                    ring_offset,
+                } => (client_id, ring_offset),
+                Response::Err { code } => return Err(error_for_code(code, 0)),
+                _ => return Err(GengarError::ProtocolViolation("bad staging response")),
+            };
+            let layout = mount.ring_layout();
+            let scratch_off = alloc_scratch(layout.slot_bytes() + 8);
+            let mut st = StagingWriter::new(
+                channel.proxy,
+                RKey(mount.staging_rkey),
+                RKey(mount.ctl_rkey),
+                ring_offset,
+                layout,
+                client_id,
+                Arc::clone(scratch_mr),
+                scratch_off,
+                config.telemetry,
+            );
+            st.set_drain_deadline(attempt);
+            Some(st)
+        } else {
+            None
+        };
+        Ok(Handshake {
+            cid,
+            mount,
+            rpc,
+            data: channel.data,
+            staging,
         })
     }
 
@@ -322,6 +467,17 @@ impl GengarClient {
         self.conns.iter().map(|c| c.mount.server_id).collect()
     }
 
+    /// Whether writes to `server` currently bypass the staging ring
+    /// because it faulted repeatedly (cleared by the next reconnect).
+    ///
+    /// # Errors
+    ///
+    /// [`GengarError::UnknownServer`] for a server this client never
+    /// mounted.
+    pub fn is_degraded(&self, server: u8) -> Result<bool, GengarError> {
+        Ok(self.conn(server)?.degraded)
+    }
+
     fn conn(&self, server: u8) -> Result<&ServerConn, GengarError> {
         let idx = *self
             .server_index
@@ -336,6 +492,155 @@ impl GengarClient {
             .get(&server)
             .ok_or(GengarError::UnknownServer(server))?;
         Ok(&mut self.conns[idx])
+    }
+
+    /// Starts the recovery state for one operation.
+    fn retry_state(&mut self) -> RetryState {
+        self.op_salt = self.op_salt.wrapping_add(1);
+        self.policy.start(self.op_salt)
+    }
+
+    /// Handles one failed attempt of an operation against `server`:
+    /// transient losses back off and return for another attempt, dead
+    /// connections additionally re-run the mount handshake, permanent
+    /// errors (and exhausted budgets) propagate.
+    fn recover(
+        &mut self,
+        server: u8,
+        err: GengarError,
+        state: &mut RetryState,
+    ) -> Result<(), GengarError> {
+        let policy = self.policy;
+        match classify(&err) {
+            Disposition::Fatal => Err(err),
+            Disposition::Retry => {
+                self.metrics.retries.inc();
+                state.charge(&policy, err)
+            }
+            Disposition::Reconnect => {
+                self.metrics.retries.inc();
+                state.charge(&policy, err)?;
+                // A failed re-dial (server still down) is not fatal: the
+                // next attempt fails fast and lands back here until the
+                // operation deadline expires.
+                if self.reconnect(server).is_ok() {
+                    self.metrics.reconnects.inc();
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Re-establishes the connection to `server` after its queue pairs
+    /// died: re-runs the mount handshake (fresh QPs, fresh rkeys, fresh
+    /// staging ring), invalidates every stale local view of that server,
+    /// and replays staged writes the old ring had not yet drained.
+    fn reconnect(&mut self, server: u8) -> Result<(), GengarError> {
+        let idx = *self
+            .server_index
+            .get(&server)
+            .ok_or(GengarError::UnknownServer(server))?;
+        let srv = Arc::clone(&self.servers[idx]);
+        let rpc_mr = Arc::clone(&self.conns[idx].rpc_mr);
+        let scratch_off = self.conns[idx].staging_scratch_off;
+        let old_cid = self.conns[idx].staging.as_ref().map(|st| st.client_id());
+        let policy = self.policy;
+        let hs = Self::handshake(
+            &srv,
+            &self.node,
+            &self.pd,
+            &self.mr,
+            rpc_mr,
+            // Ring geometry is a server-config constant, so the original
+            // scratch reservation fits the new ring exactly.
+            &mut |_need| scratch_off.expect("proxy mount implies a scratch reservation"),
+            &self.config,
+            &policy,
+        )?;
+
+        // Ask the new connection how far the old ring durably drained, so
+        // only genuinely un-drained staged writes are replayed. Nothing has
+        // been staged under the new id yet, so if the query dies the fresh
+        // id goes back on the server's free list with the handshake's work
+        // abandoned.
+        let durable = match old_cid {
+            Some(cid) => {
+                let answer = hs
+                    .rpc
+                    .call(&Request::QueryDurable { client_id: cid })
+                    .and_then(|resp| match resp {
+                        Response::Durable { seq } => Ok(seq),
+                        Response::Err { .. } => Ok(0),
+                        _ => Err(GengarError::ProtocolViolation("bad durable response")),
+                    });
+                match answer {
+                    Ok(seq) => seq,
+                    Err(e) => {
+                        srv.release_client(hs.cid);
+                        return Err(e);
+                    }
+                }
+            }
+            None => 0,
+        };
+
+        // Stale views of this server die with the old connection: cached
+        // remap entries point at cache frames the restarted server may
+        // have re-assigned, and store-buffer entries the old ring made
+        // durable are retired.
+        self.remap
+            .retain(|addr, _| GlobalAddr::from_raw(*addr).map(|a| a.server()) != Some(server));
+        self.write_back.retain(|addr, wb| {
+            GlobalAddr::from_raw(*addr).map(|a| a.server()) != Some(server) || wb.seq > durable
+        });
+
+        let conn = &mut self.conns[idx];
+        conn.mount = hs.mount;
+        conn.rpc = hs.rpc;
+        conn.data = hs.data;
+        conn.staging = hs.staging;
+        conn.staging_faults = 0;
+        conn.degraded = false;
+
+        // Replay the surviving staged writes through the new ring in their
+        // original order. Records carry whole values, so at-least-once
+        // replay converges to the acknowledged state (exactly-once
+        // effect); the store buffer keeps serving read-your-writes until
+        // the new ring drains them.
+        let mut survivors: Vec<(u64, u64)> = self
+            .write_back
+            .iter()
+            .filter(|(addr, _)| GlobalAddr::from_raw(**addr).map(|a| a.server()) == Some(server))
+            .map(|(addr, wb)| (wb.seq, *addr))
+            .collect();
+        survivors.sort_unstable();
+        for (_, base) in survivors {
+            let wb = &self.write_back[&base];
+            let target = GlobalAddr::from_raw(base)
+                .ok_or(GengarError::ProtocolViolation("bad store-buffer address"))?
+                .add(wb.off);
+            let data = wb.data.clone();
+            let conn = &mut self.conns[idx];
+            if let Some(staging) = conn.staging.as_mut() {
+                let new_seq = staging.stage_write(target.raw(), &data)?;
+                self.write_back.get_mut(&base).expect("present").seq = new_seq;
+            } else {
+                // The server no longer mounts the proxy: anchor the write
+                // durably through the direct path instead.
+                let nvm_rkey = conn.nvm_rkey();
+                self.write_remote(server, nvm_rkey, target.offset(), &data)?;
+                match self.conns[idx].rpc.call(&Request::FlushRange {
+                    addr: target.raw(),
+                    len: data.len() as u64,
+                })? {
+                    Response::Ok => {}
+                    Response::Err { code } => return Err(error_for_code(code, data.len() as u64)),
+                    _ => return Err(GengarError::ProtocolViolation("bad flush response")),
+                }
+                self.write_back.remove(&base);
+            }
+        }
+        Ok(())
     }
 
     fn check_access(ptr: GlobalPtr, offset: u64, len: u64) -> Result<(), GengarError> {
@@ -355,11 +660,28 @@ impl GengarClient {
 
     /// Allocates `size` payload bytes on `server`.
     ///
+    /// Runs under the standard recovery loop. Allocation is not
+    /// idempotent: if a fault eats the *response* the allocation happened
+    /// but the retry requests another, leaking the first until the server
+    /// restarts. A bounded leak under faults is the documented trade for
+    /// never blocking the application.
+    ///
     /// # Errors
     ///
     /// [`GengarError::OutOfMemory`] / [`GengarError::ObjectTooLarge`] from
-    /// the server; transport failures as [`GengarError::Rdma`].
+    /// the server; transport failures that outlive the operation deadline
+    /// as [`GengarError::Rdma`].
     pub fn alloc(&mut self, server: u8, size: u64) -> Result<GlobalPtr, GengarError> {
+        let mut state = self.retry_state();
+        loop {
+            match self.alloc_attempt(server, size) {
+                Ok(ptr) => return Ok(ptr),
+                Err(e) => self.recover(server, e, &mut state)?,
+            }
+        }
+    }
+
+    fn alloc_attempt(&mut self, server: u8, size: u64) -> Result<GlobalPtr, GengarError> {
         let conn = self.conn(server)?;
         match conn.rpc.call(&Request::Alloc { size })? {
             Response::Alloc { addr } => {
@@ -464,15 +786,37 @@ impl GengarClient {
     /// cache when a validated copy exists; stale or torn cached frames are
     /// detected (tag / seqlock version / checksum) and fall back to NVM.
     ///
+    /// Transient transport faults are absorbed: lost requests are retried
+    /// with backoff, dead connections are re-established (including a
+    /// re-mount and staged-write replay), all inside the configured
+    /// per-operation deadline.
+    ///
     /// # Errors
     ///
-    /// Bounds violations, transport failures, or
-    /// [`GengarError::ReadContended`] if a seqlock read keeps losing to
-    /// writers.
+    /// Bounds violations, transport failures that outlive the operation
+    /// deadline, or [`GengarError::ReadContended`] if a seqlock read keeps
+    /// losing to writers.
     pub fn read(&mut self, ptr: GlobalPtr, offset: u64, buf: &mut [u8]) -> Result<(), GengarError> {
         Self::check_access(ptr, offset, buf.len() as u64)?;
         self.metrics.reads.inc();
         let _t = self.metrics.read_ns.span();
+        let mut state = self.retry_state();
+        loop {
+            match self.read_attempt(ptr, offset, buf) {
+                Ok(()) => return Ok(()),
+                Err(e) => self.recover(ptr.addr.server(), e, &mut state)?,
+            }
+        }
+    }
+
+    /// One attempt of [`GengarClient::read`]; every step is idempotent so
+    /// the recovery loop can re-run it wholesale.
+    fn read_attempt(
+        &mut self,
+        ptr: GlobalPtr,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> Result<(), GengarError> {
         let base = ptr.addr.raw();
         let server = ptr.addr.server();
 
@@ -633,13 +977,38 @@ impl GengarClient {
     /// RPC, and unlocks. Under `Consistency::None` it takes the proxy fast
     /// path when enabled and the payload fits a staging slot.
     ///
+    /// Transient transport faults are absorbed like in
+    /// [`GengarClient::read`]. A connection whose staging ring keeps
+    /// faulting is *degraded*: after `staging_fault_threshold` consecutive
+    /// staged-write failures the client routes writes through the direct
+    /// NVM path (correct, just slower) until a reconnect heals the ring.
+    ///
     /// # Errors
     ///
-    /// Bounds violations, lock contention, transport failures.
+    /// Bounds violations, lock contention, transport failures that outlive
+    /// the operation deadline.
     pub fn write(&mut self, ptr: GlobalPtr, offset: u64, data: &[u8]) -> Result<(), GengarError> {
         Self::check_access(ptr, offset, data.len() as u64)?;
         self.metrics.writes.inc();
         let _t = self.metrics.write_ns.span();
+        let mut state = self.retry_state();
+        loop {
+            match self.write_attempt(ptr, offset, data) {
+                Ok(()) => return Ok(()),
+                Err(e) => self.recover(ptr.addr.server(), e, &mut state)?,
+            }
+        }
+    }
+
+    /// One attempt of [`GengarClient::write`]. Safe to re-run: a staged
+    /// write either completes (acknowledged, durable) or provably never
+    /// reached the ring, and the direct path rewrites the same bytes.
+    fn write_attempt(
+        &mut self,
+        ptr: GlobalPtr,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<(), GengarError> {
         let base = ptr.addr.raw();
         let server = ptr.addr.server();
 
@@ -660,16 +1029,42 @@ impl GengarClient {
                 }
             }
             Consistency::None => {
-                let fits_proxy = self
-                    .conn(server)?
-                    .staging
-                    .as_ref()
-                    .is_some_and(|st| data.len() as u64 <= st.max_payload());
-                if fits_proxy {
+                let (fits_proxy, degraded) = {
+                    let conn = self.conn(server)?;
+                    (
+                        conn.staging
+                            .as_ref()
+                            .is_some_and(|st| data.len() as u64 <= st.max_payload()),
+                        conn.degraded,
+                    )
+                };
+                if fits_proxy && !degraded {
                     let target = ptr.addr.add(offset).raw();
-                    let conn = self.conn_mut(server)?;
-                    let st = conn.staging.as_mut().expect("checked above");
-                    let seq = st.stage_write(target, data)?;
+                    let threshold = self.config.staging_fault_threshold;
+                    let seq = {
+                        let conn = self.conn_mut(server)?;
+                        let staged = conn
+                            .staging
+                            .as_mut()
+                            .expect("checked above")
+                            .stage_write(target, data);
+                        match staged {
+                            Ok(seq) => {
+                                conn.staging_faults = 0;
+                                seq
+                            }
+                            Err(e) => {
+                                // Track consecutive ring failures; past the
+                                // threshold the connection degrades to the
+                                // direct path until a reconnect heals it.
+                                conn.staging_faults += 1;
+                                if conn.staging_faults >= threshold {
+                                    conn.degraded = true;
+                                }
+                                return Err(e);
+                            }
+                        }
+                    };
                     self.write_back.insert(
                         base,
                         WriteBack {
@@ -681,6 +1076,9 @@ impl GengarClient {
                     self.purge_write_back(server)?;
                     self.metrics.staged_writes.inc();
                 } else {
+                    if degraded {
+                        self.metrics.degraded_ops.inc();
+                    }
                     self.write_direct(ptr, offset, data)?;
                 }
             }
@@ -697,6 +1095,17 @@ impl GengarClient {
         data: &[u8],
     ) -> Result<(), GengarError> {
         let server = ptr.addr.server();
+        // An older staged record for this object may still sit un-drained
+        // in the server ring (e.g. the connection degraded between the two
+        // writes). Let it land first: the drain thread would otherwise
+        // replay the *older* value over this newer direct write.
+        if let Some(seq) = self.write_back.get(&ptr.addr.raw()).map(|wb| wb.seq) {
+            if let Some(st) = self.conn_mut(server)?.staging.as_mut() {
+                if st.known_drained() < seq {
+                    st.wait_drained(seq)?;
+                }
+            }
+        }
         let nvm_rkey = self.conn(server)?.nvm_rkey();
         self.write_remote(server, nvm_rkey, ptr.addr.offset() + offset, data)?;
         let conn = self.conn(server)?;
@@ -735,7 +1144,8 @@ impl GengarClient {
     ///
     /// # Errors
     ///
-    /// Bounds/alignment violations, transport failures.
+    /// Bounds/alignment violations, transport failures that outlive the
+    /// operation deadline.
     pub fn cas_u64(
         &mut self,
         ptr: GlobalPtr,
@@ -744,6 +1154,34 @@ impl GengarClient {
         new: u64,
     ) -> Result<u64, GengarError> {
         Self::check_access(ptr, offset, 8)?;
+        let server = ptr.addr.server();
+        let mut state = self.retry_state();
+        // The verb is only ever re-posted after a failure that provably
+        // preceded execution (the fabric injects faults before the remote
+        // word is touched), so a retried CAS cannot double-apply.
+        let prev = loop {
+            match self.cas_attempt(ptr, offset, expected, new) {
+                Ok(v) => break v,
+                Err(e) => self.recover(server, e, &mut state)?,
+            }
+        };
+        // The durability anchor is idempotent and retried independently so
+        // a flush failure never re-executes the atomic.
+        loop {
+            match self.finish_atomic(ptr, offset) {
+                Ok(()) => return Ok(prev),
+                Err(e) => self.recover(server, e, &mut state)?,
+            }
+        }
+    }
+
+    fn cas_attempt(
+        &mut self,
+        ptr: GlobalPtr,
+        offset: u64,
+        expected: u64,
+        new: u64,
+    ) -> Result<u64, GengarError> {
         let op_cas = self.op_cas;
         let mr_lkey = self.mr.lkey();
         let region = self.mr.region().clone();
@@ -757,7 +1195,6 @@ impl GengarClient {
         )?;
         let mut prev = [0u8; 8];
         region.read(op_cas, &mut prev)?;
-        self.finish_atomic(ptr, offset)?;
         Ok(u64::from_le_bytes(prev))
     }
 
@@ -784,9 +1221,30 @@ impl GengarClient {
     ///
     /// # Errors
     ///
-    /// Bounds/alignment violations, transport failures.
+    /// Bounds/alignment violations, transport failures that outlive the
+    /// operation deadline.
     pub fn faa_u64(&mut self, ptr: GlobalPtr, offset: u64, add: u64) -> Result<u64, GengarError> {
         Self::check_access(ptr, offset, 8)?;
+        let server = ptr.addr.server();
+        let mut state = self.retry_state();
+        // Same re-execution discipline as [`GengarClient::cas_u64`]: only
+        // provably unexecuted FAAs are re-posted, so the add never lands
+        // twice.
+        let prev = loop {
+            match self.faa_attempt(ptr, offset, add) {
+                Ok(v) => break v,
+                Err(e) => self.recover(server, e, &mut state)?,
+            }
+        };
+        loop {
+            match self.finish_atomic(ptr, offset) {
+                Ok(()) => return Ok(prev),
+                Err(e) => self.recover(server, e, &mut state)?,
+            }
+        }
+    }
+
+    fn faa_attempt(&mut self, ptr: GlobalPtr, offset: u64, add: u64) -> Result<u64, GengarError> {
         let op_cas = self.op_cas;
         let mr_lkey = self.mr.lkey();
         let region = self.mr.region().clone();
@@ -799,7 +1257,6 @@ impl GengarClient {
         )?;
         let mut prev = [0u8; 8];
         region.read(op_cas, &mut prev)?;
-        self.finish_atomic(ptr, offset)?;
         Ok(u64::from_le_bytes(prev))
     }
 
@@ -851,15 +1308,21 @@ impl GengarClient {
     /// lock.
     pub fn unlock(&mut self, ptr: GlobalPtr) -> Result<(), GengarError> {
         let base = ptr.addr.raw();
-        let locked_word = self
+        let locked_word = *self
             .held
-            .remove(&base)
+            .get(&base)
             .ok_or(GengarError::ProtocolViolation("unlock without lock"))?;
         let release = lockword::release(locked_word);
         let word_off = ptr.addr.offset() - OBJ_HEADER;
         let server = ptr.addr.server();
         let nvm_rkey = self.conn(server)?.nvm_rkey();
-        self.write_remote(server, nvm_rkey, word_off, &release.to_le_bytes())
+        // Forget the lock only once the release write landed; a failed
+        // release leaves it in `held` so a retried unlock (or the write
+        // path's auto-unlock) can release it instead of deadlocking on a
+        // lock word nobody remembers owning.
+        self.write_remote(server, nvm_rkey, word_off, &release.to_le_bytes())?;
+        self.held.remove(&base);
+        Ok(())
     }
 
     /// Reads the object's raw lock/version word (one 8-byte READ). Exposed
@@ -935,15 +1398,31 @@ impl GengarClient {
     /// Blocks until every staged write this client issued has been drained
     /// to NVM (used by tests and durability-sensitive applications).
     ///
+    /// Runs under the same recovery loop as the data operations: a stalled
+    /// drain (dead server) is bounded by the per-operation deadline, and a
+    /// reconnect replays the un-drained writes before waiting again.
+    ///
     /// # Errors
     ///
-    /// Transport failures as [`GengarError::Rdma`].
+    /// Transport failures that outlive the operation deadline, as
+    /// [`GengarError::Rdma`].
     pub fn drain_all(&mut self) -> Result<(), GengarError> {
-        for conn in &mut self.conns {
-            if let Some(st) = conn.staging.as_mut() {
-                let last = st.next_seq().saturating_sub(1);
-                if last > 0 {
-                    st.wait_drained(last)?;
+        for server in self.server_ids() {
+            let mut state = self.retry_state();
+            loop {
+                let result = (|| {
+                    let conn = self.conn_mut(server)?;
+                    if let Some(st) = conn.staging.as_mut() {
+                        let last = st.next_seq().saturating_sub(1);
+                        if last > 0 {
+                            st.wait_drained(last)?;
+                        }
+                    }
+                    Ok(())
+                })();
+                match result {
+                    Ok(()) => break,
+                    Err(e) => self.recover(server, e, &mut state)?,
                 }
             }
         }

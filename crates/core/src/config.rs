@@ -128,6 +128,19 @@ pub struct ClientConfig {
     pub lock_retries: u32,
     /// Remember at most this many remote-cache remap entries.
     pub remap_cache_entries: usize,
+    /// Overall deadline for one client operation, spanning every retry,
+    /// backoff sleep and reconnect attempt. Also the default RPC deadline.
+    pub op_deadline: Duration,
+    /// Maximum fault-recovery retries per operation (backoff attempts).
+    pub max_retries: u32,
+    /// First backoff sleep after a retryable fault; doubles per attempt.
+    pub retry_backoff: Duration,
+    /// Ceiling for the exponential backoff between retries.
+    pub retry_backoff_max: Duration,
+    /// After this many consecutive staged-write failures on one server the
+    /// client degrades that connection to the direct NVM write path until
+    /// the next successful reconnect.
+    pub staging_fault_threshold: u32,
     /// Whether client-side metrics (per-op latency, stats counters) are
     /// recorded into the global telemetry registry.
     pub telemetry: TelemetryConfig,
@@ -142,6 +155,11 @@ impl Default for ClientConfig {
             read_retries: 16,
             lock_retries: 10_000,
             remap_cache_entries: 65_536,
+            op_deadline: Duration::from_secs(2),
+            max_retries: 64,
+            retry_backoff: Duration::from_micros(50),
+            retry_backoff_max: Duration::from_millis(5),
+            staging_fault_threshold: 3,
             telemetry: TelemetryConfig::default(),
         }
     }
@@ -160,6 +178,9 @@ mod tests {
         let c = ClientConfig::default();
         assert!(c.report_every > 0);
         assert!(c.scratch_capacity >= 1 << 20);
+        assert!(c.op_deadline >= Duration::from_millis(100));
+        assert!(c.retry_backoff <= c.retry_backoff_max);
+        assert!(c.max_retries > 0 && c.staging_fault_threshold > 0);
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub mod layout;
 pub mod pool;
 pub mod proto;
 pub mod proxy;
+pub mod retry;
 pub mod rpc;
 pub mod server;
 
@@ -60,6 +61,7 @@ pub use cluster::Cluster;
 pub use config::{ClientConfig, Consistency, ServerConfig};
 pub use error::GengarError;
 pub use pool::DshmPool;
+pub use retry::{Disposition, RetryPolicy};
 pub use server::MemoryServer;
 
 /// Crate-wide result alias.

@@ -16,6 +16,7 @@
 //! when the ring is full.
 
 use std::collections::VecDeque;
+use std::time::{Duration, Instant};
 
 use gengar_rdma::{Endpoint, MemoryRegion, Payload, RKey, RemoteAddr, Sge};
 use gengar_telemetry::{CounterHandle, GaugeHandle, HistogramHandle, TelemetryConfig};
@@ -25,6 +26,12 @@ use crate::layout::{checksum, encode_record_header, RECORD_HEADER};
 
 /// Slots per staging ring.
 pub const SLOTS_PER_RING: u32 = 16;
+
+/// Default patience of [`StagingWriter::wait_drained`]. A healthy proxy
+/// drains a slot in microseconds; a watermark that has not moved for this
+/// long means the server is gone or the drain threads are stopped, and the
+/// wait reports [`gengar_rdma::RdmaError::Timeout`] instead of hanging.
+pub const DEFAULT_DRAIN_DEADLINE: Duration = Duration::from_secs(2);
 
 /// Ring geometry shared between client and server.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,6 +90,9 @@ pub struct StagingWriter {
     next_seq: u64,
     in_flight: VecDeque<u64>, // sequence numbers, oldest first
     drained: u64,
+    /// Patience of [`StagingWriter::wait_drained`] before it reports the
+    /// drain as stalled.
+    drain_deadline: Duration,
     /// `proxy.*` handles: in-flight ring occupancy, staged-record count,
     /// ring-full stalls and staging latency.
     occupancy: GaugeHandle,
@@ -120,6 +130,7 @@ impl StagingWriter {
             next_seq: 1,
             in_flight: VecDeque::new(),
             drained: 0,
+            drain_deadline: DEFAULT_DRAIN_DEADLINE,
             occupancy: tel.gauge("proxy", "ring_occupancy"),
             staged: tel.counter("proxy", "staged_records"),
             ring_full_waits: tel.counter("proxy", "ring_full_waits"),
@@ -130,6 +141,21 @@ impl StagingWriter {
     /// Largest payload a single staged write can carry.
     pub fn max_payload(&self) -> u64 {
         self.layout.slot_payload
+    }
+
+    /// The ring (client) id this writer stages into.
+    pub fn client_id(&self) -> u32 {
+        self.client_id
+    }
+
+    /// Sequence numbers staged but not yet observed drained, oldest first.
+    pub fn in_flight(&self) -> impl Iterator<Item = u64> + '_ {
+        self.in_flight.iter().copied()
+    }
+
+    /// Adjusts the patience of [`StagingWriter::wait_drained`].
+    pub fn set_drain_deadline(&mut self, deadline: Duration) {
+        self.drain_deadline = deadline;
     }
 
     /// Sequence number the next staged write will use.
@@ -234,13 +260,25 @@ impl StagingWriter {
     ///
     /// # Errors
     ///
-    /// Transport failures as [`GengarError::Rdma`].
+    /// Transport failures as [`GengarError::Rdma`];
+    /// [`gengar_rdma::RdmaError::Timeout`] if the watermark makes no
+    /// progress for the drain deadline (stalled or dead proxy) — the wait
+    /// never hangs forever.
     pub fn wait_drained(&mut self, seq: u64) -> Result<(), GengarError> {
         let mut sleep_us = 5u64;
+        let mut last_progress = Instant::now();
+        let mut last_seen = self.drained;
         while self.drained < seq {
             self.refresh_drained()?;
+            if self.drained > last_seen {
+                last_seen = self.drained;
+                last_progress = Instant::now();
+            }
             if self.drained < seq {
-                std::thread::sleep(std::time::Duration::from_micros(sleep_us));
+                if last_progress.elapsed() >= self.drain_deadline {
+                    return Err(GengarError::Rdma(gengar_rdma::RdmaError::Timeout));
+                }
+                std::thread::sleep(Duration::from_micros(sleep_us));
                 sleep_us = (sleep_us * 2).min(200);
             }
         }

@@ -1,0 +1,294 @@
+//! Client-side fault recovery policy: error classification, exponential
+//! backoff with jitter, and per-operation deadlines.
+//!
+//! Every public `GengarClient` data operation runs as a loop of *attempts*.
+//! When an attempt fails, [`classify`] decides what the failure means:
+//!
+//! * [`Disposition::Retry`] — transient; the connection is still usable.
+//!   Today that is exactly [`RdmaError::Timeout`]: a verb was posted, no
+//!   completion arrived in time, and the queue pair is still in RTS (the
+//!   request was lost in flight). Re-posting on the same QP is safe.
+//! * [`Disposition::Reconnect`] — the connection is broken. Error
+//!   completions move the QP to the Error state, so every later verb on it
+//!   is doomed; the client must re-run the mount handshake on fresh queue
+//!   pairs before anything can succeed. A server that refuses new
+//!   connections ([`GengarError::ServerUnavailable`]) lands here too so
+//!   that the client keeps re-dialling until the server restarts or the
+//!   deadline expires.
+//! * [`Disposition::Fatal`] — retrying cannot help: bounds errors, protocol
+//!   violations, allocation failures, contention limits. Surface
+//!   immediately.
+//!
+//! Pacing is governed by [`RetryPolicy`] (built from [`ClientConfig`]) and
+//! tracked per operation by [`RetryState`]: exponential backoff from
+//! `retry_backoff` to `retry_backoff_max`, ±50% deterministic jitter to
+//! decorrelate clients, a `max_retries` attempt cap, and an `op_deadline`
+//! wall-clock budget that bounds the whole loop — an operation never hangs
+//! past its deadline, it returns the last underlying error.
+
+use std::time::{Duration, Instant};
+
+use gengar_rdma::RdmaError;
+
+use crate::config::ClientConfig;
+use crate::error::GengarError;
+
+/// What a failed attempt means for the retry loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Transient loss; retry the attempt on the same connection.
+    Retry,
+    /// The connection is dead (or the server refused us); re-run the mount
+    /// handshake before retrying.
+    Reconnect,
+    /// Permanent; return the error to the caller unchanged.
+    Fatal,
+}
+
+/// Classifies an operation failure for the recovery loop.
+#[must_use]
+pub fn classify(err: &GengarError) -> Disposition {
+    match err {
+        GengarError::Rdma(RdmaError::Timeout) => Disposition::Retry,
+        GengarError::Rdma(
+            RdmaError::QpError(_)
+            | RdmaError::CompletionError(_)
+            | RdmaError::InvalidQpState { .. }
+            | RdmaError::NotConnected,
+        ) => Disposition::Reconnect,
+        GengarError::ServerUnavailable(_) => Disposition::Reconnect,
+        _ => Disposition::Fatal,
+    }
+}
+
+/// Immutable pacing knobs for the per-operation retry loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Attempt cap (number of *recoveries*, not counting the first try).
+    pub max_retries: u32,
+    /// First backoff sleep; doubles each retry.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Wall-clock budget for the whole operation.
+    pub op_deadline: Duration,
+}
+
+impl RetryPolicy {
+    /// Derives the policy from the client configuration.
+    #[must_use]
+    pub fn from_config(cfg: &ClientConfig) -> RetryPolicy {
+        RetryPolicy {
+            max_retries: cfg.max_retries,
+            base_backoff: cfg.retry_backoff,
+            max_backoff: cfg.retry_backoff_max.max(cfg.retry_backoff),
+            op_deadline: cfg.op_deadline,
+        }
+    }
+
+    /// Patience for a single posted verb or RPC receive wait. Much shorter
+    /// than the operation deadline so several attempts (plus a reconnect)
+    /// fit inside one operation budget, but never so short that healthy
+    /// completions get misread as losses.
+    #[must_use]
+    pub fn attempt_timeout(&self) -> Duration {
+        (self.op_deadline / 20).clamp(Duration::from_millis(5), Duration::from_millis(500))
+    }
+
+    /// Starts the per-operation retry state. `salt` seeds the jitter
+    /// stream; pass something client-unique so concurrent clients
+    /// desynchronise.
+    #[must_use]
+    pub fn start(&self, salt: u64) -> RetryState {
+        RetryState {
+            deadline: Instant::now() + self.op_deadline,
+            attempt: 0,
+            rng: salt | 1,
+        }
+    }
+}
+
+/// Mutable state of one operation's recovery loop.
+#[derive(Debug)]
+pub struct RetryState {
+    deadline: Instant,
+    attempt: u32,
+    rng: u64,
+}
+
+impl RetryState {
+    /// Recoveries performed so far.
+    #[must_use]
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Time left in the operation budget (zero once expired).
+    #[must_use]
+    pub fn remaining(&self) -> Duration {
+        self.deadline.saturating_duration_since(Instant::now())
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // splitmix64: cheap, deterministic, good enough for jitter.
+        self.rng = self.rng.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// The backoff that charging attempt `n` would sleep, before jitter.
+    fn raw_backoff(policy: &RetryPolicy, attempt: u32) -> Duration {
+        let doubled = policy
+            .base_backoff
+            .saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX));
+        doubled.min(policy.max_backoff)
+    }
+
+    /// Charges one failed attempt: checks the attempt cap and deadline,
+    /// then sleeps the jittered exponential backoff.
+    ///
+    /// # Errors
+    ///
+    /// Returns `err` unchanged when the budget is exhausted — the caller's
+    /// loop simply propagates it.
+    pub fn charge(&mut self, policy: &RetryPolicy, err: GengarError) -> Result<(), GengarError> {
+        if self.attempt >= policy.max_retries {
+            return Err(err);
+        }
+        let backoff = Self::raw_backoff(policy, self.attempt);
+        // ±50% jitter, deterministic per (salt, attempt).
+        let jittered =
+            backoff / 2 + backoff.mul_f64((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64);
+        let remaining = self.remaining();
+        if remaining.is_zero() {
+            return Err(err);
+        }
+        self.attempt += 1;
+        std::thread::sleep(jittered.min(remaining));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gengar_rdma::WcStatus;
+
+    #[test]
+    fn classification_matches_failure_model() {
+        use Disposition::*;
+        let cases: Vec<(GengarError, Disposition)> = vec![
+            (GengarError::Rdma(RdmaError::Timeout), Retry),
+            (
+                GengarError::Rdma(RdmaError::QpError(WcStatus::RnrRetryExceeded)),
+                Reconnect,
+            ),
+            (
+                GengarError::Rdma(RdmaError::CompletionError(WcStatus::TransportError)),
+                Reconnect,
+            ),
+            (GengarError::Rdma(RdmaError::NotConnected), Reconnect),
+            (GengarError::ServerUnavailable(3), Reconnect),
+            (
+                GengarError::LockContended(crate::addr::GlobalAddr::new(
+                    0,
+                    crate::addr::MemClass::Nvm,
+                    64,
+                )),
+                Fatal,
+            ),
+            (GengarError::ProtocolViolation("x"), Fatal),
+        ];
+        for (err, want) in cases {
+            assert_eq!(classify(&err), want, "classify({err:?})");
+        }
+    }
+
+    #[test]
+    fn backoff_grows_and_saturates() {
+        let policy = RetryPolicy {
+            max_retries: 100,
+            base_backoff: Duration::from_micros(10),
+            max_backoff: Duration::from_micros(160),
+            op_deadline: Duration::from_secs(5),
+        };
+        let seq: Vec<Duration> = (0..8)
+            .map(|n| RetryState::raw_backoff(&policy, n))
+            .collect();
+        assert_eq!(seq[0], Duration::from_micros(10));
+        assert_eq!(seq[1], Duration::from_micros(20));
+        assert_eq!(seq[4], Duration::from_micros(160));
+        assert_eq!(seq[7], Duration::from_micros(160), "saturates at the cap");
+    }
+
+    #[test]
+    fn attempt_cap_is_enforced() {
+        let policy = RetryPolicy {
+            max_retries: 2,
+            base_backoff: Duration::from_nanos(1),
+            max_backoff: Duration::from_nanos(2),
+            op_deadline: Duration::from_secs(10),
+        };
+        let mut state = policy.start(7);
+        assert!(state
+            .charge(&policy, GengarError::Rdma(RdmaError::Timeout))
+            .is_ok());
+        assert!(state
+            .charge(&policy, GengarError::Rdma(RdmaError::Timeout))
+            .is_ok());
+        let err = state
+            .charge(&policy, GengarError::Rdma(RdmaError::Timeout))
+            .unwrap_err();
+        assert!(matches!(err, GengarError::Rdma(RdmaError::Timeout)));
+        assert_eq!(state.attempts(), 2);
+    }
+
+    #[test]
+    fn deadline_bounds_the_loop() {
+        let policy = RetryPolicy {
+            max_retries: u32::MAX,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(1),
+            op_deadline: Duration::from_millis(20),
+        };
+        let mut state = policy.start(99);
+        let start = Instant::now();
+        let mut charges = 0u32;
+        while state
+            .charge(&policy, GengarError::Rdma(RdmaError::Timeout))
+            .is_ok()
+        {
+            charges += 1;
+            assert!(charges < 10_000, "deadline never tripped");
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "loop escaped its deadline"
+        );
+        assert!(charges > 0, "budget allowed no recovery at all");
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_salt() {
+        let policy = RetryPolicy::from_config(&ClientConfig::default());
+        let mut a = policy.start(42);
+        let mut b = policy.start(42);
+        let (x, y) = (a.next_u64(), b.next_u64());
+        assert_eq!(x, y);
+        let mut c = policy.start(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn attempt_timeout_is_a_fraction_of_the_deadline() {
+        let policy = RetryPolicy::from_config(&ClientConfig::default());
+        assert!(policy.attempt_timeout() < policy.op_deadline);
+        let tight = RetryPolicy {
+            op_deadline: Duration::from_millis(10),
+            ..policy
+        };
+        assert_eq!(tight.attempt_timeout(), Duration::from_millis(5));
+    }
+}

@@ -8,7 +8,7 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use gengar_rdma::{Endpoint, MemoryRegion, Payload, RdmaError, Sge};
 
@@ -23,6 +23,11 @@ const IN_SLOT: u64 = MAX_MSG as u64;
 /// Bytes an RPC message buffer MR must cover.
 pub const RPC_BUF_BYTES: u64 = 2 * MAX_MSG as u64;
 
+/// Default overall deadline for one RPC call, retries included.
+/// [`crate::GengarClient::connect`] overrides it with
+/// [`crate::ClientConfig::op_deadline`].
+pub const DEFAULT_RPC_DEADLINE: Duration = Duration::from_secs(2);
+
 /// Client half of an RPC connection.
 #[derive(Debug)]
 pub struct RpcClient {
@@ -33,12 +38,21 @@ pub struct RpcClient {
 
 impl RpcClient {
     /// Wraps a connected endpoint and a message buffer of at least
-    /// [`RPC_BUF_BYTES`].
+    /// [`RPC_BUF_BYTES`], with the [`DEFAULT_RPC_DEADLINE`].
     ///
     /// # Panics
     ///
     /// Panics if `buf` is smaller than [`RPC_BUF_BYTES`].
     pub fn new(ep: Endpoint, buf: Arc<MemoryRegion>) -> Self {
+        Self::with_deadline(ep, buf, DEFAULT_RPC_DEADLINE)
+    }
+
+    /// Like [`RpcClient::new`] with an explicit per-call deadline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is smaller than [`RPC_BUF_BYTES`].
+    pub fn with_deadline(ep: Endpoint, buf: Arc<MemoryRegion>, deadline: Duration) -> Self {
         assert!(
             buf.len() >= RPC_BUF_BYTES,
             "rpc buffer needs {RPC_BUF_BYTES} bytes, got {}",
@@ -47,41 +61,82 @@ impl RpcClient {
         RpcClient {
             ep,
             buf,
-            timeout: Duration::from_secs(10),
+            timeout: deadline,
         }
     }
 
-    /// Adjusts the per-call timeout.
+    /// Adjusts the per-call deadline.
     pub fn set_timeout(&mut self, timeout: Duration) {
         self.timeout = timeout;
     }
 
+    /// The underlying endpoint (for timeout tuning at connect time).
+    pub fn endpoint_mut(&mut self) -> &mut Endpoint {
+        &mut self.ep
+    }
+
     /// Issues one request and waits for the response.
+    ///
+    /// A request lost to a transport fault is re-sent: the wait for the
+    /// response uses an attempt-scale patience (a twentieth of the
+    /// deadline — a response not back by then is lost, not slow), and
+    /// timeouts are retried until the call deadline expires. The queue pair stays
+    /// healthy across such losses, so re-posting is safe; requests that
+    /// reached the server are answered exactly once (a retried request that
+    /// *was* processed is re-processed, which is idempotent for every
+    /// request in the protocol except `Alloc`, where it can at worst leak
+    /// one allocation per fault).
     ///
     /// # Errors
     ///
-    /// Transport failures surface as [`GengarError::Rdma`]; malformed
-    /// responses as [`GengarError::ProtocolViolation`].
+    /// Transport failures surface as [`GengarError::Rdma`] — a dead queue
+    /// pair as `Rdma(QpError)`/`Rdma(CompletionError)`, deadline exhaustion
+    /// as `Rdma(Timeout)`; malformed responses as
+    /// [`GengarError::ProtocolViolation`].
     pub fn call(&self, req: &Request) -> Result<Response, GengarError> {
         let mut out = Vec::with_capacity(256);
         req.encode(&mut out);
         debug_assert!(out.len() <= MAX_MSG);
 
-        // Arm the response buffer before sending the request.
-        self.ep
-            .post_recv(Sge::new(self.buf.lkey(), IN_SLOT, MAX_MSG as u64))?;
+        let deadline = Instant::now() + self.timeout;
+        // Attempt-scale patience, mirroring RetryPolicy::attempt_timeout:
+        // several lost responses (each costing one patience) plus the
+        // re-sends must fit inside one deadline, and a connection that died
+        // mid-call should be discovered in a fraction of the budget.
+        let patience =
+            (self.timeout / 20).clamp(Duration::from_millis(5), Duration::from_millis(500));
+        loop {
+            // Drop completions of responses that arrived after an earlier
+            // attempt gave up on them — they belong to a stale request.
+            while !self.ep.qp().recv_cq().poll(16).is_empty() {}
 
-        // Stage the request bytes in the outgoing slot and send.
-        self.buf.region().write(OUT_SLOT, &out)?;
-        self.ep.send(
-            Payload::Sge(Sge::new(self.buf.lkey(), OUT_SLOT, out.len() as u64)),
-            None,
-        )?;
+            // Arm the response buffer before sending the request.
+            self.ep
+                .post_recv(Sge::new(self.buf.lkey(), IN_SLOT, MAX_MSG as u64))?;
 
-        let wc = self.ep.recv(self.timeout)?;
-        let mut resp_bytes = vec![0u8; wc.byte_len as usize];
-        self.buf.region().read(IN_SLOT, &mut resp_bytes)?;
-        Response::decode(&resp_bytes)
+            // Stage the request bytes in the outgoing slot and send.
+            self.buf.region().write(OUT_SLOT, &out)?;
+            let outcome = self
+                .ep
+                .send(
+                    Payload::Sge(Sge::new(self.buf.lkey(), OUT_SLOT, out.len() as u64)),
+                    None,
+                )
+                .and_then(|_| {
+                    let left = deadline.saturating_duration_since(Instant::now());
+                    self.ep
+                        .recv(patience.min(left.max(Duration::from_millis(1))))
+                });
+            match outcome {
+                Ok(wc) => {
+                    let mut resp_bytes = vec![0u8; wc.byte_len as usize];
+                    self.buf.region().read(IN_SLOT, &mut resp_bytes)?;
+                    return Response::decode(&resp_bytes);
+                }
+                Err(RdmaError::Timeout) if Instant::now() < deadline => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
     }
 }
 
@@ -252,5 +307,50 @@ mod tests {
         let shutdown = Arc::new(AtomicBool::new(true));
         // Already-set shutdown returns promptly.
         server.serve(&shutdown, |_req| Response::Ok);
+    }
+
+    #[test]
+    fn call_retries_through_a_dropped_request() {
+        use gengar_rdma::{FaultPlane, TelemetryConfig};
+        // Drop the very first SEND on the fabric: the first request
+        // vanishes in flight and the call must transparently re-send.
+        let plane = Arc::new(
+            FaultPlane::from_spec("drop:verb=send,at=1", 7, TelemetryConfig::disabled()).unwrap(),
+        );
+        let mut cfg = FabricConfig::instant();
+        cfg.faults = Some(Arc::clone(&plane));
+        let fabric = Fabric::new(cfg);
+        let c_node = fabric.add_node();
+        let s_node = fabric.add_node();
+        let c_pd = c_node.alloc_pd();
+        let s_pd = s_node.alloc_pd();
+        let c_dev = Arc::new(
+            MemDevice::new(0, DeviceProfile::instant(MemKind::Dram), RPC_BUF_BYTES).unwrap(),
+        );
+        let s_dev = Arc::new(
+            MemDevice::new(1, DeviceProfile::instant(MemKind::Dram), RPC_BUF_BYTES).unwrap(),
+        );
+        let c_buf = c_pd.reg_mr(MemRegion::whole(c_dev), Access::all()).unwrap();
+        let s_buf = s_pd.reg_mr(MemRegion::whole(s_dev), Access::all()).unwrap();
+        let (mut ce, se) =
+            Endpoint::pair((&c_node, &c_pd), (&s_node, &s_pd), QpOptions::default()).unwrap();
+        // Keep the dropped SEND's own spin-wait short so the retry happens
+        // well inside the call deadline.
+        ce.set_op_timeout(Duration::from_millis(25));
+        let client = RpcClient::with_deadline(ce, c_buf, Duration::from_millis(500));
+        let server = RpcServerConn::new(se, s_buf);
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let shutdown2 = Arc::clone(&shutdown);
+        let t = std::thread::spawn(move || {
+            server.serve(&shutdown2, |req| match req {
+                Request::Alloc { size } => Response::Alloc { addr: size + 1 },
+                _ => Response::Ok,
+            });
+        });
+        let resp = client.call(&Request::Alloc { size: 9 }).unwrap();
+        assert_eq!(resp, Response::Alloc { addr: 10 });
+        shutdown.store(true, Ordering::Relaxed);
+        t.join().unwrap();
     }
 }

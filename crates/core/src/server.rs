@@ -40,6 +40,10 @@ use crate::rpc::{RpcServerConn, RPC_BUF_BYTES};
 /// endpoints (control RPC, one-sided data, proxy ring) on the client side.
 #[derive(Debug)]
 pub struct ClientChannel {
+    /// The client id the server assigned to this mount. Hand it back via
+    /// [`MemoryServer::release_client`] if the handshake fails before any
+    /// data is staged, so reconnect storms don't exhaust `max_clients`.
+    pub cid: u32,
     /// Control-plane endpoint (drive with [`crate::rpc::RpcClient`]).
     pub rpc: Endpoint,
     /// Data-plane endpoint for one-sided READ/WRITE/CAS.
@@ -77,6 +81,11 @@ impl ServerMetrics {
 
 struct ClientTable {
     next_id: u32,
+    /// Ids handed back by [`MemoryServer::release_client`] after a failed
+    /// mount handshake, reused before `next_id` grows. Keeps reconnect
+    /// storms (e.g. re-dialling through a partition) from exhausting
+    /// `max_clients`.
+    free_ids: Vec<u32>,
     /// Server-side proxy QPN -> client id (routes drain completions).
     proxy_clients: HashMap<Qpn, u32>,
     /// Server-side proxy QPs (for re-posting receives).
@@ -218,6 +227,7 @@ impl MemoryServer {
             cache: Mutex::new(cache),
             clients: Mutex::new(ClientTable {
                 next_id: 0,
+                free_ids: Vec::new(),
                 proxy_clients: HashMap::new(),
                 proxy_qps: HashMap::new(),
             }),
@@ -320,22 +330,38 @@ impl MemoryServer {
         client_pd: &ProtectionDomain,
     ) -> Result<ClientChannel, GengarError> {
         let inner = &self.inner;
+        // A stopped server accepts nobody: its RPC threads would exit
+        // immediately and the client would stall on a dead connection.
+        // Refusing here lets clients back off and re-dial after restart().
+        if !self.is_running() {
+            return Err(GengarError::ServerUnavailable(inner.id));
+        }
         let cid = {
             let mut clients = inner.clients.lock();
-            if clients.next_id >= inner.config.max_clients {
-                return Err(GengarError::ServerUnavailable(inner.id));
+            match clients.free_ids.pop() {
+                Some(cid) => cid,
+                None => {
+                    if clients.next_id >= inner.config.max_clients {
+                        return Err(GengarError::ServerUnavailable(inner.id));
+                    }
+                    let cid = clients.next_id;
+                    clients.next_id += 1;
+                    cid
+                }
             }
-            let cid = clients.next_id;
-            clients.next_id += 1;
-            cid
         };
 
         // Control-plane pair + its message buffer and serving thread.
-        let (c_rpc, s_rpc) = Endpoint::pair(
+        let (c_rpc, mut s_rpc) = Endpoint::pair(
             (client_node, client_pd),
             (&inner.node, &inner.pd),
             QpOptions::default(),
         )?;
+        // Bound the serve loop's response-send patience: if a response is
+        // lost to an injected fault the thread must not spin for the
+        // default 10 s — it gives up, the connection dies, and the client
+        // reconnects.
+        s_rpc.set_op_timeout(std::time::Duration::from_millis(250));
         let msg_region = MemRegion::new(
             Arc::clone(&inner.msg_dev),
             cid as u64 * RPC_BUF_BYTES,
@@ -388,10 +414,32 @@ impl MemoryServer {
         }
 
         Ok(ClientChannel {
+            cid,
             rpc: c_rpc,
             data: c_data,
             proxy: Endpoint::from_qp(Arc::clone(client_node), c_proxy_qp),
         })
+    }
+
+    /// Returns a client id for reuse after a mount handshake failed partway
+    /// (e.g. the `Mount` RPC or staging setup was lost to a fault). Only
+    /// call this for ids that never staged any data: a released id's ring
+    /// and watermark slots are handed verbatim to the next client, which is
+    /// safe exactly because nothing was ever written under the old tenure.
+    pub fn release_client(&self, cid: u32) {
+        let mut clients = self.inner.clients.lock();
+        clients.proxy_clients.retain(|_, c| *c != cid);
+        clients.proxy_qps.remove(&cid);
+        if !clients.free_ids.contains(&cid) {
+            clients.free_ids.push(cid);
+        }
+    }
+
+    /// Whether the server is serving (background threads alive, new
+    /// clients accepted). False between [`MemoryServer::shutdown`] /
+    /// [`MemoryServer::crash`] and [`MemoryServer::restart`].
+    pub fn is_running(&self) -> bool {
+        !self.inner.shutdown.load(Ordering::Relaxed)
     }
 
     /// Stops background threads and joins them.

@@ -1,0 +1,415 @@
+//! Seeded chaos suite: randomized fault schedules over micro and YCSB-ish
+//! workloads, with a shadow model asserting that every acknowledged write
+//! is readable once the dust settles.
+//!
+//! Each test runs once per seed; seeds come from the `CHAOS_SEEDS`
+//! environment variable (comma-separated) or a small built-in list.
+//! `scripts/chaos.sh` sweeps a fixed set of ten. Every assertion message
+//! carries the seed so a failure reproduces with
+//! `CHAOS_SEEDS=<seed> cargo test -p gengar-core --test chaos`.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use gengar_core::client::GengarClient;
+use gengar_core::cluster::Cluster;
+use gengar_core::config::{ClientConfig, ServerConfig};
+use gengar_core::GengarError;
+use gengar_rdma::{FabricConfig, FaultPlane};
+use gengar_telemetry::TelemetryConfig;
+
+fn seeds() -> Vec<u64> {
+    match std::env::var("CHAOS_SEEDS") {
+        Ok(s) => s
+            .split(',')
+            .map(str::trim)
+            .filter(|t| !t.is_empty())
+            .map(|t| t.parse().expect("CHAOS_SEEDS: seeds are u64s"))
+            .collect(),
+        Err(_) => vec![1, 7, 42],
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Crash-simulating server with headroom for reconnect storms.
+fn chaos_server_config() -> ServerConfig {
+    let mut config = ServerConfig::small();
+    config.crash_sim = true;
+    config.max_clients = 64;
+    config
+}
+
+/// Hotness reports are disabled so the only RPCs in flight are the ones
+/// the workload issues — keeps the shadow model's view of "what could have
+/// landed" exact.
+fn chaos_client_config() -> ClientConfig {
+    ClientConfig {
+        report_every: u32::MAX,
+        ..Default::default()
+    }
+}
+
+fn chaos_cluster(spec: &str, seed: u64) -> (Cluster, Arc<FaultPlane>) {
+    let plane = Arc::new(
+        FaultPlane::from_spec(spec, seed, TelemetryConfig::disabled())
+            .expect("chaos suite fault spec must parse"),
+    );
+    let mut fabric = FabricConfig::instant();
+    fabric.faults = Some(Arc::clone(&plane));
+    let cluster = Cluster::launch(1, chaos_server_config(), fabric).unwrap();
+    (cluster, plane)
+}
+
+/// Shadow model of one pool object under faults.
+///
+/// `settled` is the value the object must read back once faults stop and
+/// the rings drain — known exactly whenever the *last* write was
+/// acknowledged. A failed write leaves the object ambiguous (the attempt
+/// provably either landed in full or not at all, never torn), so the
+/// object may hold any value in `maybe` until the next acknowledged write.
+struct Shadow {
+    settled: Option<u8>,
+    maybe: HashSet<u8>,
+}
+
+impl Shadow {
+    fn new() -> Self {
+        Shadow {
+            settled: Some(0),
+            maybe: HashSet::from([0]),
+        }
+    }
+
+    fn acked(&mut self, val: u8) {
+        self.settled = Some(val);
+        self.maybe = HashSet::from([val]);
+    }
+
+    fn failed(&mut self, val: u8) {
+        self.settled = None;
+        self.maybe.insert(val);
+    }
+
+    fn check_final(&self, got: u8, seed: u64, obj: usize) {
+        if let Some(want) = self.settled {
+            assert_eq!(
+                got, want,
+                "seed {seed}: object {obj} lost its acknowledged write"
+            );
+        } else {
+            assert!(
+                self.maybe.contains(&got),
+                "seed {seed}: object {obj} holds {got}, never written ({:?})",
+                self.maybe
+            );
+        }
+    }
+}
+
+fn read_fill_byte(
+    client: &mut GengarClient,
+    ptr: gengar_core::addr::GlobalPtr,
+) -> Result<u8, GengarError> {
+    let mut buf = [0u8; 64];
+    client.read(ptr, 0, &mut buf)?;
+    assert!(
+        buf.iter().all(|&b| b == buf[0]),
+        "torn 64-byte object: {buf:?}"
+    );
+    Ok(buf[0])
+}
+
+/// Random single-client workload under probabilistic drops, error
+/// completions, RNR exhaustion and delays. Operations may fail (the fault
+/// schedule can outlast any retry budget) but must never hang, and the
+/// shadow model must hold both during the run and after the plane is
+/// disarmed.
+#[test]
+fn chaos_micro_random_faults() {
+    for seed in seeds() {
+        let (cluster, plane) = chaos_cluster(
+            "drop:p=0.02 + err:p=0.01,status=transport + rnr:p=0.005 + delay:ns=20000,p=0.05",
+            seed,
+        );
+        let mut client = cluster.client(chaos_client_config()).unwrap();
+        let ptrs: Vec<_> = (0..8).map(|_| client.alloc(0, 64).unwrap()).collect();
+        let mut shadows: Vec<Shadow> = (0..8).map(|_| Shadow::new()).collect();
+
+        let mut rng = seed ^ 0xC0FFEE;
+        for op in 0..400u32 {
+            let i = (splitmix64(&mut rng) % 8) as usize;
+            if splitmix64(&mut rng).is_multiple_of(4) {
+                // Read: failures are acceptable mid-chaos, wrong data is not.
+                if let Ok(got) = read_fill_byte(&mut client, ptrs[i]) {
+                    assert!(
+                        shadows[i].maybe.contains(&got),
+                        "seed {seed} op {op}: object {i} read {got}, \
+                         which was never written ({:?})",
+                        shadows[i].maybe
+                    );
+                }
+            } else {
+                let val = (splitmix64(&mut rng) % 251) as u8;
+                match client.write(ptrs[i], 0, &[val; 64]) {
+                    Ok(()) => shadows[i].acked(val),
+                    Err(e) => {
+                        assert!(
+                            !matches!(
+                                e,
+                                GengarError::ProtocolViolation(_) | GengarError::InvalidAddress(_)
+                            ),
+                            "seed {seed} op {op}: fault surfaced as a protocol bug: {e:?}"
+                        );
+                        shadows[i].failed(val);
+                    }
+                }
+            }
+        }
+
+        // Quiesce: no more faults, drain the rings, then every object must
+        // satisfy its shadow — acknowledged writes exactly, failed writes
+        // as one of the values that could have landed.
+        plane.disarm();
+        client.drain_all().unwrap();
+        for (i, (ptr, shadow)) in ptrs.iter().zip(&shadows).enumerate() {
+            let got = read_fill_byte(&mut client, *ptr)
+                .unwrap_or_else(|e| panic!("seed {seed}: final read of object {i} failed: {e:?}"));
+            shadow.check_final(got, seed, i);
+        }
+        assert!(plane.ops_seen() > 0, "seed {seed}: plane saw no traffic");
+    }
+}
+
+/// A deterministic flap schedule (every link partitioned for the first 15
+/// of every 120 fabric ops) under a YCSB-like read-mostly mix. The client
+/// rides through each outage with retries/reconnects; the run must finish
+/// with the shadow model intact and visible recovery work in the stats.
+#[test]
+fn chaos_ycsb_under_flap_schedule() {
+    for seed in seeds() {
+        let (cluster, plane) = chaos_cluster("flap:period=120,blocked=15", seed);
+        let mut client = cluster.client(chaos_client_config()).unwrap();
+        let ptrs: Vec<_> = (0..16).map(|_| client.alloc(0, 64).unwrap()).collect();
+        let mut shadows: Vec<Shadow> = (0..16).map(|_| Shadow::new()).collect();
+
+        let mut rng = seed ^ 0xD15EA5E;
+        for _ in 0..300u32 {
+            let i = (splitmix64(&mut rng) % 16) as usize;
+            // YCSB-B-ish: 80% reads (the interesting traffic for flaps is
+            // still plentiful: every read is at least one fabric op).
+            if splitmix64(&mut rng) % 10 < 8 {
+                if let Ok(got) = read_fill_byte(&mut client, ptrs[i]) {
+                    assert!(
+                        shadows[i].maybe.contains(&got),
+                        "seed {seed}: object {i} read {got} ({:?})",
+                        shadows[i].maybe
+                    );
+                }
+            } else {
+                let val = (splitmix64(&mut rng) % 251) as u8;
+                match client.write(ptrs[i], 0, &[val; 64]) {
+                    Ok(()) => shadows[i].acked(val),
+                    Err(_) => shadows[i].failed(val),
+                }
+            }
+        }
+
+        plane.disarm();
+        client.drain_all().unwrap();
+        for (i, (ptr, shadow)) in ptrs.iter().zip(&shadows).enumerate() {
+            let got = read_fill_byte(&mut client, *ptr)
+                .unwrap_or_else(|e| panic!("seed {seed}: final read of object {i} failed: {e:?}"));
+            shadow.check_final(got, seed, i);
+        }
+        let stats = client.stats();
+        assert!(
+            stats.retries > 0,
+            "seed {seed}: flap schedule exercised no retries"
+        );
+    }
+}
+
+/// Server crash + recovery in the middle of a write-heavy run: the client
+/// reconnects by itself, replays what the old ring had not drained, and
+/// no acknowledged write is lost.
+#[test]
+fn chaos_server_crash_mid_run_reconnects() {
+    for seed in seeds() {
+        let cluster = Cluster::launch(1, chaos_server_config(), FabricConfig::instant()).unwrap();
+        let mut client = cluster.client(chaos_client_config()).unwrap();
+        let ptrs: Vec<_> = (0..8).map(|_| client.alloc(0, 64).unwrap()).collect();
+        let mut shadows: Vec<Shadow> = (0..8).map(|_| Shadow::new()).collect();
+        let counter = client.alloc(0, 8).unwrap();
+        let mut acked_adds = 0u64;
+        let mut tried_adds = 0u64;
+
+        let mut rng = seed ^ 0xBADD1E;
+        for op in 0..200u32 {
+            if op == 100 {
+                // Power-fail the server and bring it back. The client is
+                // not told: its next operations discover the dead control
+                // plane and re-dial on their own.
+                let server = cluster.server(0).unwrap();
+                server.shutdown();
+                server.crash().unwrap();
+                server.recover().unwrap();
+                server.restart();
+            }
+            if op % 10 == 9 {
+                // Atomics anchor durability over RPC — the path that
+                // actually dies with the old serve threads, forcing the
+                // reconnect (staged writes and reads are one-sided).
+                tried_adds += 1;
+                if client.faa_u64(counter, 0, 1).is_ok() {
+                    acked_adds += 1;
+                }
+                continue;
+            }
+            let i = (splitmix64(&mut rng) % 8) as usize;
+            let val = (splitmix64(&mut rng) % 251) as u8;
+            match client.write(ptrs[i], 0, &[val; 64]) {
+                Ok(()) => shadows[i].acked(val),
+                Err(_) => shadows[i].failed(val),
+            }
+        }
+
+        client.drain_all().unwrap();
+        // Each acknowledged FAA landed exactly once; a failed one either
+        // executed or provably never did.
+        let mut count_buf = [0u8; 8];
+        client.read(counter, 0, &mut count_buf).unwrap();
+        let count = u64::from_le_bytes(count_buf);
+        assert!(
+            count >= acked_adds && count <= tried_adds,
+            "seed {seed}: counter {count} outside [{acked_adds}, {tried_adds}]"
+        );
+        for (i, (ptr, shadow)) in ptrs.iter().zip(&shadows).enumerate() {
+            let got = read_fill_byte(&mut client, *ptr)
+                .unwrap_or_else(|e| panic!("seed {seed}: final read of object {i} failed: {e:?}"));
+            shadow.check_final(got, seed, i);
+        }
+        let stats = client.stats();
+        assert!(
+            stats.reconnects > 0,
+            "seed {seed}: client never reconnected across the crash"
+        );
+    }
+}
+
+/// A staging ring that eats every record (drops on the WRITE_WITH_IMM
+/// path) degrades the connection: writes fall back to the direct NVM path,
+/// still land, and the degradation is visible in the stats.
+#[test]
+fn degraded_mode_survives_a_dead_staging_ring() {
+    let (cluster, plane) = chaos_cluster("drop:imm=1", 9);
+    let config = ClientConfig {
+        report_every: u32::MAX,
+        // Keep the threshold's worth of staged-write timeouts quick.
+        op_deadline: std::time::Duration::from_millis(500),
+        staging_fault_threshold: 2,
+        ..Default::default()
+    };
+    let mut client = cluster.client(config).unwrap();
+    let ptr = client.alloc(0, 64).unwrap();
+
+    // Every staged attempt is dropped; after the threshold the connection
+    // degrades and the write completes via the direct path.
+    client.write(ptr, 0, &[0x5Au8; 64]).unwrap();
+    assert!(client.is_degraded(0).unwrap());
+    let stats = client.stats();
+    assert!(stats.degraded_ops > 0 || stats.direct_writes > 0);
+    assert!(stats.retries > 0, "drops should surface as retries");
+
+    // Degraded mode persists (and keeps working) until a reconnect heals
+    // the ring — reads see the directly-written data immediately.
+    client.write(ptr, 0, &[0x5Bu8; 64]).unwrap();
+    let mut buf = [0u8; 64];
+    client.read(ptr, 0, &mut buf).unwrap();
+    assert!(buf.iter().all(|&b| b == 0x5B));
+    plane.disarm();
+}
+
+/// Un-drained staged writes at crash time are replayed by recovery — and
+/// the count is reported, never silently dropped. The server is stopped
+/// *before* the writes so none of them can drain: recovery must replay
+/// exactly that many records.
+#[test]
+fn crash_mid_drain_replays_every_undrained_record() {
+    let cluster = Cluster::launch(1, chaos_server_config(), FabricConfig::instant()).unwrap();
+    let mut client = cluster.client(chaos_client_config()).unwrap();
+    let ptrs: Vec<_> = (0..8).map(|_| client.alloc(0, 64).unwrap()).collect();
+
+    // Stop the drain threads, then stage one write per object. Staging is
+    // one-sided so the writes are acknowledged (durably parked in the ADR
+    // ring) even though nothing serves them.
+    let server = cluster.server(0).unwrap();
+    server.shutdown();
+    for (i, ptr) in ptrs.iter().enumerate() {
+        client.write(*ptr, 0, &[i as u8 + 1; 64]).unwrap();
+    }
+
+    server.crash().unwrap();
+    let replayed = server.recover().unwrap();
+    assert_eq!(
+        replayed,
+        ptrs.len() as u64,
+        "every staged-but-undrained record must be replayed"
+    );
+    server.restart();
+
+    let mut reader = cluster.client(chaos_client_config()).unwrap();
+    for (i, ptr) in ptrs.iter().enumerate() {
+        let mut buf = [0u8; 64];
+        reader.read(*ptr, 0, &mut buf).unwrap();
+        assert!(
+            buf.iter().all(|&b| b == i as u8 + 1),
+            "object {i} lost its acked write after replay: {buf:?}"
+        );
+    }
+}
+
+/// Failed reconnect handshakes hand their client ids back: a client
+/// re-dialling through a partition for longer than `max_clients` attempts
+/// must still get a working connection once the link heals.
+#[test]
+fn reconnect_storm_does_not_exhaust_client_ids() {
+    let mut server_config = ServerConfig::small();
+    server_config.max_clients = 4;
+    let cluster = Cluster::launch(1, server_config, FabricConfig::instant()).unwrap();
+    let config = ClientConfig {
+        report_every: u32::MAX,
+        op_deadline: std::time::Duration::from_millis(200),
+        max_retries: 8,
+        ..Default::default()
+    };
+    let mut client = cluster.client(config).unwrap();
+    let ptr = client.alloc(0, 64).unwrap();
+    client.write(ptr, 0, &[1u8; 64]).unwrap();
+
+    let link = (client.node().id(), cluster.server(0).unwrap().node().id());
+    cluster.fabric().partition(link.0, link.1, true);
+    // Each failed operation burns several reconnect attempts; far more in
+    // total than max_clients. Without id recycling the server would be
+    // permanently full before the partition heals.
+    for _ in 0..6 {
+        assert!(client.write(ptr, 0, &[2u8; 64]).is_err());
+    }
+    cluster.fabric().partition(link.0, link.1, false);
+
+    client.write(ptr, 0, &[3u8; 64]).unwrap();
+    assert!(client.stats().reconnects > 0);
+    let mut buf = [0u8; 64];
+    client.read(ptr, 0, &mut buf).unwrap();
+    assert!(buf.iter().all(|&b| b == 3));
+    // And the pool still has room for a genuinely new client.
+    let mut fresh = cluster.client(chaos_client_config()).unwrap();
+    fresh.read(ptr, 0, &mut buf).unwrap();
+    assert!(buf.iter().all(|&b| b == 3));
+}

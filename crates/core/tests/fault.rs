@@ -8,7 +8,7 @@ use gengar_core::cluster::Cluster;
 use gengar_core::config::{ClientConfig, ServerConfig};
 use gengar_core::layout::{encode_record_header, RECORD_HEADER};
 use gengar_core::GengarError;
-use gengar_rdma::{FabricConfig, RdmaError, WcStatus};
+use gengar_rdma::FabricConfig;
 
 fn crash_cluster() -> Cluster {
     let mut config = ServerConfig::small();
@@ -16,10 +16,21 @@ fn crash_cluster() -> Cluster {
     Cluster::launch(1, config, FabricConfig::instant()).unwrap()
 }
 
+/// A client that gives up quickly: operations against a dead server retry
+/// (and re-dial) until this deadline, so tests that assert *failure*
+/// through a partition should not sit out the default 2 s budget.
+fn fast_fail_config() -> ClientConfig {
+    ClientConfig {
+        op_deadline: Duration::from_millis(200),
+        max_retries: 8,
+        ..Default::default()
+    }
+}
+
 #[test]
 fn partition_mid_stream_fails_cleanly() {
     let cluster = Cluster::launch(1, ServerConfig::small(), FabricConfig::instant()).unwrap();
-    let mut client = cluster.default_client().unwrap();
+    let mut client = cluster.client(fast_fail_config()).unwrap();
     let ptr = client.alloc(0, 64).unwrap();
     let untouched = client.alloc(0, 64).unwrap(); // never in the store buffer
     for _ in 0..10 {
@@ -30,12 +41,15 @@ fn partition_mid_stream_fails_cleanly() {
         cluster.server(0).unwrap().node().id(),
         true,
     );
-    // Both data-plane paths surface transport errors, not hangs or panics.
+    // Both data-plane paths surface transport errors once the retry budget
+    // is spent — not hangs or panics. (The exact variant depends on which
+    // recovery stage the deadline interrupts.)
     let err = client.write(ptr, 0, &[2u8; 64]).unwrap_err();
-    assert!(matches!(
-        err,
-        GengarError::Rdma(RdmaError::CompletionError(WcStatus::TransportError))
-    ));
+    assert!(matches!(err, GengarError::Rdma(_)), "got {err:?}");
+    assert!(
+        client.stats().retries > 0,
+        "failure should have been retried"
+    );
     let mut buf = [0u8; 64];
     assert!(client.read(untouched, 0, &mut buf).is_err());
     // Read-your-writes from the local store buffer still works while the
@@ -203,7 +217,7 @@ fn one_server_down_leaves_others_usable() {
     let mut config = ServerConfig::small();
     config.crash_sim = true;
     let cluster = Cluster::launch(2, config, FabricConfig::instant()).unwrap();
-    let mut client = cluster.default_client().unwrap();
+    let mut client = cluster.client(fast_fail_config()).unwrap();
     let on_zero = client.alloc(0, 64).unwrap();
     let on_one = client.alloc(1, 64).unwrap();
     client.write(on_zero, 0, &[1u8; 64]).unwrap();
@@ -247,7 +261,7 @@ fn rnr_on_stalled_proxy_is_survivable() {
 fn errors_are_displayable_and_classified() {
     // Exercise the error surface produced by fault paths.
     let cluster = Cluster::launch(1, ServerConfig::small(), FabricConfig::instant()).unwrap();
-    let mut client = cluster.default_client().unwrap();
+    let mut client = cluster.client(fast_fail_config()).unwrap();
     let ptr = client.alloc(0, 64).unwrap();
     cluster.fabric().partition(
         client.node().id(),

@@ -101,7 +101,9 @@ impl Endpoint {
     ///
     /// Programming errors surface immediately; transport/remote failures
     /// surface as [`RdmaError::CompletionError`]; patience exhaustion as
-    /// [`RdmaError::Timeout`].
+    /// [`RdmaError::Timeout`] while the QP is healthy, or
+    /// [`RdmaError::QpError`] if the QP died while waiting (e.g. a
+    /// different operation's error completion flushed this one).
     pub fn execute(&self, op: SendOp) -> Result<Wc, RdmaError> {
         let wr_id = self.next_wr_id();
         self.qp.post_send(SendWr::new(wr_id, op))?;
@@ -116,7 +118,15 @@ impl Endpoint {
                 }
                 // Stale completion from an earlier unmatched wait: drop it.
             }
-            if Instant::now() >= deadline {
+            let timed_out = Instant::now() >= deadline;
+            if self.qp.state() == crate::qp::QpState::Error {
+                // Our completion is not coming. Report the status that
+                // killed the QP so callers know a reconnect is required.
+                return Err(RdmaError::QpError(
+                    self.qp.error_status().unwrap_or(WcStatus::WrFlushed),
+                ));
+            }
+            if timed_out {
                 return Err(RdmaError::Timeout);
             }
             std::hint::spin_loop();
@@ -217,13 +227,18 @@ impl Endpoint {
     ///
     /// # Errors
     ///
-    /// [`RdmaError::Timeout`] if nothing arrives in `timeout`;
-    /// [`RdmaError::CompletionError`] if the receive completed with error.
+    /// [`RdmaError::Timeout`] if nothing arrives in `timeout` and the QP is
+    /// healthy; [`RdmaError::QpError`] if the QP is dead (nothing will ever
+    /// arrive); [`RdmaError::CompletionError`] if the receive completed
+    /// with error.
     pub fn recv(&self, timeout: Duration) -> Result<Wc, RdmaError> {
         let got = self.qp.recv_cq().wait(1, timeout);
         match got.first() {
             Some(wc) if wc.status == WcStatus::Success => Ok(*wc),
             Some(wc) => Err(RdmaError::CompletionError(wc.status)),
+            None if self.qp.state() == crate::qp::QpState::Error => Err(RdmaError::QpError(
+                self.qp.error_status().unwrap_or(WcStatus::WrFlushed),
+            )),
             None => Err(RdmaError::Timeout),
         }
     }

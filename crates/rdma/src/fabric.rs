@@ -11,6 +11,7 @@ use parking_lot::RwLock;
 
 use crate::cq::{CompletionQueue, Wc, WcOpcode, WcStatus};
 use crate::error::RdmaError;
+use crate::fault::{FaultDecision, FaultPlane};
 use crate::metrics::FabricMetrics;
 use crate::mr::MemoryRegion;
 use crate::node::RdmaNode;
@@ -32,7 +33,7 @@ fn occupy_ports(a: &BandwidthLimiter, b: &BandwidthLimiter, bytes: u64) {
 }
 
 /// Timing parameters of the simulated network.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct FabricConfig {
     /// One-way propagation + switching delay in nanoseconds.
     pub one_way_ns: u64,
@@ -47,7 +48,30 @@ pub struct FabricConfig {
     /// Whether the verbs layer records telemetry (per-verb counters,
     /// completion latency histograms) into the global registry.
     pub telemetry: TelemetryConfig,
+    /// Optional fault-injection plane consulted for every posted verb.
+    /// `None` (the default) costs a single branch on the hot path.
+    pub faults: Option<Arc<FaultPlane>>,
 }
+
+// Manual impl because two configs sharing a plane means sharing the *same*
+// plane instance (seeded RNG state and all), not an equal-looking one.
+impl PartialEq for FabricConfig {
+    fn eq(&self, other: &Self) -> bool {
+        self.one_way_ns == other.one_way_ns
+            && self.nic_tx_ns == other.nic_tx_ns
+            && self.nic_rx_ns == other.nic_rx_ns
+            && self.nic_bw_bytes_per_sec == other.nic_bw_bytes_per_sec
+            && self.atomic_extra_ns == other.atomic_extra_ns
+            && self.telemetry == other.telemetry
+            && match (&self.faults, &other.faults) {
+                (None, None) => true,
+                (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+                _ => false,
+            }
+    }
+}
+
+impl Eq for FabricConfig {}
 
 impl FabricConfig {
     /// 100 Gb/s InfiniBand-class fabric: small one-sided READ completes in
@@ -60,6 +84,7 @@ impl FabricConfig {
             nic_bw_bytes_per_sec: 12_500_000_000,
             atomic_extra_ns: 100,
             telemetry: TelemetryConfig::default(),
+            faults: None,
         }
     }
 
@@ -72,6 +97,7 @@ impl FabricConfig {
             nic_bw_bytes_per_sec: u64::MAX,
             atomic_extra_ns: 0,
             telemetry: TelemetryConfig::default(),
+            faults: None,
         }
     }
 }
@@ -323,7 +349,7 @@ impl Fabric {
             );
         }
         if status != WcStatus::Success {
-            qp.set_error();
+            qp.fail(status);
         }
     }
 
@@ -365,6 +391,21 @@ impl Fabric {
         let _lat = verb.lat_ns.span();
 
         let cfg = &self.config;
+        if let Some(plane) = cfg.faults.as_ref() {
+            let with_imm = matches!(&wr.op, SendOp::Write { imm: Some(_), .. });
+            match plane.decide(src.id(), dst_id, sender_opcode, with_imm) {
+                FaultDecision::Proceed => {}
+                FaultDecision::Delay(ns) => spin_for_ns(ns),
+                FaultDecision::Error(status) => {
+                    self.complete(qp, &wr, status, sender_opcode, 0);
+                    return Ok(());
+                }
+                // Operation lost on the wire: no transfer, no completion.
+                // The initiator's blocking helper times out; the QP stays
+                // usable so a retry on the same connection can succeed.
+                FaultDecision::Drop => return Ok(()),
+            }
+        }
         let fault = self.fault(src.id(), dst_id);
         let dst = match self.node(dst_id) {
             Some(d) if !fault.partitioned => d,
@@ -484,7 +525,7 @@ impl Fabric {
                                 qpn: dst_qp.qpn(),
                             },
                         );
-                        dst_qp.set_error();
+                        dst_qp.fail(WcStatus::RemoteAccessError);
                         self.complete(qp, &wr, WcStatus::RemoteAccessError, sender_opcode, 0);
                         return Ok(());
                     }

@@ -56,6 +56,7 @@ pub mod cm;
 pub mod cq;
 pub mod error;
 pub mod fabric;
+pub mod fault;
 pub(crate) mod metrics;
 pub mod mr;
 pub mod node;
@@ -67,6 +68,7 @@ pub use cm::Endpoint;
 pub use cq::{CompletionQueue, Wc, WcOpcode, WcStatus};
 pub use error::RdmaError;
 pub use fabric::{Fabric, FabricConfig};
+pub use fault::{FaultAction, FaultDecision, FaultPlane, FaultRule, PartitionFlap, Trigger};
 pub use mr::{MemoryRegion, ProtectionDomain};
 pub use node::RdmaNode;
 pub use qp::{QpOptions, QpState, QueuePair};

@@ -78,6 +78,9 @@ pub struct QueuePair {
     pd_id: u32,
     opts: QpOptions,
     state: Mutex<QpState>,
+    /// The completion status that moved the QP to error, for diagnostics
+    /// ([`RdmaError::QpError`]). First writer wins; cleared by `reset`.
+    last_error: Mutex<Option<crate::cq::WcStatus>>,
     remote: Mutex<Option<(NodeId, Qpn)>>,
     send_cq: Arc<CompletionQueue>,
     recv_cq: Arc<CompletionQueue>,
@@ -102,6 +105,7 @@ impl QueuePair {
             pd_id,
             opts,
             state: Mutex::new(QpState::Reset),
+            last_error: Mutex::new(None),
             remote: Mutex::new(None),
             send_cq,
             recv_cq,
@@ -166,9 +170,26 @@ impl QueuePair {
 
     /// Moves the QP to the error state (local fault or fabric decision).
     pub fn set_error(&self) {
+        self.fail(crate::cq::WcStatus::WrFlushed);
+    }
+
+    /// Moves the QP to the error state, recording `status` as the cause.
+    /// The first recorded status wins (later failures are flushes).
+    pub fn fail(&self, status: crate::cq::WcStatus) {
+        {
+            let mut last = self.last_error.lock();
+            if last.is_none() {
+                *last = Some(status);
+            }
+        }
         *self.state.lock() = QpState::Error;
         // Wake anyone blocked waiting for receives so they observe the error.
         self.recv_posted.notify_all();
+    }
+
+    /// The completion status that moved the QP to error, if any.
+    pub fn error_status(&self) -> Option<crate::cq::WcStatus> {
+        *self.last_error.lock()
     }
 
     /// Resets an errored QP back to RESET so it can be reconnected
@@ -177,6 +198,7 @@ impl QueuePair {
         let mut state = self.state.lock();
         *self.remote.lock() = None;
         self.recvs.lock().queue.clear();
+        *self.last_error.lock() = None;
         *state = QpState::Reset;
     }
 

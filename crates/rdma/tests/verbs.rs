@@ -409,3 +409,85 @@ fn disabled_telemetry_fabric_still_works() {
         .unwrap();
     assert!(wc.status.is_ok());
 }
+
+#[test]
+fn fault_plane_drop_times_out_and_qp_survives() {
+    let plane = Arc::new(gengar_rdma::FaultPlane::new(1));
+    plane.add_rule(gengar_rdma::FaultRule::drop_op().at_ops(vec![1]));
+    let mut config = FabricConfig::instant();
+    config.faults = Some(Arc::clone(&plane));
+    let fabric = Fabric::new(config);
+    let (a, b, mut ea, _eb) = pair(&fabric);
+    ea.set_op_timeout(Duration::from_millis(20));
+    // First write is dropped on the wire: no completion, QP stays healthy.
+    let err = ea
+        .write(
+            Payload::Inline(b"lost".to_vec()),
+            RemoteAddr::new(b.mr.rkey(), 0),
+        )
+        .unwrap_err();
+    assert_eq!(err, RdmaError::Timeout);
+    assert!(err.is_retryable());
+    assert_eq!(ea.qp().state(), QpState::ReadyToSend);
+    // Retrying on the same connection succeeds.
+    ea.write(
+        Payload::Inline(b"kept".to_vec()),
+        RemoteAddr::new(b.mr.rkey(), 0),
+    )
+    .unwrap();
+    ea.read(Sge::new(a.mr.lkey(), 0, 4), RemoteAddr::new(b.mr.rkey(), 0))
+        .unwrap();
+    let mut buf = [0u8; 4];
+    a.mr.region().read(0, &mut buf).unwrap();
+    assert_eq!(&buf, b"kept");
+}
+
+#[test]
+fn fault_plane_error_kills_qp_with_cause() {
+    let plane = Arc::new(gengar_rdma::FaultPlane::new(1));
+    plane.add_rule(gengar_rdma::FaultRule::error(WcStatus::TransportError).at_ops(vec![1]));
+    let mut config = FabricConfig::instant();
+    config.faults = Some(plane);
+    let fabric = Fabric::new(config);
+    let (a, b, ea, _eb) = pair(&fabric);
+    let err = ea
+        .read(Sge::new(a.mr.lkey(), 0, 8), RemoteAddr::new(b.mr.rkey(), 0))
+        .unwrap_err();
+    assert_eq!(err, RdmaError::CompletionError(WcStatus::TransportError));
+    assert!(!err.is_retryable());
+    assert_eq!(ea.qp().state(), QpState::Error);
+    assert_eq!(ea.qp().error_status(), Some(WcStatus::TransportError));
+}
+
+#[test]
+fn fault_plane_disarm_restores_clean_fabric() {
+    let plane = Arc::new(
+        gengar_rdma::FaultPlane::from_spec("drop:p=1", 3, gengar_rdma::TelemetryConfig::disabled())
+            .unwrap(),
+    );
+    let mut config = FabricConfig::instant();
+    config.faults = Some(Arc::clone(&plane));
+    let fabric = Fabric::new(config);
+    let (a, b, mut ea, _eb) = pair(&fabric);
+    ea.set_op_timeout(Duration::from_millis(10));
+    assert!(ea
+        .read(Sge::new(a.mr.lkey(), 0, 8), RemoteAddr::new(b.mr.rkey(), 0))
+        .is_err());
+    plane.disarm();
+    ea.read(Sge::new(a.mr.lkey(), 0, 8), RemoteAddr::new(b.mr.rkey(), 0))
+        .unwrap();
+}
+
+#[test]
+fn qp_error_reported_for_flushed_waiters() {
+    // An op whose completion never arrives on a dead QP must surface
+    // QpError (reconnect required), not Timeout (retryable).
+    let fabric = Fabric::new(FabricConfig::instant());
+    let (a, b, mut ea, _eb) = pair(&fabric);
+    ea.set_op_timeout(Duration::from_millis(50));
+    ea.qp().fail(WcStatus::RnrRetryExceeded);
+    // recv: nothing will ever arrive on a dead QP.
+    let err = ea.recv(Duration::from_millis(10)).unwrap_err();
+    assert_eq!(err, RdmaError::QpError(WcStatus::RnrRetryExceeded));
+    let _ = (a, b);
+}

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Seeded chaos sweep: runs the gengar-core chaos suite once per fixed seed.
+# A failure prints the seed so the run reproduces exactly:
+#   CHAOS_SEEDS=<seed> cargo test -p gengar-core --test chaos
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEEDS=(1 2 3 5 8 13 21 42 97 2024)
+
+for seed in "${SEEDS[@]}"; do
+    echo "== chaos seed $seed"
+    if ! CHAOS_SEEDS=$seed cargo test -q -p gengar-core --test chaos; then
+        echo "chaos suite FAILED at seed $seed" >&2
+        echo "reproduce with: CHAOS_SEEDS=$seed cargo test -p gengar-core --test chaos" >&2
+        exit 1
+    fi
+done
+
+echo "chaos sweep passed (${#SEEDS[@]} seeds)"

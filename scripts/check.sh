@@ -12,4 +12,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test --workspace"
 cargo test --workspace -q
 
+# Opt-in chaos sweep (ten fixed seeds); slowish, so gated:
+#   CHAOS=1 scripts/check.sh
+if [[ "${CHAOS:-0}" == "1" ]]; then
+    echo "== chaos sweep"
+    scripts/chaos.sh
+fi
+
 echo "all checks passed"
