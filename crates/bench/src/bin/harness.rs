@@ -21,8 +21,14 @@
 //! the spec grammar. The spec is echoed in each JSON record and the
 //! plane's `fault.*` counters appear in the telemetry section, so a
 //! faulted run is fully self-describing.
+//!
+//! `--window N` sets the outstanding-op window depth every Gengar client
+//! runs with (default 16; 1 disables pipelining). E4P additionally sweeps
+//! the depth itself, ignoring this flag for its swept clients.
 
-use gengar_bench::{fault_spec, run_experiment, set_faults, set_telemetry, Scale, ALL_EXPERIMENTS};
+use gengar_bench::{
+    fault_spec, run_experiment, set_faults, set_telemetry, set_window, Scale, ALL_EXPERIMENTS,
+};
 use gengar_telemetry::{json_escape, Registry};
 
 fn main() {
@@ -40,6 +46,13 @@ fn main() {
                 Some(spec) => faults = Some(spec),
                 None => {
                     eprintln!("--faults needs a spec, e.g. --faults 'drop:p=0.01'");
+                    std::process::exit(2);
+                }
+            },
+            "--window" => match it.next().map(|v| v.parse::<u32>()) {
+                Some(Ok(depth)) if depth >= 1 => set_window(depth),
+                _ => {
+                    eprintln!("--window needs a depth >= 1, e.g. --window 16");
                     std::process::exit(2);
                 }
             },

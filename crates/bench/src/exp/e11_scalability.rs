@@ -14,10 +14,11 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use gengar_core::GlobalPtr;
 use gengar_workloads::micro::{closed_loop, setup_objects, OpMix};
 use gengar_workloads::Distribution;
 
-use crate::exp::{base_config, System, SystemKind};
+use crate::exp::{base_client_config, base_config, System, SystemKind};
 use crate::table::Table;
 use crate::Scale;
 
@@ -32,11 +33,16 @@ pub fn run(scale: Scale) {
     gengar_hybridmem::set_time_scale(TIME_SCALE);
     let ops = scale.ops(400);
 
+    let window = crate::window_depth();
     let mut table = Table::new(
         &format!(
             "E11: throughput vs memory servers ({THREADS} client threads, reads, time x{TIME_SCALE})"
         ),
-        &["servers", "gengar kops/s (simulated)"],
+        &[
+            "servers",
+            "gengar kops/s (simulated)",
+            &format!("batched w={window} kops/s (simulated)"),
+        ],
     );
     for &servers in &[1usize, 2, 4, 8] {
         let mut config = base_config();
@@ -72,9 +78,52 @@ pub fn run(scale: Scale) {
         let total: u64 = handles.into_iter().map(|h| h.join().expect("thread")).sum();
         // Convert wall-clock back to simulated time.
         let simulated_secs = t0.elapsed().as_secs_f64() / TIME_SCALE;
+        let scalar_kops = total as f64 / simulated_secs / 1e3;
+
+        // Same load through the vectored API: batches of random objects
+        // span every server, so the client's per-server windows overlap
+        // round trips across the whole pool.
+        let t0 = Instant::now();
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let system = Arc::clone(&system);
+                let objects = Arc::clone(&objects);
+                std::thread::spawn(move || {
+                    let mut client = system.gengar_client(base_client_config());
+                    let mut rng: u64 = 0xE11B ^ ((t as u64) << 32);
+                    let mut bufs = vec![0u8; OBJECT_SIZE as usize * 16];
+                    let mut done = 0u64;
+                    while done < ops {
+                        let n = 16usize.min((ops - done) as usize);
+                        let idx: Vec<usize> = (0..n)
+                            .map(|_| {
+                                rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+                                (rng >> 33) as usize % objects.len()
+                            })
+                            .collect();
+                        let items: Vec<(GlobalPtr, u64, &mut [u8])> = idx
+                            .iter()
+                            .zip(bufs.chunks_exact_mut(OBJECT_SIZE as usize))
+                            .map(|(&i, b)| (objects[i], 0u64, b))
+                            .collect();
+                        assert!(
+                            client.read_batch(items).expect("batch").all_ok(),
+                            "batched read failed"
+                        );
+                        done += n as u64;
+                    }
+                    done
+                })
+            })
+            .collect();
+        let total: u64 = handles.into_iter().map(|h| h.join().expect("thread")).sum();
+        let simulated_secs = t0.elapsed().as_secs_f64() / TIME_SCALE;
+        let batched_kops = total as f64 / simulated_secs / 1e3;
+
         table.row(vec![
             servers.to_string(),
-            format!("{:.1}", total as f64 / simulated_secs / 1e3),
+            format!("{scalar_kops:.1}"),
+            format!("{batched_kops:.1}"),
         ]);
     }
     table.print();

@@ -4,6 +4,7 @@ pub mod e01_devices;
 pub mod e02_read_latency;
 pub mod e03_write_latency;
 pub mod e04_throughput;
+pub mod e04p_pipelining;
 pub mod e05_hotness;
 pub mod e06_cache_size;
 pub mod e07_ycsb_throughput;
@@ -37,6 +38,7 @@ pub fn base_config() -> ServerConfig {
 pub fn base_client_config() -> ClientConfig {
     ClientConfig {
         report_every: 128,
+        window_depth: crate::window_depth(),
         telemetry: crate::telemetry_config(),
         ..Default::default()
     }

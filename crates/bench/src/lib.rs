@@ -13,7 +13,7 @@
 pub mod exp;
 pub mod table;
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -36,6 +36,21 @@ pub fn telemetry_config() -> TelemetryConfig {
     } else {
         TelemetryConfig::disabled()
     }
+}
+
+/// Outstanding-op window depth for subsequently connected Gengar clients
+/// (the harness's `--window N` flag). Depth 1 disables pipelining.
+static WINDOW: AtomicU32 = AtomicU32::new(16);
+
+/// Sets the window depth threaded into every client config built after
+/// this call (clamped to at least 1).
+pub fn set_window(depth: u32) {
+    WINDOW.store(depth.max(1), Ordering::Relaxed);
+}
+
+/// The window depth experiments thread through every client config.
+pub fn window_depth() -> u32 {
+    WINDOW.load(Ordering::Relaxed)
 }
 
 /// Fault schedule for subsequently launched systems (the harness's
@@ -115,7 +130,7 @@ pub fn median_ns(iters: u64, mut f: impl FnMut()) -> u64 {
 
 /// All experiment ids, in order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
+    "e1", "e2", "e3", "e4", "e4p", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
 ];
 
 /// Runs one experiment by id. Returns `false` for an unknown id.
@@ -125,6 +140,7 @@ pub fn run_experiment(id: &str, scale: Scale) -> bool {
         "e2" => exp::e02_read_latency::run(scale),
         "e3" => exp::e03_write_latency::run(scale),
         "e4" => exp::e04_throughput::run(scale),
+        "e4p" => exp::e04p_pipelining::run(scale),
         "e5" => exp::e05_hotness::run(scale),
         "e6" => exp::e06_cache_size::run(scale),
         "e7" => exp::e07_ycsb_throughput::run(scale),

@@ -1,0 +1,322 @@
+//! The vectored client API: [`OpBatch`], [`BatchResult`] and
+//! [`BatchError`].
+//!
+//! An `OpBatch` collects independent reads and writes and submits them as
+//! one pipelined unit: the client routes every element through the same
+//! hotness/cache/proxy/degraded-mode machinery as the scalar calls, but
+//! overlaps their network time through the per-connection
+//! [`crate::window::OpWindow`]. Scalar [`crate::GengarClient::read`] and
+//! [`crate::GengarClient::write`] are implemented as single-op batches,
+//! so there is exactly one issue path.
+//!
+//! # Partial completion
+//!
+//! A batch is not a transaction. Each operation succeeds or fails on its
+//! own and [`BatchResult`] carries one `Result` per operation in
+//! submission order; `submit` returning `Ok` therefore does **not** mean
+//! every operation landed. Transient transport faults are absorbed per
+//! operation (retry, reconnect, staged-write replay) exactly as in the
+//! scalar paths — only the slots that did not complete are replayed, so
+//! an operation that reports success executed exactly once. When the
+//! retry budget for a server is exhausted, the remaining operations
+//! against it fail with the final transport error while operations
+//! against other servers still run.
+//!
+//! # Ordering
+//!
+//! Within one batch, writes are applied before reads are issued, and
+//! multiple writes to the same object apply in submission order. Reads
+//! are unordered among themselves. A read of an object written earlier
+//! in the *same* batch observes that write (served from the local
+//! store buffer like any read-your-write). No ordering holds between
+//! operations of different batches beyond the scalar API's guarantees.
+//!
+//! # Atomics
+//!
+//! `lock` / `unlock` / `cas_u64` / `faa_u64` are ordering-sensitive and
+//! bypass batching. The builder accepts them only to reject them with
+//! [`GengarError::AtomicInBatch`] at submit time (plus a debug
+//! assertion), so a misport from the scalar API fails loudly instead of
+//! silently reordering.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::addr::GlobalPtr;
+use crate::client::GengarClient;
+use crate::error::GengarError;
+
+/// One queued batch element. `Atomic` never executes: it exists so the
+/// builder can reject atomics with a clear error at submit time.
+#[derive(Debug)]
+pub(crate) enum BatchOp<'b> {
+    /// Read `buf.len()` bytes from `ptr.addr + offset` into `buf`.
+    Read {
+        ptr: GlobalPtr,
+        offset: u64,
+        buf: &'b mut [u8],
+    },
+    /// Write `data` at `ptr.addr + offset`.
+    Write {
+        ptr: GlobalPtr,
+        offset: u64,
+        data: &'b [u8],
+    },
+    /// An atomic the caller tried to queue; rejected at submit.
+    Atomic { what: &'static str },
+}
+
+/// Builder for a vectored operation batch. Created by
+/// [`crate::GengarClient::batch`]; consumed by [`OpBatch::submit`].
+///
+/// ```
+/// use gengar_core::cluster::Cluster;
+/// use gengar_core::config::{ClientConfig, ServerConfig};
+/// use gengar_rdma::FabricConfig;
+///
+/// # fn main() -> Result<(), gengar_core::GengarError> {
+/// let cluster = Cluster::launch(1, ServerConfig::small(), FabricConfig::instant())?;
+/// let mut client = cluster.client(ClientConfig::default())?;
+/// let a = client.alloc(0, 64)?;
+/// let b = client.alloc(0, 64)?;
+/// let mut buf = [0u8; 5];
+/// let result = client
+///     .batch()
+///     .write(a, 0, b"hello")
+///     .write(b, 0, b"world")
+///     .read(a, 0, &mut buf)
+///     .submit()?;
+/// assert!(result.all_ok());
+/// assert_eq!(&buf, b"hello");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct OpBatch<'c, 'b> {
+    client: &'c mut GengarClient,
+    ops: Vec<BatchOp<'b>>,
+}
+
+impl<'c, 'b> OpBatch<'c, 'b> {
+    pub(crate) fn new(client: &'c mut GengarClient) -> Self {
+        OpBatch {
+            client,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Queues a read of `buf.len()` bytes from `ptr.addr + offset`.
+    #[must_use]
+    pub fn read(mut self, ptr: GlobalPtr, offset: u64, buf: &'b mut [u8]) -> Self {
+        self.ops.push(BatchOp::Read { ptr, offset, buf });
+        self
+    }
+
+    /// Queues a write of `data` at `ptr.addr + offset`.
+    #[must_use]
+    pub fn write(mut self, ptr: GlobalPtr, offset: u64, data: &'b [u8]) -> Self {
+        self.ops.push(BatchOp::Write { ptr, offset, data });
+        self
+    }
+
+    /// Atomics are rejected in batches: this marks the batch so
+    /// [`OpBatch::submit`] fails with [`GengarError::AtomicInBatch`]. Use
+    /// [`crate::GengarClient::cas_u64`] instead.
+    #[must_use]
+    pub fn cas_u64(self, _ptr: GlobalPtr, _offset: u64, _expected: u64, _new: u64) -> Self {
+        self.reject_atomic("cas_u64")
+    }
+
+    /// Atomics are rejected in batches: this marks the batch so
+    /// [`OpBatch::submit`] fails with [`GengarError::AtomicInBatch`]. Use
+    /// [`crate::GengarClient::faa_u64`] instead.
+    #[must_use]
+    pub fn faa_u64(self, _ptr: GlobalPtr, _offset: u64, _add: u64) -> Self {
+        self.reject_atomic("faa_u64")
+    }
+
+    /// Atomics are rejected in batches: this marks the batch so
+    /// [`OpBatch::submit`] fails with [`GengarError::AtomicInBatch`]. Use
+    /// [`crate::GengarClient::lock`] instead.
+    #[must_use]
+    pub fn lock(self, _ptr: GlobalPtr) -> Self {
+        self.reject_atomic("lock")
+    }
+
+    /// Atomics are rejected in batches: this marks the batch so
+    /// [`OpBatch::submit`] fails with [`GengarError::AtomicInBatch`]. Use
+    /// [`crate::GengarClient::unlock`] instead.
+    #[must_use]
+    pub fn unlock(self, _ptr: GlobalPtr) -> Self {
+        self.reject_atomic("unlock")
+    }
+
+    fn reject_atomic(mut self, what: &'static str) -> Self {
+        self.ops.push(BatchOp::Atomic { what });
+        self
+    }
+
+    /// Number of queued operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Submits the batch and waits for every operation to complete (or
+    /// exhaust its retry budget). See the [module docs](self) for the
+    /// partial-completion and ordering contracts.
+    ///
+    /// # Errors
+    ///
+    /// The outer `Err` is reserved for batch-level misuse — today only
+    /// [`GengarError::AtomicInBatch`], in which case nothing executed.
+    /// Per-operation failures (bounds violations, exhausted retry
+    /// budgets) land in the [`BatchResult`].
+    pub fn submit(self) -> Result<BatchResult, GengarError> {
+        self.client.run_batch(self.ops)
+    }
+}
+
+/// Per-operation outcomes of one submitted batch, in submission order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchResult {
+    results: Vec<Result<(), GengarError>>,
+}
+
+impl BatchResult {
+    pub(crate) fn new(results: Vec<Result<(), GengarError>>) -> Self {
+        BatchResult { results }
+    }
+
+    /// Number of operations in the batch.
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Whether the batch held no operations.
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+
+    /// Per-operation results, in submission order.
+    pub fn results(&self) -> &[Result<(), GengarError>] {
+        &self.results
+    }
+
+    /// Number of operations that completed successfully.
+    pub fn completed(&self) -> usize {
+        self.results.iter().filter(|r| r.is_ok()).count()
+    }
+
+    /// Whether every operation succeeded.
+    pub fn all_ok(&self) -> bool {
+        self.results.iter().all(|r| r.is_ok())
+    }
+
+    /// Consumes the result into the per-operation `Result`s.
+    pub fn into_results(self) -> Vec<Result<(), GengarError>> {
+        self.results
+    }
+
+    /// Collapses the batch into a single `Result`: `Ok` if every
+    /// operation succeeded, otherwise a [`BatchError`] describing the
+    /// first failure. Operations that succeeded *stay applied* — see the
+    /// partial-completion contract in the [module docs](self).
+    ///
+    /// # Errors
+    ///
+    /// [`BatchError`] carrying the index and cause of the first failed
+    /// operation plus the count of operations that did land.
+    pub fn into_result(self) -> Result<(), BatchError> {
+        let completed = self.completed();
+        match self
+            .results
+            .into_iter()
+            .enumerate()
+            .find_map(|(i, r)| r.err().map(|e| (i, e)))
+        {
+            None => Ok(()),
+            Some((failed_at, cause)) => Err(BatchError {
+                completed,
+                failed_at,
+                cause: Box::new(cause),
+            }),
+        }
+    }
+
+    /// Unwraps a single-op batch (the scalar `read`/`write` wrappers).
+    pub(crate) fn into_single(mut self) -> Result<(), GengarError> {
+        debug_assert_eq!(self.results.len(), 1);
+        self.results.pop().expect("single-op batch")
+    }
+}
+
+/// A batch that did not fully complete: `completed` operations landed
+/// (and stay applied), the operation at index `failed_at` is the first
+/// that failed, with `cause` saying why. Produced by
+/// [`BatchResult::into_result`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchError {
+    /// How many operations of the batch completed successfully (not
+    /// necessarily a prefix: reads are unordered among themselves).
+    pub completed: usize,
+    /// Index (submission order) of the first failed operation.
+    pub failed_at: usize,
+    /// Why it failed.
+    pub cause: Box<GengarError>,
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "batch failed at op {} ({} ops completed): {}",
+            self.failed_at, self.completed, self.cause
+        )
+    }
+}
+
+impl Error for BatchError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        Some(self.cause.as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_result_accessors() {
+        let ok = BatchResult::new(vec![Ok(()), Ok(())]);
+        assert!(ok.all_ok());
+        assert_eq!(ok.completed(), 2);
+        assert_eq!(ok.len(), 2);
+        assert!(ok.into_result().is_ok());
+
+        let mixed = BatchResult::new(vec![
+            Ok(()),
+            Err(GengarError::ProtocolViolation("boom")),
+            Ok(()),
+        ]);
+        assert!(!mixed.all_ok());
+        assert_eq!(mixed.completed(), 2);
+        let err = mixed.into_result().unwrap_err();
+        assert_eq!(err.failed_at, 1);
+        assert_eq!(err.completed, 2);
+        assert_eq!(*err.cause, GengarError::ProtocolViolation("boom"));
+        assert!(err.to_string().contains("op 1"));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn empty_batch_result_is_ok() {
+        let r = BatchResult::new(Vec::new());
+        assert!(r.is_empty() && r.all_ok());
+        assert!(r.into_result().is_ok());
+    }
+}

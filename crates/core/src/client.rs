@@ -11,14 +11,17 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 use gengar_hybridmem::{DeviceProfile, MemDevice, MemRegion};
 use gengar_rdma::{
-    Access, Fabric, MemoryRegion, Payload, ProtectionDomain, RKey, RdmaNode, RemoteAddr, Sge,
+    Access, Fabric, MemoryRegion, Payload, ProtectionDomain, RKey, RdmaNode, RemoteAddr, SendOp,
+    Sge,
 };
 use gengar_telemetry::{Counter, CounterHandle, HistogramHandle, Telemetry, TelemetryConfig};
 
 use crate::addr::{GlobalAddr, GlobalPtr, MemClass};
+use crate::batch::{BatchOp, BatchResult, OpBatch};
 use crate::config::{ClientConfig, Consistency};
 use crate::consistency::Backoff;
 use crate::error::GengarError;
@@ -29,6 +32,7 @@ use crate::proxy::StagingWriter;
 use crate::retry::{classify, Disposition, RetryPolicy, RetryState};
 use crate::rpc::{RpcClient, RPC_BUF_BYTES};
 use crate::server::MemoryServer;
+use crate::window::OpWindow;
 
 /// Client operation counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -164,6 +168,39 @@ struct WriteBack {
     data: Vec<u8>,
 }
 
+/// One window-eligible staged write in the current batch attempt: its
+/// record will be gathered into the scratch lane at `lane` and posted
+/// under one doorbell with the rest of the chunk.
+#[derive(Debug)]
+struct StagedPlan {
+    /// Index of the op in the batch.
+    idx: usize,
+    /// Raw global address of `ptr.addr + offset`.
+    target_raw: u64,
+    /// Raw object base address (store-buffer key).
+    base_raw: u64,
+    /// Write offset within the object.
+    off: u64,
+    /// Scratch offset of this record's gather lane.
+    lane: u64,
+}
+
+/// One window-eligible read in the current batch attempt, landing in the
+/// scratch lane at `lane`: either a validated cache-frame fetch
+/// (`cached`) or a plain NVM fetch.
+#[derive(Debug)]
+struct ReadPlan {
+    /// Index of the op in the batch.
+    idx: usize,
+    ptr: GlobalPtr,
+    offset: u64,
+    /// Scratch offset this read lands at.
+    lane: u64,
+    /// Cache slot to fetch (whole frame, FaRM-validated after the fact);
+    /// `None` reads straight from NVM.
+    cached: Option<GlobalAddr>,
+}
+
 #[derive(Debug)]
 struct ServerConn {
     mount: MountInfo,
@@ -185,6 +222,9 @@ struct ServerConn {
     /// in a row, so writes bypass the proxy and go straight to NVM until
     /// the next successful reconnect.
     degraded: bool,
+    /// Outstanding-op window for vectored operations on this connection.
+    /// Stateless across submissions, so it survives reconnects unchanged.
+    window: OpWindow,
 }
 
 impl ServerConn {
@@ -324,6 +364,7 @@ impl GengarClient {
                 staging_scratch_off,
                 staging_faults: 0,
                 degraded: false,
+                window: OpWindow::new(config.window_depth, config.telemetry),
             });
         }
 
@@ -797,16 +838,9 @@ impl GengarClient {
     /// deadline, or [`GengarError::ReadContended`] if a seqlock read keeps
     /// losing to writers.
     pub fn read(&mut self, ptr: GlobalPtr, offset: u64, buf: &mut [u8]) -> Result<(), GengarError> {
-        Self::check_access(ptr, offset, buf.len() as u64)?;
-        self.metrics.reads.inc();
-        let _t = self.metrics.read_ns.span();
-        let mut state = self.retry_state();
-        loop {
-            match self.read_attempt(ptr, offset, buf) {
-                Ok(()) => return Ok(()),
-                Err(e) => self.recover(ptr.addr.server(), e, &mut state)?,
-            }
-        }
+        // A scalar read is a batch of one: there is exactly one issue path.
+        self.run_batch(vec![BatchOp::Read { ptr, offset, buf }])?
+            .into_single()
     }
 
     /// One attempt of [`GengarClient::read`]; every step is idempotent so
@@ -988,16 +1022,9 @@ impl GengarClient {
     /// Bounds violations, lock contention, transport failures that outlive
     /// the operation deadline.
     pub fn write(&mut self, ptr: GlobalPtr, offset: u64, data: &[u8]) -> Result<(), GengarError> {
-        Self::check_access(ptr, offset, data.len() as u64)?;
-        self.metrics.writes.inc();
-        let _t = self.metrics.write_ns.span();
-        let mut state = self.retry_state();
-        loop {
-            match self.write_attempt(ptr, offset, data) {
-                Ok(()) => return Ok(()),
-                Err(e) => self.recover(ptr.addr.server(), e, &mut state)?,
-            }
-        }
+        // A scalar write is a batch of one: there is exactly one issue path.
+        self.run_batch(vec![BatchOp::Write { ptr, offset, data }])?
+            .into_single()
     }
 
     /// One attempt of [`GengarClient::write`]. Safe to re-run: a staged
@@ -1137,6 +1164,565 @@ impl GengarClient {
             GlobalAddr::from_raw(*addr).map(|a| a.server()) != Some(server) || wb.seq > drained
         });
         Ok(())
+    }
+
+    /// Starts a vectored operation batch. Queue reads and writes on the
+    /// returned [`OpBatch`] and [`OpBatch::submit`] them as one pipelined
+    /// unit; see the [`crate::batch`] module docs for the ordering and
+    /// partial-completion contracts.
+    pub fn batch(&mut self) -> OpBatch<'_, '_> {
+        OpBatch::new(self)
+    }
+
+    /// Vectored read: issues every `(ptr, offset, buf)` element as one
+    /// pipelined batch (up to `window_depth` outstanding READs per
+    /// doorbell) and returns one result per element in order. Equivalent
+    /// to an [`OpBatch`] holding only reads.
+    ///
+    /// # Errors
+    ///
+    /// Per-element failures land in the [`BatchResult`]; the outer `Err`
+    /// is reserved for batch-level misuse and never fires for reads.
+    pub fn read_batch(
+        &mut self,
+        ops: Vec<(GlobalPtr, u64, &mut [u8])>,
+    ) -> Result<BatchResult, GengarError> {
+        self.run_batch(
+            ops.into_iter()
+                .map(|(ptr, offset, buf)| BatchOp::Read { ptr, offset, buf })
+                .collect(),
+        )
+    }
+
+    /// Vectored write: issues every `(ptr, offset, data)` element as one
+    /// pipelined batch (staged writes share doorbells up to
+    /// `window_depth`) and returns one result per element in order.
+    /// Equivalent to an [`OpBatch`] holding only writes.
+    ///
+    /// # Errors
+    ///
+    /// Per-element failures land in the [`BatchResult`]; the outer `Err`
+    /// is reserved for batch-level misuse and never fires for writes.
+    pub fn write_batch(
+        &mut self,
+        ops: Vec<(GlobalPtr, u64, &[u8])>,
+    ) -> Result<BatchResult, GengarError> {
+        self.run_batch(
+            ops.into_iter()
+                .map(|(ptr, offset, data)| BatchOp::Write { ptr, offset, data })
+                .collect(),
+        )
+    }
+
+    /// The single issue path: runs a batch of operations to completion
+    /// under the per-server recovery loops. Scalar `read`/`write` pass a
+    /// batch of one through here.
+    pub(crate) fn run_batch(
+        &mut self,
+        mut ops: Vec<BatchOp<'_>>,
+    ) -> Result<BatchResult, GengarError> {
+        // Atomics are rejected up front: nothing in the batch executes.
+        for op in &ops {
+            if let BatchOp::Atomic { what } = op {
+                debug_assert!(false, "atomic `{what}` queued in an OpBatch");
+                return Err(GengarError::AtomicInBatch(what));
+            }
+        }
+        let started = Instant::now();
+        let n = ops.len();
+        let mut results: Vec<Option<Result<(), GengarError>>> = (0..n).map(|_| None).collect();
+        for (i, op) in ops.iter().enumerate() {
+            let (ptr, offset, len, is_read) = match op {
+                BatchOp::Read { ptr, offset, buf } => (*ptr, *offset, buf.len() as u64, true),
+                BatchOp::Write { ptr, offset, data } => (*ptr, *offset, data.len() as u64, false),
+                BatchOp::Atomic { .. } => unreachable!("rejected above"),
+            };
+            match Self::check_access(ptr, offset, len) {
+                Ok(()) => {
+                    if is_read {
+                        self.metrics.reads.inc();
+                    } else {
+                        self.metrics.writes.inc();
+                    }
+                }
+                Err(e) => results[i] = Some(Err(e)),
+            }
+        }
+        let validated: Vec<bool> = results.iter().map(|r| r.is_none()).collect();
+
+        // Group the pending ops by server, preserving submission order
+        // within each group. Each group runs under its own recovery
+        // budget, so one dead server cannot starve the others.
+        let mut groups: Vec<(u8, Vec<usize>)> = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            if results[i].is_some() {
+                continue;
+            }
+            let server = match op {
+                BatchOp::Read { ptr, .. } | BatchOp::Write { ptr, .. } => ptr.addr.server(),
+                BatchOp::Atomic { .. } => unreachable!("rejected above"),
+            };
+            match groups.iter_mut().find(|(s, _)| *s == server) {
+                Some((_, idxs)) => idxs.push(i),
+                None => groups.push((server, vec![i])),
+            }
+        }
+        for (server, indices) in groups {
+            let mut state = self.retry_state();
+            loop {
+                let pending = indices.iter().filter(|&&i| results[i].is_none()).count();
+                if pending == 0 {
+                    break;
+                }
+                match self.batch_attempt(server, &mut ops, &indices, &mut results) {
+                    Ok(()) => {
+                        let after = indices.iter().filter(|&&i| results[i].is_none()).count();
+                        if after == pending {
+                            // Defensive: a successful attempt must resolve
+                            // something, otherwise the loop would spin.
+                            for &i in &indices {
+                                if results[i].is_none() {
+                                    results[i] = Some(Err(GengarError::ProtocolViolation(
+                                        "batch attempt made no progress",
+                                    )));
+                                }
+                            }
+                            break;
+                        }
+                    }
+                    Err(e) => {
+                        if let Err(last) = self.recover(server, e, &mut state) {
+                            // Budget exhausted (or fatal): the ops that did
+                            // complete stay completed, the rest carry the
+                            // final error. Other server groups still run.
+                            for &i in &indices {
+                                if results[i].is_none() {
+                                    results[i] = Some(Err(last.clone()));
+                                }
+                            }
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Whole-batch latency recorded once per op, mirroring the scalar
+        // histograms' sample counts (the span there also covered retries).
+        let elapsed = started.elapsed().as_nanos() as u64;
+        for (i, op) in ops.iter().enumerate() {
+            if !validated[i] {
+                continue;
+            }
+            match op {
+                BatchOp::Read { .. } => self.metrics.read_ns.record_ns(elapsed),
+                BatchOp::Write { .. } => self.metrics.write_ns.record_ns(elapsed),
+                BatchOp::Atomic { .. } => unreachable!("rejected above"),
+            }
+        }
+        Ok(BatchResult::new(
+            results
+                .into_iter()
+                .map(|r| r.expect("every op resolved"))
+                .collect(),
+        ))
+    }
+
+    /// Routes one scalar-path outcome inside a batch attempt: successes
+    /// and permanent failures resolve the op in place, transient faults
+    /// abort the attempt so the recovery loop can back off / reconnect
+    /// and replay only the unresolved ops.
+    fn resolve_scalar(
+        outcome: Result<(), GengarError>,
+        slot: &mut Option<Result<(), GengarError>>,
+    ) -> Result<(), GengarError> {
+        match outcome {
+            Ok(()) => {
+                *slot = Some(Ok(()));
+                Ok(())
+            }
+            Err(e) if classify(&e) == Disposition::Fatal => {
+                *slot = Some(Err(e));
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// One attempt at the unresolved ops of a batch against one server:
+    /// writes first (submission order), then reads.
+    ///
+    /// Writes: under `Consistency::None` on a healthy staging ring, the
+    /// *last* write per object in the attempt is window-eligible — its
+    /// record is gathered into a scratch lane and posted with up to
+    /// `window_depth` others under one doorbell. Earlier same-object
+    /// writes and everything the planner cannot batch (seqlock writes,
+    /// oversize payloads, degraded connections) take the scalar path,
+    /// with any planned chunk flushed first as an ordering barrier.
+    ///
+    /// Reads: store-buffer hits and seqlock-validated reads stay scalar;
+    /// plain NVM reads and cache-frame fetches are packed into scratch
+    /// lanes and posted in windows, with cache frames FaRM-validated
+    /// after the doorbell (invalid frames fall back to scalar NVM reads
+    /// once every lane has been copied out).
+    fn batch_attempt<'b>(
+        &mut self,
+        server: u8,
+        ops: &mut [BatchOp<'b>],
+        indices: &[usize],
+        results: &mut [Option<Result<(), GengarError>>],
+    ) -> Result<(), GengarError> {
+        // ---- Writes ----
+        let (stage_cap, slot_bytes, max_payload) = {
+            let conn = self.conn(server)?;
+            match conn.staging.as_ref() {
+                Some(st) if self.config.consistency == Consistency::None && !conn.degraded => {
+                    let layout = st.layout();
+                    let cap = (conn.window.depth() as usize)
+                        .min(layout.slots as usize)
+                        .min((self.op_buf_len / layout.slot_bytes()) as usize);
+                    (cap, layout.slot_bytes(), st.max_payload())
+                }
+                _ => (0, 0, 0),
+            }
+        };
+        // Only the last write per object may be deferred into a window:
+        // earlier ones must land first to keep same-object order.
+        let mut last_write: HashMap<u64, usize> = HashMap::new();
+        for &i in indices {
+            if results[i].is_none() {
+                if let BatchOp::Write { ptr, .. } = &ops[i] {
+                    last_write.insert(ptr.addr.raw(), i);
+                }
+            }
+        }
+        let mut staged: Vec<StagedPlan> = Vec::new();
+        for &i in indices {
+            if results[i].is_some() {
+                continue;
+            }
+            let (ptr, offset, data_len) = match &ops[i] {
+                BatchOp::Write { ptr, offset, data } => (*ptr, *offset, data.len() as u64),
+                _ => continue,
+            };
+            let base = ptr.addr.raw();
+            if stage_cap > 0 && last_write.get(&base) == Some(&i) && data_len <= max_payload {
+                staged.push(StagedPlan {
+                    idx: i,
+                    target_raw: ptr.addr.add(offset).raw(),
+                    base_raw: base,
+                    off: offset,
+                    lane: self.op_buf + staged.len() as u64 * slot_bytes,
+                });
+                if staged.len() == stage_cap {
+                    self.flush_staged(server, &mut staged, ops, results)?;
+                }
+            } else {
+                // Ordering barrier: planned records must land before this
+                // scalar write (same-object order; the scalar path also
+                // reuses the scratch lanes).
+                self.flush_staged(server, &mut staged, ops, results)?;
+                let data: &'b [u8] = match &ops[i] {
+                    BatchOp::Write { data, .. } => data,
+                    _ => unreachable!("matched above"),
+                };
+                let outcome = self.write_attempt(ptr, offset, data);
+                Self::resolve_scalar(outcome, &mut results[i])?;
+            }
+        }
+        self.flush_staged(server, &mut staged, ops, results)?;
+
+        // ---- Reads ----
+        let depth = self.conn(server)?.window.depth() as usize;
+        let mut plans: Vec<ReadPlan> = Vec::new();
+        let mut lane_off: u64 = 0;
+        for &i in indices {
+            if results[i].is_some() {
+                continue;
+            }
+            let (ptr, offset, buf_len) = match &ops[i] {
+                BatchOp::Read { ptr, offset, buf } => (*ptr, *offset, buf.len() as u64),
+                _ => continue,
+            };
+            let base = ptr.addr.raw();
+            let plain =
+                self.config.consistency == Consistency::None || self.held.contains_key(&base);
+            let worth = buf_len * 2 >= ptr.size;
+            let mut scalar = !plain || self.write_back.contains_key(&base);
+            let mut cached = None;
+            if !scalar && worth {
+                if let Some(&slot_raw) = self.remap.get(&base) {
+                    match GlobalAddr::from_raw(slot_raw) {
+                        Some(s)
+                            if s.class() == MemClass::DramCache
+                                && SLOT_HEADER + ptr.size + SLOT_TAIL <= self.op_buf_len =>
+                        {
+                            cached = Some(s)
+                        }
+                        _ => {
+                            self.remap.remove(&base);
+                            self.metrics.cache_rejects.inc();
+                        }
+                    }
+                }
+            }
+            let need = match cached {
+                Some(_) => SLOT_HEADER + ptr.size + SLOT_TAIL,
+                // Oversize plain reads chunk through the scalar path.
+                None => buf_len,
+            };
+            scalar |= need > self.op_buf_len;
+            if scalar {
+                // Scalar reads scribble over the whole op area, so every
+                // planned lane must be copied out first.
+                self.flush_reads(server, &mut plans, ops, results)?;
+                lane_off = 0;
+                let outcome = {
+                    let buf = match &mut ops[i] {
+                        BatchOp::Read { buf, .. } => &mut **buf,
+                        _ => unreachable!("matched above"),
+                    };
+                    self.read_attempt(ptr, offset, buf)
+                };
+                Self::resolve_scalar(outcome, &mut results[i])?;
+                continue;
+            }
+            if plans.len() == depth || lane_off + need > self.op_buf_len {
+                self.flush_reads(server, &mut plans, ops, results)?;
+                lane_off = 0;
+            }
+            plans.push(ReadPlan {
+                idx: i,
+                ptr,
+                offset,
+                lane: self.op_buf + lane_off,
+                cached,
+            });
+            lane_off += need;
+        }
+        self.flush_reads(server, &mut plans, ops, results)?;
+        Ok(())
+    }
+
+    /// Posts the planned staged-write chunk under one doorbell and
+    /// settles the per-record outcomes (store buffer, hotness, degraded
+    /// tracking). Successfully staged records resolve their ops even when
+    /// the function then returns a transport error for a failed sibling:
+    /// acknowledged records are durable and must not be replayed.
+    fn flush_staged(
+        &mut self,
+        server: u8,
+        chunk: &mut Vec<StagedPlan>,
+        ops: &[BatchOp<'_>],
+        results: &mut [Option<Result<(), GengarError>>],
+    ) -> Result<(), GengarError> {
+        if chunk.is_empty() {
+            return Ok(());
+        }
+        let plans = std::mem::take(chunk);
+        let items: Vec<(u64, &[u8], u64)> = plans
+            .iter()
+            .map(|p| {
+                let data: &[u8] = match &ops[p.idx] {
+                    BatchOp::Write { data, .. } => data,
+                    _ => unreachable!("planned from a write"),
+                };
+                (p.target_raw, data, p.lane)
+            })
+            .collect();
+        let threshold = self.config.staging_fault_threshold;
+        let outcomes = {
+            let conn = self.conn_mut(server)?;
+            match conn
+                .staging
+                .as_mut()
+                .expect("planned on a staging ring")
+                .stage_write_batch(&items)
+            {
+                Ok(v) => v,
+                Err(e) => {
+                    conn.staging_faults += 1;
+                    if conn.staging_faults >= threshold {
+                        conn.degraded = true;
+                    }
+                    return Err(e);
+                }
+            }
+        };
+        let mut first_err: Option<GengarError> = None;
+        let mut any_ok = false;
+        for (p, outcome) in plans.iter().zip(outcomes) {
+            match outcome {
+                Ok(seq) => {
+                    any_ok = true;
+                    let data: &[u8] = match &ops[p.idx] {
+                        BatchOp::Write { data, .. } => data,
+                        _ => unreachable!("planned from a write"),
+                    };
+                    self.write_back.insert(
+                        p.base_raw,
+                        WriteBack {
+                            seq,
+                            off: p.off,
+                            data: data.to_vec(),
+                        },
+                    );
+                    self.metrics.staged_writes.inc();
+                    results[p.idx] = Some(Ok(()));
+                    self.record(server, p.base_raw, true)?;
+                }
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        {
+            let conn = self.conn_mut(server)?;
+            if any_ok {
+                conn.staging_faults = 0;
+            }
+            if first_err.is_some() {
+                conn.staging_faults += 1;
+                if conn.staging_faults >= threshold {
+                    conn.degraded = true;
+                }
+            }
+        }
+        self.purge_write_back(server)?;
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Posts the planned read chunk under one doorbell, copies every lane
+    /// out, and settles per-op outcomes. Cache frames are FaRM-validated
+    /// from their lanes; invalid ones fall back to scalar NVM reads in a
+    /// second pass *after* all lane copies (the scalar path reuses the
+    /// lanes as scratch).
+    fn flush_reads(
+        &mut self,
+        server: u8,
+        plans: &mut Vec<ReadPlan>,
+        ops: &mut [BatchOp<'_>],
+        results: &mut [Option<Result<(), GengarError>>],
+    ) -> Result<(), GengarError> {
+        if plans.is_empty() {
+            return Ok(());
+        }
+        let plans = std::mem::take(plans);
+        let mr_lkey = self.mr.lkey();
+        let region = self.mr.region().clone();
+        let (nvm_rkey, cache_rkey) = {
+            let conn = self.conn(server)?;
+            (conn.nvm_rkey(), conn.cache_rkey())
+        };
+        let sends: Vec<SendOp> = plans
+            .iter()
+            .map(|p| match p.cached {
+                Some(slot) => SendOp::Read {
+                    local: Sge::new(mr_lkey, p.lane, SLOT_HEADER + p.ptr.size + SLOT_TAIL),
+                    remote: RemoteAddr::new(cache_rkey, slot.offset()),
+                },
+                None => {
+                    let len = match &ops[p.idx] {
+                        BatchOp::Read { buf, .. } => buf.len() as u64,
+                        _ => unreachable!("planned from a read"),
+                    };
+                    SendOp::Read {
+                        local: Sge::new(mr_lkey, p.lane, len),
+                        remote: RemoteAddr::new(nvm_rkey, p.ptr.addr.offset() + p.offset),
+                    }
+                }
+            })
+            .collect();
+        let completions = {
+            let conn = self.conn(server)?;
+            conn.window.submit(&conn.data, sends)?
+        };
+        let mut first_err: Option<GengarError> = None;
+        let mut fallbacks: Vec<usize> = Vec::new();
+        for (k, (p, wc)) in plans.iter().zip(completions).enumerate() {
+            match wc {
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(GengarError::Rdma(e));
+                    }
+                }
+                Ok(_) if p.cached.is_some() => {
+                    let mut hdr_bytes = [0u8; SLOT_HEADER as usize];
+                    region.read(p.lane, &mut hdr_bytes)?;
+                    let hdr = decode_slot_header(&hdr_bytes);
+                    let mut tail_bytes = [0u8; 8];
+                    region.read(p.lane + SLOT_HEADER + p.ptr.size, &mut tail_bytes)?;
+                    let tail = u64::from_le_bytes(tail_bytes);
+                    let valid = hdr.tag == p.ptr.addr.raw()
+                        && hdr.version.is_multiple_of(2)
+                        && hdr.len == p.ptr.size
+                        && tail == hdr.version;
+                    if valid {
+                        {
+                            let buf = match &mut ops[p.idx] {
+                                BatchOp::Read { buf, .. } => &mut **buf,
+                                _ => unreachable!("planned from a read"),
+                            };
+                            region.read(p.lane + SLOT_HEADER + p.offset, buf)?;
+                        }
+                        self.metrics.cache_hits.inc();
+                        results[p.idx] = Some(Ok(()));
+                        self.record(server, p.ptr.addr.raw(), false)?;
+                    } else {
+                        self.remap.remove(&p.ptr.addr.raw());
+                        self.metrics.cache_rejects.inc();
+                        fallbacks.push(k);
+                    }
+                }
+                Ok(_) => {
+                    let worth = {
+                        let buf = match &mut ops[p.idx] {
+                            BatchOp::Read { buf, .. } => &mut **buf,
+                            _ => unreachable!("planned from a read"),
+                        };
+                        region.read(p.lane, buf)?;
+                        buf.len() as u64 * 2 >= p.ptr.size
+                    };
+                    self.metrics.nvm_reads.inc();
+                    results[p.idx] = Some(Ok(()));
+                    if worth {
+                        self.record(server, p.ptr.addr.raw(), false)?;
+                    }
+                }
+            }
+        }
+        for k in fallbacks {
+            let p = &plans[k];
+            let outcome = {
+                let buf = match &mut ops[p.idx] {
+                    BatchOp::Read { buf, .. } => &mut **buf,
+                    _ => unreachable!("planned from a read"),
+                };
+                self.read_remote(server, nvm_rkey, p.ptr.addr.offset() + p.offset, buf)
+            };
+            match outcome {
+                Ok(()) => {
+                    self.metrics.nvm_reads.inc();
+                    results[p.idx] = Some(Ok(()));
+                    // A cached plan implies a cache-worthy read.
+                    self.record(server, p.ptr.addr.raw(), false)?;
+                }
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Remote atomic compare-and-swap on an 8-byte-aligned word of the

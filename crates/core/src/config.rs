@@ -141,6 +141,13 @@ pub struct ClientConfig {
     /// client degrades that connection to the direct NVM write path until
     /// the next successful reconnect.
     pub staging_fault_threshold: u32,
+    /// Outstanding operations per connection for batched/vectored
+    /// operations ([`crate::batch::OpBatch`], `read_batch`/`write_batch`):
+    /// up to this many work requests are posted under one doorbell and
+    /// completed out of order. `1` disables pipelining (every op is a
+    /// full round trip). Scalar `read`/`write` are unaffected: a batch of
+    /// one behaves exactly like the serial path.
+    pub window_depth: u32,
     /// Whether client-side metrics (per-op latency, stats counters) are
     /// recorded into the global telemetry registry.
     pub telemetry: TelemetryConfig,
@@ -160,6 +167,7 @@ impl Default for ClientConfig {
             retry_backoff: Duration::from_micros(50),
             retry_backoff_max: Duration::from_millis(5),
             staging_fault_threshold: 3,
+            window_depth: 16,
             telemetry: TelemetryConfig::default(),
         }
     }
@@ -181,6 +189,7 @@ mod tests {
         assert!(c.op_deadline >= Duration::from_millis(100));
         assert!(c.retry_backoff <= c.retry_backoff_max);
         assert!(c.max_retries > 0 && c.staging_fault_threshold > 0);
+        assert!(c.window_depth >= 1);
     }
 
     #[test]

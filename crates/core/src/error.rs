@@ -46,6 +46,12 @@ pub enum GengarError {
     LockContended(GlobalAddr),
     /// A consistent read kept observing concurrent modification.
     ReadContended(GlobalAddr),
+    /// An ordering-sensitive atomic operation (`lock`, `unlock`,
+    /// `cas_u64`, `faa_u64`) was queued inside an
+    /// [`crate::batch::OpBatch`]. Atomics bypass batching: issue them
+    /// through the scalar client methods instead. The payload names the
+    /// offending operation.
+    AtomicInBatch(&'static str),
     /// The underlying RDMA transport failed.
     Rdma(RdmaError),
     /// The underlying simulated memory failed.
@@ -80,6 +86,11 @@ impl fmt::Display for GengarError {
             GengarError::ReadContended(a) => {
                 write!(f, "consistent read of {a} kept observing writers")
             }
+            GengarError::AtomicInBatch(what) => write!(
+                f,
+                "atomic operation `{what}` is not allowed in a batch: atomics are \
+                 ordering-sensitive and bypass batching"
+            ),
             GengarError::Rdma(e) => write!(f, "rdma error: {e}"),
             GengarError::Memory(e) => write!(f, "memory error: {e}"),
             GengarError::ServerUnavailable(id) => write!(f, "server {id} unavailable"),

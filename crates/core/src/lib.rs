@@ -40,6 +40,7 @@
 
 pub mod addr;
 pub mod alloc;
+pub mod batch;
 pub mod cache;
 pub mod client;
 pub mod cluster;
@@ -54,8 +55,10 @@ pub mod proxy;
 pub mod retry;
 pub mod rpc;
 pub mod server;
+pub mod window;
 
 pub use addr::{GlobalAddr, GlobalPtr, MemClass};
+pub use batch::{BatchError, BatchResult, OpBatch};
 pub use client::{ClientStats, GengarClient};
 pub use cluster::Cluster;
 pub use config::{ClientConfig, Consistency, ServerConfig};

@@ -18,7 +18,7 @@
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
-use gengar_rdma::{Endpoint, MemoryRegion, Payload, RKey, RemoteAddr, Sge};
+use gengar_rdma::{Endpoint, MemoryRegion, Payload, RKey, RemoteAddr, SendOp, Sge};
 use gengar_telemetry::{CounterHandle, GaugeHandle, HistogramHandle, TelemetryConfig};
 
 use crate::error::GengarError;
@@ -143,6 +143,11 @@ impl StagingWriter {
         self.layout.slot_payload
     }
 
+    /// The ring geometry this writer stages into.
+    pub fn layout(&self) -> RingLayout {
+        self.layout
+    }
+
     /// The ring (client) id this writer stages into.
     pub fn client_id(&self) -> u32 {
         self.client_id
@@ -223,6 +228,111 @@ impl StagingWriter {
         self.next_seq += 1;
         self.next_slot = (self.next_slot + 1) % self.layout.slots;
         Ok(seq)
+    }
+
+    /// Stages a window of durable writes with one doorbell: every record
+    /// is gathered into its own scratch lane (`gather_off`, caller-owned,
+    /// inside this writer's scratch MR) and the whole list is posted as a
+    /// single WRITE_WITH_IMM batch. Returns one result per item in order;
+    /// `Ok(seq)` means that record is durably in its slot.
+    ///
+    /// Failure handling follows a prefix/hole rule. Let `k` be the last
+    /// item that completed: the ring cursors advance by `k + 1` and every
+    /// sequence number up to `k` — including failed holes — is tracked as
+    /// in flight. Hole seqs retire automatically because the server's
+    /// drained watermark stores each drained record's own (monotonically
+    /// increasing) sequence number, so a later record's drain covers the
+    /// hole. Items after `k` never occupied their slots: a retry reuses
+    /// the same slots with fresh sequence numbers.
+    ///
+    /// # Errors
+    ///
+    /// [`GengarError::ObjectTooLarge`] if any payload exceeds the slot
+    /// capacity (nothing staged); transport failures of the post itself
+    /// as [`GengarError::Rdma`] (nothing staged). Per-record transport
+    /// failures land in the inner results.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `items` fits the ring (`len <= slots`); the
+    /// client's window planner guarantees this.
+    pub fn stage_write_batch(
+        &mut self,
+        items: &[(u64, &[u8], u64)],
+    ) -> Result<Vec<Result<u64, GengarError>>, GengarError> {
+        if items.is_empty() {
+            return Ok(Vec::new());
+        }
+        debug_assert!(items.len() <= self.layout.slots as usize);
+        for &(_, data, _) in items {
+            if data.len() as u64 > self.layout.slot_payload {
+                return Err(GengarError::ObjectTooLarge {
+                    requested: data.len() as u64,
+                    max: self.layout.slot_payload,
+                });
+            }
+        }
+        let _t = self.stage_ns.span();
+        // Ring must have room for the whole window before anything posts.
+        while self.in_flight.len() + items.len() > self.layout.slots as usize {
+            self.ring_full_waits.inc();
+            let oldest = *self.in_flight.front().expect("nonempty");
+            self.wait_drained(oldest)?;
+        }
+
+        let mut ops = Vec::with_capacity(items.len());
+        for (i, &(addr_raw, data, gather_off)) in items.iter().enumerate() {
+            let seq = self.next_seq + i as u64;
+            let slot = (self.next_slot + i as u32) % self.layout.slots;
+            let mut header = [0u8; RECORD_HEADER as usize];
+            encode_record_header(
+                &mut header,
+                seq,
+                addr_raw,
+                data.len() as u64,
+                checksum(data),
+            );
+            self.scratch.region().write(gather_off, &header)?;
+            self.scratch
+                .region()
+                .write(gather_off + RECORD_HEADER, data)?;
+            ops.push(SendOp::Write {
+                payload: Payload::Sge(Sge::new(
+                    self.scratch.lkey(),
+                    gather_off,
+                    RECORD_HEADER + data.len() as u64,
+                )),
+                remote: RemoteAddr::new(
+                    self.staging_rkey,
+                    self.ring_offset + self.layout.slot_offset(slot),
+                ),
+                imm: Some(slot),
+            });
+        }
+        let completions = self.ep.execute_many(ops)?;
+
+        let mut out = Vec::with_capacity(items.len());
+        let mut last_ok: Option<usize> = None;
+        for (i, wc) in completions.into_iter().enumerate() {
+            match wc {
+                Ok(_) => {
+                    last_ok = Some(i);
+                    out.push(Ok(self.next_seq + i as u64));
+                }
+                Err(e) => out.push(Err(GengarError::Rdma(e))),
+            }
+        }
+        if let Some(k) = last_ok {
+            for i in 0..=k {
+                self.in_flight.push_back(self.next_seq + i as u64);
+            }
+            self.staged
+                .add(out[..=k].iter().filter(|r| r.is_ok()).count() as u64);
+            self.next_seq += k as u64 + 1;
+            self.next_slot = (self.next_slot + k as u32 + 1) % self.layout.slots;
+        }
+        self.occupancy.set(self.in_flight.len() as i64);
+        Ok(out)
     }
 
     /// Reads the server's drained watermark for this ring (one-sided READ

@@ -1,0 +1,280 @@
+//! End-to-end tests of the vectored `OpBatch` API: mixed batches,
+//! per-op results and partial completion, atomics rejection, the
+//! cached-read window path, multi-server fan-out and seqlock batches.
+
+use std::time::{Duration, Instant};
+
+use gengar_core::cluster::Cluster;
+use gengar_core::config::{ClientConfig, Consistency, ServerConfig};
+use gengar_core::{GengarClient, GengarError, GlobalPtr};
+use gengar_rdma::FabricConfig;
+
+fn small_cluster() -> Cluster {
+    Cluster::launch(1, ServerConfig::small(), FabricConfig::instant()).unwrap()
+}
+
+fn client(cluster: &Cluster) -> GengarClient {
+    cluster.client(ClientConfig::default()).unwrap()
+}
+
+#[test]
+fn mixed_batch_round_trips_and_sees_own_writes() {
+    let cluster = small_cluster();
+    let mut client = client(&cluster);
+    let a = client.alloc(0, 64).unwrap();
+    let b = client.alloc(0, 64).unwrap();
+    let mut got_a = [0u8; 5];
+    let mut got_b = [0u8; 5];
+    // Reads queued in the same batch as the writes must observe them
+    // (writes apply before reads are issued).
+    let result = client
+        .batch()
+        .write(a, 0, b"hello")
+        .write(b, 0, b"world")
+        .read(a, 0, &mut got_a)
+        .read(b, 0, &mut got_b)
+        .submit()
+        .unwrap();
+    assert!(result.all_ok(), "{:?}", result.results());
+    assert_eq!(result.len(), 4);
+    assert_eq!(&got_a, b"hello");
+    assert_eq!(&got_b, b"world");
+}
+
+#[test]
+fn same_object_writes_apply_in_submission_order() {
+    let cluster = small_cluster();
+    let mut client = client(&cluster);
+    let ptr = client.alloc(0, 64).unwrap();
+    let result = client
+        .batch()
+        .write(ptr, 0, &[1u8; 64])
+        .write(ptr, 0, &[2u8; 64])
+        .write(ptr, 0, &[3u8; 64])
+        .submit()
+        .unwrap();
+    assert!(result.all_ok());
+    client.drain_all().unwrap();
+    let mut buf = [0u8; 64];
+    client.read(ptr, 0, &mut buf).unwrap();
+    assert!(buf.iter().all(|&x| x == 3), "last write must win: {buf:?}");
+}
+
+#[test]
+fn large_batches_match_scalar_reads() {
+    let cluster = small_cluster();
+    let mut writer = client(&cluster);
+    // Far more objects than the window depth, so the planner must flush
+    // several chunks per attempt.
+    let ptrs: Vec<GlobalPtr> = (0..100).map(|_| writer.alloc(0, 64).unwrap()).collect();
+    let payloads: Vec<[u8; 64]> = (0..100u8).map(|i| [i; 64]).collect();
+    let items: Vec<(GlobalPtr, u64, &[u8])> = ptrs
+        .iter()
+        .zip(&payloads)
+        .map(|(p, d)| (*p, 0u64, &d[..]))
+        .collect();
+    let result = writer.write_batch(items).unwrap();
+    assert!(result.all_ok());
+    writer.drain_all().unwrap();
+
+    let mut bufs = vec![[0u8; 64]; 100];
+    let items: Vec<(GlobalPtr, u64, &mut [u8])> = ptrs
+        .iter()
+        .zip(bufs.iter_mut())
+        .map(|(p, b)| (*p, 0u64, &mut b[..]))
+        .collect();
+    let result = writer.read_batch(items).unwrap();
+    assert!(result.all_ok());
+    for (i, buf) in bufs.iter().enumerate() {
+        assert_eq!(buf, &payloads[i], "object {i} read back wrong");
+    }
+}
+
+#[test]
+fn partial_completion_reports_per_op_errors() {
+    let cluster = small_cluster();
+    let mut client = client(&cluster);
+    let ptr = client.alloc(0, 64).unwrap();
+    let mut good = [0u8; 8];
+    let mut oob = [0u8; 8];
+    let result = client
+        .batch()
+        .write(ptr, 0, &[7u8; 64])
+        .read(ptr, 0, &mut good)
+        // Out of bounds: offset + len exceeds the object.
+        .read(ptr, 60, &mut oob)
+        .submit()
+        .unwrap();
+    assert_eq!(result.completed(), 2);
+    assert!(result.results()[0].is_ok() && result.results()[1].is_ok());
+    assert!(matches!(
+        result.results()[2],
+        Err(GengarError::AccessOutOfBounds { .. })
+    ));
+    // The good ops stayed applied and the error is addressable.
+    assert_eq!(&good, &[7u8; 8]);
+    let err = result.into_result().unwrap_err();
+    assert_eq!(err.failed_at, 2);
+    assert_eq!(err.completed, 2);
+    assert!(matches!(*err.cause, GengarError::AccessOutOfBounds { .. }));
+    assert!(err.to_string().contains("op 2"));
+}
+
+#[test]
+fn atomics_in_a_batch_are_rejected_with_nothing_executed() {
+    let cluster = small_cluster();
+    let mut client = client(&cluster);
+    let ptr = client.alloc(0, 64).unwrap();
+    let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        client
+            .batch()
+            .write(ptr, 0, &[9u8; 64])
+            .cas_u64(ptr, 0, 0, 1)
+            .submit()
+    }));
+    if cfg!(debug_assertions) {
+        // Debug builds trip the assertion so the misuse is loud in tests.
+        assert!(attempt.is_err(), "expected the debug assertion to fire");
+    } else {
+        match attempt.unwrap() {
+            Err(GengarError::AtomicInBatch(what)) => assert_eq!(what, "cas_u64"),
+            other => panic!("expected AtomicInBatch, got {other:?}"),
+        }
+    }
+    // Rejection happens before anything posts: the queued write must not
+    // have landed.
+    client.drain_all().unwrap();
+    let mut buf = [0u8; 64];
+    client.read(ptr, 0, &mut buf).unwrap();
+    assert!(buf.iter().all(|&x| x == 0), "batch partially executed");
+}
+
+#[test]
+fn empty_batch_is_ok() {
+    let cluster = small_cluster();
+    let mut client = client(&cluster);
+    let result = client.batch().submit().unwrap();
+    assert!(result.is_empty() && result.all_ok());
+    assert!(client.read_batch(Vec::new()).unwrap().is_empty());
+    assert!(client.write_batch(Vec::new()).unwrap().is_empty());
+}
+
+#[test]
+fn batch_fans_out_across_servers() {
+    let cluster = Cluster::launch(3, ServerConfig::small(), FabricConfig::instant()).unwrap();
+    let mut client = cluster.client(ClientConfig::default()).unwrap();
+    let ptrs: Vec<GlobalPtr> = (0..3)
+        .flat_map(|s| (0..4).map(move |_| s))
+        .map(|s| client.alloc(s, 64).unwrap())
+        .collect();
+    let payloads: Vec<[u8; 64]> = (0..12u8).map(|i| [i + 1; 64]).collect();
+    let items: Vec<(GlobalPtr, u64, &[u8])> = ptrs
+        .iter()
+        .zip(&payloads)
+        .map(|(p, d)| (*p, 0u64, &d[..]))
+        .collect();
+    assert!(client.write_batch(items).unwrap().all_ok());
+    client.drain_all().unwrap();
+    let mut bufs = vec![[0u8; 64]; 12];
+    let items: Vec<(GlobalPtr, u64, &mut [u8])> = ptrs
+        .iter()
+        .zip(bufs.iter_mut())
+        .map(|(p, b)| (*p, 0u64, &mut b[..]))
+        .collect();
+    assert!(client.read_batch(items).unwrap().all_ok());
+    for (i, buf) in bufs.iter().enumerate() {
+        assert_eq!(buf, &payloads[i]);
+    }
+}
+
+#[test]
+fn window_depth_one_disables_pipelining_but_stays_correct() {
+    let cluster = small_cluster();
+    let mut client = cluster
+        .client(ClientConfig {
+            window_depth: 1,
+            ..Default::default()
+        })
+        .unwrap();
+    let ptrs: Vec<GlobalPtr> = (0..10).map(|_| client.alloc(0, 64).unwrap()).collect();
+    let items: Vec<(GlobalPtr, u64, &[u8])> =
+        ptrs.iter().map(|p| (*p, 0u64, &b"serial"[..])).collect();
+    assert!(client.write_batch(items).unwrap().all_ok());
+    client.drain_all().unwrap();
+    let mut buf = [0u8; 6];
+    for p in &ptrs {
+        client.read(*p, 0, &mut buf).unwrap();
+        assert_eq!(&buf, b"serial");
+    }
+}
+
+#[test]
+fn batched_reads_use_the_cache_once_hot() {
+    let mut config = ServerConfig::small();
+    config.hot_threshold = 2;
+    config.epoch = Duration::from_millis(5);
+    let cluster = Cluster::launch(1, config, FabricConfig::instant()).unwrap();
+    let mut client = cluster
+        .client(ClientConfig {
+            report_every: 8,
+            ..Default::default()
+        })
+        .unwrap();
+    let ptrs: Vec<GlobalPtr> = (0..4).map(|_| client.alloc(0, 64).unwrap()).collect();
+    for (i, p) in ptrs.iter().enumerate() {
+        client.write(*p, 0, &[i as u8 + 1; 64]).unwrap();
+    }
+    client.drain_all().unwrap();
+
+    // Hammer via batches until promotion lands and batched reads hit.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut bufs = vec![[0u8; 64]; 4];
+    loop {
+        let items: Vec<(GlobalPtr, u64, &mut [u8])> = ptrs
+            .iter()
+            .zip(bufs.iter_mut())
+            .map(|(p, b)| (*p, 0u64, &mut b[..]))
+            .collect();
+        assert!(client.read_batch(items).unwrap().all_ok());
+        for (i, buf) in bufs.iter().enumerate() {
+            assert!(
+                buf.iter().all(|&x| x == i as u8 + 1),
+                "object {i} torn or stale: {buf:?}"
+            );
+        }
+        if client.stats().cache_hits > 0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "batched reads never hit the cache: {:?}",
+            client.stats()
+        );
+    }
+}
+
+#[test]
+fn seqlock_batches_take_the_locked_scalar_path() {
+    let cluster = small_cluster();
+    let mut client = cluster
+        .client(ClientConfig {
+            consistency: Consistency::Seqlock,
+            ..Default::default()
+        })
+        .unwrap();
+    let a = client.alloc(0, 64).unwrap();
+    let b = client.alloc(0, 64).unwrap();
+    let mut got = [0u8; 64];
+    let result = client
+        .batch()
+        .write(a, 0, &[4u8; 64])
+        .write(b, 0, &[5u8; 64])
+        .read(a, 0, &mut got)
+        .submit()
+        .unwrap();
+    assert!(result.all_ok(), "{:?}", result.results());
+    assert!(got.iter().all(|&x| x == 4));
+    // Seqlock writes go through the direct (write-through) path.
+    assert_eq!(client.stats().direct_writes, 2);
+    assert_eq!(client.stats().staged_writes, 0);
+}

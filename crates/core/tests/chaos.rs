@@ -303,6 +303,124 @@ fn chaos_server_crash_mid_run_reconnects() {
     }
 }
 
+/// Windowed batches (`window_depth > 1`) under the same fault soup as the
+/// scalar micro test: per-op batch results feed the shadow model, and once
+/// the plane disarms every object must settle. A slot that completed is
+/// never replayed (acknowledged writes stay exactly-once) and interleaved
+/// FAAs land at most once per acknowledgement.
+#[test]
+fn chaos_windowed_batches_settle() {
+    for seed in seeds() {
+        let (cluster, plane) = chaos_cluster(
+            "drop:p=0.02 + err:p=0.01,status=transport + rnr:p=0.005 + delay:ns=20000,p=0.05",
+            seed,
+        );
+        let config = ClientConfig {
+            window_depth: 8,
+            ..chaos_client_config()
+        };
+        let mut client = cluster.client(config).unwrap();
+        let ptrs: Vec<_> = (0..8).map(|_| client.alloc(0, 64).unwrap()).collect();
+        let mut shadows: Vec<Shadow> = (0..8).map(|_| Shadow::new()).collect();
+        let counter = client.alloc(0, 8).unwrap();
+        let mut acked_adds = 0u64;
+        let mut tried_adds = 0u64;
+
+        let mut rng = seed ^ 0x11AB5EED;
+        for round in 0..60u32 {
+            if round % 10 == 9 {
+                // Atomics bypass batching; the exactly-once discipline must
+                // survive living between windowed submissions.
+                tried_adds += 1;
+                if client.faa_u64(counter, 0, 1).is_ok() {
+                    acked_adds += 1;
+                }
+                continue;
+            }
+            // A batch of 2..=6 ops over distinct objects, mixed read/write.
+            let size = 2 + (splitmix64(&mut rng) % 5) as usize;
+            let mut objs: Vec<usize> = Vec::new();
+            for _ in 0..size {
+                let i = (splitmix64(&mut rng) % 8) as usize;
+                if !objs.contains(&i) {
+                    objs.push(i);
+                }
+            }
+            let writes: Vec<(usize, u8)> = objs
+                .iter()
+                .map(|&i| (i, (splitmix64(&mut rng) % 251) as u8))
+                .collect();
+            if splitmix64(&mut rng).is_multiple_of(3) {
+                // Read batch: failures are acceptable mid-chaos, wrong or
+                // torn data is not.
+                let mut bufs = vec![[0u8; 64]; objs.len()];
+                let items: Vec<_> = objs
+                    .iter()
+                    .zip(bufs.iter_mut())
+                    .map(|(&i, b)| (ptrs[i], 0u64, &mut b[..]))
+                    .collect();
+                let result = client.read_batch(items).unwrap();
+                for ((&i, buf), r) in objs.iter().zip(&bufs).zip(result.results()) {
+                    if r.is_ok() {
+                        assert!(
+                            buf.iter().all(|&b| b == buf[0]),
+                            "seed {seed} round {round}: torn batched read: {buf:?}"
+                        );
+                        assert!(
+                            shadows[i].maybe.contains(&buf[0]),
+                            "seed {seed} round {round}: object {i} read {}, \
+                             never written ({:?})",
+                            buf[0],
+                            shadows[i].maybe
+                        );
+                    }
+                }
+            } else {
+                let payloads: Vec<[u8; 64]> = writes.iter().map(|&(_, v)| [v; 64]).collect();
+                let items: Vec<_> = writes
+                    .iter()
+                    .zip(&payloads)
+                    .map(|(&(i, _), d)| (ptrs[i], 0u64, &d[..]))
+                    .collect();
+                let result = client.write_batch(items).unwrap();
+                for (&(i, val), r) in writes.iter().zip(result.results()) {
+                    match r {
+                        Ok(()) => shadows[i].acked(val),
+                        Err(e) => {
+                            assert!(
+                                !matches!(
+                                    e,
+                                    GengarError::ProtocolViolation(_)
+                                        | GengarError::InvalidAddress(_)
+                                ),
+                                "seed {seed} round {round}: fault surfaced as a \
+                                 protocol bug: {e:?}"
+                            );
+                            shadows[i].failed(val);
+                        }
+                    }
+                }
+            }
+        }
+
+        plane.disarm();
+        client.drain_all().unwrap();
+        for (i, (ptr, shadow)) in ptrs.iter().zip(&shadows).enumerate() {
+            let got = read_fill_byte(&mut client, *ptr)
+                .unwrap_or_else(|e| panic!("seed {seed}: final read of object {i} failed: {e:?}"));
+            shadow.check_final(got, seed, i);
+        }
+        let mut count_buf = [0u8; 8];
+        client.read(counter, 0, &mut count_buf).unwrap();
+        let count = u64::from_le_bytes(count_buf);
+        assert!(
+            count >= acked_adds && count <= tried_adds,
+            "seed {seed}: counter {count} outside [{acked_adds}, {tried_adds}]"
+        );
+        assert!(plane.ops_seen() > 0, "seed {seed}: plane saw no traffic");
+    }
+}
+
 /// A staging ring that eats every record (drops on the WRITE_WITH_IMM
 /// path) degrades the connection: writes fall back to the direct NVM path,
 /// still land, and the degradation is visible in the stats.

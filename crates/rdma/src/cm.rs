@@ -91,6 +91,11 @@ impl Endpoint {
         self.op_timeout = timeout;
     }
 
+    /// The patience of the blocking helpers.
+    pub fn op_timeout(&self) -> Duration {
+        self.op_timeout
+    }
+
     fn next_wr_id(&self) -> u64 {
         self.next_wr.fetch_add(1, Ordering::Relaxed)
     }
@@ -131,6 +136,86 @@ impl Endpoint {
             }
             std::hint::spin_loop();
         }
+    }
+
+    /// Posts `ops` as one doorbell batch and waits for every completion.
+    ///
+    /// Returns one `Result` per operation, in posting order. Completions
+    /// may drain out of order from the CQ; they are matched back to their
+    /// slot by wr_id. A batch of one is exactly [`Endpoint::execute`].
+    ///
+    /// # Errors
+    ///
+    /// The outer `Err` is reserved for programming errors that fail the
+    /// post itself (nothing executed). Per-operation transport failures
+    /// land in the inner results: [`RdmaError::CompletionError`] for an
+    /// error completion, [`RdmaError::QpError`] for operations flushed by
+    /// a connection death, [`RdmaError::Timeout`] for operations whose
+    /// completion never arrived (e.g. dropped on the wire).
+    pub fn execute_many(&self, ops: Vec<SendOp>) -> Result<Vec<Result<Wc, RdmaError>>, RdmaError> {
+        let n = ops.len();
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let base = self.next_wr.fetch_add(n as u64, Ordering::Relaxed);
+        let wrs: Vec<SendWr> = ops
+            .into_iter()
+            .enumerate()
+            .map(|(i, op)| SendWr::new(base + i as u64, op))
+            .collect();
+        self.qp.post_send_list(wrs)?;
+
+        let mut out: Vec<Option<Result<Wc, RdmaError>>> = vec![None; n];
+        let mut pending = n;
+        let deadline = Instant::now() + self.op_timeout;
+        loop {
+            let drained = self.qp.send_cq().poll(64);
+            let progressed = !drained.is_empty();
+            for wc in drained {
+                // Stale completions from earlier unmatched waits fall
+                // outside [base, base + n) and are dropped.
+                let slot = match wc.wr_id.checked_sub(base) {
+                    Some(slot) if (slot as usize) < n => slot as usize,
+                    _ => continue,
+                };
+                if out[slot].is_some() {
+                    continue;
+                }
+                out[slot] = Some(if wc.status.is_ok() {
+                    Ok(wc)
+                } else {
+                    Err(RdmaError::CompletionError(wc.status))
+                });
+                pending -= 1;
+            }
+            if pending == 0 {
+                break;
+            }
+            if progressed {
+                // Drain the CQ fully before declaring anything missing.
+                continue;
+            }
+            let timed_out = Instant::now() >= deadline;
+            if self.qp.state() == crate::qp::QpState::Error {
+                // Remaining completions are not coming; report the status
+                // that killed the QP so callers know to reconnect.
+                let err = RdmaError::QpError(self.qp.error_status().unwrap_or(WcStatus::WrFlushed));
+                for slot in out.iter_mut().filter(|s| s.is_none()) {
+                    *slot = Some(Err(err.clone()));
+                }
+                break;
+            }
+            if timed_out {
+                // Operations lost on the wire (dropped requests) never
+                // complete; everything else in the batch still did.
+                for slot in out.iter_mut().filter(|s| s.is_none()) {
+                    *slot = Some(Err(RdmaError::Timeout));
+                }
+                break;
+            }
+            std::hint::spin_loop();
+        }
+        Ok(out.into_iter().map(|s| s.expect("slot filled")).collect())
     }
 
     /// One-sided READ of `local.len` bytes from `remote` into `local`.

@@ -354,96 +354,176 @@ impl Fabric {
     }
 
     /// Executes a send-side work request to completion. Called from
-    /// [`QueuePair::post_send`].
+    /// [`QueuePair::post_send`]. A single post is a one-element doorbell
+    /// batch, so serial and batched paths share one execution engine (and
+    /// identical timing for a batch of one).
     pub(crate) fn execute(
         &self,
         src: &Arc<RdmaNode>,
         qp: &Arc<QueuePair>,
         wr: SendWr,
     ) -> Result<(), RdmaError> {
+        self.execute_batch(src, qp, vec![wr])
+    }
+
+    /// Executes a list of send-side work requests as one doorbell batch.
+    /// Called from [`QueuePair::post_send_list`].
+    ///
+    /// The whole list is validated before anything executes: an `Err`
+    /// means no WR touched the wire (the post is atomic). The initiator
+    /// NIC then processes the WQEs back to back — the request wave pays
+    /// `nic_tx_ns` per WR but propagation and responder processing
+    /// (`one_way_ns + nic_rx_ns`) only once per doorbell, and the final
+    /// response wave is likewise shared. Per-WR data transfer still draws
+    /// from both ports' token buckets, so bandwidth saturation is modelled
+    /// per operation. Failures follow RC ordering: the failing WR gets an
+    /// error completion (moving the QP to the error state) and every later
+    /// WR in the list is flushed with `WrFlushed`.
+    pub(crate) fn execute_batch(
+        &self,
+        src: &Arc<RdmaNode>,
+        qp: &Arc<QueuePair>,
+        wrs: Vec<SendWr>,
+    ) -> Result<(), RdmaError> {
+        if wrs.is_empty() {
+            return Ok(());
+        }
         let (dst_id, dst_qpn) = qp.remote().ok_or(RdmaError::NotConnected)?;
-        let sender_opcode = match &wr.op {
-            SendOp::Send { .. } => WcOpcode::Send,
-            SendOp::Write { .. } => WcOpcode::RdmaWrite,
-            SendOp::Read { .. } => WcOpcode::RdmaRead,
-            SendOp::CompareSwap { .. } => WcOpcode::CompSwap,
-            SendOp::FetchAdd { .. } => WcOpcode::FetchAdd,
-        };
 
-        // Programming errors on the local side fail the post itself.
-        let payload: Option<Gathered> = match &wr.op {
-            SendOp::Send { payload, .. } | SendOp::Write { payload, .. } => {
-                Some(Self::gather_payload(src, qp, payload)?)
-            }
-            SendOp::Read { local, .. }
-            | SendOp::CompareSwap { local, .. }
-            | SendOp::FetchAdd { local, .. } => {
-                // Validate the local destination now; data lands later.
-                Self::local_mr(src, qp.pd_id(), *local)?;
-                None
-            }
-        };
+        // Programming errors on the local side fail the whole post before
+        // anything is on the wire.
+        let mut prepared: Vec<(SendWr, WcOpcode, Option<Gathered>)> = Vec::with_capacity(wrs.len());
+        for wr in wrs {
+            let sender_opcode = match &wr.op {
+                SendOp::Send { .. } => WcOpcode::Send,
+                SendOp::Write { .. } => WcOpcode::RdmaWrite,
+                SendOp::Read { .. } => WcOpcode::RdmaRead,
+                SendOp::CompareSwap { .. } => WcOpcode::CompSwap,
+                SendOp::FetchAdd { .. } => WcOpcode::FetchAdd,
+            };
+            let payload: Option<Gathered> = match &wr.op {
+                SendOp::Send { payload, .. } | SendOp::Write { payload, .. } => {
+                    Some(Self::gather_payload(src, qp, payload)?)
+                }
+                SendOp::Read { local, .. }
+                | SendOp::CompareSwap { local, .. }
+                | SendOp::FetchAdd { local, .. } => {
+                    // Validate the local destination now; data lands later.
+                    Self::local_mr(src, qp.pd_id(), *local)?;
+                    None
+                }
+            };
+            prepared.push((wr, sender_opcode, payload));
+        }
 
-        // Past the programming-error checks the verb is on the wire: count
-        // it and time it to completion (error completions included).
-        let verb = self.metrics.verb(sender_opcode);
-        verb.ops.inc();
-        let _lat = verb.lat_ns.span();
+        // One doorbell for the whole list.
+        let n = prepared.len() as u64;
+        self.metrics.doorbells.inc();
+        self.metrics.batched_ops.add(n);
+        self.metrics.doorbells_saved.add(n - 1);
+        self.metrics.batch_size.record_ns(n);
 
         let cfg = &self.config;
-        if let Some(plane) = cfg.faults.as_ref() {
-            let with_imm = matches!(&wr.op, SendOp::Write { imm: Some(_), .. });
-            match plane.decide(src.id(), dst_id, sender_opcode, with_imm) {
-                FaultDecision::Proceed => {}
-                FaultDecision::Delay(ns) => spin_for_ns(ns),
-                FaultDecision::Error(status) => {
-                    self.complete(qp, &wr, status, sender_opcode, 0);
-                    return Ok(());
-                }
-                // Operation lost on the wire: no transfer, no completion.
-                // The initiator's blocking helper times out; the QP stays
-                // usable so a retry on the same connection can succeed.
-                FaultDecision::Drop => return Ok(()),
-            }
-        }
         let fault = self.fault(src.id(), dst_id);
-        let dst = match self.node(dst_id) {
-            Some(d) if !fault.partitioned => d,
-            _ => {
-                // Transport retry exceeded: error completion, QP to error.
-                self.complete(qp, &wr, WcStatus::TransportError, sender_opcode, 0);
-                return Ok(());
-            }
-        };
-        let dst_qp = match dst.qp(dst_qpn) {
-            Some(q) => q,
-            None => {
-                self.complete(qp, &wr, WcStatus::TransportError, sender_opcode, 0);
-                return Ok(());
-            }
+        let target = match self.node(dst_id) {
+            Some(d) if !fault.partitioned => d.qp(dst_qpn).map(|q| (d, q)),
+            _ => None,
         };
 
-        // Request propagation.
-        spin_for_ns(cfg.nic_tx_ns + cfg.one_way_ns + fault.extra_delay_ns + cfg.nic_rx_ns);
+        // Request propagation: every WQE pays initiator NIC processing,
+        // the wire and responder costs are amortised over the doorbell.
+        if target.is_some() {
+            spin_for_ns(cfg.nic_tx_ns * n + cfg.one_way_ns + fault.extra_delay_ns + cfg.nic_rx_ns);
+        }
 
-        match wr.op {
+        let started = std::time::Instant::now();
+        let mut responded = false;
+        for (wr, sender_opcode, payload) in prepared {
+            // Past the programming-error checks the verb is on the wire:
+            // count it and time it to completion (errors included).
+            let verb = self.metrics.verb(sender_opcode);
+            verb.ops.inc();
+            // A WR behind a failed one never executes: flush it.
+            if qp.state() == crate::qp::QpState::Error {
+                self.complete(qp, &wr, WcStatus::WrFlushed, sender_opcode, 0);
+                verb.lat_ns.record_ns(started.elapsed().as_nanos() as u64);
+                continue;
+            }
+            // Fault decisions are drawn per WR in submission order, so a
+            // seeded chaos schedule consumes the same RNG stream whether
+            // the ops were posted one at a time or as a batch.
+            if let Some(plane) = cfg.faults.as_ref() {
+                let with_imm = matches!(&wr.op, SendOp::Write { imm: Some(_), .. });
+                match plane.decide(src.id(), dst_id, sender_opcode, with_imm) {
+                    FaultDecision::Proceed => {}
+                    FaultDecision::Delay(ns) => spin_for_ns(ns),
+                    FaultDecision::Error(status) => {
+                        self.complete(qp, &wr, status, sender_opcode, 0);
+                        verb.lat_ns.record_ns(started.elapsed().as_nanos() as u64);
+                        continue;
+                    }
+                    // Operation lost on the wire: no transfer, no
+                    // completion. The initiator's blocking helper times
+                    // out; the QP stays usable so a retry on the same
+                    // connection can succeed.
+                    FaultDecision::Drop => {
+                        verb.lat_ns.record_ns(started.elapsed().as_nanos() as u64);
+                        continue;
+                    }
+                }
+            }
+            let pair = match &target {
+                Some(pair) => pair,
+                None => {
+                    // Transport retry exceeded: error completion, QP to
+                    // error (the rest of the list flushes above).
+                    self.complete(qp, &wr, WcStatus::TransportError, sender_opcode, 0);
+                    verb.lat_ns.record_ns(started.elapsed().as_nanos() as u64);
+                    continue;
+                }
+            };
+            responded |= self.execute_one(src, qp, &wr, sender_opcode, payload, pair)?;
+            verb.lat_ns.record_ns(started.elapsed().as_nanos() as u64);
+        }
+        // Response propagation for the batch, shared like the request wave
+        // (skipped when nothing reached the responder, matching the
+        // single-WR path).
+        if responded {
+            spin_for_ns(cfg.one_way_ns + fault.extra_delay_ns);
+        }
+        Ok(())
+    }
+
+    /// The per-verb body of one WR within a doorbell batch: bandwidth
+    /// occupancy, the data movement itself, receive-side delivery and the
+    /// sender completion. Request/response propagation is paid by the
+    /// caller once per batch. Returns whether the WR reached the responder
+    /// successfully (i.e. a response wave is owed).
+    fn execute_one(
+        &self,
+        src: &Arc<RdmaNode>,
+        qp: &Arc<QueuePair>,
+        wr: &SendWr,
+        sender_opcode: WcOpcode,
+        payload: Option<Gathered>,
+        target: &(Arc<RdmaNode>, Arc<QueuePair>),
+    ) -> Result<bool, RdmaError> {
+        let (dst, dst_qp) = target;
+        let cfg = &self.config;
+        match &wr.op {
             SendOp::Write { remote, imm, .. } => {
+                let (remote, imm) = (*remote, *imm);
                 let data = payload.expect("write has payload");
                 let len = data.len();
                 occupy_ports(src.nic_bw(), dst.nic_bw(), len);
-                let mr = match Self::remote_mr(
-                    &dst,
-                    dst_qp.pd_id(),
-                    remote,
-                    len,
-                    Access::REMOTE_WRITE,
-                ) {
-                    Ok(mr) => mr,
-                    Err(status) => {
-                        self.complete(qp, &wr, status, sender_opcode, 0);
-                        return Ok(());
-                    }
-                };
+                let mr =
+                    match Self::remote_mr(dst, dst_qp.pd_id(), remote, len, Access::REMOTE_WRITE) {
+                        Ok(mr) => mr,
+                        Err(status) => {
+                            self.complete(qp, wr, status, sender_opcode, 0);
+                            return Ok(false);
+                        }
+                    };
                 data.place_into(mr.region(), remote.offset)?;
                 if let Some(imm) = imm {
                     // WRITE_WITH_IMM consumes a receive at the target.
@@ -462,42 +542,44 @@ impl Fabric {
                             );
                         }
                         None => {
-                            self.complete(qp, &wr, WcStatus::RnrRetryExceeded, sender_opcode, 0);
-                            return Ok(());
+                            self.complete(qp, wr, WcStatus::RnrRetryExceeded, sender_opcode, 0);
+                            return Ok(false);
                         }
                     }
                 }
-                spin_for_ns(cfg.one_way_ns + fault.extra_delay_ns);
-                self.complete(qp, &wr, WcStatus::Success, sender_opcode, len);
+                self.complete(qp, wr, WcStatus::Success, sender_opcode, len);
+                Ok(true)
             }
             SendOp::Read { local, remote } => {
+                let (local, remote) = (*local, *remote);
                 let len = local.len;
                 let mr =
-                    match Self::remote_mr(&dst, dst_qp.pd_id(), remote, len, Access::REMOTE_READ) {
+                    match Self::remote_mr(dst, dst_qp.pd_id(), remote, len, Access::REMOTE_READ) {
                         Ok(mr) => mr,
                         Err(status) => {
-                            self.complete(qp, &wr, status, sender_opcode, 0);
-                            return Ok(());
+                            self.complete(qp, wr, status, sender_opcode, 0);
+                            return Ok(false);
                         }
                     };
                 occupy_ports(dst.nic_bw(), src.nic_bw(), len);
-                spin_for_ns(cfg.one_way_ns + fault.extra_delay_ns);
                 let local_mr = Self::local_mr(src, qp.pd_id(), local)?;
                 // Response data DMAs straight into the local MR.
                 local_mr
                     .region()
                     .copy_from(local.offset, mr.region(), remote.offset, len)?;
-                self.complete(qp, &wr, WcStatus::Success, sender_opcode, len);
+                self.complete(qp, wr, WcStatus::Success, sender_opcode, len);
+                Ok(true)
             }
             SendOp::Send { imm, .. } => {
+                let imm = *imm;
                 let data = payload.expect("send has payload");
                 let len = data.len();
                 occupy_ports(src.nic_bw(), dst.nic_bw(), len);
                 let recv = match dst_qp.take_recv() {
                     Some(r) => r,
                     None => {
-                        self.complete(qp, &wr, WcStatus::RnrRetryExceeded, sender_opcode, 0);
-                        return Ok(());
+                        self.complete(qp, wr, WcStatus::RnrRetryExceeded, sender_opcode, 0);
+                        return Ok(false);
                     }
                 };
                 // Scatter into the posted receive buffer on the target node.
@@ -526,8 +608,8 @@ impl Fabric {
                             },
                         );
                         dst_qp.fail(WcStatus::RemoteAccessError);
-                        self.complete(qp, &wr, WcStatus::RemoteAccessError, sender_opcode, 0);
-                        return Ok(());
+                        self.complete(qp, wr, WcStatus::RemoteAccessError, sender_opcode, 0);
+                        return Ok(false);
                     }
                 };
                 data.place_into(scatter.region(), recv.sge.offset)?;
@@ -542,8 +624,8 @@ impl Fabric {
                         qpn: dst_qp.qpn(),
                     },
                 );
-                spin_for_ns(cfg.one_way_ns + fault.extra_delay_ns);
-                self.complete(qp, &wr, WcStatus::Success, sender_opcode, len);
+                self.complete(qp, wr, WcStatus::Success, sender_opcode, len);
+                Ok(true)
             }
             SendOp::CompareSwap {
                 local,
@@ -551,50 +633,51 @@ impl Fabric {
                 expected,
                 swap,
             } => {
+                let (local, remote, expected, swap) = (*local, *remote, *expected, *swap);
                 spin_for_ns(cfg.atomic_extra_ns);
                 let mr =
-                    match Self::remote_mr(&dst, dst_qp.pd_id(), remote, 8, Access::REMOTE_ATOMIC) {
+                    match Self::remote_mr(dst, dst_qp.pd_id(), remote, 8, Access::REMOTE_ATOMIC) {
                         Ok(mr) => mr,
                         Err(status) => {
-                            self.complete(qp, &wr, status, sender_opcode, 0);
-                            return Ok(());
+                            self.complete(qp, wr, status, sender_opcode, 0);
+                            return Ok(false);
                         }
                     };
                 let prev = match mr.region().cas_u64(remote.offset, expected, swap) {
                     Ok(prev) => prev,
                     Err(_) => {
-                        self.complete(qp, &wr, WcStatus::RemoteAccessError, sender_opcode, 0);
-                        return Ok(());
+                        self.complete(qp, wr, WcStatus::RemoteAccessError, sender_opcode, 0);
+                        return Ok(false);
                     }
                 };
-                spin_for_ns(cfg.one_way_ns + fault.extra_delay_ns);
                 let local_mr = Self::local_mr(src, qp.pd_id(), local)?;
                 local_mr.region().write(local.offset, &prev.to_le_bytes())?;
-                self.complete(qp, &wr, WcStatus::Success, sender_opcode, 8);
+                self.complete(qp, wr, WcStatus::Success, sender_opcode, 8);
+                Ok(true)
             }
             SendOp::FetchAdd { local, remote, add } => {
+                let (local, remote, add) = (*local, *remote, *add);
                 spin_for_ns(cfg.atomic_extra_ns);
                 let mr =
-                    match Self::remote_mr(&dst, dst_qp.pd_id(), remote, 8, Access::REMOTE_ATOMIC) {
+                    match Self::remote_mr(dst, dst_qp.pd_id(), remote, 8, Access::REMOTE_ATOMIC) {
                         Ok(mr) => mr,
                         Err(status) => {
-                            self.complete(qp, &wr, status, sender_opcode, 0);
-                            return Ok(());
+                            self.complete(qp, wr, status, sender_opcode, 0);
+                            return Ok(false);
                         }
                     };
                 let prev = match mr.region().faa_u64(remote.offset, add) {
                     Ok(prev) => prev,
                     Err(_) => {
-                        self.complete(qp, &wr, WcStatus::RemoteAccessError, sender_opcode, 0);
-                        return Ok(());
+                        self.complete(qp, wr, WcStatus::RemoteAccessError, sender_opcode, 0);
+                        return Ok(false);
                     }
                 };
-                spin_for_ns(cfg.one_way_ns + fault.extra_delay_ns);
                 let local_mr = Self::local_mr(src, qp.pd_id(), local)?;
                 local_mr.region().write(local.offset, &prev.to_le_bytes())?;
-                self.complete(qp, &wr, WcStatus::Success, sender_opcode, 8);
+                self.complete(qp, wr, WcStatus::Success, sender_opcode, 8);
+                Ok(true)
             }
         }
-        Ok(())
     }
 }

@@ -37,6 +37,14 @@ pub(crate) struct FabricMetrics {
     pub recv_posted: CounterHandle,
     /// RNR waits that expired without a receive being posted.
     pub rnr_timeouts: CounterHandle,
+    /// Doorbells rung: one per posted WR list, batched or not.
+    pub doorbells: CounterHandle,
+    /// Send-side work requests posted across all doorbells.
+    pub batched_ops: CounterHandle,
+    /// Doorbells avoided by batching (list length minus one, summed).
+    pub doorbells_saved: CounterHandle,
+    /// Distribution of posted-list lengths (sample value = WRs per doorbell).
+    pub batch_size: HistogramHandle,
 }
 
 impl FabricMetrics {
@@ -60,6 +68,10 @@ impl FabricMetrics {
             cq_overflows: tel.counter("rdma", "cq_overflows"),
             recv_posted: tel.counter("rdma", "recv_posted"),
             rnr_timeouts: tel.counter("rdma", "rnr_timeouts"),
+            doorbells: tel.counter("rdma", "doorbells"),
+            batched_ops: tel.counter("rdma", "batched_ops"),
+            doorbells_saved: tel.counter("rdma", "doorbells_saved"),
+            batch_size: tel.histogram("rdma", "batch_size"),
         }
     }
 

@@ -283,6 +283,36 @@ impl QueuePair {
         let fabric = node.fabric().ok_or(RdmaError::NotConnected)?;
         fabric.execute(&node, self, wr)
     }
+
+    /// Posts a list of send-side work requests with a single doorbell and
+    /// executes them to completion, in order.
+    ///
+    /// The initiator NIC pays its per-WQE processing cost for every entry
+    /// but wire propagation and responder processing are amortised over
+    /// the list, so a batch of `n` small operations completes in far less
+    /// than `n` serial round trips. Completions are delivered per WR on
+    /// the send CQ with reliable-connection ordering: if a WR fails, later
+    /// WRs in the list are flushed with `WrFlushed`.
+    ///
+    /// # Errors
+    ///
+    /// Fails fast with [`RdmaError`] for programming errors in *any* WR
+    /// (unknown lkey, sge out of bounds, inline payload too large, QP not
+    /// connected or errored); in that case no WR has executed.
+    pub fn post_send_list(self: &Arc<Self>, wrs: Vec<SendWr>) -> Result<(), RdmaError> {
+        {
+            let state = *self.state.lock();
+            if state != QpState::ReadyToSend {
+                return Err(RdmaError::InvalidQpState {
+                    state: state.name(),
+                    operation: "post_send_list",
+                });
+            }
+        }
+        let node = self.node.upgrade().ok_or(RdmaError::NotConnected)?;
+        let fabric = node.fabric().ok_or(RdmaError::NotConnected)?;
+        fabric.execute_batch(&node, self, wrs)
+    }
 }
 
 #[cfg(test)]

@@ -479,6 +479,155 @@ fn fault_plane_disarm_restores_clean_fabric() {
 }
 
 #[test]
+fn batched_reads_complete_per_op() {
+    use gengar_rdma::SendOp;
+    let fabric = Fabric::new(FabricConfig::instant());
+    let (a, b, ea, _eb) = pair(&fabric);
+    for i in 0..8u8 {
+        b.mr.region().write(i as u64 * 64, &[i + 1; 16]).unwrap();
+    }
+    let ops: Vec<SendOp> = (0..8u64)
+        .map(|i| SendOp::Read {
+            local: Sge::new(a.mr.lkey(), i * 16, 16),
+            remote: RemoteAddr::new(b.mr.rkey(), i * 64),
+        })
+        .collect();
+    let results = ea.execute_many(ops).unwrap();
+    assert_eq!(results.len(), 8);
+    for (i, r) in results.iter().enumerate() {
+        let wc = r.as_ref().unwrap();
+        assert_eq!(wc.opcode, WcOpcode::RdmaRead);
+        assert_eq!(wc.byte_len, 16);
+        let mut buf = [0u8; 16];
+        a.mr.region().read(i as u64 * 16, &mut buf).unwrap();
+        assert_eq!(buf, [i as u8 + 1; 16]);
+    }
+    // All eight completions drained: nothing stale left on the CQ.
+    assert!(ea.qp().send_cq().is_empty());
+}
+
+#[test]
+fn batch_posts_one_doorbell() {
+    use gengar_rdma::SendOp;
+    use gengar_telemetry::Registry;
+    let reg = Registry::global();
+    let doorbells = reg.counter("rdma", "doorbells");
+    let saved = reg.counter("rdma", "doorbells_saved");
+    let (db0, saved0) = (doorbells.get(), saved.get());
+
+    let fabric = Fabric::new(FabricConfig::instant());
+    let (a, b, ea, _eb) = pair(&fabric);
+    let ops: Vec<SendOp> = (0..5u64)
+        .map(|i| SendOp::Read {
+            local: Sge::new(a.mr.lkey(), i * 8, 8),
+            remote: RemoteAddr::new(b.mr.rkey(), i * 8),
+        })
+        .collect();
+    for r in ea.execute_many(ops).unwrap() {
+        r.unwrap();
+    }
+    // One list of five WRs: one doorbell, four rings saved vs serial.
+    assert_eq!(doorbells.get(), db0 + 1);
+    assert_eq!(saved.get(), saved0 + 4);
+
+    // A scalar op is a batch of one: a doorbell, nothing saved.
+    ea.read(Sge::new(a.mr.lkey(), 0, 8), RemoteAddr::new(b.mr.rkey(), 0))
+        .unwrap();
+    assert_eq!(doorbells.get(), db0 + 2);
+    assert_eq!(saved.get(), saved0 + 4);
+}
+
+#[test]
+fn batch_failure_flushes_later_wrs_in_order() {
+    use gengar_rdma::SendOp;
+    let fabric = Fabric::new(FabricConfig::instant());
+    let (a, b, ea, _eb) = pair(&fabric);
+    b.mr.region().write(0, &[0xAB; 8]).unwrap();
+    let good = |off: u64| SendOp::Read {
+        local: Sge::new(a.mr.lkey(), off, 8),
+        remote: RemoteAddr::new(b.mr.rkey(), 0),
+    };
+    let bad = SendOp::Read {
+        local: Sge::new(a.mr.lkey(), 8, 8),
+        remote: RemoteAddr::new(gengar_rdma::RKey(0xDEAD), 0),
+    };
+    let results = ea.execute_many(vec![good(0), bad, good(16)]).unwrap();
+    // RC ordering: op 0 lands, op 1 errors, op 2 is flushed unexecuted.
+    assert!(results[0].is_ok());
+    assert_eq!(
+        results[1],
+        Err(RdmaError::CompletionError(WcStatus::RemoteAccessError))
+    );
+    assert_eq!(
+        results[2],
+        Err(RdmaError::CompletionError(WcStatus::WrFlushed))
+    );
+    assert_eq!(ea.qp().state(), QpState::Error);
+    let mut buf = [0u8; 8];
+    a.mr.region().read(16, &mut buf).unwrap();
+    assert_eq!(buf, [0u8; 8], "flushed read must not move data");
+}
+
+#[test]
+fn batch_with_invalid_wr_executes_nothing() {
+    use gengar_rdma::SendOp;
+    let fabric = Fabric::new(FabricConfig::instant());
+    let (a, b, ea, _eb) = pair(&fabric);
+    let good = SendOp::Write {
+        payload: Payload::Inline(b"never".to_vec()),
+        remote: RemoteAddr::new(b.mr.rkey(), 0),
+        imm: None,
+    };
+    let bad = SendOp::Read {
+        local: Sge::new(gengar_rdma::LKey(0xAAAA), 0, 8),
+        remote: RemoteAddr::new(b.mr.rkey(), 0),
+    };
+    // The whole post is validated up front: a programming error anywhere
+    // in the list means nothing hit the wire.
+    let err = ea.execute_many(vec![good, bad]).unwrap_err();
+    assert_eq!(err, RdmaError::UnknownLKey(0xAAAA));
+    assert_eq!(ea.qp().state(), QpState::ReadyToSend);
+    let mut buf = [0u8; 5];
+    b.mr.region().read(0, &mut buf).unwrap();
+    assert_eq!(&buf, &[0u8; 5]);
+    let _ = a;
+}
+
+#[test]
+fn batch_drop_times_out_only_that_slot() {
+    use gengar_rdma::SendOp;
+    let plane = Arc::new(gengar_rdma::FaultPlane::new(1));
+    // Drop the second WR of the batch on the wire.
+    plane.add_rule(gengar_rdma::FaultRule::drop_op().at_ops(vec![2]));
+    let mut config = FabricConfig::instant();
+    config.faults = Some(plane);
+    let fabric = Fabric::new(config);
+    let (a, b, mut ea, _eb) = pair(&fabric);
+    ea.set_op_timeout(Duration::from_millis(20));
+    b.mr.region().write(0, &[7; 8]).unwrap();
+    let read = |off: u64| SendOp::Read {
+        local: Sge::new(a.mr.lkey(), off, 8),
+        remote: RemoteAddr::new(b.mr.rkey(), 0),
+    };
+    let results = ea.execute_many(vec![read(0), read(8), read(16)]).unwrap();
+    assert!(results[0].is_ok());
+    assert_eq!(results[1], Err(RdmaError::Timeout));
+    assert!(results[2].is_ok(), "a dropped WR does not kill the rest");
+    // The QP survives, so the lost slot can be retried in place.
+    assert_eq!(ea.qp().state(), QpState::ReadyToSend);
+    let wc = ea.execute(read(8));
+    assert!(wc.is_ok());
+}
+
+#[test]
+fn empty_batch_is_a_no_op() {
+    let fabric = Fabric::new(FabricConfig::instant());
+    let (_a, _b, ea, _eb) = pair(&fabric);
+    assert!(ea.execute_many(Vec::new()).unwrap().is_empty());
+    assert!(ea.qp().send_cq().is_empty());
+}
+
+#[test]
 fn qp_error_reported_for_flushed_waiters() {
     // An op whose completion never arrives on a dead QP must surface
     // QpError (reconnect required), not Timeout (retryable).

@@ -42,6 +42,23 @@ fn main() -> Result<(), GengarError> {
     assert_eq!(buf, payload);
     println!("read back {} bytes from {a}", buf.len());
 
+    // Independent ops pipeline through an OpBatch: up to window_depth
+    // (ClientConfig, default 16) work requests post under one doorbell
+    // and overlap their round trips. Writes apply before reads, so the
+    // batch reads its own writes; every op gets its own Result.
+    let update = vec![0x7Eu8; 4096];
+    let (mut from_a, mut from_b) = (vec![0u8; 4096], vec![0u8; 4096]);
+    let outcome = client
+        .batch()
+        .write(a, 0, &update)
+        .write(b, 0, &update)
+        .read(a, 0, &mut from_a)
+        .read(b, 0, &mut from_b)
+        .submit()?;
+    assert!(outcome.all_ok());
+    assert_eq!(from_a, update);
+    println!("batched 2 writes + 2 reads, {} ops ok", outcome.completed());
+
     // Hammer one object so the hotness monitor promotes it into the
     // server's DRAM cache; reports piggyback the remap to this client.
     for _ in 0..2_000 {

@@ -19,4 +19,19 @@ if [[ "${CHAOS:-0}" == "1" ]]; then
     scripts/chaos.sh
 fi
 
+echo "== pipelining gate (E4P: window 16 must be >= 2x window 1)"
+e4p_out=$(cargo run -p gengar-bench --release --bin harness -- e4p --quick --no-telemetry)
+echo "$e4p_out" | grep '^E4P '
+w1=$(echo "$e4p_out" | sed -n 's/^E4P window=1 read_kops=\([0-9.]*\).*/\1/p')
+w16=$(echo "$e4p_out" | sed -n 's/^E4P window=16 read_kops=\([0-9.]*\).*/\1/p')
+if [[ -z "$w1" || -z "$w16" ]]; then
+    echo "pipelining gate: missing E4P window=1/window=16 lines" >&2
+    exit 1
+fi
+if ! awk -v a="$w16" -v b="$w1" 'BEGIN { exit !(a >= 2 * b) }'; then
+    echo "pipelining gate FAILED: window 16 read ${w16} kops/s < 2x window 1 read ${w1} kops/s" >&2
+    exit 1
+fi
+echo "pipelining gate passed: ${w16} >= 2x ${w1} kops/s"
+
 echo "all checks passed"

@@ -49,6 +49,8 @@ pub mod prelude {
     pub use gengar_core::cluster::Cluster;
     pub use gengar_core::config::{ClientConfig, Consistency, ServerConfig};
     pub use gengar_core::pool::DshmPool;
-    pub use gengar_core::{GengarClient, GengarError, GlobalAddr, GlobalPtr};
+    pub use gengar_core::{
+        BatchError, BatchResult, GengarClient, GengarError, GlobalAddr, GlobalPtr, OpBatch,
+    };
     pub use gengar_rdma::FabricConfig;
 }
