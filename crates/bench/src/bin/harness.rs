@@ -25,17 +25,31 @@
 //! `--window N` sets the outstanding-op window depth every Gengar client
 //! runs with (default 16; 1 disables pipelining). E4P additionally sweeps
 //! the depth itself, ignoring this flag for its swept clients.
+//!
+//! `--trace-out <path>` turns on causal tracing for the run and writes
+//! every recorded span as Chrome trace-event JSON — load the file in
+//! <https://ui.perfetto.dev> or `chrome://tracing` to see client ops,
+//! fabric verbs, proxy staging and the async NVM drain causally linked by
+//! trace id. A per-op-class critical-path table is printed alongside.
+//! `--trace-mode full` disables sampling (default `sampled`: complete
+//! traces are kept while the span buffer is roomy, children are thinned
+//! 1-in-8 once it passes half occupancy).
 
 use gengar_bench::{
-    fault_spec, run_experiment, set_faults, set_telemetry, set_window, Scale, ALL_EXPERIMENTS,
+    fault_spec, run_experiment, set_faults, set_telemetry, set_trace_out, set_window, trace_out,
+    Scale, ALL_EXPERIMENTS,
 };
-use gengar_telemetry::{json_escape, Registry};
+use gengar_telemetry::{
+    chrome_trace_json, critical_path_table, json_escape, Registry, TraceMode, Tracer,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut no_telemetry = false;
     let mut faults: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut trace_mode = TraceMode::Sampled;
     let mut selected: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -46,6 +60,21 @@ fn main() {
                 Some(spec) => faults = Some(spec),
                 None => {
                     eprintln!("--faults needs a spec, e.g. --faults 'drop:p=0.01'");
+                    std::process::exit(2);
+                }
+            },
+            "--trace-out" => match it.next() {
+                Some(path) => trace_path = Some(path),
+                None => {
+                    eprintln!("--trace-out needs a path, e.g. --trace-out trace.json");
+                    std::process::exit(2);
+                }
+            },
+            "--trace-mode" => match it.next().as_deref() {
+                Some("sampled") => trace_mode = TraceMode::Sampled,
+                Some("full") => trace_mode = TraceMode::Full,
+                _ => {
+                    eprintln!("--trace-mode needs 'sampled' or 'full'");
                     std::process::exit(2);
                 }
             },
@@ -65,6 +94,7 @@ fn main() {
     }
     let scale = if quick { Scale::Quick } else { Scale::Full };
     set_telemetry(!no_telemetry);
+    set_trace_out(trace_path.as_deref(), trace_mode);
     if let Err(e) = set_faults(faults.as_deref()) {
         eprintln!("bad --faults spec: {e}");
         std::process::exit(2);
@@ -113,6 +143,24 @@ fn main() {
             );
         }
         println!("[{id} done in {elapsed:.1?}]");
+    }
+    if let Some(path) = trace_out() {
+        let tracer = Tracer::global();
+        let spans = tracer.snapshot();
+        let (started, ended, dropped) = tracer.counts();
+        match std::fs::write(&path, chrome_trace_json(&spans)) {
+            Ok(()) => println!(
+                "\ntrace: {} spans written to {path} \
+                 (started={started} ended={ended} dropped={dropped}); \
+                 open in https://ui.perfetto.dev or chrome://tracing",
+                spans.len()
+            ),
+            Err(e) => {
+                eprintln!("failed to write trace to {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        print!("{}", critical_path_table(&spans));
     }
     println!("\nall done in {t0:.1?}", t0 = t0.elapsed());
 }

@@ -53,6 +53,30 @@ pub fn window_depth() -> u32 {
     WINDOW.load(Ordering::Relaxed)
 }
 
+/// Where the harness writes the Chrome/Perfetto trace of the run (the
+/// `--trace-out <path>` flag). `None` leaves causal tracing off.
+static TRACE_OUT: Mutex<Option<String>> = Mutex::new(None);
+
+/// Installs (or clears) the causal-trace output path. Setting a path also
+/// turns the global [`gengar_telemetry::Tracer`] on (in the given mode)
+/// and clears any spans from earlier runs; clearing the path turns it off.
+pub fn set_trace_out(path: Option<&str>, mode: gengar_telemetry::TraceMode) {
+    let tracer = gengar_telemetry::Tracer::global();
+    match path {
+        Some(_) => {
+            tracer.set_mode(mode);
+            tracer.clear();
+        }
+        None => tracer.set_mode(gengar_telemetry::TraceMode::Off),
+    }
+    *TRACE_OUT.lock().unwrap() = path.map(str::to_owned);
+}
+
+/// The installed trace output path, if any.
+pub fn trace_out() -> Option<String> {
+    TRACE_OUT.lock().unwrap().clone()
+}
+
 /// Fault schedule for subsequently launched systems (the harness's
 /// `--faults <spec>` flag). `None` leaves the fabric fault-free.
 static FAULT_SPEC: Mutex<Option<String>> = Mutex::new(None);

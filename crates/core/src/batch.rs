@@ -185,11 +185,24 @@ impl<'c, 'b> OpBatch<'c, 'b> {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BatchResult {
     results: Vec<Result<(), GengarError>>,
+    trace: gengar_telemetry::TraceId,
 }
 
 impl BatchResult {
-    pub(crate) fn new(results: Vec<Result<(), GengarError>>) -> Self {
-        BatchResult { results }
+    pub(crate) fn new(
+        results: Vec<Result<(), GengarError>>,
+        trace: gengar_telemetry::TraceId,
+    ) -> Self {
+        BatchResult { results, trace }
+    }
+
+    /// The causal trace id this batch ran under ([`TraceId::NONE`] when
+    /// tracing is off), for correlating results against an exported trace
+    /// or a flight-recorder dump.
+    ///
+    /// [`TraceId::NONE`]: gengar_telemetry::TraceId::NONE
+    pub fn trace_id(&self) -> gengar_telemetry::TraceId {
+        self.trace
     }
 
     /// Number of operations in the batch.
@@ -292,17 +305,16 @@ mod tests {
 
     #[test]
     fn batch_result_accessors() {
-        let ok = BatchResult::new(vec![Ok(()), Ok(())]);
+        let ok = BatchResult::new(vec![Ok(()), Ok(())], gengar_telemetry::TraceId::NONE);
         assert!(ok.all_ok());
         assert_eq!(ok.completed(), 2);
         assert_eq!(ok.len(), 2);
         assert!(ok.into_result().is_ok());
 
-        let mixed = BatchResult::new(vec![
-            Ok(()),
-            Err(GengarError::ProtocolViolation("boom")),
-            Ok(()),
-        ]);
+        let mixed = BatchResult::new(
+            vec![Ok(()), Err(GengarError::ProtocolViolation("boom")), Ok(())],
+            gengar_telemetry::TraceId::NONE,
+        );
         assert!(!mixed.all_ok());
         assert_eq!(mixed.completed(), 2);
         let err = mixed.into_result().unwrap_err();
@@ -315,7 +327,7 @@ mod tests {
 
     #[test]
     fn empty_batch_result_is_ok() {
-        let r = BatchResult::new(Vec::new());
+        let r = BatchResult::new(Vec::new(), gengar_telemetry::TraceId::NONE);
         assert!(r.is_empty() && r.all_ok());
         assert!(r.into_result().is_ok());
     }

@@ -553,12 +553,18 @@ impl GengarClient {
     ) -> Result<(), GengarError> {
         let policy = self.policy;
         match classify(&err) {
-            Disposition::Fatal => Err(err),
+            Disposition::Fatal => {
+                // Escalation past retry dumps the flight recorder (one-shot,
+                // no-op unless armed) so the spans leading here survive.
+                gengar_telemetry::FlightRecorder::global().trigger("client-fatal");
+                Err(err)
+            }
             Disposition::Retry => {
                 self.metrics.retries.inc();
                 state.charge(&policy, err)
             }
             Disposition::Reconnect => {
+                gengar_telemetry::FlightRecorder::global().trigger("client-reconnect");
                 self.metrics.retries.inc();
                 state.charge(&policy, err)?;
                 // A failed re-dial (server still down) is not fatal: the
@@ -1228,6 +1234,17 @@ impl GengarClient {
                 return Err(GengarError::AtomicInBatch(what));
             }
         }
+        // One trace per batch, rooted at the client-visible operation. The
+        // root's context is installed on this thread, so every layer below
+        // (window, staging, fabric, RPC encode) files under the same trace.
+        let tracer = gengar_telemetry::Tracer::global();
+        let mut root = match ops.as_slice() {
+            [BatchOp::Read { .. }] => tracer.root_span("client.read"),
+            [BatchOp::Write { .. }] => tracer.root_span("client.write"),
+            _ => tracer.root_span("client.batch"),
+        };
+        root.set_detail(ops.len() as u64);
+        let trace = root.trace_id().unwrap_or(gengar_telemetry::TraceId::NONE);
         let started = Instant::now();
         let n = ops.len();
         let mut results: Vec<Option<Result<(), GengarError>>> = (0..n).map(|_| None).collect();
@@ -1274,7 +1291,12 @@ impl GengarClient {
                 if pending == 0 {
                     break;
                 }
-                match self.batch_attempt(server, &mut ops, &indices, &mut results) {
+                let attempt_outcome = {
+                    let mut attempt_span = tracer.span("client.attempt");
+                    attempt_span.set_detail(state.attempts() as u64);
+                    self.batch_attempt(server, &mut ops, &indices, &mut results)
+                };
+                match attempt_outcome {
                     Ok(()) => {
                         let after = indices.iter().filter(|&&i| results[i].is_none()).count();
                         if after == pending {
@@ -1325,6 +1347,7 @@ impl GengarClient {
                 .into_iter()
                 .map(|r| r.expect("every op resolved"))
                 .collect(),
+            trace,
         ))
     }
 

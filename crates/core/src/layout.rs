@@ -22,8 +22,11 @@ pub const SLOT_HEADER: u64 = 32;
 pub const SLOT_TAIL: u64 = 8;
 
 /// Staged-record header in a proxy ring slot:
-/// `[seq u64][addr u64][len u64][checksum u64]`.
-pub const RECORD_HEADER: u64 = 32;
+/// `[seq u64][addr u64][len u64][checksum u64][trace u64]`. The trailing
+/// trace word carries the originating op's trace id across the
+/// client→proxy→drain handoff, so the server's asynchronous NVM drain can
+/// open a span in the same causal trace (0 = untraced record).
+pub const RECORD_HEADER: u64 = 40;
 
 /// FNV-1a 64-bit hash, used as the torn-read/torn-record checksum.
 ///
@@ -115,12 +118,13 @@ pub fn decode_slot_header(buf: &[u8]) -> SlotHeader {
     }
 }
 
-/// Encodes a staged-record header into `out[0..32]`.
-pub fn encode_record_header(out: &mut [u8], seq: u64, addr: u64, len: u64, cksum: u64) {
+/// Encodes a staged-record header into `out[0..40]`.
+pub fn encode_record_header(out: &mut [u8], seq: u64, addr: u64, len: u64, cksum: u64, trace: u64) {
     out[0..8].copy_from_slice(&seq.to_le_bytes());
     out[8..16].copy_from_slice(&addr.to_le_bytes());
     out[16..24].copy_from_slice(&len.to_le_bytes());
     out[24..32].copy_from_slice(&cksum.to_le_bytes());
+    out[32..40].copy_from_slice(&trace.to_le_bytes());
 }
 
 /// A decoded staged-record header.
@@ -134,15 +138,18 @@ pub struct RecordHeader {
     pub len: u64,
     /// Checksum over the payload bytes.
     pub checksum: u64,
+    /// Trace id of the originating client op (0 = untraced).
+    pub trace: u64,
 }
 
-/// Decodes a staged-record header from `buf[0..32]`.
+/// Decodes a staged-record header from `buf[0..40]`.
 pub fn decode_record_header(buf: &[u8]) -> RecordHeader {
     RecordHeader {
-        seq: u64::from_le_bytes(buf[0..8].try_into().expect("32-byte header")),
-        addr: u64::from_le_bytes(buf[8..16].try_into().expect("32-byte header")),
-        len: u64::from_le_bytes(buf[16..24].try_into().expect("32-byte header")),
-        checksum: u64::from_le_bytes(buf[24..32].try_into().expect("32-byte header")),
+        seq: u64::from_le_bytes(buf[0..8].try_into().expect("40-byte header")),
+        addr: u64::from_le_bytes(buf[8..16].try_into().expect("40-byte header")),
+        len: u64::from_le_bytes(buf[16..24].try_into().expect("40-byte header")),
+        checksum: u64::from_le_bytes(buf[24..32].try_into().expect("40-byte header")),
+        trace: u64::from_le_bytes(buf[32..40].try_into().expect("40-byte header")),
     }
 }
 
@@ -191,12 +198,13 @@ mod tests {
 
     #[test]
     fn record_header_roundtrip() {
-        let mut buf = [0u8; 32];
-        encode_record_header(&mut buf, 9, 0x0100_0000_0000_0040, 128, 77);
+        let mut buf = [0u8; RECORD_HEADER as usize];
+        encode_record_header(&mut buf, 9, 0x0100_0000_0000_0040, 128, 77, 0xC0FFEE);
         let h = decode_record_header(&buf);
         assert_eq!(h.seq, 9);
         assert_eq!(h.addr, 0x0100_0000_0000_0040);
         assert_eq!(h.len, 128);
         assert_eq!(h.checksum, 77);
+        assert_eq!(h.trace, 0xC0FFEE);
     }
 }

@@ -173,6 +173,42 @@ pub fn error_for_code(code: u16, requested: u64) -> GengarError {
     }
 }
 
+/// Trace context carried on every request, right after the opcode byte:
+/// `[trace u64][parent span u64]`, both 0 when the caller is untraced.
+/// The server adopts it around the handler, so server-side spans (RPC
+/// service time, staging setup, durable-watermark queries) land in the
+/// originating client op's trace — including the RPCs a reconnect issues,
+/// which is what keeps a trace causally whole across connection loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceCtx {
+    /// Trace id of the issuing op (0 = untraced).
+    pub trace: u64,
+    /// Span id of the caller's active span (0 = none).
+    pub parent: u64,
+}
+
+impl TraceCtx {
+    /// Captures the calling thread's current trace context.
+    pub fn current() -> Self {
+        let (trace, parent) = gengar_telemetry::current_context();
+        TraceCtx {
+            trace: trace.0,
+            parent: parent.0,
+        }
+    }
+
+    /// Installs this context on the calling thread until the guard drops.
+    pub fn adopt(self) -> gengar_telemetry::ContextGuard {
+        gengar_telemetry::adopt(
+            gengar_telemetry::TraceId(self.trace),
+            gengar_telemetry::SpanId(self.parent),
+        )
+    }
+}
+
+/// Encoded size of [`TraceCtx`] on the wire.
+const TRACE_CTX_BYTES: usize = 16;
+
 const REQ_MOUNT: u8 = 1;
 const REQ_ALLOC: u8 = 2;
 const REQ_FREE: u8 = 3;
@@ -191,21 +227,32 @@ const RESP_OK: u8 = 134;
 const RESP_ERR: u8 = 135;
 
 impl Request {
-    /// Encodes into `buf`.
-    pub fn encode(&self, buf: &mut Vec<u8>) {
+    fn tag(&self) -> u8 {
         match self {
-            Request::Mount => buf.put_u8(REQ_MOUNT),
-            Request::Alloc { size } => {
-                buf.put_u8(REQ_ALLOC);
-                buf.put_u64_le(*size);
-            }
-            Request::Free { addr } => {
-                buf.put_u8(REQ_FREE);
-                buf.put_u64_le(*addr);
-            }
-            Request::OpenStaging => buf.put_u8(REQ_OPEN_STAGING),
+            Request::Mount => REQ_MOUNT,
+            Request::Alloc { .. } => REQ_ALLOC,
+            Request::Free { .. } => REQ_FREE,
+            Request::OpenStaging => REQ_OPEN_STAGING,
+            Request::Report { .. } => REQ_REPORT,
+            Request::FlushRange { .. } => REQ_FLUSH_RANGE,
+            Request::Invalidate { .. } => REQ_INVALIDATE,
+            Request::QueryDurable { .. } => REQ_QUERY_DURABLE,
+        }
+    }
+
+    /// Encodes into `buf` as `[tag][trace ctx][fields]`, capturing the
+    /// calling thread's trace context — encode happens on the issuing
+    /// client thread, so the op's trace id rides the request for free.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        let ctx = TraceCtx::current();
+        buf.put_u8(self.tag());
+        buf.put_u64_le(ctx.trace);
+        buf.put_u64_le(ctx.parent);
+        match self {
+            Request::Mount | Request::OpenStaging => {}
+            Request::Alloc { size } => buf.put_u64_le(*size),
+            Request::Free { addr } => buf.put_u64_le(*addr),
             Request::Report { entries } => {
-                buf.put_u8(REQ_REPORT);
                 buf.put_u16_le(entries.len().min(MAX_REPORT) as u16);
                 for e in entries.iter().take(MAX_REPORT) {
                     buf.put_u64_le(e.addr);
@@ -214,32 +261,42 @@ impl Request {
                 }
             }
             Request::FlushRange { addr, len } => {
-                buf.put_u8(REQ_FLUSH_RANGE);
                 buf.put_u64_le(*addr);
                 buf.put_u64_le(*len);
             }
-            Request::Invalidate { addr } => {
-                buf.put_u8(REQ_INVALIDATE);
-                buf.put_u64_le(*addr);
-            }
-            Request::QueryDurable { client_id } => {
-                buf.put_u8(REQ_QUERY_DURABLE);
-                buf.put_u32_le(*client_id);
-            }
+            Request::Invalidate { addr } => buf.put_u64_le(*addr),
+            Request::QueryDurable { client_id } => buf.put_u32_le(*client_id),
         }
     }
 
-    /// Decodes from `buf`.
+    /// Decodes from `buf`, discarding the trace context.
     ///
     /// # Errors
     ///
     /// [`GengarError::ProtocolViolation`] on truncated or unknown input.
-    pub fn decode(mut buf: &[u8]) -> Result<Request, GengarError> {
+    pub fn decode(buf: &[u8]) -> Result<Request, GengarError> {
+        Self::decode_traced(buf).map(|(req, _)| req)
+    }
+
+    /// Decodes from `buf`, returning the request and the trace context of
+    /// the client op that issued it.
+    ///
+    /// # Errors
+    ///
+    /// [`GengarError::ProtocolViolation`] on truncated or unknown input.
+    pub fn decode_traced(mut buf: &[u8]) -> Result<(Request, TraceCtx), GengarError> {
         let malformed = GengarError::ProtocolViolation("malformed request");
         if buf.is_empty() {
             return Err(malformed);
         }
         let tag = buf.get_u8();
+        if buf.remaining() < TRACE_CTX_BYTES {
+            return Err(malformed);
+        }
+        let ctx = TraceCtx {
+            trace: buf.get_u64_le(),
+            parent: buf.get_u64_le(),
+        };
         let req = match tag {
             REQ_MOUNT => Request::Mount,
             REQ_ALLOC => {
@@ -304,7 +361,7 @@ impl Request {
             }
             _ => return Err(GengarError::ProtocolViolation("unknown request opcode")),
         };
-        Ok(req)
+        Ok((req, ctx))
     }
 }
 
@@ -556,6 +613,30 @@ mod tests {
         assert!(Response::decode(&[RESP_ALLOC]).is_err());
         assert!(Request::decode(&[250]).is_err());
         assert!(Response::decode(&[250]).is_err());
+    }
+
+    #[test]
+    fn request_carries_trace_context() {
+        let mut buf = Vec::new();
+        {
+            let _g =
+                gengar_telemetry::adopt(gengar_telemetry::TraceId(42), gengar_telemetry::SpanId(7));
+            Request::Alloc { size: 1 }.encode(&mut buf);
+        }
+        let (req, ctx) = Request::decode_traced(&buf).unwrap();
+        assert_eq!(req, Request::Alloc { size: 1 });
+        assert_eq!(
+            ctx,
+            TraceCtx {
+                trace: 42,
+                parent: 7
+            }
+        );
+        // An untraced caller encodes the zero context.
+        let mut buf = Vec::new();
+        Request::Mount.encode(&mut buf);
+        let (_, ctx) = Request::decode_traced(&buf).unwrap();
+        assert_eq!(ctx, TraceCtx::default());
     }
 
     #[test]

@@ -19,7 +19,7 @@ use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
 use gengar_rdma::{Endpoint, MemoryRegion, Payload, RKey, RemoteAddr, SendOp, Sge};
-use gengar_telemetry::{CounterHandle, GaugeHandle, HistogramHandle, TelemetryConfig};
+use gengar_telemetry::{CounterHandle, GaugeHandle, HistogramHandle, TelemetryConfig, Tracer};
 
 use crate::error::GengarError;
 use crate::layout::{checksum, encode_record_header, RECORD_HEADER};
@@ -188,14 +188,22 @@ impl StagingWriter {
             });
         }
         let _t = self.stage_ns.span();
+        // Staging runs on the issuing client thread, so the op's trace
+        // context is live here; the trace id also rides the record header
+        // into the ring so the server's drain can join the same trace.
+        let tracer = Tracer::global();
+        let mut stage_span = tracer.span("proxy.stage");
+        let trace = gengar_telemetry::current_context().0 .0;
         // Ring full: wait for the proxy to drain the oldest slot.
         while self.in_flight.len() >= self.layout.slots as usize {
+            let _wait = tracer.span("proxy.ring_full_wait");
             self.ring_full_waits.inc();
             let oldest = *self.in_flight.front().expect("nonempty");
             self.wait_drained(oldest)?;
         }
         let seq = self.next_seq;
         let slot = self.next_slot;
+        stage_span.set_detail(seq);
 
         // Gather the record in local scratch, then ship it with one
         // WRITE_WITH_IMM. The immediate names the slot.
@@ -206,6 +214,7 @@ impl StagingWriter {
             addr_raw,
             data.len() as u64,
             checksum(data),
+            trace,
         );
         self.scratch.region().write(self.scratch_off, &header)?;
         self.scratch
@@ -273,8 +282,13 @@ impl StagingWriter {
             }
         }
         let _t = self.stage_ns.span();
+        let tracer = Tracer::global();
+        let mut stage_span = tracer.span("proxy.stage_batch");
+        stage_span.set_detail(items.len() as u64);
+        let trace = gengar_telemetry::current_context().0 .0;
         // Ring must have room for the whole window before anything posts.
         while self.in_flight.len() + items.len() > self.layout.slots as usize {
+            let _wait = tracer.span("proxy.ring_full_wait");
             self.ring_full_waits.inc();
             let oldest = *self.in_flight.front().expect("nonempty");
             self.wait_drained(oldest)?;
@@ -291,6 +305,7 @@ impl StagingWriter {
                 addr_raw,
                 data.len() as u64,
                 checksum(data),
+                trace,
             );
             self.scratch.region().write(gather_off, &header)?;
             self.scratch

@@ -166,6 +166,7 @@ impl RetryState {
             return Err(err);
         }
         self.attempt += 1;
+        gengar_telemetry::Tracer::global().event("retry.backoff", self.attempt as u64);
         std::thread::sleep(jittered.min(remaining));
         Ok(())
     }

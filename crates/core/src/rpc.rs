@@ -94,6 +94,9 @@ impl RpcClient {
     /// as `Rdma(Timeout)`; malformed responses as
     /// [`GengarError::ProtocolViolation`].
     pub fn call(&self, req: &Request) -> Result<Response, GengarError> {
+        // Open the span before encode so the request wire bytes carry this
+        // span as the server-side parent.
+        let _call_span = gengar_telemetry::Tracer::global().span("rpc.call");
         let mut out = Vec::with_capacity(256);
         req.encode(&mut out);
         debug_assert!(out.len() <= MAX_MSG);
@@ -196,8 +199,15 @@ impl RpcServerConn {
             if self.buf.region().read(IN_SLOT, &mut req_bytes).is_err() {
                 return;
             }
-            let resp = match Request::decode(&req_bytes) {
-                Ok(req) => handler(req),
+            let resp = match Request::decode_traced(&req_bytes) {
+                Ok((req, ctx)) => {
+                    // Serve under the issuing client op's trace context so
+                    // server-side spans land in the same causal trace.
+                    let _ctx = ctx.adopt();
+                    let mut serve_span = gengar_telemetry::Tracer::global().span("rpc.serve");
+                    serve_span.set_detail(req_bytes.first().copied().unwrap_or(0) as u64);
+                    handler(req)
+                }
                 Err(_) => Response::Err {
                     code: crate::proto::err_code::BAD_REQUEST,
                 },

@@ -591,6 +591,12 @@ impl ServerInner {
         let mut hdr = [0u8; crate::layout::RECORD_HEADER as usize];
         staging.read(slot_off, &mut hdr)?;
         let rec = decode_record_header(&hdr);
+        // Join the originating client op's trace: the record header carries
+        // its trace id, so the asynchronous NVM drain shows up in the same
+        // causal trace even though it runs after the client saw completion.
+        let mut drain_span = gengar_telemetry::Tracer::global()
+            .root_span_in("server.drain", gengar_telemetry::TraceId(rec.trace));
+        drain_span.set_detail(rec.seq);
         if rec.len <= self.ring.slot_payload {
             let mut payload = vec![0u8; rec.len as usize];
             staging.read(slot_off + crate::layout::RECORD_HEADER, &mut payload)?;

@@ -66,6 +66,7 @@ impl OpWindow {
         ep: &Endpoint,
         ops: Vec<SendOp>,
     ) -> Result<Vec<Result<Wc, RdmaError>>, GengarError> {
+        let tracer = gengar_telemetry::Tracer::global();
         let mut out = Vec::with_capacity(ops.len());
         let mut rest = ops;
         while !rest.is_empty() {
@@ -74,6 +75,8 @@ impl OpWindow {
             let chunk = std::mem::replace(&mut rest, tail);
             self.occupancy.record_max(chunk.len() as i64);
             self.batch_size.record_ns(chunk.len() as u64);
+            let mut chunk_span = tracer.span("window.submit");
+            chunk_span.set_detail(chunk.len() as u64);
             out.extend(ep.execute_many(chunk)?);
         }
         Ok(out)

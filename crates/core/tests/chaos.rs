@@ -16,7 +16,40 @@ use gengar_core::cluster::Cluster;
 use gengar_core::config::{ClientConfig, ServerConfig};
 use gengar_core::GengarError;
 use gengar_rdma::{FabricConfig, FaultPlane};
-use gengar_telemetry::TelemetryConfig;
+use gengar_telemetry::{FlightRecorder, TelemetryConfig, TraceMode, Tracer};
+
+/// Arms the flight recorder for this chaos run (sampled tracing feeds it)
+/// and installs a panic hook — once per process — that dumps the recorder
+/// and prints the last-N trace summary to stderr on any chaos failure, so
+/// a red seed ships its own causal evidence.
+fn arm_flight_recorder() {
+    let tracer = Tracer::global();
+    if !tracer.enabled() {
+        tracer.set_mode(TraceMode::Sampled);
+    }
+    let recorder = FlightRecorder::global();
+    recorder.set_out_dir(std::env::temp_dir());
+    recorder.arm();
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let recorder = FlightRecorder::global();
+            match recorder
+                .trigger("chaos-assert")
+                .or_else(|| recorder.last_dump())
+            {
+                Some(path) => eprintln!(
+                    "chaos failure: flight-recorder trace dumped to {}",
+                    path.display()
+                ),
+                None => eprintln!("chaos failure: no flight-recorder dump available"),
+            }
+            eprintln!("chaos failure: recent traces:\n{}", recorder.summary(16));
+            prev(info);
+        }));
+    });
+}
 
 fn seeds() -> Vec<u64> {
     match std::env::var("CHAOS_SEEDS") {
@@ -133,6 +166,7 @@ fn read_fill_byte(
 /// disarmed.
 #[test]
 fn chaos_micro_random_faults() {
+    arm_flight_recorder();
     for seed in seeds() {
         let (cluster, plane) = chaos_cluster(
             "drop:p=0.02 + err:p=0.01,status=transport + rnr:p=0.005 + delay:ns=20000,p=0.05",
@@ -193,6 +227,7 @@ fn chaos_micro_random_faults() {
 /// with the shadow model intact and visible recovery work in the stats.
 #[test]
 fn chaos_ycsb_under_flap_schedule() {
+    arm_flight_recorder();
     for seed in seeds() {
         let (cluster, plane) = chaos_cluster("flap:period=120,blocked=15", seed);
         let mut client = cluster.client(chaos_client_config()).unwrap();
@@ -241,6 +276,7 @@ fn chaos_ycsb_under_flap_schedule() {
 /// no acknowledged write is lost.
 #[test]
 fn chaos_server_crash_mid_run_reconnects() {
+    arm_flight_recorder();
     for seed in seeds() {
         let cluster = Cluster::launch(1, chaos_server_config(), FabricConfig::instant()).unwrap();
         let mut client = cluster.client(chaos_client_config()).unwrap();
@@ -310,6 +346,7 @@ fn chaos_server_crash_mid_run_reconnects() {
 /// FAAs land at most once per acknowledgement.
 #[test]
 fn chaos_windowed_batches_settle() {
+    arm_flight_recorder();
     for seed in seeds() {
         let (cluster, plane) = chaos_cluster(
             "drop:p=0.02 + err:p=0.01,status=transport + rnr:p=0.005 + delay:ns=20000,p=0.05",
@@ -426,6 +463,7 @@ fn chaos_windowed_batches_settle() {
 /// still land, and the degradation is visible in the stats.
 #[test]
 fn degraded_mode_survives_a_dead_staging_ring() {
+    arm_flight_recorder();
     let (cluster, plane) = chaos_cluster("drop:imm=1", 9);
     let config = ClientConfig {
         report_every: u32::MAX,
@@ -460,6 +498,7 @@ fn degraded_mode_survives_a_dead_staging_ring() {
 /// exactly that many records.
 #[test]
 fn crash_mid_drain_replays_every_undrained_record() {
+    arm_flight_recorder();
     let cluster = Cluster::launch(1, chaos_server_config(), FabricConfig::instant()).unwrap();
     let mut client = cluster.client(chaos_client_config()).unwrap();
     let ptrs: Vec<_> = (0..8).map(|_| client.alloc(0, 64).unwrap()).collect();
@@ -498,6 +537,7 @@ fn crash_mid_drain_replays_every_undrained_record() {
 /// must still get a working connection once the link heals.
 #[test]
 fn reconnect_storm_does_not_exhaust_client_ids() {
+    arm_flight_recorder();
     let mut server_config = ServerConfig::small();
     server_config.max_clients = 4;
     let cluster = Cluster::launch(1, server_config, FabricConfig::instant()).unwrap();
@@ -530,4 +570,43 @@ fn reconnect_storm_does_not_exhaust_client_ids() {
     let mut fresh = cluster.client(chaos_client_config()).unwrap();
     fresh.read(ptr, 0, &mut buf).unwrap();
     assert!(buf.iter().all(|&b| b == 3));
+}
+
+/// The flight recorder fires by itself when the fault plane injects a
+/// fault: no assertion has to fail first. The armed latch is process-wide
+/// and one-shot (a concurrently running chaos test can legitimately
+/// consume it with its own injected fault), so the loop re-arms and
+/// asserts on the monotonic dump counter rather than a single latch win.
+#[test]
+fn flight_recorder_dumps_on_injected_fault() {
+    arm_flight_recorder();
+    let recorder = FlightRecorder::global();
+    let dumps_before = recorder.dumps();
+    // Drop every staged record: each write injects at least one fault.
+    let (cluster, plane) = chaos_cluster("drop:imm=1", 5);
+    let config = ClientConfig {
+        op_deadline: std::time::Duration::from_millis(200),
+        staging_fault_threshold: 2,
+        ..chaos_client_config()
+    };
+    let mut client = cluster.client(config).unwrap();
+    let ptr = client.alloc(0, 64).unwrap();
+    for round in 0..20u8 {
+        recorder.arm();
+        let _ = client.write(ptr, 0, &[round; 64]);
+        if recorder.dumps() > dumps_before {
+            break;
+        }
+    }
+    plane.disarm();
+    assert!(
+        recorder.dumps() > dumps_before,
+        "injected drops never auto-dumped the flight recorder"
+    );
+    let dump = recorder.last_dump().expect("dump path recorded");
+    let text = std::fs::read_to_string(&dump).expect("dump file readable");
+    assert!(
+        text.contains("traceEvents"),
+        "flight dump is not Chrome trace JSON"
+    );
 }

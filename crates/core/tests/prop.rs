@@ -152,14 +152,21 @@ proptest! {
 
     /// Slot and record headers roundtrip any field values.
     #[test]
-    fn headers_roundtrip(a in any::<u64>(), b in any::<u64>(), c in any::<u64>(), d in any::<u64>()) {
+    fn headers_roundtrip(
+        a in any::<u64>(),
+        b in any::<u64>(),
+        c in any::<u64>(),
+        d in any::<u64>(),
+        t in any::<u64>(),
+    ) {
         let mut buf = [0u8; 32];
         encode_slot_header(&mut buf, a, b, c, d);
         let h = decode_slot_header(&buf);
         prop_assert_eq!((h.tag, h.version, h.checksum, h.len), (a, b, c, d));
-        encode_record_header(&mut buf, a, b, c, d);
+        let mut buf = [0u8; 40];
+        encode_record_header(&mut buf, a, b, c, d, t);
         let r = decode_record_header(&buf);
-        prop_assert_eq!((r.seq, r.addr, r.len, r.checksum), (a, b, c, d));
+        prop_assert_eq!((r.seq, r.addr, r.len, r.checksum, r.trace), (a, b, c, d, t));
     }
 
     /// The checksum detects any single-byte corruption.

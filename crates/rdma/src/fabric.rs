@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use gengar_hybridmem::latency::{spin_for_ns, spin_until};
 use gengar_hybridmem::BandwidthLimiter;
-use gengar_telemetry::TelemetryConfig;
+use gengar_telemetry::{TelemetryConfig, Tracer};
 use parking_lot::RwLock;
 
 use crate::cq::{CompletionQueue, Wc, WcOpcode, WcStatus};
@@ -336,6 +336,7 @@ impl Fabric {
             self.metrics.error_completions.inc();
         }
         if wr.signaled || status != WcStatus::Success {
+            Tracer::global().fine_event("rdma.cq_completion", wr.wr_id);
             self.push_wc(
                 qp.send_cq(),
                 Wc {
@@ -388,6 +389,13 @@ impl Fabric {
         if wrs.is_empty() {
             return Ok(());
         }
+        // One-sided verbs run on the initiating thread, so the client's
+        // trace context is visible right here: the whole post→doorbell→
+        // propagation→completion chain nests under the caller's op span
+        // without any WR struct changes.
+        let tracer = Tracer::global();
+        let mut post_span = tracer.span("rdma.post");
+        post_span.set_detail(wrs.len() as u64);
         let (dst_id, dst_qpn) = qp.remote().ok_or(RdmaError::NotConnected)?;
 
         // Programming errors on the local side fail the whole post before
@@ -422,6 +430,8 @@ impl Fabric {
         self.metrics.batched_ops.add(n);
         self.metrics.doorbells_saved.add(n - 1);
         self.metrics.batch_size.record_ns(n);
+        let mut doorbell_span = tracer.span("rdma.doorbell");
+        doorbell_span.set_detail(n);
 
         let cfg = &self.config;
         let fault = self.fault(src.id(), dst_id);
@@ -433,18 +443,22 @@ impl Fabric {
         // Request propagation: every WQE pays initiator NIC processing,
         // the wire and responder costs are amortised over the doorbell.
         if target.is_some() {
+            let _prop = tracer.span("rdma.propagation");
             spin_for_ns(cfg.nic_tx_ns * n + cfg.one_way_ns + fault.extra_delay_ns + cfg.nic_rx_ns);
         }
 
         let started = std::time::Instant::now();
         let mut responded = false;
         for (wr, sender_opcode, payload) in prepared {
+            let mut wr_span = tracer.fine_span("rdma.wr");
+            wr_span.set_detail(wr.wr_id);
             // Past the programming-error checks the verb is on the wire:
             // count it and time it to completion (errors included).
             let verb = self.metrics.verb(sender_opcode);
             verb.ops.inc();
             // A WR behind a failed one never executes: flush it.
             if qp.state() == crate::qp::QpState::Error {
+                tracer.event("fault.flushed", wr.wr_id);
                 self.complete(qp, &wr, WcStatus::WrFlushed, sender_opcode, 0);
                 verb.lat_ns.record_ns(started.elapsed().as_nanos() as u64);
                 continue;
@@ -456,8 +470,12 @@ impl Fabric {
                 let with_imm = matches!(&wr.op, SendOp::Write { imm: Some(_), .. });
                 match plane.decide(src.id(), dst_id, sender_opcode, with_imm) {
                     FaultDecision::Proceed => {}
-                    FaultDecision::Delay(ns) => spin_for_ns(ns),
+                    FaultDecision::Delay(ns) => {
+                        tracer.event("fault.delay", ns);
+                        spin_for_ns(ns);
+                    }
                     FaultDecision::Error(status) => {
+                        tracer.event("fault.err", wr.wr_id);
                         self.complete(qp, &wr, status, sender_opcode, 0);
                         verb.lat_ns.record_ns(started.elapsed().as_nanos() as u64);
                         continue;
@@ -467,6 +485,7 @@ impl Fabric {
                     // out; the QP stays usable so a retry on the same
                     // connection can succeed.
                     FaultDecision::Drop => {
+                        tracer.event("fault.drop", wr.wr_id);
                         verb.lat_ns.record_ns(started.elapsed().as_nanos() as u64);
                         continue;
                     }
@@ -489,6 +508,7 @@ impl Fabric {
         // (skipped when nothing reached the responder, matching the
         // single-WR path).
         if responded {
+            let _resp = tracer.span("rdma.response_wave");
             spin_for_ns(cfg.one_way_ns + fault.extra_delay_ns);
         }
         Ok(())

@@ -527,17 +527,23 @@ impl FaultPlane {
             if !fires {
                 continue;
             }
+            // An injected error/drop is exactly the moment a timeline is
+            // worth keeping: fire the flight recorder's one-shot dump
+            // latch (a no-op unless armed — see `FlightRecorder`).
             return match rule.action {
                 FaultAction::Error(status) => {
                     self.metrics.injected_errors.inc();
+                    gengar_telemetry::FlightRecorder::global().trigger("fault-err");
                     FaultDecision::Error(status)
                 }
                 FaultAction::ExhaustRnr => {
                     self.metrics.injected_errors.inc();
+                    gengar_telemetry::FlightRecorder::global().trigger("fault-rnr");
                     FaultDecision::Error(WcStatus::RnrRetryExceeded)
                 }
                 FaultAction::Drop => {
                     self.metrics.injected_drops.inc();
+                    gengar_telemetry::FlightRecorder::global().trigger("fault-drop");
                     FaultDecision::Drop
                 }
                 FaultAction::DelayNs(ns) => {

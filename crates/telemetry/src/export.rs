@@ -1,10 +1,13 @@
 //! Snapshot export: a hand-rolled JSON serializer (no serde_json in the
-//! dependency set) and a human-readable `Display` table.
+//! dependency set), a human-readable `Display` table, and the Chrome
+//! trace-event / Perfetto exporter for [`crate::trace`] spans.
 
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 
 use crate::metrics::HistogramSnapshot;
 use crate::registry::{MetricSnapshot, RegistrySnapshot};
+use crate::trace::SpanRecord;
 
 /// Escapes a string for inclusion in a JSON string literal.
 pub fn json_escape(s: &str) -> String {
@@ -112,6 +115,125 @@ impl fmt::Display for RegistrySnapshot {
     }
 }
 
+/// Serializes completed spans as Chrome trace-event JSON (openable in
+/// `chrome://tracing` and [Perfetto](https://ui.perfetto.dev)). Each span
+/// becomes one complete (`"ph":"X"`) event — one per line, so streaming
+/// validators can check the schema without a JSON parser — with the
+/// causal ids (`trace`/`span`/`parent`) and the site detail in `args`.
+/// Timestamps are microseconds since the tracer epoch.
+///
+/// A span whose parent was sampled away would violate the "every child
+/// has a live parent" schema, so orphans are re-parented to 0 (root) at
+/// export time: the event keeps its trace id, only the direct link is
+/// declared broken.
+pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
+    let live: HashSet<(u64, u64)> = spans.iter().map(|s| (s.trace, s.span)).collect();
+    let pid = std::process::id();
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let mut first = true;
+    for s in spans {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let parent = if s.parent != 0 && live.contains(&(s.trace, s.parent)) {
+            s.parent
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"gengar\",\"ph\":\"X\",\"pid\":{},\"tid\":{},\"ts\":{:.3},\"dur\":{:.3},\"args\":{{\"trace\":{},\"span\":{},\"parent\":{},\"detail\":{}}}}}",
+            json_escape(s.name),
+            pid,
+            s.tid,
+            s.start_ns as f64 / 1000.0,
+            s.duration_ns() as f64 / 1000.0,
+            s.trace,
+            s.span,
+            parent,
+            s.detail
+        ));
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Renders a per-op-class critical-path table: traces are grouped by the
+/// name of their root span (the op class — `client.write`, `client.read`,
+/// …) and every span in those traces is attributed to its site name, so
+/// the table shows where each op class spends its time relative to the
+/// client-visible root duration. Spans past 100% of root (e.g. the async
+/// NVM drain) are exactly the latency the proxy hides.
+pub fn critical_path_table(spans: &[SpanRecord]) -> String {
+    // Root of a trace: the parentless span with the earliest start (a
+    // trace can hold several parentless spans — async far-side work such
+    // as the server drain — which then show up as attributed rows).
+    let mut roots: HashMap<u64, &SpanRecord> = HashMap::new();
+    for s in spans.iter().filter(|s| s.parent == 0) {
+        roots
+            .entry(s.trace)
+            .and_modify(|r| {
+                if s.start_ns < r.start_ns {
+                    *r = s;
+                }
+            })
+            .or_insert(s);
+    }
+    struct Class {
+        traces: u64,
+        root_ns: u64,
+        sites: BTreeMap<&'static str, (u64, u64)>, // name -> (count, total ns)
+    }
+    let mut classes: BTreeMap<&'static str, Class> = BTreeMap::new();
+    for root in roots.values() {
+        let c = classes.entry(root.name).or_insert(Class {
+            traces: 0,
+            root_ns: 0,
+            sites: BTreeMap::new(),
+        });
+        c.traces += 1;
+        c.root_ns += root.duration_ns();
+    }
+    for s in spans {
+        let Some(root) = roots.get(&s.trace) else {
+            continue;
+        };
+        if s.span == root.span {
+            continue;
+        }
+        let c = classes.get_mut(root.name).expect("class exists for root");
+        let e = c.sites.entry(s.name).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += s.duration_ns();
+    }
+    if classes.is_empty() {
+        return String::from("(no traces recorded)\n");
+    }
+    let mut out = String::from("critical path per op class (span time vs. root duration):\n");
+    for (name, c) in &classes {
+        out.push_str(&format!(
+            "{name}: {} traces, mean root {}\n",
+            c.traces,
+            fmt_ns(c.root_ns / c.traces.max(1))
+        ));
+        let mut rows: Vec<_> = c.sites.iter().collect();
+        rows.sort_by_key(|(_, (_, total))| std::cmp::Reverse(*total));
+        for (site, (count, total)) in rows {
+            let share = if c.root_ns > 0 {
+                *total as f64 * 100.0 / c.root_ns as f64
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "  {site:<24} n={count:<8} total={:<10} mean={:<10} {share:.1}% of root\n",
+                fmt_ns(*total),
+                fmt_ns(total / (*count).max(1)),
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,5 +294,88 @@ mod tests {
         assert_eq!(fmt_ns(1_500), "1.50us");
         assert_eq!(fmt_ns(2_500_000), "2.50ms");
         assert_eq!(fmt_ns(3_000_000_000), "3.00s");
+    }
+
+    fn span(
+        trace: u64,
+        id: u64,
+        parent: u64,
+        name: &'static str,
+        start: u64,
+        end: u64,
+    ) -> SpanRecord {
+        SpanRecord {
+            trace,
+            span: id,
+            parent,
+            name,
+            detail: 0,
+            tid: 1,
+            start_ns: start,
+            end_ns: end,
+        }
+    }
+
+    #[test]
+    fn chrome_trace_schema_one_event_per_line() {
+        let spans = vec![
+            span(1, 10, 0, "client.write", 0, 10_000),
+            span(1, 11, 10, "rdma.doorbell", 1_000, 5_000),
+        ];
+        let json = chrome_trace_json(&spans);
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"));
+        assert!(json.trim_end().ends_with("]}"));
+        let events: Vec<&str> = json
+            .lines()
+            .filter(|l| l.contains("\"ph\":\"X\""))
+            .collect();
+        assert_eq!(events.len(), 2);
+        for e in &events {
+            assert!(e.contains("\"pid\":"));
+            assert!(e.contains("\"tid\":"));
+            assert!(e.contains("\"ts\":"));
+            assert!(e.contains("\"name\":"));
+        }
+        assert!(events[1].contains("\"parent\":10"));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced: {json}"
+        );
+    }
+
+    #[test]
+    fn chrome_trace_reparents_orphans_to_root() {
+        // Parent span 99 was sampled away: the child must not point at a
+        // dead id in the export.
+        let spans = vec![span(7, 20, 99, "child", 0, 100)];
+        let json = chrome_trace_json(&spans);
+        assert!(json.contains("\"parent\":0"));
+        assert!(!json.contains("\"parent\":99"));
+    }
+
+    #[test]
+    fn chrome_trace_empty_is_valid() {
+        let json = chrome_trace_json(&[]);
+        assert!(json.contains("\"traceEvents\":["));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn critical_path_groups_by_root_class() {
+        let spans = vec![
+            span(1, 10, 0, "client.write", 0, 10_000),
+            span(1, 11, 10, "proxy.stage", 0, 4_000),
+            span(1, 12, 0, "server.drain", 11_000, 15_000),
+            span(2, 20, 0, "client.read", 0, 2_000),
+        ];
+        let table = critical_path_table(&spans);
+        assert!(table.contains("client.write: 1 traces"));
+        assert!(table.contains("client.read: 1 traces"));
+        assert!(table.contains("proxy.stage"));
+        // The async drain is attributed to the write class (the earliest
+        // parentless span wins the root role).
+        assert!(table.contains("server.drain"));
+        assert!(critical_path_table(&[]).contains("no traces"));
     }
 }

