@@ -15,6 +15,11 @@
 //! cache hit/miss, proxy drain backlog, client latency percentiles, …).
 //! `--no-telemetry` disables collection to measure its overhead.
 //!
+//! The same record (plus the experiment's headline `metrics`, e.g. E11's
+//! per-server-count kops) is also written to `BENCH_<ID>.json` in the
+//! current directory, one file per experiment per run, so the perf
+//! trajectory stays machine-readable across runs and PRs.
+//!
 //! `--faults <spec>` arms a deterministic fault plane (fixed seed) on every
 //! Gengar fabric the experiments launch (baselines run fault-free: they
 //! have no retry machinery to measure); see `gengar_rdma::FaultPlane` for
@@ -36,8 +41,8 @@
 //! 1-in-8 once it passes half occupancy).
 
 use gengar_bench::{
-    fault_spec, run_experiment, set_faults, set_telemetry, set_trace_out, set_window, trace_out,
-    Scale, ALL_EXPERIMENTS,
+    fault_spec, run_experiment, set_faults, set_telemetry, set_trace_out, set_window, take_metrics,
+    trace_out, Scale, ALL_EXPERIMENTS,
 };
 use gengar_telemetry::{
     chrome_trace_json, critical_path_table, json_escape, Registry, TraceMode, Tracer,
@@ -128,19 +133,43 @@ fn main() {
             std::process::exit(2);
         }
         let elapsed = started.elapsed();
+        let metrics = take_metrics();
+        let metrics_field = if metrics.is_empty() {
+            String::new()
+        } else {
+            let body: Vec<String> = metrics
+                .iter()
+                .map(|(name, value)| format!("\"{}\":{value:.1}", json_escape(name)))
+                .collect();
+            format!("\"metrics\":{{{}}},", body.join(","))
+        };
+        let faults_field = match fault_spec() {
+            Some(ref s) => format!("\"faults\":\"{}\",", json_escape(s)),
+            None => String::new(),
+        };
+        let telemetry_field = if no_telemetry {
+            String::new()
+        } else {
+            format!(",\"telemetry\":{}", Registry::global().snapshot().to_json())
+        };
+        // The per-run snapshot: headline kops plus the full telemetry
+        // section (latency percentiles and all), machine-readable so the
+        // perf trajectory can be compared across runs and PRs.
+        let record = format!(
+            "{{\"experiment\":\"{}\",\"mode\":\"{}\",{}{}\"elapsed_ms\":{}{}}}",
+            json_escape(id),
+            if quick { "quick" } else { "full" },
+            faults_field,
+            metrics_field,
+            elapsed.as_millis(),
+            telemetry_field,
+        );
         if !no_telemetry {
-            let snap = Registry::global().snapshot();
-            let faults_field = match fault_spec() {
-                Some(ref s) => format!("\"faults\":\"{}\",", json_escape(s)),
-                None => String::new(),
-            };
-            println!(
-                "{{\"experiment\":\"{}\",{}\"elapsed_ms\":{},\"telemetry\":{}}}",
-                json_escape(id),
-                faults_field,
-                elapsed.as_millis(),
-                snap.to_json()
-            );
+            println!("{record}");
+        }
+        let snap_path = format!("BENCH_{}.json", id.to_uppercase());
+        if let Err(e) = std::fs::write(&snap_path, format!("{record}\n")) {
+            eprintln!("failed to write {snap_path}: {e}");
         }
         println!("[{id} done in {elapsed:.1?}]");
     }

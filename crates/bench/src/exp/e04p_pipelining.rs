@@ -133,6 +133,8 @@ pub fn run(scale: Scale) {
 
         // Machine-greppable line for the check.sh performance gate.
         println!("E4P window={w} read_kops={read_kops:.1} write_kops={write_kops:.1}");
+        crate::report_metric(&format!("window{w}.read_kops"), read_kops);
+        crate::report_metric(&format!("window{w}.write_kops"), write_kops);
         table.row(vec![
             w.to_string(),
             format!("{read_kops:.1}"),

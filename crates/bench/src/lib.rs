@@ -53,6 +53,24 @@ pub fn window_depth() -> u32 {
     WINDOW.load(Ordering::Relaxed)
 }
 
+/// Headline metrics the running experiment reports (name → value), drained
+/// by the harness into the per-run `BENCH_<id>.json` snapshot.
+static METRICS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
+
+/// Records one headline result of the running experiment (e.g.
+/// `"servers4.batched_kops"`). Values surface in the harness's
+/// `BENCH_<id>.json` snapshot so the perf trajectory stays
+/// machine-readable across runs; experiments that never call this simply
+/// produce a snapshot without a `metrics` section.
+pub fn report_metric(name: &str, value: f64) {
+    METRICS.lock().unwrap().push((name.to_owned(), value));
+}
+
+/// Drains every metric reported since the last call, in report order.
+pub fn take_metrics() -> Vec<(String, f64)> {
+    std::mem::take(&mut METRICS.lock().unwrap())
+}
+
 /// Where the harness writes the Chrome/Perfetto trace of the run (the
 /// `--trace-out <path>` flag). `None` leaves causal tracing off.
 static TRACE_OUT: Mutex<Option<String>> = Mutex::new(None);

@@ -24,12 +24,19 @@
 //!
 //! # Ordering
 //!
-//! Within one batch, writes are applied before reads are issued, and
-//! multiple writes to the same object apply in submission order. Reads
-//! are unordered among themselves. A read of an object written earlier
-//! in the *same* batch observes that write (served from the local
-//! store buffer like any read-your-write). No ordering holds between
-//! operations of different batches beyond the scalar API's guarantees.
+//! A batch's operations are split into per-home-server groups, and all
+//! groups are in flight **concurrently** (a completion-driven event loop
+//! interleaves them — see `DESIGN.md`, "Concurrent issue reactor").
+//! Ordering is therefore per group, which is all an application can
+//! observe: an object lives on exactly one server, so operations that
+//! touch the same data are always in the same group. Within a group,
+//! writes are applied before reads are issued, and multiple writes to
+//! the same object apply in submission order. Reads are unordered among
+//! themselves, and no order holds between operations homed on different
+//! servers. A read of an object written earlier in the *same* batch
+//! observes that write (served from the local store buffer like any
+//! read-your-write). No ordering holds between operations of different
+//! batches beyond the scalar API's guarantees.
 //!
 //! # Atomics
 //!

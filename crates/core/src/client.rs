@@ -11,14 +11,17 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use gengar_hybridmem::{DeviceProfile, MemDevice, MemRegion};
 use gengar_rdma::{
-    Access, Fabric, MemoryRegion, Payload, ProtectionDomain, RKey, RdmaNode, RemoteAddr, SendOp,
-    Sge,
+    Access, Fabric, MemoryRegion, Payload, PendingOps, ProtectionDomain, RKey, RdmaError, RdmaNode,
+    RemoteAddr, SendOp, Sge, Wc,
 };
-use gengar_telemetry::{Counter, CounterHandle, HistogramHandle, Telemetry, TelemetryConfig};
+use gengar_telemetry::{
+    adopt, Counter, CounterHandle, HistogramHandle, SpanId, Telemetry, TelemetryConfig, TraceId,
+    TraceSpan,
+};
 
 use crate::addr::{GlobalAddr, GlobalPtr, MemClass};
 use crate::batch::{BatchOp, BatchResult, OpBatch};
@@ -28,7 +31,7 @@ use crate::error::GengarError;
 use crate::hotness::AccessEntry;
 use crate::layout::{decode_slot_header, lockword, OBJ_HEADER, SLOT_HEADER, SLOT_TAIL};
 use crate::proto::{error_for_code, MountInfo, Request, Response, MAX_REPORT};
-use crate::proxy::StagingWriter;
+use crate::proxy::{StagedFlight, StagingWriter};
 use crate::retry::{classify, Disposition, RetryPolicy, RetryState};
 use crate::rpc::{RpcClient, RPC_BUF_BYTES};
 use crate::server::MemoryServer;
@@ -201,6 +204,68 @@ struct ReadPlan {
     cached: Option<GlobalAddr>,
 }
 
+/// Where one per-server group of a batch currently stands in the
+/// completion-driven issue engine. Every group walks writes then reads;
+/// the wait states hold a posted flight whose completions the event loop
+/// harvests as they arrive, so groups on different servers overlap their
+/// round trips instead of running back to back.
+#[derive(Debug)]
+enum GroupPhase {
+    /// Planning/issuing writes from `indices[cursor]` onward.
+    Writes { cursor: usize },
+    /// A staged-write window is planned but the ring lacks room; poll the
+    /// drained watermark until it frees up (or stalls past the deadline).
+    RingWait {
+        resume: usize,
+        plans: Vec<StagedPlan>,
+        next_poll: Instant,
+        sleep_us: u64,
+        last_seen: u64,
+        stall_deadline: Instant,
+    },
+    /// A staged-write doorbell flight is on the wire.
+    StagedWait {
+        resume: usize,
+        plans: Vec<StagedPlan>,
+        flight: StagedFlight,
+    },
+    /// Planning/issuing reads from `indices[cursor]` onward.
+    Reads { cursor: usize },
+    /// A read doorbell flight is on the wire.
+    ReadWait {
+        resume: usize,
+        plans: Vec<ReadPlan>,
+        pending: PendingOps,
+    },
+    /// The last attempt failed transiently; the group parks until the
+    /// jittered backoff expires (reconnecting first if the connection
+    /// died) while the event loop keeps driving the healthy groups.
+    Backoff { resume_at: Instant, reconnect: bool },
+    /// Every op resolved (or the recovery budget died trying).
+    Done,
+}
+
+/// One per-server group's state in the concurrent batch engine: its op
+/// indices, its private recovery budget, and its position in the
+/// write/read issue walk. The trace spans keep the group's work filed
+/// under its own `client.group` branch even though the event loop
+/// interleaves steps of many groups on one thread.
+struct GroupRun {
+    server: u8,
+    indices: Vec<usize>,
+    state: RetryState,
+    /// Unresolved ops when the current attempt started (progress check).
+    pending_at_start: usize,
+    /// Last unresolved write per object this attempt; only it may ride a
+    /// staged window (earlier ones must land first, in order).
+    last_write: HashMap<u64, usize>,
+    phase: GroupPhase,
+    group_span: TraceSpan,
+    group_ctx: (TraceId, SpanId),
+    attempt_span: TraceSpan,
+    attempt_ctx: (TraceId, SpanId),
+}
+
 #[derive(Debug)]
 struct ServerConn {
     mount: MountInfo,
@@ -225,6 +290,11 @@ struct ServerConn {
     /// Outstanding-op window for vectored operations on this connection.
     /// Stateless across submissions, so it survives reconnects unchanged.
     window: OpWindow,
+    /// This connection's slice of the shared op area: gather/landing lanes
+    /// used by chunked verbs and the batch planner. Private per connection
+    /// so concurrent per-server flights never share scratch bytes.
+    op_buf: u64,
+    op_buf_len: u64,
 }
 
 impl ServerConn {
@@ -270,11 +340,12 @@ pub struct GengarClient {
     /// Pending hotness entries per server id.
     pending: HashMap<u8, HashMap<u64, (u32, bool)>>,
     ops_since_report: u32,
-    /// Scratch layout: CAS result word, header word, bulk op buffer.
+    /// Shared scratch control words: CAS result word, header word. The
+    /// bulk op lanes live per connection ([`ServerConn::op_buf`]). The
+    /// shared words are safe under the concurrent engine because every
+    /// scalar op that touches them runs to completion within one step.
     op_cas: u64,
     op_hdr: u64,
-    op_buf: u64,
-    op_buf_len: u64,
     /// Counter that amortises drained-watermark refreshes on the
     /// store-buffer read path.
     wb_checks: u32,
@@ -365,20 +436,29 @@ impl GengarClient {
                 staging_faults: 0,
                 degraded: false,
                 window: OpWindow::new(config.window_depth, config.telemetry),
+                op_buf: 0,
+                op_buf_len: 0,
             });
         }
 
-        // Remaining scratch: two control words + the bulk op buffer.
+        // Remaining scratch: two shared control words, then the op area
+        // split evenly across the connections so concurrent per-server
+        // flights gather and land in disjoint lanes.
         let op_cas = bump;
         let op_hdr = bump + 8;
-        let op_buf = bump + 64;
-        let op_buf_len = config
+        let op_area = bump + 64;
+        let per_conn = config
             .scratch_capacity
-            .checked_sub(op_buf)
+            .checked_sub(op_area)
+            .map(|area| area / conns.len().max(1) as u64)
             .filter(|&len| len >= (64 << 10) + SLOT_HEADER)
             .ok_or(GengarError::ProtocolViolation(
                 "scratch buffer too small for the op area",
             ))?;
+        for (i, conn) in conns.iter_mut().enumerate() {
+            conn.op_buf = op_area + i as u64 * per_conn;
+            conn.op_buf_len = per_conn;
+        }
 
         Ok(GengarClient {
             op_salt: u64::from(node.id().0) << 32,
@@ -395,8 +475,6 @@ impl GengarClient {
             ops_since_report: 0,
             op_cas,
             op_hdr,
-            op_buf,
-            op_buf_len,
             wb_checks: 0,
             policy,
             metrics: ClientMetrics::new(config.telemetry),
@@ -768,11 +846,11 @@ impl GengarClient {
         remote_off: u64,
         out: &mut [u8],
     ) -> Result<(), GengarError> {
-        let op_buf = self.op_buf;
-        let chunk_max = self.op_buf_len as usize;
         let mr_lkey = self.mr.lkey();
         let region = self.mr.region().clone();
         let conn = self.conn(server)?;
+        let op_buf = conn.op_buf;
+        let chunk_max = conn.op_buf_len as usize;
         let mut done = 0usize;
         while done < out.len() {
             let chunk = (out.len() - done).min(chunk_max);
@@ -794,11 +872,11 @@ impl GengarClient {
         remote_off: u64,
         data: &[u8],
     ) -> Result<(), GengarError> {
-        let op_buf = self.op_buf;
-        let chunk_max = self.op_buf_len as usize;
         let mr_lkey = self.mr.lkey();
         let region = self.mr.region().clone();
         let conn = self.conn(server)?;
+        let op_buf = conn.op_buf;
+        let chunk_max = conn.op_buf_len as usize;
         let mut done = 0usize;
         while done < data.len() {
             let chunk = (data.len() - done).min(chunk_max);
@@ -947,23 +1025,23 @@ impl GengarClient {
             _ => return Ok(false),
         };
         let total = SLOT_HEADER + ptr.size + SLOT_TAIL;
-        if total > self.op_buf_len {
-            return Ok(false); // object larger than our frame budget
-        }
         let server = ptr.addr.server();
-        // One READ of the whole frame into the op area; header, tail and
-        // the requested payload range are then extracted directly from
-        // scratch (no intermediate whole-frame copy).
-        let op_buf = self.op_buf;
+        // One READ of the whole frame into the connection's op area;
+        // header, tail and the requested payload range are then extracted
+        // directly from scratch (no intermediate whole-frame copy).
         let mr_lkey = self.mr.lkey();
         let region = self.mr.region().clone();
-        {
+        let op_buf = {
             let conn = self.conn(server)?;
+            if total > conn.op_buf_len {
+                return Ok(false); // object larger than our frame budget
+            }
             conn.data.read(
-                Sge::new(mr_lkey, op_buf, total),
+                Sge::new(mr_lkey, conn.op_buf, total),
                 RemoteAddr::new(conn.cache_rkey(), slot.offset()),
             )?;
-        }
+            conn.op_buf
+        };
         let mut hdr_bytes = [0u8; SLOT_HEADER as usize];
         region.read(op_buf, &mut hdr_bytes)?;
         let hdr = decode_slot_header(&hdr_bytes);
@@ -1268,9 +1346,12 @@ impl GengarClient {
         let validated: Vec<bool> = results.iter().map(|r| r.is_none()).collect();
 
         // Group the pending ops by server, preserving submission order
-        // within each group. Each group runs under its own recovery
-        // budget, so one dead server cannot starve the others.
+        // within each group. The index map keeps grouping linear in the
+        // batch size however many servers the batch fans out across. Each
+        // group runs under its own recovery budget, so one dead server
+        // cannot starve the others.
         let mut groups: Vec<(u8, Vec<usize>)> = Vec::new();
+        let mut group_of: HashMap<u8, usize> = HashMap::new();
         for (i, op) in ops.iter().enumerate() {
             if results[i].is_some() {
                 continue;
@@ -1279,55 +1360,69 @@ impl GengarClient {
                 BatchOp::Read { ptr, .. } | BatchOp::Write { ptr, .. } => ptr.addr.server(),
                 BatchOp::Atomic { .. } => unreachable!("rejected above"),
             };
-            match groups.iter_mut().find(|(s, _)| *s == server) {
-                Some((_, idxs)) => idxs.push(i),
-                None => groups.push((server, vec![i])),
-            }
+            let gi = *group_of.entry(server).or_insert_with(|| {
+                groups.push((server, Vec::new()));
+                groups.len() - 1
+            });
+            groups[gi].1.push(i);
         }
-        for (server, indices) in groups {
-            let mut state = self.retry_state();
-            loop {
-                let pending = indices.iter().filter(|&&i| results[i].is_none()).count();
-                if pending == 0 {
-                    break;
-                }
-                let attempt_outcome = {
-                    let mut attempt_span = tracer.span("client.attempt");
-                    attempt_span.set_detail(state.attempts() as u64);
-                    self.batch_attempt(server, &mut ops, &indices, &mut results)
+
+        // The completion-driven issue engine: every group is put in flight
+        // at once and a single event loop steps whichever groups can make
+        // progress, harvesting completions as they arrive out of order
+        // across servers. A group that is backing off, reconnecting or
+        // waiting on a stalled ring parks on its own wake instant and
+        // never holds the others up.
+        let root_ctx = (trace, root.span_id().unwrap_or(gengar_telemetry::SpanId(0)));
+        let mut runs: Vec<GroupRun> = groups
+            .into_iter()
+            .map(|(server, indices)| {
+                let _root = adopt(root_ctx.0, root_ctx.1);
+                let group_span = tracer.span("client.group");
+                let group_ctx = (
+                    group_span.trace_id().unwrap_or(TraceId::NONE),
+                    group_span.span_id().unwrap_or(SpanId(0)),
+                );
+                let mut run = GroupRun {
+                    server,
+                    indices,
+                    state: self.retry_state(),
+                    pending_at_start: 0,
+                    last_write: HashMap::new(),
+                    phase: GroupPhase::Done,
+                    group_span,
+                    group_ctx,
+                    attempt_span: TraceSpan::disabled(),
+                    attempt_ctx: group_ctx,
                 };
-                match attempt_outcome {
-                    Ok(()) => {
-                        let after = indices.iter().filter(|&&i| results[i].is_none()).count();
-                        if after == pending {
-                            // Defensive: a successful attempt must resolve
-                            // something, otherwise the loop would spin.
-                            for &i in &indices {
-                                if results[i].is_none() {
-                                    results[i] = Some(Err(GengarError::ProtocolViolation(
-                                        "batch attempt made no progress",
-                                    )));
-                                }
-                            }
-                            break;
-                        }
-                    }
-                    Err(e) => {
-                        if let Err(last) = self.recover(server, e, &mut state) {
-                            // Budget exhausted (or fatal): the ops that did
-                            // complete stay completed, the rest carry the
-                            // final error. Other server groups still run.
-                            for &i in &indices {
-                                if results[i].is_none() {
-                                    results[i] = Some(Err(last.clone()));
-                                }
-                            }
-                            break;
-                        }
-                    }
+                self.start_attempt(&mut run, &ops, &results);
+                run
+            })
+            .collect();
+        loop {
+            let mut progressed = false;
+            let mut next_wake: Option<Instant> = None;
+            let mut all_done = true;
+            for run in &mut runs {
+                let (stepped, wake) = self.step_group(run, &mut ops, &mut results);
+                progressed |= stepped;
+                if let Some(at) = wake {
+                    next_wake = Some(next_wake.map_or(at, |w| w.min(at)));
                 }
+                all_done &= matches!(run.phase, GroupPhase::Done);
+            }
+            if all_done {
+                break;
+            }
+            if !progressed {
+                // Everyone is parked: sleep until the earliest wake (next
+                // deferred completion, backoff expiry or ring poll).
+                let wake = next_wake
+                    .unwrap_or_else(|| Instant::now() + std::time::Duration::from_micros(10));
+                gengar_hybridmem::latency::spin_until(wake);
             }
         }
+        drop(runs);
 
         // Whole-batch latency recorded once per op, mirroring the scalar
         // histograms' sample counts (the span there also covered retries).
@@ -1372,177 +1467,493 @@ impl GengarClient {
         }
     }
 
-    /// One attempt at the unresolved ops of a batch against one server:
-    /// writes first (submission order), then reads.
+    /// Advances one group as far as it can without blocking: polls open
+    /// flights, expires backoffs, issues the next writes/reads. Returns
+    /// whether the group made progress and, if it parked, when the event
+    /// loop should next wake it. Helper passes return their attempt error
+    /// and only this dispatcher routes it into [`GengarClient::end_attempt`],
+    /// so recovery policy lives in exactly one place.
+    fn step_group(
+        &mut self,
+        run: &mut GroupRun,
+        ops: &mut [BatchOp<'_>],
+        results: &mut [Option<Result<(), GengarError>>],
+    ) -> (bool, Option<Instant>) {
+        let mut progressed = false;
+        loop {
+            let phase = std::mem::replace(&mut run.phase, GroupPhase::Done);
+            match phase {
+                GroupPhase::Done => return (progressed, None),
+                GroupPhase::Backoff {
+                    resume_at,
+                    reconnect,
+                } => {
+                    if Instant::now() < resume_at {
+                        run.phase = GroupPhase::Backoff {
+                            resume_at,
+                            reconnect,
+                        };
+                        return (progressed, Some(resume_at));
+                    }
+                    progressed = true;
+                    let _ctx = adopt(run.group_ctx.0, run.group_ctx.1);
+                    if reconnect {
+                        // A failed re-dial (server still down) is not
+                        // fatal: the next attempt fails fast and lands
+                        // back in recovery until the budget expires.
+                        if self.reconnect(run.server).is_ok() {
+                            self.metrics.reconnects.inc();
+                        }
+                    }
+                    self.start_attempt(run, ops, results);
+                }
+                GroupPhase::Writes { cursor } => {
+                    progressed = true;
+                    let outcome = {
+                        let _ctx = adopt(run.attempt_ctx.0, run.attempt_ctx.1);
+                        self.step_writes(run, cursor, ops, results)
+                    };
+                    if let Err(e) = outcome {
+                        self.end_attempt(run, e, results);
+                    }
+                }
+                GroupPhase::RingWait {
+                    resume,
+                    plans,
+                    next_poll,
+                    sleep_us,
+                    last_seen,
+                    stall_deadline,
+                } => {
+                    let now = Instant::now();
+                    if now < next_poll {
+                        run.phase = GroupPhase::RingWait {
+                            resume,
+                            plans,
+                            next_poll,
+                            sleep_us,
+                            last_seen,
+                            stall_deadline,
+                        };
+                        return (progressed, Some(next_poll));
+                    }
+                    let refreshed = {
+                        let _ctx = adopt(run.attempt_ctx.0, run.attempt_ctx.1);
+                        match self.conn_mut(run.server) {
+                            Ok(conn) => {
+                                let st = conn.staging.as_mut().expect("planned on a staging ring");
+                                st.refresh_drained().map(|d| (d, st.ring_room()))
+                            }
+                            Err(e) => Err(e),
+                        }
+                    };
+                    match refreshed {
+                        Err(e) => self.end_attempt(run, e, results),
+                        Ok((_, room)) if room >= plans.len() => {
+                            progressed = true;
+                            let outcome = {
+                                let _ctx = adopt(run.attempt_ctx.0, run.attempt_ctx.1);
+                                self.begin_staged(run, resume, plans, ops)
+                            };
+                            if let Err(e) = outcome {
+                                self.end_attempt(run, e, results);
+                            }
+                        }
+                        Ok((drained, _)) => {
+                            // No room yet. Watermark movement resets the
+                            // stall clock; a watermark frozen past the
+                            // attempt timeout means the drain thread is
+                            // stuck and the attempt times out like any
+                            // other lost round trip.
+                            if drained <= last_seen && now >= stall_deadline {
+                                self.end_attempt(
+                                    run,
+                                    GengarError::Rdma(RdmaError::Timeout),
+                                    results,
+                                );
+                            } else {
+                                let (last_seen, stall_deadline) = if drained > last_seen {
+                                    (drained, now + self.policy.attempt_timeout())
+                                } else {
+                                    (last_seen, stall_deadline)
+                                };
+                                let next_poll = now + Duration::from_micros(sleep_us);
+                                run.phase = GroupPhase::RingWait {
+                                    resume,
+                                    plans,
+                                    next_poll,
+                                    sleep_us: (sleep_us * 2).min(200),
+                                    last_seen,
+                                    stall_deadline,
+                                };
+                                return (progressed, Some(next_poll));
+                            }
+                        }
+                    }
+                }
+                GroupPhase::StagedWait {
+                    resume,
+                    plans,
+                    mut flight,
+                } => {
+                    let done = match self.conn_mut(run.server) {
+                        Ok(conn) => conn
+                            .staging
+                            .as_mut()
+                            .expect("flight implies a staging ring")
+                            .poll_flight(&mut flight),
+                        Err(e) => {
+                            self.end_attempt(run, e, results);
+                            continue;
+                        }
+                    };
+                    if !done {
+                        // The flight settles as a unit, so park until the
+                        // whole doorbell is expected done — one sleepable
+                        // wait, not a busy-spin per staggered completion.
+                        let wake = self.conn(run.server).ok().and_then(|conn| {
+                            conn.staging
+                                .as_ref()
+                                .expect("flight implies a staging ring")
+                                .flight_done_wake(&flight)
+                        });
+                        run.phase = GroupPhase::StagedWait {
+                            resume,
+                            plans,
+                            flight,
+                        };
+                        return (progressed, wake);
+                    }
+                    progressed = true;
+                    let outcome = {
+                        let _ctx = adopt(run.attempt_ctx.0, run.attempt_ctx.1);
+                        self.settle_staged(run, resume, plans, flight, ops, results)
+                    };
+                    if let Err(e) = outcome {
+                        self.end_attempt(run, e, results);
+                    }
+                }
+                GroupPhase::Reads { cursor } => {
+                    progressed = true;
+                    let outcome = {
+                        let _ctx = adopt(run.attempt_ctx.0, run.attempt_ctx.1);
+                        self.step_reads(run, cursor, ops, results)
+                    };
+                    if let Err(e) = outcome {
+                        self.end_attempt(run, e, results);
+                    }
+                }
+                GroupPhase::ReadWait {
+                    resume,
+                    plans,
+                    mut pending,
+                } => {
+                    let done = match self.conn(run.server) {
+                        Ok(conn) => conn.data.poll_pending(&mut pending),
+                        Err(e) => {
+                            self.end_attempt(run, e, results);
+                            continue;
+                        }
+                    };
+                    if !done {
+                        // Read flights also settle as a unit: sleep until
+                        // the whole window is expected harvestable.
+                        let wake = self
+                            .conn(run.server)
+                            .ok()
+                            .and_then(|conn| conn.data.pending_done_wake(&pending));
+                        run.phase = GroupPhase::ReadWait {
+                            resume,
+                            plans,
+                            pending,
+                        };
+                        return (progressed, wake);
+                    }
+                    progressed = true;
+                    let outcome = {
+                        let _ctx = adopt(run.attempt_ctx.0, run.attempt_ctx.1);
+                        self.settle_reads(run, resume, plans, pending.into_results(), ops, results)
+                    };
+                    if let Err(e) = outcome {
+                        self.end_attempt(run, e, results);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Opens the next attempt for a group: recounts the unresolved ops,
+    /// recomputes the per-object last-write map, and opens the attempt
+    /// span. A group with nothing left to resolve closes out instead.
+    fn start_attempt(
+        &mut self,
+        run: &mut GroupRun,
+        ops: &[BatchOp<'_>],
+        results: &[Option<Result<(), GengarError>>],
+    ) {
+        run.pending_at_start = run
+            .indices
+            .iter()
+            .filter(|&&i| results[i].is_none())
+            .count();
+        if run.pending_at_start == 0 {
+            run.attempt_span = TraceSpan::disabled();
+            run.group_span = TraceSpan::disabled();
+            run.phase = GroupPhase::Done;
+            return;
+        }
+        // Only the last unresolved write per object may ride a staged
+        // window: earlier ones must land first to keep same-object order.
+        // Recomputing per attempt is safe because writes issue in
+        // submission order, so a later same-object write never resolves
+        // while an earlier one is still unresolved.
+        run.last_write.clear();
+        for &i in &run.indices {
+            if results[i].is_none() {
+                if let BatchOp::Write { ptr, .. } = &ops[i] {
+                    run.last_write.insert(ptr.addr.raw(), i);
+                }
+            }
+        }
+        let _ctx = adopt(run.group_ctx.0, run.group_ctx.1);
+        let mut span = gengar_telemetry::Tracer::global().span("client.attempt");
+        span.set_detail(run.state.attempts() as u64);
+        run.attempt_ctx = (
+            span.trace_id().unwrap_or(TraceId::NONE),
+            span.span_id().unwrap_or(SpanId(0)),
+        );
+        run.attempt_span = span;
+        run.phase = GroupPhase::Writes { cursor: 0 };
+    }
+
+    /// Ends a failed attempt: classifies the error, charges the group's
+    /// private recovery budget, and parks the group in backoff — fatal
+    /// errors and exhausted budgets fail its remaining ops instead. Only
+    /// this group stalls; the event loop keeps the others moving.
+    fn end_attempt(
+        &mut self,
+        run: &mut GroupRun,
+        err: GengarError,
+        results: &mut [Option<Result<(), GengarError>>],
+    ) {
+        run.attempt_span = TraceSpan::disabled();
+        let _ctx = adopt(run.group_ctx.0, run.group_ctx.1);
+        let policy = self.policy;
+        match classify(&err) {
+            Disposition::Fatal => {
+                // Escalation past retry dumps the flight recorder (one-shot,
+                // no-op unless armed) so the spans leading here survive.
+                gengar_telemetry::FlightRecorder::global().trigger("client-fatal");
+                Self::fail_group(run, results, err);
+            }
+            Disposition::Retry => {
+                self.metrics.retries.inc();
+                match run.state.charge_deferred(&policy, err) {
+                    Ok(at) => {
+                        run.phase = GroupPhase::Backoff {
+                            resume_at: at,
+                            reconnect: false,
+                        }
+                    }
+                    Err(last) => Self::fail_group(run, results, last),
+                }
+            }
+            Disposition::Reconnect => {
+                gengar_telemetry::FlightRecorder::global().trigger("client-reconnect");
+                self.metrics.retries.inc();
+                match run.state.charge_deferred(&policy, err) {
+                    Ok(at) => {
+                        run.phase = GroupPhase::Backoff {
+                            resume_at: at,
+                            reconnect: true,
+                        }
+                    }
+                    Err(last) => Self::fail_group(run, results, last),
+                }
+            }
+        }
+    }
+
+    /// Budget exhausted (or fatal): ops that completed stay completed,
+    /// the rest carry the final error. Other server groups still run.
+    fn fail_group(
+        run: &mut GroupRun,
+        results: &mut [Option<Result<(), GengarError>>],
+        last: GengarError,
+    ) {
+        for &i in &run.indices {
+            if results[i].is_none() {
+                results[i] = Some(Err(last.clone()));
+            }
+        }
+        run.attempt_span = TraceSpan::disabled();
+        run.group_span = TraceSpan::disabled();
+        run.phase = GroupPhase::Done;
+    }
+
+    /// Closes a completed attempt pass: everything resolved ends the
+    /// group, a pass that resolved nothing fails it (the loop would spin
+    /// forever), anything in between starts the next pass over the
+    /// stragglers without charging the retry budget.
+    fn finish_attempt(
+        &mut self,
+        run: &mut GroupRun,
+        ops: &[BatchOp<'_>],
+        results: &mut [Option<Result<(), GengarError>>],
+    ) {
+        let pending = run
+            .indices
+            .iter()
+            .filter(|&&i| results[i].is_none())
+            .count();
+        if pending == 0 {
+            run.attempt_span = TraceSpan::disabled();
+            run.group_span = TraceSpan::disabled();
+            run.phase = GroupPhase::Done;
+            return;
+        }
+        if pending == run.pending_at_start {
+            // Defensive: a successful attempt must resolve something.
+            Self::fail_group(
+                run,
+                results,
+                GengarError::ProtocolViolation("batch attempt made no progress"),
+            );
+            return;
+        }
+        run.attempt_span = TraceSpan::disabled();
+        self.start_attempt(run, ops, results);
+    }
+
+    /// The write half of an attempt pass, resumable at any op index.
     ///
-    /// Writes: under `Consistency::None` on a healthy staging ring, the
-    /// *last* write per object in the attempt is window-eligible — its
-    /// record is gathered into a scratch lane and posted with up to
-    /// `window_depth` others under one doorbell. Earlier same-object
+    /// Under `Consistency::None` on a healthy staging ring, the *last*
+    /// write per object is window-eligible — its record is gathered into
+    /// a scratch lane and posted with up to `window_depth` others under
+    /// one doorbell ([`GengarClient::post_staged`]). Earlier same-object
     /// writes and everything the planner cannot batch (seqlock writes,
     /// oversize payloads, degraded connections) take the scalar path,
-    /// with any planned chunk flushed first as an ordering barrier.
-    ///
-    /// Reads: store-buffer hits and seqlock-validated reads stay scalar;
-    /// plain NVM reads and cache-frame fetches are packed into scratch
-    /// lanes and posted in windows, with cache frames FaRM-validated
-    /// after the doorbell (invalid frames fall back to scalar NVM reads
-    /// once every lane has been copied out).
-    fn batch_attempt<'b>(
+    /// with any planned chunk posted first as an ordering barrier.
+    /// Posting parks the group (`StagedWait`/`RingWait`) instead of
+    /// blocking; the walk resumes at `resume` once the flight settles.
+    fn step_writes(
         &mut self,
-        server: u8,
-        ops: &mut [BatchOp<'b>],
-        indices: &[usize],
+        run: &mut GroupRun,
+        cursor: usize,
+        ops: &mut [BatchOp<'_>],
         results: &mut [Option<Result<(), GengarError>>],
     ) -> Result<(), GengarError> {
-        // ---- Writes ----
-        let (stage_cap, slot_bytes, max_payload) = {
-            let conn = self.conn(server)?;
+        let (stage_cap, slot_bytes, max_payload, op_buf) = {
+            let conn = self.conn(run.server)?;
             match conn.staging.as_ref() {
                 Some(st) if self.config.consistency == Consistency::None && !conn.degraded => {
                     let layout = st.layout();
                     let cap = (conn.window.depth() as usize)
                         .min(layout.slots as usize)
-                        .min((self.op_buf_len / layout.slot_bytes()) as usize);
-                    (cap, layout.slot_bytes(), st.max_payload())
+                        .min((conn.op_buf_len / layout.slot_bytes()) as usize);
+                    (cap, layout.slot_bytes(), st.max_payload(), conn.op_buf)
                 }
-                _ => (0, 0, 0),
+                _ => (0, 0, 0, conn.op_buf),
             }
         };
-        // Only the last write per object may be deferred into a window:
-        // earlier ones must land first to keep same-object order.
-        let mut last_write: HashMap<u64, usize> = HashMap::new();
-        for &i in indices {
-            if results[i].is_none() {
-                if let BatchOp::Write { ptr, .. } = &ops[i] {
-                    last_write.insert(ptr.addr.raw(), i);
-                }
-            }
-        }
         let mut staged: Vec<StagedPlan> = Vec::new();
-        for &i in indices {
+        let mut cursor = cursor;
+        while cursor < run.indices.len() {
+            let i = run.indices[cursor];
             if results[i].is_some() {
+                cursor += 1;
                 continue;
             }
             let (ptr, offset, data_len) = match &ops[i] {
                 BatchOp::Write { ptr, offset, data } => (*ptr, *offset, data.len() as u64),
-                _ => continue,
+                _ => {
+                    cursor += 1;
+                    continue;
+                }
             };
             let base = ptr.addr.raw();
-            if stage_cap > 0 && last_write.get(&base) == Some(&i) && data_len <= max_payload {
+            if stage_cap > 0 && run.last_write.get(&base) == Some(&i) && data_len <= max_payload {
                 staged.push(StagedPlan {
                     idx: i,
                     target_raw: ptr.addr.add(offset).raw(),
                     base_raw: base,
                     off: offset,
-                    lane: self.op_buf + staged.len() as u64 * slot_bytes,
+                    lane: op_buf + staged.len() as u64 * slot_bytes,
                 });
+                cursor += 1;
                 if staged.len() == stage_cap {
-                    self.flush_staged(server, &mut staged, ops, results)?;
+                    return self.post_staged(run, cursor, staged, ops);
                 }
-            } else {
+            } else if !staged.is_empty() {
                 // Ordering barrier: planned records must land before this
                 // scalar write (same-object order; the scalar path also
-                // reuses the scratch lanes).
-                self.flush_staged(server, &mut staged, ops, results)?;
-                let data: &'b [u8] = match &ops[i] {
+                // reuses the scratch lanes). Resume here, unadvanced.
+                return self.post_staged(run, cursor, staged, ops);
+            } else {
+                let data: &[u8] = match &ops[i] {
                     BatchOp::Write { data, .. } => data,
                     _ => unreachable!("matched above"),
                 };
                 let outcome = self.write_attempt(ptr, offset, data);
                 Self::resolve_scalar(outcome, &mut results[i])?;
+                cursor += 1;
             }
         }
-        self.flush_staged(server, &mut staged, ops, results)?;
-
-        // ---- Reads ----
-        let depth = self.conn(server)?.window.depth() as usize;
-        let mut plans: Vec<ReadPlan> = Vec::new();
-        let mut lane_off: u64 = 0;
-        for &i in indices {
-            if results[i].is_some() {
-                continue;
-            }
-            let (ptr, offset, buf_len) = match &ops[i] {
-                BatchOp::Read { ptr, offset, buf } => (*ptr, *offset, buf.len() as u64),
-                _ => continue,
-            };
-            let base = ptr.addr.raw();
-            let plain =
-                self.config.consistency == Consistency::None || self.held.contains_key(&base);
-            let worth = buf_len * 2 >= ptr.size;
-            let mut scalar = !plain || self.write_back.contains_key(&base);
-            let mut cached = None;
-            if !scalar && worth {
-                if let Some(&slot_raw) = self.remap.get(&base) {
-                    match GlobalAddr::from_raw(slot_raw) {
-                        Some(s)
-                            if s.class() == MemClass::DramCache
-                                && SLOT_HEADER + ptr.size + SLOT_TAIL <= self.op_buf_len =>
-                        {
-                            cached = Some(s)
-                        }
-                        _ => {
-                            self.remap.remove(&base);
-                            self.metrics.cache_rejects.inc();
-                        }
-                    }
-                }
-            }
-            let need = match cached {
-                Some(_) => SLOT_HEADER + ptr.size + SLOT_TAIL,
-                // Oversize plain reads chunk through the scalar path.
-                None => buf_len,
-            };
-            scalar |= need > self.op_buf_len;
-            if scalar {
-                // Scalar reads scribble over the whole op area, so every
-                // planned lane must be copied out first.
-                self.flush_reads(server, &mut plans, ops, results)?;
-                lane_off = 0;
-                let outcome = {
-                    let buf = match &mut ops[i] {
-                        BatchOp::Read { buf, .. } => &mut **buf,
-                        _ => unreachable!("matched above"),
-                    };
-                    self.read_attempt(ptr, offset, buf)
-                };
-                Self::resolve_scalar(outcome, &mut results[i])?;
-                continue;
-            }
-            if plans.len() == depth || lane_off + need > self.op_buf_len {
-                self.flush_reads(server, &mut plans, ops, results)?;
-                lane_off = 0;
-            }
-            plans.push(ReadPlan {
-                idx: i,
-                ptr,
-                offset,
-                lane: self.op_buf + lane_off,
-                cached,
-            });
-            lane_off += need;
+        if staged.is_empty() {
+            run.phase = GroupPhase::Reads { cursor: 0 };
+            Ok(())
+        } else {
+            // resume == len: the resumed write walk falls straight
+            // through to the read pass.
+            self.post_staged(run, run.indices.len(), staged, ops)
         }
-        self.flush_reads(server, &mut plans, ops, results)?;
-        Ok(())
     }
 
-    /// Posts the planned staged-write chunk under one doorbell and
-    /// settles the per-record outcomes (store buffer, hotness, degraded
-    /// tracking). Successfully staged records resolve their ops even when
-    /// the function then returns a transport error for a failed sibling:
-    /// acknowledged records are durable and must not be replayed.
-    fn flush_staged(
+    /// Routes a planned staged-write window: posts it if the ring has
+    /// room, otherwise parks the group in `RingWait` to poll the drained
+    /// watermark (the blocking paths sleep here instead).
+    fn post_staged(
         &mut self,
-        server: u8,
-        chunk: &mut Vec<StagedPlan>,
+        run: &mut GroupRun,
+        resume: usize,
+        plans: Vec<StagedPlan>,
         ops: &[BatchOp<'_>],
-        results: &mut [Option<Result<(), GengarError>>],
     ) -> Result<(), GengarError> {
-        if chunk.is_empty() {
+        let full = {
+            let conn = self.conn(run.server)?;
+            let st = conn.staging.as_ref().expect("planned on a staging ring");
+            if st.ring_room() < plans.len() {
+                st.note_ring_full();
+                Some(st.known_drained())
+            } else {
+                None
+            }
+        };
+        if let Some(drained) = full {
+            let now = Instant::now();
+            run.phase = GroupPhase::RingWait {
+                resume,
+                plans,
+                next_poll: now,
+                sleep_us: 5,
+                last_seen: drained,
+                stall_deadline: now + self.policy.attempt_timeout(),
+            };
             return Ok(());
         }
-        let plans = std::mem::take(chunk);
+        self.begin_staged(run, resume, plans, ops)
+    }
+
+    /// Posts a staged-write window under one doorbell and parks the group
+    /// on the open flight. Failures of the post itself (nothing staged)
+    /// count toward the connection's degraded tracking.
+    fn begin_staged(
+        &mut self,
+        run: &mut GroupRun,
+        resume: usize,
+        plans: Vec<StagedPlan>,
+        ops: &[BatchOp<'_>],
+    ) -> Result<(), GengarError> {
         let items: Vec<(u64, &[u8], u64)> = plans
             .iter()
             .map(|p| {
@@ -1554,24 +1965,53 @@ impl GengarClient {
             })
             .collect();
         let threshold = self.config.staging_fault_threshold;
-        let outcomes = {
-            let conn = self.conn_mut(server)?;
-            match conn
-                .staging
-                .as_mut()
-                .expect("planned on a staging ring")
-                .stage_write_batch(&items)
-            {
-                Ok(v) => v,
-                Err(e) => {
-                    conn.staging_faults += 1;
-                    if conn.staging_faults >= threshold {
-                        conn.degraded = true;
-                    }
-                    return Err(e);
-                }
+        let conn = self.conn_mut(run.server)?;
+        match conn
+            .staging
+            .as_mut()
+            .expect("planned on a staging ring")
+            .stage_batch_begin(&items)
+        {
+            Ok(flight) => {
+                run.phase = GroupPhase::StagedWait {
+                    resume,
+                    plans,
+                    flight,
+                };
+                Ok(())
             }
+            Err(e) => {
+                conn.staging_faults += 1;
+                if conn.staging_faults >= threshold {
+                    conn.degraded = true;
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Retires a completed staged-write flight and settles the per-record
+    /// outcomes (store buffer, hotness, degraded tracking). Successfully
+    /// staged records resolve their ops even when the function then
+    /// returns a transport error for a failed sibling: acknowledged
+    /// records are durable and must not be replayed.
+    fn settle_staged(
+        &mut self,
+        run: &mut GroupRun,
+        resume: usize,
+        plans: Vec<StagedPlan>,
+        flight: StagedFlight,
+        ops: &[BatchOp<'_>],
+        results: &mut [Option<Result<(), GengarError>>],
+    ) -> Result<(), GengarError> {
+        let outcomes = {
+            let conn = self.conn_mut(run.server)?;
+            conn.staging
+                .as_mut()
+                .expect("flight implies a staging ring")
+                .stage_batch_finish(flight)
         };
+        let threshold = self.config.staging_fault_threshold;
         let mut first_err: Option<GengarError> = None;
         let mut any_ok = false;
         for (p, outcome) in plans.iter().zip(outcomes) {
@@ -1592,7 +2032,7 @@ impl GengarClient {
                     );
                     self.metrics.staged_writes.inc();
                     results[p.idx] = Some(Ok(()));
-                    self.record(server, p.base_raw, true)?;
+                    self.record(run.server, p.base_raw, true)?;
                 }
                 Err(e) => {
                     if first_err.is_none() {
@@ -1602,7 +2042,7 @@ impl GengarClient {
             }
         }
         {
-            let conn = self.conn_mut(server)?;
+            let conn = self.conn_mut(run.server)?;
             if any_ok {
                 conn.staging_faults = 0;
             }
@@ -1613,35 +2053,129 @@ impl GengarClient {
                 }
             }
         }
-        self.purge_write_back(server)?;
+        self.purge_write_back(run.server)?;
         match first_err {
             Some(e) => Err(e),
-            None => Ok(()),
+            None => {
+                run.phase = GroupPhase::Writes { cursor: resume };
+                Ok(())
+            }
         }
     }
 
-    /// Posts the planned read chunk under one doorbell, copies every lane
-    /// out, and settles per-op outcomes. Cache frames are FaRM-validated
-    /// from their lanes; invalid ones fall back to scalar NVM reads in a
-    /// second pass *after* all lane copies (the scalar path reuses the
-    /// lanes as scratch).
-    fn flush_reads(
+    /// The read half of an attempt pass, resumable at any op index.
+    ///
+    /// Store-buffer hits and seqlock-validated reads stay scalar; plain
+    /// NVM reads and cache-frame fetches are packed into scratch lanes
+    /// and posted in windows ([`GengarClient::post_reads`]), parking the
+    /// group on the flight instead of blocking. A pass that plans nothing
+    /// further closes the attempt.
+    fn step_reads(
         &mut self,
-        server: u8,
-        plans: &mut Vec<ReadPlan>,
+        run: &mut GroupRun,
+        cursor: usize,
         ops: &mut [BatchOp<'_>],
         results: &mut [Option<Result<(), GengarError>>],
     ) -> Result<(), GengarError> {
-        if plans.is_empty() {
-            return Ok(());
-        }
-        let plans = std::mem::take(plans);
-        let mr_lkey = self.mr.lkey();
-        let region = self.mr.region().clone();
-        let (nvm_rkey, cache_rkey) = {
-            let conn = self.conn(server)?;
-            (conn.nvm_rkey(), conn.cache_rkey())
+        let (depth, op_buf, op_buf_len) = {
+            let conn = self.conn(run.server)?;
+            (conn.window.depth() as usize, conn.op_buf, conn.op_buf_len)
         };
+        let mut plans: Vec<ReadPlan> = Vec::new();
+        let mut lane_off: u64 = 0;
+        let mut cursor = cursor;
+        while cursor < run.indices.len() {
+            let i = run.indices[cursor];
+            if results[i].is_some() {
+                cursor += 1;
+                continue;
+            }
+            let (ptr, offset, buf_len) = match &ops[i] {
+                BatchOp::Read { ptr, offset, buf } => (*ptr, *offset, buf.len() as u64),
+                _ => {
+                    cursor += 1;
+                    continue;
+                }
+            };
+            let base = ptr.addr.raw();
+            let plain =
+                self.config.consistency == Consistency::None || self.held.contains_key(&base);
+            let worth = buf_len * 2 >= ptr.size;
+            let mut scalar = !plain || self.write_back.contains_key(&base);
+            let mut cached = None;
+            if !scalar && worth {
+                if let Some(&slot_raw) = self.remap.get(&base) {
+                    match GlobalAddr::from_raw(slot_raw) {
+                        Some(s)
+                            if s.class() == MemClass::DramCache
+                                && SLOT_HEADER + ptr.size + SLOT_TAIL <= op_buf_len =>
+                        {
+                            cached = Some(s)
+                        }
+                        _ => {
+                            self.remap.remove(&base);
+                            self.metrics.cache_rejects.inc();
+                        }
+                    }
+                }
+            }
+            let need = match cached {
+                Some(_) => SLOT_HEADER + ptr.size + SLOT_TAIL,
+                // Oversize plain reads chunk through the scalar path.
+                None => buf_len,
+            };
+            scalar |= need > op_buf_len;
+            if scalar {
+                if !plans.is_empty() {
+                    // Scalar reads scribble over the whole op area, so
+                    // every planned lane must be copied out first.
+                    // Resume here, unadvanced.
+                    return self.post_reads(run, cursor, plans, ops);
+                }
+                let outcome = {
+                    let buf = match &mut ops[i] {
+                        BatchOp::Read { buf, .. } => &mut **buf,
+                        _ => unreachable!("matched above"),
+                    };
+                    self.read_attempt(ptr, offset, buf)
+                };
+                Self::resolve_scalar(outcome, &mut results[i])?;
+                cursor += 1;
+                continue;
+            }
+            if plans.len() == depth || lane_off + need > op_buf_len {
+                return self.post_reads(run, cursor, plans, ops);
+            }
+            plans.push(ReadPlan {
+                idx: i,
+                ptr,
+                offset,
+                lane: op_buf + lane_off,
+                cached,
+            });
+            lane_off += need;
+            cursor += 1;
+        }
+        if plans.is_empty() {
+            self.finish_attempt(run, ops, results);
+            Ok(())
+        } else {
+            self.post_reads(run, run.indices.len(), plans, ops)
+        }
+    }
+
+    /// Posts a planned read window under one doorbell and parks the group
+    /// on the pending completions.
+    fn post_reads(
+        &mut self,
+        run: &mut GroupRun,
+        resume: usize,
+        plans: Vec<ReadPlan>,
+        ops: &[BatchOp<'_>],
+    ) -> Result<(), GengarError> {
+        let mr_lkey = self.mr.lkey();
+        let conn = self.conn(run.server)?;
+        let (nvm_rkey, cache_rkey) = (conn.nvm_rkey(), conn.cache_rkey());
         let sends: Vec<SendOp> = plans
             .iter()
             .map(|p| match p.cached {
@@ -1661,10 +2195,31 @@ impl GengarClient {
                 }
             })
             .collect();
-        let completions = {
-            let conn = self.conn(server)?;
-            conn.window.submit(&conn.data, sends)?
+        let pending = conn.window.post(&conn.data, sends)?;
+        run.phase = GroupPhase::ReadWait {
+            resume,
+            plans,
+            pending,
         };
+        Ok(())
+    }
+
+    /// Settles a completed read flight: copies every lane out and
+    /// resolves per-op outcomes. Cache frames are FaRM-validated from
+    /// their lanes; invalid ones fall back to scalar NVM reads in a
+    /// second pass *after* all lane copies (the scalar path reuses the
+    /// lanes as scratch). The read walk then resumes at `resume`.
+    fn settle_reads(
+        &mut self,
+        run: &mut GroupRun,
+        resume: usize,
+        plans: Vec<ReadPlan>,
+        completions: Vec<Result<Wc, RdmaError>>,
+        ops: &mut [BatchOp<'_>],
+        results: &mut [Option<Result<(), GengarError>>],
+    ) -> Result<(), GengarError> {
+        let region = self.mr.region().clone();
+        let nvm_rkey = self.conn(run.server)?.nvm_rkey();
         let mut first_err: Option<GengarError> = None;
         let mut fallbacks: Vec<usize> = Vec::new();
         for (k, (p, wc)) in plans.iter().zip(completions).enumerate() {
@@ -1695,7 +2250,7 @@ impl GengarClient {
                         }
                         self.metrics.cache_hits.inc();
                         results[p.idx] = Some(Ok(()));
-                        self.record(server, p.ptr.addr.raw(), false)?;
+                        self.record(run.server, p.ptr.addr.raw(), false)?;
                     } else {
                         self.remap.remove(&p.ptr.addr.raw());
                         self.metrics.cache_rejects.inc();
@@ -1714,7 +2269,7 @@ impl GengarClient {
                     self.metrics.nvm_reads.inc();
                     results[p.idx] = Some(Ok(()));
                     if worth {
-                        self.record(server, p.ptr.addr.raw(), false)?;
+                        self.record(run.server, p.ptr.addr.raw(), false)?;
                     }
                 }
             }
@@ -1726,14 +2281,14 @@ impl GengarClient {
                     BatchOp::Read { buf, .. } => &mut **buf,
                     _ => unreachable!("planned from a read"),
                 };
-                self.read_remote(server, nvm_rkey, p.ptr.addr.offset() + p.offset, buf)
+                self.read_remote(run.server, nvm_rkey, p.ptr.addr.offset() + p.offset, buf)
             };
             match outcome {
                 Ok(()) => {
                     self.metrics.nvm_reads.inc();
                     results[p.idx] = Some(Ok(()));
                     // A cached plan implies a cache-worthy read.
-                    self.record(server, p.ptr.addr.raw(), false)?;
+                    self.record(run.server, p.ptr.addr.raw(), false)?;
                 }
                 Err(e) => {
                     if first_err.is_none() {
@@ -1744,7 +2299,10 @@ impl GengarClient {
         }
         match first_err {
             Some(e) => Err(e),
-            None => Ok(()),
+            None => {
+                run.phase = GroupPhase::Reads { cursor: resume };
+                Ok(())
+            }
         }
     }
 

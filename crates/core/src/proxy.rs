@@ -18,7 +18,7 @@
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
-use gengar_rdma::{Endpoint, MemoryRegion, Payload, RKey, RemoteAddr, SendOp, Sge};
+use gengar_rdma::{Endpoint, MemoryRegion, Payload, PendingOps, RKey, RemoteAddr, SendOp, Sge};
 use gengar_telemetry::{CounterHandle, GaugeHandle, HistogramHandle, TelemetryConfig, Tracer};
 
 use crate::error::GengarError;
@@ -65,6 +65,32 @@ impl RingLayout {
     /// Offset of slot `idx` within the ring.
     pub fn slot_offset(&self, idx: u32) -> u64 {
         self.slot_bytes() * idx as u64
+    }
+}
+
+/// A staged-write doorbell batch in flight: posted with
+/// [`StagingWriter::stage_batch_begin`], polled with
+/// [`StagingWriter::poll_flight`] and retired with
+/// [`StagingWriter::stage_batch_finish`]. While a flight is open no other
+/// staging may run on the same writer (the ring cursors are reserved for
+/// it); the concurrent issue engine keeps one open flight per group.
+#[derive(Debug)]
+pub struct StagedFlight {
+    pending: PendingOps,
+    base_seq: u64,
+    base_slot: u32,
+    n: usize,
+}
+
+impl StagedFlight {
+    /// Number of records in the flight.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` for an empty flight.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
     }
 }
 
@@ -272,6 +298,55 @@ impl StagingWriter {
         if items.is_empty() {
             return Ok(Vec::new());
         }
+        let _t = self.stage_ns.span();
+        // Ring must have room for the whole window before anything posts.
+        let tracer = Tracer::global();
+        while self.ring_room() < items.len() {
+            let _wait = tracer.span("proxy.ring_full_wait");
+            self.ring_full_waits.inc();
+            let oldest = *self.in_flight.front().expect("nonempty");
+            self.wait_drained(oldest)?;
+        }
+        let mut flight = self.stage_batch_begin(items)?;
+        while !self.poll_flight(&mut flight) {
+            if let Some(wake) = self.flight_done_wake(&flight) {
+                gengar_hybridmem::latency::spin_until(wake);
+            }
+        }
+        Ok(self.stage_batch_finish(flight))
+    }
+
+    /// Slots currently free in the ring (as of the last watermark read).
+    /// [`StagingWriter::stage_batch_begin`] requires room for the whole
+    /// batch; call [`StagingWriter::refresh_drained`] to retire slots.
+    pub fn ring_room(&self) -> usize {
+        self.layout.slots as usize - self.in_flight.len()
+    }
+
+    /// Counts one ring-full stall (`proxy.ring_full_waits`). The blocking
+    /// staging paths count their own waits; the concurrent issue engine,
+    /// which parks instead of blocking, calls this when it first finds the
+    /// ring too full for a flight.
+    pub fn note_ring_full(&self) {
+        self.ring_full_waits.inc();
+    }
+
+    /// Posts a window of staged writes as one doorbell without waiting
+    /// for completions. The ring cursors stay put until
+    /// [`StagingWriter::stage_batch_finish`] learns which prefix of the
+    /// flight made it; until then no other staging may run on this writer.
+    ///
+    /// # Errors
+    ///
+    /// [`GengarError::ObjectTooLarge`] if any payload exceeds the slot
+    /// capacity (nothing staged); [`GengarError::ProtocolViolation`] if
+    /// the ring lacks room (callers check [`StagingWriter::ring_room`]);
+    /// transport failures of the post itself as [`GengarError::Rdma`]
+    /// (nothing staged).
+    pub fn stage_batch_begin(
+        &mut self,
+        items: &[(u64, &[u8], u64)],
+    ) -> Result<StagedFlight, GengarError> {
         debug_assert!(items.len() <= self.layout.slots as usize);
         for &(_, data, _) in items {
             if data.len() as u64 > self.layout.slot_payload {
@@ -281,18 +356,15 @@ impl StagingWriter {
                 });
             }
         }
-        let _t = self.stage_ns.span();
+        if self.ring_room() < items.len() {
+            return Err(GengarError::ProtocolViolation(
+                "staging ring lacks room for the batch",
+            ));
+        }
         let tracer = Tracer::global();
         let mut stage_span = tracer.span("proxy.stage_batch");
         stage_span.set_detail(items.len() as u64);
         let trace = gengar_telemetry::current_context().0 .0;
-        // Ring must have room for the whole window before anything posts.
-        while self.in_flight.len() + items.len() > self.layout.slots as usize {
-            let _wait = tracer.span("proxy.ring_full_wait");
-            self.ring_full_waits.inc();
-            let oldest = *self.in_flight.front().expect("nonempty");
-            self.wait_drained(oldest)?;
-        }
 
         let mut ops = Vec::with_capacity(items.len());
         for (i, &(addr_raw, data, gather_off)) in items.iter().enumerate() {
@@ -324,9 +396,56 @@ impl StagingWriter {
                 imm: Some(slot),
             });
         }
-        let completions = self.ep.execute_many(ops)?;
+        let pending = self.ep.post_many(ops)?;
+        Ok(StagedFlight {
+            pending,
+            base_seq: self.next_seq,
+            base_slot: self.next_slot,
+            n: items.len(),
+        })
+    }
 
-        let mut out = Vec::with_capacity(items.len());
+    /// One non-blocking harvest pass over a flight's completions. Returns
+    /// `true` once every record has an outcome.
+    pub fn poll_flight(&mut self, flight: &mut StagedFlight) -> bool {
+        self.ep.poll_pending(&mut flight.pending)
+    }
+
+    /// When to next poll a still-pending flight; `None` once it is done.
+    pub fn flight_next_wake(&self, flight: &StagedFlight) -> Option<Instant> {
+        self.ep.pending_next_wake(&flight.pending)
+    }
+
+    /// When a still-pending flight is expected to be *fully* harvestable;
+    /// `None` once it is done. Flights settle as a unit
+    /// ([`StagingWriter::stage_batch_finish`]), so waiters sleep until
+    /// this instead of waking per staggered completion.
+    pub fn flight_done_wake(&self, flight: &StagedFlight) -> Option<Instant> {
+        self.ep.pending_done_wake(&flight.pending)
+    }
+
+    /// Retires a completed flight: applies the prefix/hole rule to the
+    /// ring cursors and returns one result per record in order; `Ok(seq)`
+    /// means that record is durably in its slot.
+    ///
+    /// Failure handling: let `k` be the last record that completed. The
+    /// ring cursors advance by `k + 1` and every sequence number up to
+    /// `k` — including failed holes — is tracked as in flight. Hole seqs
+    /// retire automatically because the server's drained watermark stores
+    /// each drained record's own (monotonically increasing) sequence
+    /// number, so a later record's drain covers the hole. Records after
+    /// `k` never occupied their slots: a retry reuses the same slots with
+    /// fresh sequence numbers.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts the flight was opened by this writer and is done.
+    pub fn stage_batch_finish(&mut self, flight: StagedFlight) -> Vec<Result<u64, GengarError>> {
+        debug_assert!(flight.pending.is_done());
+        debug_assert_eq!(flight.base_seq, self.next_seq);
+        debug_assert_eq!(flight.base_slot, self.next_slot);
+        let completions = flight.pending.into_results();
+        let mut out = Vec::with_capacity(flight.n);
         let mut last_ok: Option<usize> = None;
         for (i, wc) in completions.into_iter().enumerate() {
             match wc {
@@ -347,7 +466,7 @@ impl StagingWriter {
             self.next_slot = (self.next_slot + k as u32 + 1) % self.layout.slots;
         }
         self.occupancy.set(self.in_flight.len() as i64);
-        Ok(out)
+        out
     }
 
     /// Reads the server's drained watermark for this ring (one-sided READ

@@ -170,6 +170,37 @@ impl RetryState {
         std::thread::sleep(jittered.min(remaining));
         Ok(())
     }
+
+    /// Like [`RetryState::charge`], but instead of sleeping returns the
+    /// instant the backoff ends. The concurrent issue engine uses this so
+    /// one group's backoff never stalls the groups that are healthy: the
+    /// group parks until the returned instant while the event loop keeps
+    /// driving everyone else.
+    ///
+    /// # Errors
+    ///
+    /// Returns `err` unchanged when the budget is exhausted, exactly like
+    /// [`RetryState::charge`].
+    pub fn charge_deferred(
+        &mut self,
+        policy: &RetryPolicy,
+        err: GengarError,
+    ) -> Result<Instant, GengarError> {
+        if self.attempt >= policy.max_retries {
+            return Err(err);
+        }
+        let backoff = Self::raw_backoff(policy, self.attempt);
+        // ±50% jitter, deterministic per (salt, attempt).
+        let jittered =
+            backoff / 2 + backoff.mul_f64((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64);
+        let remaining = self.remaining();
+        if remaining.is_zero() {
+            return Err(err);
+        }
+        self.attempt += 1;
+        gengar_telemetry::Tracer::global().event("retry.backoff", self.attempt as u64);
+        Ok(Instant::now() + jittered.min(remaining))
+    }
 }
 
 #[cfg(test)]

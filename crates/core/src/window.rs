@@ -9,7 +9,7 @@
 //! results returned here let it replay only the slots that did not
 //! complete (see DESIGN.md "Pipelining & batching").
 
-use gengar_rdma::{Endpoint, RdmaError, SendOp, Wc};
+use gengar_rdma::{Endpoint, PendingOps, RdmaError, SendOp, Wc};
 use gengar_telemetry::{GaugeHandle, HistogramHandle, TelemetryConfig};
 
 use crate::error::GengarError;
@@ -66,20 +66,48 @@ impl OpWindow {
         ep: &Endpoint,
         ops: Vec<SendOp>,
     ) -> Result<Vec<Result<Wc, RdmaError>>, GengarError> {
-        let tracer = gengar_telemetry::Tracer::global();
         let mut out = Vec::with_capacity(ops.len());
         let mut rest = ops;
         while !rest.is_empty() {
             let take = rest.len().min(self.depth as usize);
             let tail = rest.split_off(take);
             let chunk = std::mem::replace(&mut rest, tail);
-            self.occupancy.record_max(chunk.len() as i64);
-            self.batch_size.record_ns(chunk.len() as u64);
-            let mut chunk_span = tracer.span("window.submit");
-            chunk_span.set_detail(chunk.len() as u64);
-            out.extend(ep.execute_many(chunk)?);
+            let mut pending = self.post(ep, chunk)?;
+            while !ep.poll_pending(&mut pending) {
+                // The chunk settles as a unit, so sleep until the whole
+                // doorbell is expected done, not until its next staggered
+                // completion.
+                if let Some(wake) = ep.pending_done_wake(&pending) {
+                    gengar_hybridmem::latency::spin_until(wake);
+                }
+            }
+            out.extend(pending.into_results());
         }
         Ok(out)
+    }
+
+    /// Posts one doorbell batch of at most `depth` operations through `ep`
+    /// without waiting. The caller drives the returned [`PendingOps`] via
+    /// [`Endpoint::poll_pending`] — this is the issue half of the
+    /// completion-driven engine, letting one thread keep windows on many
+    /// connections full at the same time.
+    ///
+    /// # Errors
+    ///
+    /// [`GengarError::ProtocolViolation`] if `ops` exceeds the window
+    /// depth (callers chunk); otherwise failures of the post itself.
+    pub fn post(&self, ep: &Endpoint, ops: Vec<SendOp>) -> Result<PendingOps, GengarError> {
+        if ops.len() > self.depth as usize {
+            return Err(GengarError::ProtocolViolation(
+                "doorbell batch exceeds window depth",
+            ));
+        }
+        self.occupancy.record_max(ops.len() as i64);
+        self.batch_size.record_ns(ops.len() as u64);
+        let tracer = gengar_telemetry::Tracer::global();
+        let mut chunk_span = tracer.span("window.submit");
+        chunk_span.set_detail(ops.len() as u64);
+        Ok(ep.post_many(ops)?)
     }
 }
 

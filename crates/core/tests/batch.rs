@@ -278,3 +278,55 @@ fn seqlock_batches_take_the_locked_scalar_path() {
     assert_eq!(client.stats().direct_writes, 2);
     assert_eq!(client.stats().staged_writes, 0);
 }
+
+#[test]
+fn out_of_order_cross_server_completions_match_their_ops() {
+    // Two servers on a realistic (deferred-completion) fabric, with the
+    // link to server 0 given a large extra delay: in one batch, server
+    // 1's completions arrive long before server 0's, so the reactor
+    // settles the groups in the opposite of their planning order. Every
+    // op must still land in its own buffer/slot — distinct fill patterns
+    // and an interleaved op order catch any cross-group mismatch.
+    let cluster =
+        Cluster::launch(2, ServerConfig::small(), FabricConfig::infiniband_100g()).unwrap();
+    let mut client = cluster.client(ClientConfig::default()).unwrap();
+    let slow: Vec<GlobalPtr> = (0..4).map(|_| client.alloc(0, 256).unwrap()).collect();
+    let fast: Vec<GlobalPtr> = (0..4).map(|_| client.alloc(1, 256).unwrap()).collect();
+    for (i, ptr) in slow.iter().enumerate() {
+        client.write(*ptr, 0, &[0xA0 + i as u8; 256]).unwrap();
+    }
+    for (i, ptr) in fast.iter().enumerate() {
+        client.write(*ptr, 0, &[0xB0 + i as u8; 256]).unwrap();
+    }
+    client.drain_all().unwrap();
+    cluster.fabric().set_extra_delay_ns(
+        client.node().id(),
+        cluster.server(0).unwrap().node().id(),
+        300_000,
+    );
+
+    // Interleave slow/fast ops so per-server groups pick non-contiguous
+    // batch indices.
+    let mut bufs = vec![[0u8; 256]; 8];
+    let (head, tail) = bufs.split_at_mut(4);
+    let items: Vec<(GlobalPtr, u64, &mut [u8])> = head
+        .iter_mut()
+        .zip(tail.iter_mut())
+        .enumerate()
+        .flat_map(|(i, (s, f))| [(slow[i], 0u64, &mut s[..]), (fast[i], 0u64, &mut f[..])])
+        .collect();
+    let result = client.read_batch(items).unwrap();
+    assert!(result.all_ok(), "{:?}", result.results());
+    for i in 0..4 {
+        assert!(
+            bufs[i].iter().all(|&b| b == 0xA0 + i as u8),
+            "slow-server op {i} got mismatched data: {:#x}",
+            bufs[i][0]
+        );
+        assert!(
+            bufs[i + 4].iter().all(|&b| b == 0xB0 + i as u8),
+            "fast-server op {i} got mismatched data: {:#x}",
+            bufs[i + 4][0]
+        );
+    }
+}

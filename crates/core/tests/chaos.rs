@@ -610,3 +610,112 @@ fn flight_recorder_dumps_on_injected_fault() {
         "flight dump is not Chrome trace JSON"
     );
 }
+
+/// One faulty server in a four-server pool: drops, transport errors, RNR
+/// exhaustion and a partition flap are pinned to the client ↔ server-0
+/// link while every batch fans out across all four servers concurrently.
+/// The reactor must keep group 0's recovery from leaking into the healthy
+/// groups — every op on servers 1–3 settles first time, even while group
+/// 0 is mid-retry or mid-reconnect — and once the plane disarms the
+/// shadow model must hold on every server.
+#[test]
+fn chaos_one_faulty_server_stalls_only_its_group() {
+    use gengar_rdma::{FaultRule, PartitionFlap, WcStatus};
+
+    arm_flight_recorder();
+    for seed in seeds() {
+        let plane = Arc::new(FaultPlane::new(seed));
+        let mut fabric = FabricConfig::instant();
+        fabric.faults = Some(Arc::clone(&plane));
+        let cluster = Cluster::launch(4, chaos_server_config(), fabric).unwrap();
+        let mut client = cluster.client(chaos_client_config()).unwrap();
+        // Four objects per server; object i lives on server i % 4.
+        let ptrs: Vec<_> = (0..16)
+            .map(|i| client.alloc((i % 4) as u8, 64).unwrap())
+            .collect();
+        let mut shadows: Vec<Shadow> = (0..16).map(|_| Shadow::new()).collect();
+
+        // Arm the faults only now (dial and allocs run clean) and only on
+        // the one link.
+        let me = client.node().id();
+        let faulty = cluster.server(0).unwrap().node().id();
+        plane.add_rule(FaultRule::drop_op().probability(0.15).link(me, faulty));
+        plane.add_rule(
+            FaultRule::error(WcStatus::TransportError)
+                .probability(0.05)
+                .link(me, faulty),
+        );
+        plane.add_rule(FaultRule::rnr().probability(0.02).link(me, faulty));
+        plane.add_flap(PartitionFlap::on_link(me, faulty, 150, 20));
+
+        let mut rng = seed ^ 0x0FA017;
+        for round in 0..50u32 {
+            // Every batch covers one object per server, so all four
+            // groups are in flight together every round.
+            let objs: Vec<usize> = (0..4)
+                .map(|s| s + 4 * (splitmix64(&mut rng) % 4) as usize)
+                .collect();
+            if splitmix64(&mut rng).is_multiple_of(3) {
+                let mut bufs = vec![[0u8; 64]; objs.len()];
+                let items: Vec<_> = objs
+                    .iter()
+                    .zip(bufs.iter_mut())
+                    .map(|(&i, b)| (ptrs[i], 0u64, &mut b[..]))
+                    .collect();
+                let result = client.read_batch(items).unwrap();
+                for ((&i, buf), r) in objs.iter().zip(&bufs).zip(result.results()) {
+                    if i % 4 != 0 {
+                        assert!(
+                            r.is_ok(),
+                            "seed {seed} round {round}: healthy-server read of \
+                             object {i} stalled behind the faulty group: {r:?}"
+                        );
+                    }
+                    if r.is_ok() {
+                        assert!(
+                            shadows[i].maybe.contains(&buf[0]),
+                            "seed {seed} round {round}: object {i} read {}, \
+                             never written ({:?})",
+                            buf[0],
+                            shadows[i].maybe
+                        );
+                    }
+                }
+            } else {
+                let vals: Vec<u8> = objs
+                    .iter()
+                    .map(|_| (splitmix64(&mut rng) % 251) as u8)
+                    .collect();
+                let payloads: Vec<[u8; 64]> = vals.iter().map(|&v| [v; 64]).collect();
+                let items: Vec<_> = objs
+                    .iter()
+                    .zip(&payloads)
+                    .map(|(&i, d)| (ptrs[i], 0u64, &d[..]))
+                    .collect();
+                let result = client.write_batch(items).unwrap();
+                for ((&i, &val), r) in objs.iter().zip(&vals).zip(result.results()) {
+                    match r {
+                        Ok(()) => shadows[i].acked(val),
+                        Err(e) => {
+                            assert!(
+                                i % 4 == 0,
+                                "seed {seed} round {round}: healthy-server write of \
+                                 object {i} failed behind the faulty group: {e:?}"
+                            );
+                            shadows[i].failed(val);
+                        }
+                    }
+                }
+            }
+        }
+
+        plane.disarm();
+        client.drain_all().unwrap();
+        for (i, (ptr, shadow)) in ptrs.iter().zip(&shadows).enumerate() {
+            let got = read_fill_byte(&mut client, *ptr)
+                .unwrap_or_else(|e| panic!("seed {seed}: final read of object {i} failed: {e:?}"));
+            shadow.check_final(got, seed, i);
+        }
+        assert!(plane.ops_seen() > 0, "seed {seed}: plane saw no traffic");
+    }
+}

@@ -44,6 +44,14 @@ impl BandwidthLimiter {
     /// channels concurrently: reserve all of them, then wait for the latest
     /// deadline.
     pub fn reserve(&self, bytes: u64) -> Option<Instant> {
+        self.reserve_at(bytes, Instant::now())
+    }
+
+    /// Like [`BandwidthLimiter::reserve`], but the transfer cannot begin
+    /// before `start` (a virtual-time cursor possibly in the future). The
+    /// deferred-completion engine uses this so a transfer modelled as
+    /// arriving later does not steal channel time it could not yet occupy.
+    pub fn reserve_at(&self, bytes: u64, start: Instant) -> Option<Instant> {
         if self.bytes_per_sec == u64::MAX || bytes == 0 {
             return None;
         }
@@ -53,9 +61,8 @@ impl BandwidthLimiter {
         }
         let dur = Duration::from_secs_f64(bytes as f64 / self.bytes_per_sec as f64 * scale);
         let mut next_free = self.next_free.lock();
-        let now = Instant::now();
-        let start = (*next_free).max(now);
-        *next_free = start + dur;
+        let begin = (*next_free).max(start);
+        *next_free = begin + dur;
         Some(*next_free)
     }
 

@@ -1,12 +1,13 @@
 //! The simulated memory device.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 use parking_lot::Mutex;
 
 use crate::bandwidth::BandwidthLimiter;
 use crate::error::HybridMemError;
-use crate::latency::spin_for_ns;
+use crate::latency::{scaled_duration, spin_for_ns};
 use crate::profile::{DeviceProfile, PersistenceMode};
 use crate::registry::DeviceId;
 use crate::stats::DeviceStats;
@@ -209,6 +210,39 @@ impl MemDevice {
         Ok(())
     }
 
+    /// Deferred-timing variant of [`MemDevice::write`] for the simulated
+    /// NIC's completion engine: the bytes land (and, on an ADR device,
+    /// become durable) immediately, but instead of busy-waiting the
+    /// modelled cost the method charges it against the virtual-time
+    /// `start` cursor and returns the instant the write would complete.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HybridMemError::OutOfBounds`] if the range exceeds capacity.
+    pub fn write_at(&self, offset: u64, src: &[u8], start: Instant) -> Result<Instant> {
+        self.check(offset, src.len() as u64)?;
+        let after_lat = start + scaled_duration(self.profile.write_latency_ns);
+        let end = self
+            .write_bw
+            .reserve_at(src.len() as u64, after_lat)
+            .unwrap_or(after_lat);
+        // SAFETY: bounds checked above; see `Backing` for the race model.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                src.as_ptr(),
+                self.backing.ptr.add(offset as usize),
+                src.len(),
+            );
+        }
+        if self.profile.persistence == PersistenceMode::Adr {
+            if let Some(image) = self.durable.lock().as_mut() {
+                image[offset as usize..offset as usize + src.len()].copy_from_slice(src);
+            }
+        }
+        self.stats.record_write(src.len() as u64);
+        Ok(end)
+    }
+
     /// Fills `[offset, offset+len)` with `byte`.
     ///
     /// # Errors
@@ -285,6 +319,59 @@ impl MemDevice {
         Ok(())
     }
 
+    /// Deferred-timing variant of [`MemDevice::copy_from`]: the memcpy
+    /// happens now, the modelled DMA cost is charged from the virtual-time
+    /// `start` cursor, and the completion instant is returned instead of
+    /// busy-waited.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HybridMemError::OutOfBounds`] if either range exceeds its
+    /// device's capacity.
+    pub fn copy_from_at(
+        &self,
+        dst_offset: u64,
+        src: &MemDevice,
+        src_offset: u64,
+        len: u64,
+        start: Instant,
+    ) -> Result<Instant> {
+        self.check(dst_offset, len)?;
+        src.check(src_offset, len)?;
+        let after_lat =
+            start + scaled_duration(src.profile.read_latency_ns + self.profile.write_latency_ns);
+        // Both channels stream concurrently (see `copy_from`): the
+        // transfer ends at the slower channel's deadline.
+        let src_done = src.read_bw.reserve_at(len, after_lat);
+        let dst_done = self.write_bw.reserve_at(len, after_lat);
+        let end = src_done.max(dst_done).unwrap_or(after_lat);
+        // SAFETY: both ranges bounds-checked; devices are distinct
+        // allocations (and a same-device overlapping copy is still sound
+        // with `copy`, which allows overlap).
+        unsafe {
+            std::ptr::copy(
+                src.backing.ptr.add(src_offset as usize),
+                self.backing.ptr.add(dst_offset as usize),
+                len as usize,
+            );
+        }
+        if self.profile.persistence == PersistenceMode::Adr {
+            if let Some(image) = self.durable.lock().as_mut() {
+                // SAFETY: dst range bounds-checked; image has capacity bytes.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(
+                        self.backing.ptr.add(dst_offset as usize),
+                        image.as_mut_ptr().add(dst_offset as usize),
+                        len as usize,
+                    );
+                }
+            }
+        }
+        src.stats.record_read(len);
+        self.stats.record_write(len);
+        Ok(end)
+    }
+
     /// Returns an atomic view of the 8-byte word at `offset`.
     fn word(&self, offset: u64) -> Result<&AtomicU64> {
         self.check_aligned(offset)?;
@@ -353,6 +440,42 @@ impl MemDevice {
         Ok(observed)
     }
 
+    /// Deferred-timing variant of [`MemDevice::cas_u64`]: the atomic
+    /// applies now, the modelled cost is charged from `start`, and the
+    /// completion instant is returned alongside the observed value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HybridMemError::Misaligned`] or
+    /// [`HybridMemError::OutOfBounds`].
+    pub fn cas_u64_at(
+        &self,
+        offset: u64,
+        expected: u64,
+        new: u64,
+        start: Instant,
+    ) -> Result<(u64, Instant)> {
+        let w = self.word(offset)?;
+        let end = start
+            + scaled_duration(
+                self.profile
+                    .read_latency_ns
+                    .max(self.profile.write_latency_ns),
+            );
+        self.stats.record_atomic();
+        let observed = match w.compare_exchange(expected, new, Ordering::AcqRel, Ordering::Acquire)
+        {
+            Ok(prev) => prev,
+            Err(prev) => prev,
+        };
+        if observed == expected && self.profile.persistence == PersistenceMode::Adr {
+            if let Some(image) = self.durable.lock().as_mut() {
+                image[offset as usize..offset as usize + 8].copy_from_slice(&new.to_le_bytes());
+            }
+        }
+        Ok((observed, end))
+    }
+
     /// Atomic fetch-and-add on the u64 at `offset`. Returns the prior value.
     ///
     /// # Errors
@@ -375,6 +498,32 @@ impl MemDevice {
             }
         }
         Ok(prev)
+    }
+
+    /// Deferred-timing variant of [`MemDevice::faa_u64`]; see
+    /// [`MemDevice::cas_u64_at`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HybridMemError::Misaligned`] or
+    /// [`HybridMemError::OutOfBounds`].
+    pub fn faa_u64_at(&self, offset: u64, delta: u64, start: Instant) -> Result<(u64, Instant)> {
+        let w = self.word(offset)?;
+        let end = start
+            + scaled_duration(
+                self.profile
+                    .read_latency_ns
+                    .max(self.profile.write_latency_ns),
+            );
+        self.stats.record_atomic();
+        let prev = w.fetch_add(delta, Ordering::AcqRel);
+        if self.profile.persistence == PersistenceMode::Adr {
+            if let Some(image) = self.durable.lock().as_mut() {
+                image[offset as usize..offset as usize + 8]
+                    .copy_from_slice(&prev.wrapping_add(delta).to_le_bytes());
+            }
+        }
+        Ok((prev, end))
     }
 
     /// Flushes `[offset, offset+len)` to the persistence domain.

@@ -65,6 +65,14 @@ pub fn spin_for_ns(ns: u64) {
     spin_until(Instant::now() + Duration::from_nanos(scaled));
 }
 
+/// `ns` nanoseconds scaled by the global time scale, as a [`Duration`].
+/// The deferred-completion paths add this to a virtual-time cursor instead
+/// of busy-waiting, so one thread can have many modelled delays elapsing
+/// concurrently.
+pub fn scaled_duration(ns: u64) -> Duration {
+    Duration::from_nanos((ns as f64 * time_scale()) as u64)
+}
+
 /// Waits until `deadline`: sleeps while far away, spins when close.
 pub fn spin_until(deadline: Instant) {
     loop {

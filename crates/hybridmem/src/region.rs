@@ -1,6 +1,7 @@
 //! Windows onto devices.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use crate::device::MemDevice;
 use crate::error::HybridMemError;
@@ -118,6 +119,19 @@ impl MemRegion {
         self.device.write(abs, src)
     }
 
+    /// Deferred-timing write (see [`MemDevice::write_at`]): data lands
+    /// now, the modelled cost is charged from `start`, and the completion
+    /// instant is returned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HybridMemError::OutOfBounds`] if the access leaves the
+    /// window.
+    pub fn write_at(&self, offset: u64, src: &[u8], start: Instant) -> Result<Instant> {
+        let abs = self.translate(offset, src.len() as u64)?;
+        self.device.write_at(abs, src, start)
+    }
+
     /// Fills `[offset, offset+len)` with `byte`.
     ///
     /// # Errors
@@ -147,6 +161,28 @@ impl MemRegion {
         let dst_abs = self.translate(dst_offset, len)?;
         let src_abs = src.translate(src_offset, len)?;
         self.device.copy_from(dst_abs, &src.device, src_abs, len)
+    }
+
+    /// Deferred-timing copy (see [`MemDevice::copy_from_at`]): data lands
+    /// now, the modelled DMA cost is charged from `start`, and the
+    /// completion instant is returned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HybridMemError::OutOfBounds`] if either range leaves its
+    /// window.
+    pub fn copy_from_at(
+        &self,
+        dst_offset: u64,
+        src: &MemRegion,
+        src_offset: u64,
+        len: u64,
+        start: Instant,
+    ) -> Result<Instant> {
+        let dst_abs = self.translate(dst_offset, len)?;
+        let src_abs = src.translate(src_offset, len)?;
+        self.device
+            .copy_from_at(dst_abs, &src.device, src_abs, len, start)
     }
 
     /// Flushes `[offset, offset+len)` to the persistence domain.
@@ -190,6 +226,22 @@ impl MemRegion {
         self.device.cas_u64(abs, expected, new)
     }
 
+    /// Deferred-timing compare-and-swap (see [`MemDevice::cas_u64_at`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device bounds/alignment errors.
+    pub fn cas_u64_at(
+        &self,
+        offset: u64,
+        expected: u64,
+        new: u64,
+        start: Instant,
+    ) -> Result<(u64, Instant)> {
+        let abs = self.translate(offset, 8)?;
+        self.device.cas_u64_at(abs, expected, new, start)
+    }
+
     /// Atomic fetch-and-add at region-relative `offset`.
     ///
     /// # Errors
@@ -198,6 +250,16 @@ impl MemRegion {
     pub fn faa_u64(&self, offset: u64, delta: u64) -> Result<u64> {
         let abs = self.translate(offset, 8)?;
         self.device.faa_u64(abs, delta)
+    }
+
+    /// Deferred-timing fetch-and-add (see [`MemDevice::faa_u64_at`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device bounds/alignment errors.
+    pub fn faa_u64_at(&self, offset: u64, delta: u64, start: Instant) -> Result<(u64, Instant)> {
+        let abs = self.translate(offset, 8)?;
+        self.device.faa_u64_at(abs, delta, start)
     }
 }
 

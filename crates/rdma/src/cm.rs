@@ -8,6 +8,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use gengar_hybridmem::latency::spin_until;
+
 use crate::cq::{Wc, WcStatus};
 use crate::error::RdmaError;
 use crate::mr::ProtectionDomain;
@@ -18,6 +20,49 @@ use crate::wr::{Payload, RecvWr, SendOp, SendWr, Sge};
 
 /// Default patience of the blocking helpers.
 pub const DEFAULT_OP_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A posted doorbell batch whose completions are still being harvested.
+///
+/// Returned by [`Endpoint::post_many`]; drive it with
+/// [`Endpoint::poll_pending`] (non-blocking) and sleep until
+/// [`Endpoint::pending_next_wake`] between passes. One `PendingOps` per
+/// batch; a single endpoint can only be driven by one thread, but one
+/// thread can hold `PendingOps` for *several endpoints* in flight at once
+/// — that is the whole point of the completion-driven issue engine.
+#[derive(Debug)]
+pub struct PendingOps {
+    base: u64,
+    out: Vec<Option<Result<Wc, RdmaError>>>,
+    pending: usize,
+    deadline: Instant,
+}
+
+impl PendingOps {
+    /// Number of operations in the batch.
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Returns `true` for an empty batch.
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
+    }
+
+    /// Returns `true` once every operation has a result.
+    pub fn is_done(&self) -> bool {
+        self.pending == 0
+    }
+
+    /// Consumes the batch and returns one result per operation, in
+    /// posting order. Call only after [`PendingOps::is_done`]; operations
+    /// still outstanding are reported as [`RdmaError::Timeout`].
+    pub fn into_results(self) -> Vec<Result<Wc, RdmaError>> {
+        self.out
+            .into_iter()
+            .map(|s| s.unwrap_or(Err(RdmaError::Timeout)))
+            .collect()
+    }
+}
 
 /// One end of an RC connection, with synchronous one-operation-at-a-time
 /// helpers.
@@ -110,32 +155,144 @@ impl Endpoint {
     /// [`RdmaError::QpError`] if the QP died while waiting (e.g. a
     /// different operation's error completion flushed this one).
     pub fn execute(&self, op: SendOp) -> Result<Wc, RdmaError> {
-        let wr_id = self.next_wr_id();
-        self.qp.post_send(SendWr::new(wr_id, op))?;
+        let mut results = self.execute_many(vec![op])?;
+        results.pop().expect("one result for one op")
+    }
+
+    /// Posts `ops` as one doorbell batch without waiting for completions.
+    ///
+    /// The returned [`PendingOps`] tracks the batch; harvest it with
+    /// [`Endpoint::poll_pending`]. Post batches on *several* endpoints
+    /// first, then poll them all: that is how one thread keeps every
+    /// server busy simultaneously.
+    ///
+    /// # Errors
+    ///
+    /// Only programming errors that fail the post itself (nothing
+    /// executed). Per-operation failures surface through the results.
+    pub fn post_many(&self, ops: Vec<SendOp>) -> Result<PendingOps, RdmaError> {
+        let n = ops.len();
         let deadline = Instant::now() + self.op_timeout;
-        loop {
-            for wc in self.qp.send_cq().poll(16) {
-                if wc.wr_id == wr_id {
-                    if wc.status.is_ok() {
-                        return Ok(wc);
-                    }
-                    return Err(RdmaError::CompletionError(wc.status));
-                }
-                // Stale completion from an earlier unmatched wait: drop it.
-            }
-            let timed_out = Instant::now() >= deadline;
-            if self.qp.state() == crate::qp::QpState::Error {
-                // Our completion is not coming. Report the status that
-                // killed the QP so callers know a reconnect is required.
-                return Err(RdmaError::QpError(
-                    self.qp.error_status().unwrap_or(WcStatus::WrFlushed),
-                ));
-            }
-            if timed_out {
-                return Err(RdmaError::Timeout);
-            }
-            std::hint::spin_loop();
+        if n > 0 {
+            let base = self.next_wr.fetch_add(n as u64, Ordering::Relaxed);
+            let wrs: Vec<SendWr> = ops
+                .into_iter()
+                .enumerate()
+                .map(|(i, op)| SendWr::new(base + i as u64, op))
+                .collect();
+            self.qp.post_send_list(wrs)?;
+            Ok(PendingOps {
+                base,
+                out: vec![None; n],
+                pending: n,
+                deadline,
+            })
+        } else {
+            Ok(PendingOps {
+                base: 0,
+                out: Vec::new(),
+                pending: 0,
+                deadline,
+            })
         }
+    }
+
+    /// One non-blocking harvest pass over a posted batch. Returns `true`
+    /// once every operation has a result (then [`PendingOps::into_results`]
+    /// yields them).
+    ///
+    /// Failure handling mirrors the blocking path: error completions land
+    /// in their slot as [`RdmaError::CompletionError`]; when nothing at
+    /// all is left in flight on the send CQ the remaining slots fill with
+    /// [`RdmaError::QpError`] (connection death) or [`RdmaError::Timeout`]
+    /// (operations dropped on the wire — their completions are never
+    /// coming, so there is no point waiting out the full patience); the
+    /// batch deadline backstops everything else.
+    pub fn poll_pending(&self, p: &mut PendingOps) -> bool {
+        if p.pending == 0 {
+            return true;
+        }
+        let n = p.out.len();
+        loop {
+            let drained = self.qp.send_cq().poll(64);
+            if drained.is_empty() {
+                break;
+            }
+            for wc in drained {
+                // Stale completions from earlier unmatched waits fall
+                // outside [base, base + n) and are dropped.
+                let slot = match wc.wr_id.checked_sub(p.base) {
+                    Some(slot) if (slot as usize) < n => slot as usize,
+                    _ => continue,
+                };
+                if p.out[slot].is_some() {
+                    continue;
+                }
+                p.out[slot] = Some(if wc.status.is_ok() {
+                    Ok(wc)
+                } else {
+                    Err(RdmaError::CompletionError(wc.status))
+                });
+                p.pending -= 1;
+            }
+            if p.pending == 0 {
+                return true;
+            }
+        }
+        // The fabric queues every completion (even deferred ones) at post
+        // time, so an empty send CQ with operations still pending means
+        // those completions will never arrive: the op was dropped on the
+        // wire, or was never matched before the QP died.
+        let timed_out = Instant::now() >= p.deadline;
+        if self.qp.send_cq().is_empty() || timed_out {
+            let err = if self.qp.state() == crate::qp::QpState::Error {
+                RdmaError::QpError(self.qp.error_status().unwrap_or(WcStatus::WrFlushed))
+            } else {
+                RdmaError::Timeout
+            };
+            for slot in p.out.iter_mut().filter(|s| s.is_none()) {
+                *slot = Some(Err(err.clone()));
+            }
+            p.pending = 0;
+            return true;
+        }
+        false
+    }
+
+    /// When to next poll a still-pending batch: the earlier of the send
+    /// CQ's next ready instant and the batch deadline. `None` once the
+    /// batch is done.
+    pub fn pending_next_wake(&self, p: &PendingOps) -> Option<Instant> {
+        if p.pending == 0 {
+            return None;
+        }
+        Some(
+            self.qp
+                .send_cq()
+                .next_ready_at()
+                .map_or(p.deadline, |at| at.min(p.deadline)),
+        )
+    }
+
+    /// When a still-pending batch is expected to be *fully* harvestable:
+    /// the later of the send CQ's entries, capped by the batch deadline.
+    /// A waiter that cannot act on partial completions (the batch settles
+    /// as a unit) sleeps until this — one long, sleepable wait instead of
+    /// a sub-sleep-threshold busy-spin per staggered completion, which
+    /// matters when the host has fewer cores than the simulated cluster
+    /// has channels. Completions that will never arrive (dropped on the
+    /// wire) are covered by the fail-fast in [`Endpoint::poll_pending`]
+    /// once the CQ drains. `None` once the batch is done.
+    pub fn pending_done_wake(&self, p: &PendingOps) -> Option<Instant> {
+        if p.pending == 0 {
+            return None;
+        }
+        Some(
+            self.qp
+                .send_cq()
+                .last_ready_at()
+                .map_or(p.deadline, |at| at.min(p.deadline)),
+        )
     }
 
     /// Posts `ops` as one doorbell batch and waits for every completion.
@@ -143,6 +300,8 @@ impl Endpoint {
     /// Returns one `Result` per operation, in posting order. Completions
     /// may drain out of order from the CQ; they are matched back to their
     /// slot by wr_id. A batch of one is exactly [`Endpoint::execute`].
+    /// The wait sleeps until the CQ's next ready instant rather than
+    /// spinning, so heavily time-scaled runs do not burn cores.
     ///
     /// # Errors
     ///
@@ -153,69 +312,13 @@ impl Endpoint {
     /// a connection death, [`RdmaError::Timeout`] for operations whose
     /// completion never arrived (e.g. dropped on the wire).
     pub fn execute_many(&self, ops: Vec<SendOp>) -> Result<Vec<Result<Wc, RdmaError>>, RdmaError> {
-        let n = ops.len();
-        if n == 0 {
-            return Ok(Vec::new());
+        let mut pending = self.post_many(ops)?;
+        while !self.poll_pending(&mut pending) {
+            if let Some(wake) = self.pending_done_wake(&pending) {
+                spin_until(wake);
+            }
         }
-        let base = self.next_wr.fetch_add(n as u64, Ordering::Relaxed);
-        let wrs: Vec<SendWr> = ops
-            .into_iter()
-            .enumerate()
-            .map(|(i, op)| SendWr::new(base + i as u64, op))
-            .collect();
-        self.qp.post_send_list(wrs)?;
-
-        let mut out: Vec<Option<Result<Wc, RdmaError>>> = vec![None; n];
-        let mut pending = n;
-        let deadline = Instant::now() + self.op_timeout;
-        loop {
-            let drained = self.qp.send_cq().poll(64);
-            let progressed = !drained.is_empty();
-            for wc in drained {
-                // Stale completions from earlier unmatched waits fall
-                // outside [base, base + n) and are dropped.
-                let slot = match wc.wr_id.checked_sub(base) {
-                    Some(slot) if (slot as usize) < n => slot as usize,
-                    _ => continue,
-                };
-                if out[slot].is_some() {
-                    continue;
-                }
-                out[slot] = Some(if wc.status.is_ok() {
-                    Ok(wc)
-                } else {
-                    Err(RdmaError::CompletionError(wc.status))
-                });
-                pending -= 1;
-            }
-            if pending == 0 {
-                break;
-            }
-            if progressed {
-                // Drain the CQ fully before declaring anything missing.
-                continue;
-            }
-            let timed_out = Instant::now() >= deadline;
-            if self.qp.state() == crate::qp::QpState::Error {
-                // Remaining completions are not coming; report the status
-                // that killed the QP so callers know to reconnect.
-                let err = RdmaError::QpError(self.qp.error_status().unwrap_or(WcStatus::WrFlushed));
-                for slot in out.iter_mut().filter(|s| s.is_none()) {
-                    *slot = Some(Err(err.clone()));
-                }
-                break;
-            }
-            if timed_out {
-                // Operations lost on the wire (dropped requests) never
-                // complete; everything else in the batch still did.
-                for slot in out.iter_mut().filter(|s| s.is_none()) {
-                    *slot = Some(Err(RdmaError::Timeout));
-                }
-                break;
-            }
-            std::hint::spin_loop();
-        }
-        Ok(out.into_iter().map(|s| s.expect("slot filled")).collect())
+        Ok(pending.into_results())
     }
 
     /// One-sided READ of `local.len` bytes from `remote` into `local`.

@@ -3,8 +3,9 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
-use gengar_hybridmem::latency::{spin_for_ns, spin_until};
+use gengar_hybridmem::latency::scaled_duration;
 use gengar_hybridmem::BandwidthLimiter;
 use gengar_telemetry::{TelemetryConfig, Tracer};
 use parking_lot::RwLock;
@@ -19,17 +20,21 @@ use crate::qp::QueuePair;
 use crate::types::{Access, NodeId, RemoteAddr};
 use crate::wr::{Payload, SendOp, SendWr, Sge};
 
-/// Occupies both NIC ports for one transfer's bytes and waits for the
-/// later deadline. The same bytes flow through both ports concurrently
-/// (cut-through forwarding), so the transfer's latency is the slower
-/// channel, not the sum — while each port still stays busy for the full
-/// transfer time, so saturation effects are preserved per node.
-fn occupy_ports(a: &BandwidthLimiter, b: &BandwidthLimiter, bytes: u64) {
-    let da = a.reserve(bytes);
-    let db = b.reserve(bytes);
-    if let Some(deadline) = da.max(db) {
-        spin_until(deadline);
-    }
+/// Occupies both NIC ports for one transfer's bytes starting no earlier
+/// than `start` and returns the transfer's completion instant. The same
+/// bytes flow through both ports concurrently (cut-through forwarding),
+/// so the transfer's latency is the slower channel, not the sum — while
+/// each port still stays busy for the full transfer time, so saturation
+/// effects are preserved per node.
+fn occupy_ports_at(
+    a: &BandwidthLimiter,
+    b: &BandwidthLimiter,
+    bytes: u64,
+    start: Instant,
+) -> Instant {
+    let da = a.reserve_at(bytes, start);
+    let db = b.reserve_at(bytes, start);
+    da.max(db).unwrap_or(start)
 }
 
 /// Timing parameters of the simulated network.
@@ -123,26 +128,37 @@ impl Gathered {
         }
     }
 
-    /// Places the payload into `dst` at `offset` with one copy pass.
-    fn place_into(&self, dst: &gengar_hybridmem::MemRegion, offset: u64) -> Result<(), RdmaError> {
-        match self {
-            Gathered::Bytes(b) => dst.write(offset, b)?,
+    /// Places the payload into `dst` at `offset` with one copy pass,
+    /// charging the modelled device cost from the virtual-time `start`
+    /// cursor and returning the completion instant.
+    fn place_into_at(
+        &self,
+        dst: &gengar_hybridmem::MemRegion,
+        offset: u64,
+        start: Instant,
+    ) -> Result<Instant, RdmaError> {
+        Ok(match self {
+            Gathered::Bytes(b) => dst.write_at(offset, b, start)?,
             Gathered::Mr(mr, src_off, len) => {
-                dst.copy_from(offset, mr.region(), *src_off, *len)?;
+                dst.copy_from_at(offset, mr.region(), *src_off, *len, start)?
             }
-        }
-        Ok(())
+        })
     }
 }
 
 /// The simulated RDMA network connecting [`RdmaNode`]s.
 ///
 /// One-sided verbs are executed by the *initiating* thread directly against
-/// the target node's memory (emulating NIC DMA), with the configured
-/// latencies busy-waited and bandwidth drawn from both ports' token buckets.
-/// Fault injection: links can be partitioned or given extra delay, and the
-/// RC state machine reacts as real hardware does (error completions, QP to
-/// error state).
+/// the target node's memory (emulating NIC DMA). Execution is
+/// *completion-driven*: posting performs the data movement immediately but
+/// does not block — the configured latencies and bandwidth reservations
+/// accumulate into a virtual-time cursor per doorbell, and each work
+/// completion is queued with the instant it becomes harvestable
+/// ([`CompletionQueue::push_at`]). One thread can therefore hold many
+/// doorbells in flight across independent targets and genuinely overlap
+/// their modelled wire time. Fault injection: links can be partitioned or
+/// given extra delay, and the RC state machine reacts as real hardware
+/// does (error completions, QP to error state).
 pub struct Fabric {
     config: FabricConfig,
     next_node: AtomicU32,
@@ -311,24 +327,30 @@ impl Fabric {
         }
     }
 
-    /// Pushes a work completion onto `cq`, counting it (or the overflow)
-    /// in the fabric metrics. Every CQ push goes through here, so CQs the
-    /// application constructed directly are covered too.
-    fn push_wc(&self, cq: &CompletionQueue, wc: Wc) {
-        if cq.push(wc) {
+    /// Pushes a work completion onto `cq`, harvestable at `ready`,
+    /// counting it (or the overflow) in the fabric metrics. Every CQ push
+    /// goes through here, so CQs the application constructed directly are
+    /// covered too.
+    fn push_wc_at(&self, cq: &CompletionQueue, wc: Wc, ready: Instant) {
+        if cq.push_at(wc, ready) {
             self.metrics.cq_completions.inc();
         } else {
             self.metrics.cq_overflows.inc();
         }
     }
 
-    fn complete(
+    /// Queues the sender-side completion for `wr`, harvestable at `ready`.
+    /// The QP error transition (for failures) happens immediately at post
+    /// time — matching how the initiator NIC sequences later WRs — while
+    /// the error *completion* still surfaces at its modelled instant.
+    fn complete_at(
         &self,
         qp: &Arc<QueuePair>,
         wr: &SendWr,
         status: WcStatus,
         opcode: WcOpcode,
         byte_len: u64,
+        ready: Instant,
     ) {
         if status == WcStatus::Success {
             self.metrics.verb(opcode).bytes.add(byte_len);
@@ -337,7 +359,7 @@ impl Fabric {
         }
         if wr.signaled || status != WcStatus::Success {
             Tracer::global().fine_event("rdma.cq_completion", wr.wr_id);
-            self.push_wc(
+            self.push_wc_at(
                 qp.send_cq(),
                 Wc {
                     wr_id: wr.wr_id,
@@ -347,6 +369,7 @@ impl Fabric {
                     imm: None,
                     qpn: qp.qpn(),
                 },
+                ready,
             );
         }
         if status != WcStatus::Success {
@@ -354,7 +377,7 @@ impl Fabric {
         }
     }
 
-    /// Executes a send-side work request to completion. Called from
+    /// Posts a send-side work request. Called from
     /// [`QueuePair::post_send`]. A single post is a one-element doorbell
     /// batch, so serial and batched paths share one execution engine (and
     /// identical timing for a batch of one).
@@ -367,19 +390,31 @@ impl Fabric {
         self.execute_batch(src, qp, vec![wr])
     }
 
-    /// Executes a list of send-side work requests as one doorbell batch.
-    /// Called from [`QueuePair::post_send_list`].
+    /// Posts a list of send-side work requests as one doorbell batch.
+    /// Called from [`QueuePair::post_send_list`]. Returns without
+    /// blocking: completions are queued with their modelled ready
+    /// instants and harvested from the CQ as simulated time passes.
     ///
     /// The whole list is validated before anything executes: an `Err`
-    /// means no WR touched the wire (the post is atomic). The initiator
-    /// NIC then processes the WQEs back to back — the request wave pays
+    /// means no WR touched the wire (the post is atomic). Timing follows
+    /// a per-doorbell virtual-time model — the request wave pays
     /// `nic_tx_ns` per WR but propagation and responder processing
-    /// (`one_way_ns + nic_rx_ns`) only once per doorbell, and the final
-    /// response wave is likewise shared. Per-WR data transfer still draws
-    /// from both ports' token buckets, so bandwidth saturation is modelled
-    /// per operation. Failures follow RC ordering: the failing WR gets an
-    /// error completion (moving the QP to the error state) and every later
-    /// WR in the list is flushed with `WrFlushed`.
+    /// (`one_way_ns + nic_rx_ns`) only once per doorbell. Each WR then
+    /// runs its own occupancy chain *from the arrival instant*: the NIC
+    /// ports and devices it crosses are FIFO token buckets, so WRs
+    /// sharing a channel queue behind each other there while different
+    /// stages overlap — WR `i+1`'s wire transfer proceeds while WR `i`
+    /// is in the device, exactly the pipelining a deep doorbell buys on
+    /// real hardware. Bandwidth saturation is still modelled per
+    /// operation (every byte is charged to every port it crosses), and
+    /// completions that involve the responder pay one more `one_way_ns`
+    /// back. Failures follow RC ordering: the failing WR gets an error
+    /// completion (moving the QP to the error state) and every later WR
+    /// in the list is flushed with `WrFlushed`.
+    ///
+    /// Data movement (and ADR durability) happens at post time, slightly
+    /// *before* the modelled completion instant — never after — so no
+    /// caller can harvest a completion whose bytes have not landed.
     pub(crate) fn execute_batch(
         &self,
         src: &Arc<RdmaNode>,
@@ -391,8 +426,8 @@ impl Fabric {
         }
         // One-sided verbs run on the initiating thread, so the client's
         // trace context is visible right here: the whole post→doorbell→
-        // propagation→completion chain nests under the caller's op span
-        // without any WR struct changes.
+        // completion chain nests under the caller's op span without any
+        // WR struct changes.
         let tracer = Tracer::global();
         let mut post_span = tracer.span("rdma.post");
         post_span.set_detail(wrs.len() as u64);
@@ -440,15 +475,23 @@ impl Fabric {
             _ => None,
         };
 
-        // Request propagation: every WQE pays initiator NIC processing,
-        // the wire and responder costs are amortised over the doorbell.
+        // The arrival cursor: when this doorbell's request wave reaches
+        // the responder. Every WQE pays initiator NIC processing; the
+        // wire and responder costs are amortised over the doorbell. Each
+        // WR's occupancy chain starts here (fault delays push it back),
+        // so WRs pipeline through the shared channels instead of
+        // serialising end-to-end.
+        let posted = Instant::now();
+        let mut cursor = posted;
         if target.is_some() {
-            let _prop = tracer.span("rdma.propagation");
-            spin_for_ns(cfg.nic_tx_ns * n + cfg.one_way_ns + fault.extra_delay_ns + cfg.nic_rx_ns);
+            cursor += scaled_duration(
+                cfg.nic_tx_ns * n + cfg.one_way_ns + fault.extra_delay_ns + cfg.nic_rx_ns,
+            );
         }
+        // Outcomes the initiator learns from the responder surface one
+        // response hop later than the op finishes there.
+        let resp_delay = scaled_duration(cfg.one_way_ns + fault.extra_delay_ns);
 
-        let started = std::time::Instant::now();
-        let mut responded = false;
         for (wr, sender_opcode, payload) in prepared {
             let mut wr_span = tracer.fine_span("rdma.wr");
             wr_span.set_detail(wr.wr_id);
@@ -459,8 +502,8 @@ impl Fabric {
             // A WR behind a failed one never executes: flush it.
             if qp.state() == crate::qp::QpState::Error {
                 tracer.event("fault.flushed", wr.wr_id);
-                self.complete(qp, &wr, WcStatus::WrFlushed, sender_opcode, 0);
-                verb.lat_ns.record_ns(started.elapsed().as_nanos() as u64);
+                self.complete_at(qp, &wr, WcStatus::WrFlushed, sender_opcode, 0, cursor);
+                verb.lat_ns.record_ns((cursor - posted).as_nanos() as u64);
                 continue;
             }
             // Fault decisions are drawn per WR in submission order, so a
@@ -472,12 +515,12 @@ impl Fabric {
                     FaultDecision::Proceed => {}
                     FaultDecision::Delay(ns) => {
                         tracer.event("fault.delay", ns);
-                        spin_for_ns(ns);
+                        cursor += scaled_duration(ns);
                     }
                     FaultDecision::Error(status) => {
                         tracer.event("fault.err", wr.wr_id);
-                        self.complete(qp, &wr, status, sender_opcode, 0);
-                        verb.lat_ns.record_ns(started.elapsed().as_nanos() as u64);
+                        self.complete_at(qp, &wr, status, sender_opcode, 0, cursor);
+                        verb.lat_ns.record_ns((cursor - posted).as_nanos() as u64);
                         continue;
                     }
                     // Operation lost on the wire: no transfer, no
@@ -486,7 +529,7 @@ impl Fabric {
                     // connection can succeed.
                     FaultDecision::Drop => {
                         tracer.event("fault.drop", wr.wr_id);
-                        verb.lat_ns.record_ns(started.elapsed().as_nanos() as u64);
+                        verb.lat_ns.record_ns((cursor - posted).as_nanos() as u64);
                         continue;
                     }
                 }
@@ -496,30 +539,38 @@ impl Fabric {
                 None => {
                     // Transport retry exceeded: error completion, QP to
                     // error (the rest of the list flushes above).
-                    self.complete(qp, &wr, WcStatus::TransportError, sender_opcode, 0);
-                    verb.lat_ns.record_ns(started.elapsed().as_nanos() as u64);
+                    self.complete_at(qp, &wr, WcStatus::TransportError, sender_opcode, 0, cursor);
+                    verb.lat_ns.record_ns((cursor - posted).as_nanos() as u64);
                     continue;
                 }
             };
-            responded |= self.execute_one(src, qp, &wr, sender_opcode, payload, pair)?;
-            verb.lat_ns.record_ns(started.elapsed().as_nanos() as u64);
-        }
-        // Response propagation for the batch, shared like the request wave
-        // (skipped when nothing reached the responder, matching the
-        // single-WR path).
-        if responded {
-            let _resp = tracer.span("rdma.response_wave");
-            spin_for_ns(cfg.one_way_ns + fault.extra_delay_ns);
+            let end = self.execute_one_at(
+                src,
+                qp,
+                &wr,
+                sender_opcode,
+                payload,
+                pair,
+                cursor,
+                resp_delay,
+            )?;
+            verb.lat_ns
+                .record_ns((end + resp_delay - posted).as_nanos() as u64);
         }
         Ok(())
     }
 
     /// The per-verb body of one WR within a doorbell batch: bandwidth
     /// occupancy, the data movement itself, receive-side delivery and the
-    /// sender completion. Request/response propagation is paid by the
-    /// caller once per batch. Returns whether the WR reached the responder
-    /// successfully (i.e. a response wave is owed).
-    fn execute_one(
+    /// sender completion. Request propagation is paid by the caller once
+    /// per batch; outcomes the responder decides (success and
+    /// responder-side errors) ready one `resp_delay` after the op's
+    /// chain end. The chain starts at `start` (the doorbell's arrival
+    /// instant) — shared-channel serialisation comes from the FIFO
+    /// token buckets, not from chaining WRs end-to-end, so a doorbell's
+    /// WRs pipeline. Returns the instant this WR's occupancy ends.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_one_at(
         &self,
         src: &Arc<RdmaNode>,
         qp: &Arc<QueuePair>,
@@ -527,7 +578,11 @@ impl Fabric {
         sender_opcode: WcOpcode,
         payload: Option<Gathered>,
         target: &(Arc<RdmaNode>, Arc<QueuePair>),
-    ) -> Result<bool, RdmaError> {
+        start: Instant,
+        resp_delay: std::time::Duration,
+    ) -> Result<Instant, RdmaError> {
+        let mut cursor = start;
+        let cursor = &mut cursor;
         let (dst, dst_qp) = target;
         let cfg = &self.config;
         match &wr.op {
@@ -535,21 +590,28 @@ impl Fabric {
                 let (remote, imm) = (*remote, *imm);
                 let data = payload.expect("write has payload");
                 let len = data.len();
-                occupy_ports(src.nic_bw(), dst.nic_bw(), len);
+                *cursor = occupy_ports_at(src.nic_bw(), dst.nic_bw(), len, *cursor);
                 let mr =
                     match Self::remote_mr(dst, dst_qp.pd_id(), remote, len, Access::REMOTE_WRITE) {
                         Ok(mr) => mr,
                         Err(status) => {
-                            self.complete(qp, wr, status, sender_opcode, 0);
-                            return Ok(false);
+                            self.complete_at(
+                                qp,
+                                wr,
+                                status,
+                                sender_opcode,
+                                0,
+                                *cursor + resp_delay,
+                            );
+                            return Ok(*cursor);
                         }
                     };
-                data.place_into(mr.region(), remote.offset)?;
+                *cursor = data.place_into_at(mr.region(), remote.offset, *cursor)?;
                 if let Some(imm) = imm {
                     // WRITE_WITH_IMM consumes a receive at the target.
                     match dst_qp.take_recv() {
                         Some(recv) => {
-                            self.push_wc(
+                            self.push_wc_at(
                                 dst_qp.recv_cq(),
                                 Wc {
                                     wr_id: recv.wr_id,
@@ -559,16 +621,31 @@ impl Fabric {
                                     imm: Some(imm),
                                     qpn: dst_qp.qpn(),
                                 },
+                                *cursor,
                             );
                         }
                         None => {
-                            self.complete(qp, wr, WcStatus::RnrRetryExceeded, sender_opcode, 0);
-                            return Ok(false);
+                            self.complete_at(
+                                qp,
+                                wr,
+                                WcStatus::RnrRetryExceeded,
+                                sender_opcode,
+                                0,
+                                *cursor + resp_delay,
+                            );
+                            return Ok(*cursor);
                         }
                     }
                 }
-                self.complete(qp, wr, WcStatus::Success, sender_opcode, len);
-                Ok(true)
+                self.complete_at(
+                    qp,
+                    wr,
+                    WcStatus::Success,
+                    sender_opcode,
+                    len,
+                    *cursor + resp_delay,
+                );
+                Ok(*cursor)
             }
             SendOp::Read { local, remote } => {
                 let (local, remote) = (*local, *remote);
@@ -577,29 +654,54 @@ impl Fabric {
                     match Self::remote_mr(dst, dst_qp.pd_id(), remote, len, Access::REMOTE_READ) {
                         Ok(mr) => mr,
                         Err(status) => {
-                            self.complete(qp, wr, status, sender_opcode, 0);
-                            return Ok(false);
+                            self.complete_at(
+                                qp,
+                                wr,
+                                status,
+                                sender_opcode,
+                                0,
+                                *cursor + resp_delay,
+                            );
+                            return Ok(*cursor);
                         }
                     };
-                occupy_ports(dst.nic_bw(), src.nic_bw(), len);
+                *cursor = occupy_ports_at(dst.nic_bw(), src.nic_bw(), len, *cursor);
                 let local_mr = Self::local_mr(src, qp.pd_id(), local)?;
                 // Response data DMAs straight into the local MR.
-                local_mr
-                    .region()
-                    .copy_from(local.offset, mr.region(), remote.offset, len)?;
-                self.complete(qp, wr, WcStatus::Success, sender_opcode, len);
-                Ok(true)
+                *cursor = local_mr.region().copy_from_at(
+                    local.offset,
+                    mr.region(),
+                    remote.offset,
+                    len,
+                    *cursor,
+                )?;
+                self.complete_at(
+                    qp,
+                    wr,
+                    WcStatus::Success,
+                    sender_opcode,
+                    len,
+                    *cursor + resp_delay,
+                );
+                Ok(*cursor)
             }
             SendOp::Send { imm, .. } => {
                 let imm = *imm;
                 let data = payload.expect("send has payload");
                 let len = data.len();
-                occupy_ports(src.nic_bw(), dst.nic_bw(), len);
+                *cursor = occupy_ports_at(src.nic_bw(), dst.nic_bw(), len, *cursor);
                 let recv = match dst_qp.take_recv() {
                     Some(r) => r,
                     None => {
-                        self.complete(qp, wr, WcStatus::RnrRetryExceeded, sender_opcode, 0);
-                        return Ok(false);
+                        self.complete_at(
+                            qp,
+                            wr,
+                            WcStatus::RnrRetryExceeded,
+                            sender_opcode,
+                            0,
+                            *cursor + resp_delay,
+                        );
+                        return Ok(*cursor);
                     }
                 };
                 // Scatter into the posted receive buffer on the target node.
@@ -616,7 +718,7 @@ impl Fabric {
                     Some(mr) => mr,
                     None => {
                         // Receiver-side length/key error: both sides learn.
-                        self.push_wc(
+                        self.push_wc_at(
                             dst_qp.recv_cq(),
                             Wc {
                                 wr_id: recv.wr_id,
@@ -626,14 +728,22 @@ impl Fabric {
                                 imm: None,
                                 qpn: dst_qp.qpn(),
                             },
+                            *cursor,
                         );
                         dst_qp.fail(WcStatus::RemoteAccessError);
-                        self.complete(qp, wr, WcStatus::RemoteAccessError, sender_opcode, 0);
-                        return Ok(false);
+                        self.complete_at(
+                            qp,
+                            wr,
+                            WcStatus::RemoteAccessError,
+                            sender_opcode,
+                            0,
+                            *cursor + resp_delay,
+                        );
+                        return Ok(*cursor);
                     }
                 };
-                data.place_into(scatter.region(), recv.sge.offset)?;
-                self.push_wc(
+                *cursor = data.place_into_at(scatter.region(), recv.sge.offset, *cursor)?;
+                self.push_wc_at(
                     dst_qp.recv_cq(),
                     Wc {
                         wr_id: recv.wr_id,
@@ -643,9 +753,17 @@ impl Fabric {
                         imm,
                         qpn: dst_qp.qpn(),
                     },
+                    *cursor,
                 );
-                self.complete(qp, wr, WcStatus::Success, sender_opcode, len);
-                Ok(true)
+                self.complete_at(
+                    qp,
+                    wr,
+                    WcStatus::Success,
+                    sender_opcode,
+                    len,
+                    *cursor + resp_delay,
+                );
+                Ok(*cursor)
             }
             SendOp::CompareSwap {
                 local,
@@ -654,49 +772,104 @@ impl Fabric {
                 swap,
             } => {
                 let (local, remote, expected, swap) = (*local, *remote, *expected, *swap);
-                spin_for_ns(cfg.atomic_extra_ns);
+                *cursor += scaled_duration(cfg.atomic_extra_ns);
                 let mr =
                     match Self::remote_mr(dst, dst_qp.pd_id(), remote, 8, Access::REMOTE_ATOMIC) {
                         Ok(mr) => mr,
                         Err(status) => {
-                            self.complete(qp, wr, status, sender_opcode, 0);
-                            return Ok(false);
+                            self.complete_at(
+                                qp,
+                                wr,
+                                status,
+                                sender_opcode,
+                                0,
+                                *cursor + resp_delay,
+                            );
+                            return Ok(*cursor);
                         }
                     };
-                let prev = match mr.region().cas_u64(remote.offset, expected, swap) {
-                    Ok(prev) => prev,
+                let prev = match mr
+                    .region()
+                    .cas_u64_at(remote.offset, expected, swap, *cursor)
+                {
+                    Ok((prev, end)) => {
+                        *cursor = end;
+                        prev
+                    }
                     Err(_) => {
-                        self.complete(qp, wr, WcStatus::RemoteAccessError, sender_opcode, 0);
-                        return Ok(false);
+                        self.complete_at(
+                            qp,
+                            wr,
+                            WcStatus::RemoteAccessError,
+                            sender_opcode,
+                            0,
+                            *cursor + resp_delay,
+                        );
+                        return Ok(*cursor);
                     }
                 };
                 let local_mr = Self::local_mr(src, qp.pd_id(), local)?;
-                local_mr.region().write(local.offset, &prev.to_le_bytes())?;
-                self.complete(qp, wr, WcStatus::Success, sender_opcode, 8);
-                Ok(true)
+                *cursor = local_mr
+                    .region()
+                    .write_at(local.offset, &prev.to_le_bytes(), *cursor)?;
+                self.complete_at(
+                    qp,
+                    wr,
+                    WcStatus::Success,
+                    sender_opcode,
+                    8,
+                    *cursor + resp_delay,
+                );
+                Ok(*cursor)
             }
             SendOp::FetchAdd { local, remote, add } => {
                 let (local, remote, add) = (*local, *remote, *add);
-                spin_for_ns(cfg.atomic_extra_ns);
+                *cursor += scaled_duration(cfg.atomic_extra_ns);
                 let mr =
                     match Self::remote_mr(dst, dst_qp.pd_id(), remote, 8, Access::REMOTE_ATOMIC) {
                         Ok(mr) => mr,
                         Err(status) => {
-                            self.complete(qp, wr, status, sender_opcode, 0);
-                            return Ok(false);
+                            self.complete_at(
+                                qp,
+                                wr,
+                                status,
+                                sender_opcode,
+                                0,
+                                *cursor + resp_delay,
+                            );
+                            return Ok(*cursor);
                         }
                     };
-                let prev = match mr.region().faa_u64(remote.offset, add) {
-                    Ok(prev) => prev,
+                let prev = match mr.region().faa_u64_at(remote.offset, add, *cursor) {
+                    Ok((prev, end)) => {
+                        *cursor = end;
+                        prev
+                    }
                     Err(_) => {
-                        self.complete(qp, wr, WcStatus::RemoteAccessError, sender_opcode, 0);
-                        return Ok(false);
+                        self.complete_at(
+                            qp,
+                            wr,
+                            WcStatus::RemoteAccessError,
+                            sender_opcode,
+                            0,
+                            *cursor + resp_delay,
+                        );
+                        return Ok(*cursor);
                     }
                 };
                 let local_mr = Self::local_mr(src, qp.pd_id(), local)?;
-                local_mr.region().write(local.offset, &prev.to_le_bytes())?;
-                self.complete(qp, wr, WcStatus::Success, sender_opcode, 8);
-                Ok(true)
+                *cursor = local_mr
+                    .region()
+                    .write_at(local.offset, &prev.to_le_bytes(), *cursor)?;
+                self.complete_at(
+                    qp,
+                    wr,
+                    WcStatus::Success,
+                    sender_opcode,
+                    8,
+                    *cursor + resp_delay,
+                );
+                Ok(*cursor)
             }
         }
     }

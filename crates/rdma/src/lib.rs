@@ -64,7 +64,7 @@ pub mod qp;
 pub mod types;
 pub mod wr;
 
-pub use cm::Endpoint;
+pub use cm::{Endpoint, PendingOps};
 pub use cq::{CompletionQueue, Wc, WcOpcode, WcStatus};
 pub use error::RdmaError;
 pub use fabric::{Fabric, FabricConfig};

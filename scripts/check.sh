@@ -34,6 +34,32 @@ if ! awk -v a="$w16" -v b="$w1" 'BEGIN { exit !(a >= 2 * b) }'; then
 fi
 echo "pipelining gate passed: ${w16} >= 2x ${w1} kops/s"
 
+echo "== fan-out gate (E11: batched must be >= 1.5x scalar at 4 servers)"
+# Like the tracing-overhead gate below, throughput on a shared host is
+# noisy, so the gate retries: a real fan-out regression fails every
+# attempt, a scheduler hiccup does not.
+fanout_ok=0
+for attempt in 1 2 3; do
+    e11_out=$(cargo run -p gengar-bench --release --bin harness -- e11 --quick --no-telemetry)
+    echo "$e11_out" | grep '^E11 '
+    s4=$(echo "$e11_out" | sed -n 's/^E11 servers=4 scalar_kops=\([0-9.]*\).*/\1/p')
+    b4=$(echo "$e11_out" | sed -n 's/^E11 servers=4 scalar_kops=[0-9.]* batched_kops=\([0-9.]*\).*/\1/p')
+    if [[ -z "$s4" || -z "$b4" ]]; then
+        echo "fan-out gate: missing E11 servers=4 line" >&2
+        exit 1
+    fi
+    if awk -v a="$b4" -v b="$s4" 'BEGIN { exit !(a >= 1.5 * b) }'; then
+        fanout_ok=1
+        break
+    fi
+    echo "fan-out gate attempt ${attempt}: batched ${b4} < 1.5x scalar ${s4} kops/s, retrying"
+done
+if [[ "$fanout_ok" != "1" ]]; then
+    echo "fan-out gate FAILED: batched ${b4} kops/s < 1.5x scalar ${s4} kops/s at 4 servers" >&2
+    exit 1
+fi
+echo "fan-out gate passed: ${b4} >= 1.5x ${s4} kops/s"
+
 echo "== trace schema gate (E3 --trace-out must be valid Chrome trace JSON)"
 trace_tmp=$(mktemp -t gengar-trace.XXXXXX)
 cargo run -p gengar-bench --release --bin harness -- e3 --quick --trace-out "$trace_tmp" >/dev/null
