@@ -31,6 +31,12 @@
 //! runs with (default 16; 1 disables pipelining). E4P additionally sweeps
 //! the depth itself, ignoring this flag for its swept clients.
 //!
+//! `--tenants N` sets the aggressor-tenant count E12 (fairness) runs with
+//! (default 3). `--qos` arms the QoS plane — with no tenant budgets — on
+//! every launched Gengar system, measuring plane overhead under any
+//! experiment (E12 manages its own per-phase budgets and ignores it).
+//! Both knobs are echoed in every JSON record.
+//!
 //! `--trace-out <path>` turns on causal tracing for the run and writes
 //! every recorded span as Chrome trace-event JSON — load the file in
 //! <https://ui.perfetto.dev> or `chrome://tracing` to see client ops,
@@ -41,8 +47,8 @@
 //! 1-in-8 once it passes half occupancy).
 
 use gengar_bench::{
-    fault_spec, run_experiment, set_faults, set_telemetry, set_trace_out, set_window, take_metrics,
-    trace_out, Scale, ALL_EXPERIMENTS,
+    fault_spec, qos_enabled, run_experiment, set_faults, set_qos, set_telemetry, set_tenants,
+    set_trace_out, set_window, take_metrics, tenant_count, trace_out, Scale, ALL_EXPERIMENTS,
 };
 use gengar_telemetry::{
     chrome_trace_json, critical_path_table, json_escape, Registry, TraceMode, Tracer,
@@ -90,6 +96,14 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--tenants" => match it.next().map(|v| v.parse::<u32>()) {
+                Some(Ok(n)) if n >= 1 => set_tenants(n),
+                _ => {
+                    eprintln!("--tenants needs a count >= 1, e.g. --tenants 3");
+                    std::process::exit(2);
+                }
+            },
+            "--qos" => set_qos(true),
             flag if flag.starts_with("--") => {
                 eprintln!("unknown flag: {flag}");
                 std::process::exit(2);
@@ -156,9 +170,11 @@ fn main() {
         // section (latency percentiles and all), machine-readable so the
         // perf trajectory can be compared across runs and PRs.
         let record = format!(
-            "{{\"experiment\":\"{}\",\"mode\":\"{}\",{}{}\"elapsed_ms\":{}{}}}",
+            "{{\"experiment\":\"{}\",\"mode\":\"{}\",\"tenants\":{},\"qos\":{},{}{}\"elapsed_ms\":{}{}}}",
             json_escape(id),
             if quick { "quick" } else { "full" },
+            tenant_count(),
+            qos_enabled(),
             faults_field,
             metrics_field,
             elapsed.as_millis(),

@@ -1,4 +1,4 @@
-//! E12 — ablation of Gengar's two mechanisms.
+//! E12A — ablation of Gengar's two mechanisms.
 //!
 //! YCSB-A throughput with each combination of {DRAM cache, proxy writes}
 //! enabled, isolating what each contributes. The paper's shape: the proxy
@@ -14,13 +14,13 @@ use crate::Scale;
 const RECORDS: u64 = 2_000;
 const VALUE_SIZE: u64 = 4096;
 
-/// Runs E12.
+/// Runs E12A.
 pub fn run(scale: Scale) {
     gengar_hybridmem::set_time_scale(1.0);
     let ops = scale.ops(4_000);
 
     let mut table = Table::new(
-        "E12: ablation, YCSB-A throughput",
+        "E12A: ablation, YCSB-A throughput",
         &["configuration", "kops/s", "vs neither"],
     );
     let mut baseline = 0.0f64;

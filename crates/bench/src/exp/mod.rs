@@ -12,7 +12,8 @@ pub mod e08_ycsb_latency;
 pub mod e09_mapreduce;
 pub mod e10_sharing;
 pub mod e11_scalability;
-pub mod e12_ablation;
+pub mod e12_fairness;
+pub mod e12a_ablation;
 
 use std::time::Duration;
 
@@ -24,14 +25,19 @@ use gengar_rdma::FabricConfig;
 
 /// The server configuration every experiment starts from.
 pub fn base_config() -> ServerConfig {
-    ServerConfig {
+    let mut config = ServerConfig {
         nvm_capacity: 128 << 20,
         dram_cache_capacity: 16 << 20,
         epoch: Duration::from_millis(10),
         hot_threshold: 2,
         telemetry: crate::telemetry_config(),
         ..Default::default()
-    }
+    };
+    // `--qos` arms the plane with no budgets on every launched system
+    // (identity plumbing + plane overhead under every experiment); E12
+    // overrides this per phase with real tenant budgets.
+    config.qos.enabled = crate::qos_enabled();
+    config
 }
 
 /// The client configuration every experiment starts from.

@@ -53,6 +53,38 @@ pub fn window_depth() -> u32 {
     WINDOW.load(Ordering::Relaxed)
 }
 
+/// Aggressor-tenant count for the fairness experiment (the harness's
+/// `--tenants N` flag): E12 launches this many aggressor tenants, one
+/// thread each, against the single victim.
+static TENANTS: AtomicU32 = AtomicU32::new(3);
+
+/// Sets the aggressor-tenant count (clamped to at least 1).
+pub fn set_tenants(n: u32) {
+    TENANTS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// The aggressor-tenant count E12 runs with.
+pub fn tenant_count() -> u32 {
+    TENANTS.load(Ordering::Relaxed)
+}
+
+/// Whether the harness's `--qos` flag armed the QoS plane on every
+/// launched Gengar system (no tenant budgets — the plane runs with
+/// unlimited tenants, so this measures plane overhead and exercises the
+/// identity plumbing under every experiment). E12 manages its own
+/// per-phase QoS config and ignores this switch.
+static QOS: AtomicBool = AtomicBool::new(false);
+
+/// Arms (or disarms) the QoS plane for subsequently launched systems.
+pub fn set_qos(enabled: bool) {
+    QOS.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether `--qos` armed the plane.
+pub fn qos_enabled() -> bool {
+    QOS.load(Ordering::Relaxed)
+}
+
 /// Headline metrics the running experiment reports (name → value), drained
 /// by the harness into the per-run `BENCH_<id>.json` snapshot.
 static METRICS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
@@ -172,7 +204,7 @@ pub fn median_ns(iters: u64, mut f: impl FnMut()) -> u64 {
 
 /// All experiment ids, in order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "e1", "e2", "e3", "e4", "e4p", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
+    "e1", "e2", "e3", "e4", "e4p", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e12a",
 ];
 
 /// Runs one experiment by id. Returns `false` for an unknown id.
@@ -190,7 +222,8 @@ pub fn run_experiment(id: &str, scale: Scale) -> bool {
         "e9" => exp::e09_mapreduce::run(scale),
         "e10" => exp::e10_sharing::run(scale),
         "e11" => exp::e11_scalability::run(scale),
-        "e12" => exp::e12_ablation::run(scale),
+        "e12" => exp::e12_fairness::run(scale),
+        "e12a" => exp::e12a_ablation::run(scale),
         _ => return false,
     }
     true

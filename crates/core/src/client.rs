@@ -32,6 +32,7 @@ use crate::hotness::AccessEntry;
 use crate::layout::{decode_slot_header, lockword, OBJ_HEADER, SLOT_HEADER, SLOT_TAIL};
 use crate::proto::{error_for_code, MountInfo, Request, Response, MAX_REPORT};
 use crate::proxy::{StagedFlight, StagingWriter};
+use crate::qos::TenantState;
 use crate::retry::{classify, Disposition, RetryPolicy, RetryState};
 use crate::rpc::{RpcClient, RPC_BUF_BYTES};
 use crate::server::MemoryServer;
@@ -241,6 +242,24 @@ enum GroupPhase {
     /// jittered backoff expires (reconnecting first if the connection
     /// died) while the event loop keeps driving the healthy groups.
     Backoff { resume_at: Instant, reconnect: bool },
+    /// The tenant's QoS budget denied the next issue; the group parks
+    /// until the bucket refills (no retry budget charged — nothing
+    /// failed), then re-enters the phase in `next`. Healthy tenants keep
+    /// flowing while a throttled one queues here.
+    Throttle {
+        resume_at: Instant,
+        next: Box<GroupPhase>,
+    },
+    /// A planned staged-write window waiting to re-enter
+    /// [`GengarClient::post_staged`]: the throttle park carries the plan
+    /// across the wait so the gate is re-charged on wake.
+    PostWrites {
+        resume: usize,
+        plans: Vec<StagedPlan>,
+    },
+    /// A planned read window waiting to re-enter
+    /// [`GengarClient::post_reads`] after a throttle park.
+    PostReads { resume: usize, plans: Vec<ReadPlan> },
     /// Every op resolved (or the recovery budget died trying).
     Done,
 }
@@ -260,6 +279,10 @@ struct GroupRun {
     /// staged window (earlier ones must land first, in order).
     last_write: HashMap<u64, usize>,
     phase: GroupPhase,
+    /// Staged-occupancy bytes this group currently holds reserved against
+    /// the tenant's in-flight cap (released when the flight settles or
+    /// the attempt ends, whichever comes first).
+    staged_reserved: u64,
     group_span: TraceSpan,
     group_ctx: (TraceId, SpanId),
     attempt_span: TraceSpan,
@@ -353,6 +376,10 @@ pub struct GengarClient {
     policy: RetryPolicy,
     /// Per-operation jitter salt (monotonic; deterministic per client).
     op_salt: u64,
+    /// The tenant's shared QoS state when the pool runs with a QoS plane:
+    /// the issue gate charges it before every doorbell and staged windows
+    /// reserve occupancy against it. `None` = QoS off, zero overhead.
+    tenant: Option<Arc<TenantState>>,
     config: ClientConfig,
     metrics: ClientMetrics,
 }
@@ -460,6 +487,22 @@ impl GengarClient {
             conn.op_buf_len = per_conn;
         }
 
+        // Resolve the tenant's QoS handle in-process (the servers share
+        // one plane under `Cluster::launch`). The compact tag rides every
+        // staged record header so the server drain can account durable
+        // bytes to the tenant after the client-visible ack.
+        let tenant = servers
+            .first()
+            .and_then(|s| s.qos_plane())
+            .map(|plane| plane.handle(&config.tenant));
+        if let Some(state) = &tenant {
+            for conn in &mut conns {
+                if let Some(st) = conn.staging.as_mut() {
+                    st.set_tenant_tag(state.tag());
+                }
+            }
+        }
+
         Ok(GengarClient {
             op_salt: u64::from(node.id().0) << 32,
             node,
@@ -477,6 +520,7 @@ impl GengarClient {
             op_hdr,
             wb_checks: 0,
             policy,
+            tenant,
             metrics: ClientMetrics::new(config.telemetry),
             config,
         })
@@ -529,7 +573,9 @@ impl GengarClient {
         channel.proxy.set_op_timeout(attempt);
         let rpc = RpcClient::with_deadline(channel.rpc, rpc_mr, config.op_deadline);
 
-        let mount = match rpc.call(&Request::Mount)? {
+        let mount = match rpc.call(&Request::Mount {
+            tenant: config.tenant.clone(),
+        })? {
             Response::Mount(m) => m,
             Response::Err { code } => return Err(error_for_code(code, 0)),
             _ => return Err(GengarError::ProtocolViolation("bad mount response")),
@@ -724,6 +770,11 @@ impl GengarClient {
         conn.rpc = hs.rpc;
         conn.data = hs.data;
         conn.staging = hs.staging;
+        // The fresh ring starts untagged; restamp the tenant tag so
+        // post-reconnect staged records keep their drain accounting.
+        if let (Some(state), Some(st)) = (self.tenant.as_ref(), conn.staging.as_mut()) {
+            st.set_tenant_tag(state.tag());
+        }
         conn.staging_faults = 0;
         conn.degraded = false;
 
@@ -1149,10 +1200,24 @@ impl GengarClient {
                         conn.degraded,
                     )
                 };
-                if fits_proxy && !degraded {
+                // Staged-occupancy admission: a tenant at its in-flight
+                // cap sheds this write to the direct path (slower, but it
+                // does not queue more into the shared ring); a payload
+                // that could never fit the cap always sheds.
+                let shed = fits_proxy
+                    && !degraded
+                    && self.tenant.as_ref().is_some_and(|t| {
+                        let need = data.len() as u64;
+                        let admitted = t.staged_fits(need) && t.try_reserve_staged(need);
+                        if !admitted {
+                            t.note_staged_shed();
+                        }
+                        !admitted
+                    });
+                if fits_proxy && !degraded && !shed {
                     let target = ptr.addr.add(offset).raw();
                     let threshold = self.config.staging_fault_threshold;
-                    let seq = {
+                    let staged = {
                         let conn = self.conn_mut(server)?;
                         let staged = conn
                             .staging
@@ -1162,7 +1227,7 @@ impl GengarClient {
                         match staged {
                             Ok(seq) => {
                                 conn.staging_faults = 0;
-                                seq
+                                Ok(seq)
                             }
                             Err(e) => {
                                 // Track consecutive ring failures; past the
@@ -1172,10 +1237,16 @@ impl GengarClient {
                                 if conn.staging_faults >= threshold {
                                     conn.degraded = true;
                                 }
-                                return Err(e);
+                                Err(e)
                             }
                         }
                     };
+                    // A scalar stage settles at return (acknowledged or
+                    // failed): hand the occupancy reservation back.
+                    if let Some(t) = &self.tenant {
+                        t.release_staged(data.len() as u64);
+                    }
+                    let seq = staged?;
                     self.write_back.insert(
                         base,
                         WriteBack {
@@ -1390,6 +1461,7 @@ impl GengarClient {
                     pending_at_start: 0,
                     last_write: HashMap::new(),
                     phase: GroupPhase::Done,
+                    staged_reserved: 0,
                     group_span,
                     group_ctx,
                     attempt_span: TraceSpan::disabled(),
@@ -1506,6 +1578,34 @@ impl GengarClient {
                         }
                     }
                     self.start_attempt(run, ops, results);
+                }
+                GroupPhase::Throttle { resume_at, next } => {
+                    if Instant::now() < resume_at {
+                        run.phase = GroupPhase::Throttle { resume_at, next };
+                        return (progressed, Some(resume_at));
+                    }
+                    progressed = true;
+                    run.phase = *next;
+                }
+                GroupPhase::PostWrites { resume, plans } => {
+                    progressed = true;
+                    let outcome = {
+                        let _ctx = adopt(run.attempt_ctx.0, run.attempt_ctx.1);
+                        self.post_staged(run, resume, plans, ops)
+                    };
+                    if let Err(e) = outcome {
+                        self.end_attempt(run, e, results);
+                    }
+                }
+                GroupPhase::PostReads { resume, plans } => {
+                    progressed = true;
+                    let outcome = {
+                        let _ctx = adopt(run.attempt_ctx.0, run.attempt_ctx.1);
+                        self.post_reads(run, resume, plans, ops)
+                    };
+                    if let Err(e) = outcome {
+                        self.end_attempt(run, e, results);
+                    }
                 }
                 GroupPhase::Writes { cursor } => {
                     progressed = true;
@@ -1736,6 +1836,14 @@ impl GengarClient {
         err: GengarError,
         results: &mut [Option<Result<(), GengarError>>],
     ) {
+        // A failed attempt abandons any in-flight staged window; hand its
+        // occupancy reservation back so the tenant's cap cannot leak.
+        if run.staged_reserved > 0 {
+            if let Some(tenant) = &self.tenant {
+                tenant.release_staged(run.staged_reserved);
+            }
+            run.staged_reserved = 0;
+        }
         run.attempt_span = TraceSpan::disabled();
         let _ctx = adopt(run.group_ctx.0, run.group_ctx.1);
         let policy = self.policy;
@@ -1856,7 +1964,17 @@ impl GengarClient {
                 _ => (0, 0, 0, conn.op_buf),
             }
         };
+        // A tenant with a staged-occupancy cap never plans a window larger
+        // than the cap: an oversize window could never reserve, so it
+        // would park forever. Oversize single payloads take the scalar
+        // path, which sheds them to the direct write.
+        let tenant_cap = self
+            .tenant
+            .as_ref()
+            .map(|t| t.spec().staged_bytes_cap)
+            .filter(|&cap| cap > 0);
         let mut staged: Vec<StagedPlan> = Vec::new();
+        let mut staged_bytes: u64 = 0;
         let mut cursor = cursor;
         while cursor < run.indices.len() {
             let i = run.indices[cursor];
@@ -1872,7 +1990,17 @@ impl GengarClient {
                 }
             };
             let base = ptr.addr.raw();
-            if stage_cap > 0 && run.last_write.get(&base) == Some(&i) && data_len <= max_payload {
+            if stage_cap > 0
+                && run.last_write.get(&base) == Some(&i)
+                && data_len <= max_payload
+                && tenant_cap.is_none_or(|cap| data_len <= cap)
+            {
+                if tenant_cap.is_some_and(|cap| staged_bytes + data_len > cap) {
+                    // The occupancy cap bounds one window; post what is
+                    // planned and resume here, unadvanced.
+                    return self.post_staged(run, cursor, staged, ops);
+                }
+                staged_bytes += data_len;
                 staged.push(StagedPlan {
                     idx: i,
                     target_raw: ptr.addr.add(offset).raw(),
@@ -1890,6 +2018,17 @@ impl GengarClient {
                 // reuses the scratch lanes). Resume here, unadvanced.
                 return self.post_staged(run, cursor, staged, ops);
             } else {
+                // Issue gate: a dry tenant bucket parks the group (no
+                // retry budget charged) and the walk resumes right here.
+                if let Some(tenant) = &self.tenant {
+                    if let Err(wake) = tenant.issue_admit(1, data_len) {
+                        run.phase = GroupPhase::Throttle {
+                            resume_at: wake,
+                            next: Box::new(GroupPhase::Writes { cursor }),
+                        };
+                        return Ok(());
+                    }
+                }
                 let data: &[u8] = match &ops[i] {
                     BatchOp::Write { data, .. } => data,
                     _ => unreachable!("matched above"),
@@ -1919,6 +2058,38 @@ impl GengarClient {
         plans: Vec<StagedPlan>,
         ops: &[BatchOp<'_>],
     ) -> Result<(), GengarError> {
+        if let Some(tenant) = &self.tenant {
+            let bytes: u64 = plans
+                .iter()
+                .map(|p| match &ops[p.idx] {
+                    BatchOp::Write { data, .. } => data.len() as u64,
+                    _ => 0,
+                })
+                .sum();
+            // Occupancy admission first: the planner never builds a
+            // window larger than the cap, so a failed reserve means other
+            // flights hold the budget — park briefly until they settle
+            // and release, re-entering here.
+            if !tenant.try_reserve_staged(bytes) {
+                run.phase = GroupPhase::Throttle {
+                    resume_at: Instant::now() + Duration::from_micros(20),
+                    next: Box::new(GroupPhase::PostWrites { resume, plans }),
+                };
+                return Ok(());
+            }
+            // Token gate: weighted rate/bandwidth charge. A dry bucket
+            // parks until its refill instant, handing the occupancy
+            // reservation back (both gates re-run on wake).
+            if let Err(wake) = tenant.issue_admit(plans.len() as u64, bytes) {
+                tenant.release_staged(bytes);
+                run.phase = GroupPhase::Throttle {
+                    resume_at: wake,
+                    next: Box::new(GroupPhase::PostWrites { resume, plans }),
+                };
+                return Ok(());
+            }
+            run.staged_reserved += bytes;
+        }
         let full = {
             let conn = self.conn(run.server)?;
             let st = conn.staging.as_ref().expect("planned on a staging ring");
@@ -2004,6 +2175,14 @@ impl GengarClient {
         ops: &[BatchOp<'_>],
         results: &mut [Option<Result<(), GengarError>>],
     ) -> Result<(), GengarError> {
+        // The flight has settled (acknowledged or failed per record):
+        // its staged-occupancy reservation is done either way.
+        if run.staged_reserved > 0 {
+            if let Some(tenant) = &self.tenant {
+                tenant.release_staged(run.staged_reserved);
+            }
+            run.staged_reserved = 0;
+        }
         let outcomes = {
             let conn = self.conn_mut(run.server)?;
             conn.staging
@@ -2132,6 +2311,17 @@ impl GengarClient {
                     // Resume here, unadvanced.
                     return self.post_reads(run, cursor, plans, ops);
                 }
+                // Issue gate: a dry tenant bucket parks the group and the
+                // read walk resumes right here.
+                if let Some(tenant) = &self.tenant {
+                    if let Err(wake) = tenant.issue_admit(1, buf_len) {
+                        run.phase = GroupPhase::Throttle {
+                            resume_at: wake,
+                            next: Box::new(GroupPhase::Reads { cursor }),
+                        };
+                        return Ok(());
+                    }
+                }
                 let outcome = {
                     let buf = match &mut ops[i] {
                         BatchOp::Read { buf, .. } => &mut **buf,
@@ -2173,6 +2363,28 @@ impl GengarClient {
         plans: Vec<ReadPlan>,
         ops: &[BatchOp<'_>],
     ) -> Result<(), GengarError> {
+        // Issue gate: charge the window's ops and wire bytes (cache-frame
+        // fetches pull the whole frame); a dry bucket parks the group and
+        // re-enters here (`PostReads`) on wake.
+        if let Some(tenant) = &self.tenant {
+            let bytes: u64 = plans
+                .iter()
+                .map(|p| match p.cached {
+                    Some(_) => SLOT_HEADER + p.ptr.size + SLOT_TAIL,
+                    None => match &ops[p.idx] {
+                        BatchOp::Read { buf, .. } => buf.len() as u64,
+                        _ => 0,
+                    },
+                })
+                .sum();
+            if let Err(wake) = tenant.issue_admit(plans.len() as u64, bytes) {
+                run.phase = GroupPhase::Throttle {
+                    resume_at: wake,
+                    next: Box::new(GroupPhase::PostReads { resume, plans }),
+                };
+                return Ok(());
+            }
+        }
         let mr_lkey = self.mr.lkey();
         let conn = self.conn(run.server)?;
         let (nvm_rkey, cache_rkey) = (conn.nvm_rkey(), conn.cache_rkey());

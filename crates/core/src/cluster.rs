@@ -2,11 +2,12 @@
 
 use std::sync::Arc;
 
-use gengar_rdma::{Fabric, FabricConfig};
+use gengar_rdma::{Fabric, FabricConfig, QosPolicy};
 
 use crate::client::GengarClient;
 use crate::config::{ClientConfig, ServerConfig};
 use crate::error::GengarError;
+use crate::qos::QosPlane;
 use crate::server::MemoryServer;
 
 /// A fabric plus a set of memory servers, wired up and running.
@@ -51,15 +52,26 @@ impl Cluster {
     pub fn launch(
         n: usize,
         server_config: ServerConfig,
-        fabric_config: FabricConfig,
+        mut fabric_config: FabricConfig,
     ) -> Result<Cluster, GengarError> {
+        // One QoS plane spans the whole cluster: every server binds
+        // sessions into it and the fabric consults it as the admission
+        // backstop, so a tenant's budget is global, not per server.
+        let qos = server_config
+            .qos
+            .enabled
+            .then(|| QosPlane::new(server_config.qos.clone(), server_config.telemetry));
+        if let Some(plane) = &qos {
+            fabric_config.qos = Some(Arc::clone(plane) as Arc<dyn QosPolicy>);
+        }
         let fabric = Fabric::new(fabric_config);
         let mut servers = Vec::with_capacity(n);
         for id in 0..n {
-            servers.push(MemoryServer::launch(
+            servers.push(MemoryServer::launch_with_qos(
                 &fabric,
                 id as u8,
                 server_config.clone(),
+                qos.clone(),
             )?);
         }
         Ok(Cluster {
@@ -67,6 +79,11 @@ impl Cluster {
             servers,
             client_config: ClientConfig::default(),
         })
+    }
+
+    /// The cluster's shared QoS plane, when QoS is enabled.
+    pub fn qos_plane(&self) -> Option<&Arc<QosPlane>> {
+        self.servers.first().and_then(|s| s.qos_plane())
     }
 
     /// Changes the default configuration handed to new clients.

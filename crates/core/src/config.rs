@@ -7,6 +7,8 @@ use gengar_hybridmem::DeviceProfile;
 use gengar_telemetry::TelemetryConfig;
 use serde::{Deserialize, Serialize};
 
+use crate::qos::QosConfig;
+
 /// Consistency level for shared objects.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Consistency {
@@ -54,6 +56,10 @@ pub struct ServerConfig {
     /// Whether server-side metrics (cache, proxy, hotness) are recorded
     /// into the global telemetry registry.
     pub telemetry: TelemetryConfig,
+    /// Multi-tenant QoS plane (tenant budgets, admission control).
+    /// Disabled by default: no plane is built and no path pays for it.
+    #[serde(default)]
+    pub qos: QosConfig,
 }
 
 impl Default for ServerConfig {
@@ -75,6 +81,7 @@ impl Default for ServerConfig {
             crash_sim: false,
             proxy_threads: 2,
             telemetry: TelemetryConfig::default(),
+            qos: QosConfig::default(),
         }
     }
 }
@@ -151,6 +158,17 @@ pub struct ClientConfig {
     /// Whether client-side metrics (per-op latency, stats counters) are
     /// recorded into the global telemetry registry.
     pub telemetry: TelemetryConfig,
+    /// Tenant this client authenticates as: sent in the Mount handshake,
+    /// bound server-side for RPC throttling and fabric admission, and
+    /// used client-side to pace at the QoS issue gate. Clients of the
+    /// same tenant share one budget.
+    #[serde(default = "default_tenant")]
+    pub tenant: String,
+}
+
+/// The implicit tenant for configs that never set one.
+fn default_tenant() -> String {
+    "default".to_owned()
 }
 
 impl Default for ClientConfig {
@@ -169,6 +187,7 @@ impl Default for ClientConfig {
             staging_fault_threshold: 3,
             window_depth: 16,
             telemetry: TelemetryConfig::default(),
+            tenant: default_tenant(),
         }
     }
 }
@@ -190,6 +209,8 @@ mod tests {
         assert!(c.retry_backoff <= c.retry_backoff_max);
         assert!(c.max_retries > 0 && c.staging_fault_threshold > 0);
         assert!(c.window_depth >= 1);
+        assert_eq!(c.tenant, "default");
+        assert!(!s.qos.enabled, "QoS must be opt-in");
     }
 
     #[test]

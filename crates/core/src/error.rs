@@ -58,6 +58,9 @@ pub enum GengarError {
     Memory(HybridMemError),
     /// The server is shutting down or unreachable.
     ServerUnavailable(u8),
+    /// The tenant is over its QoS budget; the op should back off and
+    /// retry (the retry machinery classifies this as retryable).
+    Throttled,
 }
 
 impl fmt::Display for GengarError {
@@ -94,6 +97,7 @@ impl fmt::Display for GengarError {
             GengarError::Rdma(e) => write!(f, "rdma error: {e}"),
             GengarError::Memory(e) => write!(f, "memory error: {e}"),
             GengarError::ServerUnavailable(id) => write!(f, "server {id} unavailable"),
+            GengarError::Throttled => write!(f, "tenant over QoS budget (throttled)"),
         }
     }
 }

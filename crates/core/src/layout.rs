@@ -22,11 +22,14 @@ pub const SLOT_HEADER: u64 = 32;
 pub const SLOT_TAIL: u64 = 8;
 
 /// Staged-record header in a proxy ring slot:
-/// `[seq u64][addr u64][len u64][checksum u64][trace u64]`. The trailing
-/// trace word carries the originating op's trace id across the
+/// `[seq u64][addr u64][len u64][checksum u64][trace u64][tenant u32][pad u32]`.
+/// The trace word carries the originating op's trace id across the
 /// client→proxy→drain handoff, so the server's asynchronous NVM drain can
-/// open a span in the same causal trace (0 = untraced record).
-pub const RECORD_HEADER: u64 = 40;
+/// open a span in the same causal trace (0 = untraced record). The tenant
+/// word carries the compact QoS tenant tag so the drain can account
+/// durable bytes to the tenant after the client-visible ack (0 = no
+/// tenant / QoS off).
+pub const RECORD_HEADER: u64 = 48;
 
 /// FNV-1a 64-bit hash, used as the torn-read/torn-record checksum.
 ///
@@ -118,13 +121,23 @@ pub fn decode_slot_header(buf: &[u8]) -> SlotHeader {
     }
 }
 
-/// Encodes a staged-record header into `out[0..40]`.
-pub fn encode_record_header(out: &mut [u8], seq: u64, addr: u64, len: u64, cksum: u64, trace: u64) {
+/// Encodes a staged-record header into `out[0..48]`.
+pub fn encode_record_header(
+    out: &mut [u8],
+    seq: u64,
+    addr: u64,
+    len: u64,
+    cksum: u64,
+    trace: u64,
+    tenant: u32,
+) {
     out[0..8].copy_from_slice(&seq.to_le_bytes());
     out[8..16].copy_from_slice(&addr.to_le_bytes());
     out[16..24].copy_from_slice(&len.to_le_bytes());
     out[24..32].copy_from_slice(&cksum.to_le_bytes());
     out[32..40].copy_from_slice(&trace.to_le_bytes());
+    out[40..44].copy_from_slice(&tenant.to_le_bytes());
+    out[44..48].fill(0);
 }
 
 /// A decoded staged-record header.
@@ -140,16 +153,19 @@ pub struct RecordHeader {
     pub checksum: u64,
     /// Trace id of the originating client op (0 = untraced).
     pub trace: u64,
+    /// Compact QoS tenant tag (0 = no tenant / QoS off).
+    pub tenant: u32,
 }
 
-/// Decodes a staged-record header from `buf[0..40]`.
+/// Decodes a staged-record header from `buf[0..48]`.
 pub fn decode_record_header(buf: &[u8]) -> RecordHeader {
     RecordHeader {
-        seq: u64::from_le_bytes(buf[0..8].try_into().expect("40-byte header")),
-        addr: u64::from_le_bytes(buf[8..16].try_into().expect("40-byte header")),
-        len: u64::from_le_bytes(buf[16..24].try_into().expect("40-byte header")),
-        checksum: u64::from_le_bytes(buf[24..32].try_into().expect("40-byte header")),
-        trace: u64::from_le_bytes(buf[32..40].try_into().expect("40-byte header")),
+        seq: u64::from_le_bytes(buf[0..8].try_into().expect("48-byte header")),
+        addr: u64::from_le_bytes(buf[8..16].try_into().expect("48-byte header")),
+        len: u64::from_le_bytes(buf[16..24].try_into().expect("48-byte header")),
+        checksum: u64::from_le_bytes(buf[24..32].try_into().expect("48-byte header")),
+        trace: u64::from_le_bytes(buf[32..40].try_into().expect("48-byte header")),
+        tenant: u32::from_le_bytes(buf[40..44].try_into().expect("48-byte header")),
     }
 }
 
@@ -199,12 +215,13 @@ mod tests {
     #[test]
     fn record_header_roundtrip() {
         let mut buf = [0u8; RECORD_HEADER as usize];
-        encode_record_header(&mut buf, 9, 0x0100_0000_0000_0040, 128, 77, 0xC0FFEE);
+        encode_record_header(&mut buf, 9, 0x0100_0000_0000_0040, 128, 77, 0xC0FFEE, 5);
         let h = decode_record_header(&buf);
         assert_eq!(h.seq, 9);
         assert_eq!(h.addr, 0x0100_0000_0000_0040);
         assert_eq!(h.len, 128);
         assert_eq!(h.checksum, 77);
         assert_eq!(h.trace, 0xC0FFEE);
+        assert_eq!(h.tenant, 5);
     }
 }

@@ -52,6 +52,7 @@ pub mod layout;
 pub mod pool;
 pub mod proto;
 pub mod proxy;
+pub mod qos;
 pub mod retry;
 pub mod rpc;
 pub mod server;
@@ -64,6 +65,7 @@ pub use cluster::Cluster;
 pub use config::{ClientConfig, Consistency, ServerConfig};
 pub use error::GengarError;
 pub use pool::DshmPool;
+pub use qos::{QosConfig, QosPlane, TenantSpec, TokenBucket};
 pub use retry::{Disposition, RetryPolicy};
 pub use server::MemoryServer;
 

@@ -15,11 +15,19 @@ pub const MAX_MSG: usize = 4096;
 /// Maximum access-report entries per message.
 pub const MAX_REPORT: usize = 128;
 
+/// Maximum tenant-name bytes carried in a `Mount` request. Longer names
+/// are truncated on encode (a config error, not a wire hazard).
+pub const MAX_TENANT: usize = 64;
+
 /// Client-to-server requests.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
-    /// Learn the server's exported regions and feature flags.
-    Mount,
+    /// Learn the server's exported regions and feature flags, declaring
+    /// the tenant this connection bills to (QoS identity).
+    Mount {
+        /// Tenant name (see [`crate::config::ClientConfig::tenant`]).
+        tenant: String,
+    },
     /// Allocate an object with `size` payload bytes.
     Alloc {
         /// Payload size in bytes.
@@ -155,6 +163,8 @@ pub mod err_code {
     pub const NO_CAPACITY: u16 = 5;
     /// Malformed request.
     pub const BAD_REQUEST: u16 = 6;
+    /// Tenant over its QoS budget; retry after backing off.
+    pub const THROTTLED: u16 = 7;
 }
 
 /// Maps an error-code response to the client-visible error.
@@ -169,6 +179,7 @@ pub fn error_for_code(code: u16, requested: u64) -> GengarError {
             GengarError::ProtocolViolation("server rejected address")
         }
         err_code::NO_CAPACITY => GengarError::ProtocolViolation("server at client capacity"),
+        err_code::THROTTLED => GengarError::Throttled,
         _ => GengarError::ProtocolViolation("unknown error code"),
     }
 }
@@ -229,7 +240,7 @@ const RESP_ERR: u8 = 135;
 impl Request {
     fn tag(&self) -> u8 {
         match self {
-            Request::Mount => REQ_MOUNT,
+            Request::Mount { .. } => REQ_MOUNT,
             Request::Alloc { .. } => REQ_ALLOC,
             Request::Free { .. } => REQ_FREE,
             Request::OpenStaging => REQ_OPEN_STAGING,
@@ -249,7 +260,13 @@ impl Request {
         buf.put_u64_le(ctx.trace);
         buf.put_u64_le(ctx.parent);
         match self {
-            Request::Mount | Request::OpenStaging => {}
+            Request::OpenStaging => {}
+            Request::Mount { tenant } => {
+                let name = tenant.as_bytes();
+                let n = name.len().min(MAX_TENANT);
+                buf.put_u16_le(n as u16);
+                buf.put_slice(&name[..n]);
+            }
             Request::Alloc { size } => buf.put_u64_le(*size),
             Request::Free { addr } => buf.put_u64_le(*addr),
             Request::Report { entries } => {
@@ -298,7 +315,20 @@ impl Request {
             parent: buf.get_u64_le(),
         };
         let req = match tag {
-            REQ_MOUNT => Request::Mount,
+            REQ_MOUNT => {
+                if buf.remaining() < 2 {
+                    return Err(malformed);
+                }
+                let n = buf.get_u16_le() as usize;
+                if n > MAX_TENANT || buf.remaining() < n {
+                    return Err(malformed);
+                }
+                let mut name = vec![0u8; n];
+                buf.copy_to_slice(&mut name);
+                let tenant = String::from_utf8(name)
+                    .map_err(|_| GengarError::ProtocolViolation("tenant name not utf-8"))?;
+                Request::Mount { tenant }
+            }
             REQ_ALLOC => {
                 if buf.remaining() < 8 {
                     return Err(malformed);
@@ -520,7 +550,12 @@ mod tests {
 
     #[test]
     fn request_roundtrips() {
-        roundtrip_req(Request::Mount);
+        roundtrip_req(Request::Mount {
+            tenant: "default".to_owned(),
+        });
+        roundtrip_req(Request::Mount {
+            tenant: String::new(),
+        });
         roundtrip_req(Request::Alloc { size: 12345 });
         roundtrip_req(Request::Free { addr: u64::MAX / 3 });
         roundtrip_req(Request::OpenStaging);
@@ -634,9 +669,30 @@ mod tests {
         );
         // An untraced caller encodes the zero context.
         let mut buf = Vec::new();
-        Request::Mount.encode(&mut buf);
+        Request::OpenStaging.encode(&mut buf);
         let (_, ctx) = Request::decode_traced(&buf).unwrap();
         assert_eq!(ctx, TraceCtx::default());
+    }
+
+    #[test]
+    fn oversized_tenant_truncated_on_encode() {
+        let mut buf = Vec::new();
+        Request::Mount {
+            tenant: "t".repeat(MAX_TENANT + 30),
+        }
+        .encode(&mut buf);
+        match Request::decode(&buf).unwrap() {
+            Request::Mount { tenant } => assert_eq!(tenant.len(), MAX_TENANT),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn throttled_code_maps_to_throttled_error() {
+        assert!(matches!(
+            error_for_code(err_code::THROTTLED, 0),
+            GengarError::Throttled
+        ));
     }
 
     #[test]

@@ -119,6 +119,9 @@ pub struct StagingWriter {
     /// Patience of [`StagingWriter::wait_drained`] before it reports the
     /// drain as stalled.
     drain_deadline: Duration,
+    /// Compact QoS tenant tag stamped into every record header so the
+    /// server drain can account durable bytes per tenant (0 = QoS off).
+    tenant_tag: u32,
     /// `proxy.*` handles: in-flight ring occupancy, staged-record count,
     /// ring-full stalls and staging latency.
     occupancy: GaugeHandle,
@@ -157,6 +160,7 @@ impl StagingWriter {
             in_flight: VecDeque::new(),
             drained: 0,
             drain_deadline: DEFAULT_DRAIN_DEADLINE,
+            tenant_tag: 0,
             occupancy: tel.gauge("proxy", "ring_occupancy"),
             staged: tel.counter("proxy", "staged_records"),
             ring_full_waits: tel.counter("proxy", "ring_full_waits"),
@@ -187,6 +191,11 @@ impl StagingWriter {
     /// Adjusts the patience of [`StagingWriter::wait_drained`].
     pub fn set_drain_deadline(&mut self, deadline: Duration) {
         self.drain_deadline = deadline;
+    }
+
+    /// Sets the QoS tenant tag stamped into subsequent record headers.
+    pub fn set_tenant_tag(&mut self, tag: u32) {
+        self.tenant_tag = tag;
     }
 
     /// Sequence number the next staged write will use.
@@ -241,6 +250,7 @@ impl StagingWriter {
             data.len() as u64,
             checksum(data),
             trace,
+            self.tenant_tag,
         );
         self.scratch.region().write(self.scratch_off, &header)?;
         self.scratch
@@ -378,6 +388,7 @@ impl StagingWriter {
                 data.len() as u64,
                 checksum(data),
                 trace,
+                self.tenant_tag,
             );
             self.scratch.region().write(gather_off, &header)?;
             self.scratch

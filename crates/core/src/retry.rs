@@ -5,9 +5,11 @@
 //! When an attempt fails, [`classify`] decides what the failure means:
 //!
 //! * [`Disposition::Retry`] — transient; the connection is still usable.
-//!   Today that is exactly [`RdmaError::Timeout`]: a verb was posted, no
-//!   completion arrived in time, and the queue pair is still in RTS (the
-//!   request was lost in flight). Re-posting on the same QP is safe.
+//!   [`RdmaError::Timeout`]: a verb was posted, no completion arrived in
+//!   time, and the queue pair is still in RTS (the request was lost in
+//!   flight) — re-posting on the same QP is safe. And
+//!   [`GengarError::Throttled`]: the tenant is over its QoS budget and the
+//!   bucket refills with time.
 //! * [`Disposition::Reconnect`] — the connection is broken. Error
 //!   completions move the QP to the Error state, so every later verb on it
 //!   is doomed; the client must re-run the mount handshake on fresh queue
@@ -50,6 +52,10 @@ pub enum Disposition {
 pub fn classify(err: &GengarError) -> Disposition {
     match err {
         GengarError::Rdma(RdmaError::Timeout) => Disposition::Retry,
+        // Over-budget tenants should back off and retry on the same
+        // connection: the token bucket refills with time, nothing about
+        // the connection is broken.
+        GengarError::Throttled => Disposition::Retry,
         GengarError::Rdma(
             RdmaError::QpError(_)
             | RdmaError::CompletionError(_)
@@ -213,6 +219,7 @@ mod tests {
         use Disposition::*;
         let cases: Vec<(GengarError, Disposition)> = vec![
             (GengarError::Rdma(RdmaError::Timeout), Retry),
+            (GengarError::Throttled, Retry),
             (
                 GengarError::Rdma(RdmaError::QpError(WcStatus::RnrRetryExceeded)),
                 Reconnect,

@@ -285,7 +285,7 @@ mod tests {
         });
         let resp = client.call(&Request::Alloc { size: 21 }).unwrap();
         assert_eq!(resp, Response::Alloc { addr: 42 });
-        let resp = client.call(&Request::Mount).unwrap();
+        let resp = client.call(&Request::OpenStaging).unwrap();
         assert_eq!(resp, Response::Ok);
         shutdown.store(true, Ordering::Relaxed);
         t.join().unwrap();
@@ -304,7 +304,7 @@ mod tests {
             });
         });
         for i in 1..=100u64 {
-            let resp = client.call(&Request::Mount).unwrap();
+            let resp = client.call(&Request::OpenStaging).unwrap();
             assert_eq!(resp, Response::Durable { seq: i });
         }
         shutdown.store(true, Ordering::Relaxed);

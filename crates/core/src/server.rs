@@ -34,6 +34,7 @@ use crate::hotness::HotnessMonitor;
 use crate::layout::{checksum, decode_record_header, lockword, OBJ_HEADER};
 use crate::proto::{err_code, MountInfo, RemapUpdate, Request, Response};
 use crate::proxy::RingLayout;
+use crate::qos::QosPlane;
 use crate::rpc::{RpcServerConn, RPC_BUF_BYTES};
 
 /// Everything a client needs after [`MemoryServer::accept`]: three
@@ -118,6 +119,8 @@ pub(crate) struct ServerInner {
     /// by client id so each ring's records drain in order.
     proxy_recv_cqs: Vec<Arc<CompletionQueue>>,
     metrics: ServerMetrics,
+    /// The cluster's QoS plane (shared across servers); `None` = QoS off.
+    qos: Option<Arc<QosPlane>>,
     shutdown: AtomicBool,
 }
 
@@ -151,6 +154,28 @@ impl MemoryServer {
         fabric: &Arc<Fabric>,
         id: u8,
         config: ServerConfig,
+    ) -> Result<Arc<MemoryServer>, GengarError> {
+        // A standalone server owns a private plane; clusters pass a shared
+        // one through `launch_with_qos` so tenants span servers.
+        let qos = config
+            .qos
+            .enabled
+            .then(|| QosPlane::new(config.qos.clone(), config.telemetry));
+        Self::launch_with_qos(fabric, id, config, qos)
+    }
+
+    /// Like [`MemoryServer::launch`], but with an explicit (typically
+    /// cluster-shared) QoS plane. `None` disables QoS for this server
+    /// regardless of `config.qos.enabled`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device/region/registration failures.
+    pub fn launch_with_qos(
+        fabric: &Arc<Fabric>,
+        id: u8,
+        config: ServerConfig,
+        qos: Option<Arc<QosPlane>>,
     ) -> Result<Arc<MemoryServer>, GengarError> {
         let node = fabric.add_node();
         let pd = node.alloc_pd();
@@ -235,6 +260,7 @@ impl MemoryServer {
                 .map(|_| Arc::new(CompletionQueue::new(65_536)))
                 .collect(),
             metrics: ServerMetrics::new(config.telemetry),
+            qos,
             shutdown: AtomicBool::new(false),
             config,
             node,
@@ -350,6 +376,11 @@ impl MemoryServer {
                 }
             }
         };
+        // Register the pending session with the QoS plane before anything
+        // can fail: a handshake that dies pre-Mount still releases cleanly.
+        if let Some(plane) = &inner.qos {
+            plane.connect(inner.id, cid, client_node.id());
+        }
 
         // Control-plane pair + its message buffer and serving thread.
         let (c_rpc, mut s_rpc) = Endpoint::pair(
@@ -427,12 +458,24 @@ impl MemoryServer {
     /// and watermark slots are handed verbatim to the next client, which is
     /// safe exactly because nothing was ever written under the old tenure.
     pub fn release_client(&self, cid: u32) {
+        // Drop the QoS session first: the tenant's limiter buckets are
+        // refcounted by live sessions, so a reconnect storm of failed
+        // handshakes frees exactly what it bound (no bucket leak).
+        if let Some(plane) = &self.inner.qos {
+            plane.release(self.inner.id, cid);
+        }
         let mut clients = self.inner.clients.lock();
         clients.proxy_clients.retain(|_, c| *c != cid);
         clients.proxy_qps.remove(&cid);
         if !clients.free_ids.contains(&cid) {
             clients.free_ids.push(cid);
         }
+    }
+
+    /// The QoS plane this server enforces, when QoS is enabled. Clients
+    /// use it to pace at the issue gate and to learn their tenant tag.
+    pub fn qos_plane(&self) -> Option<&Arc<QosPlane>> {
+        self.inner.qos.as_ref()
     }
 
     /// Whether the server is serving (background threads alive, new
@@ -621,6 +664,16 @@ impl ServerInner {
                         nvm.flush(wm_off, 8)?;
                         self.ctl_mr.region().store_u64(cid as u64 * 8, rec.seq)?;
                         self.metrics.drained_records.inc();
+                        // Per-tenant durable-byte accounting: the record
+                        // header carries the tenant tag across the
+                        // client→drain handoff (0 = QoS off).
+                        if rec.tenant != 0 {
+                            if let Some(plane) = &self.qos {
+                                if let Some(t) = plane.tenant_by_tag(rec.tenant) {
+                                    t.note_drained(rec.len);
+                                }
+                            }
+                        }
                     }
                 }
             }
@@ -688,19 +741,40 @@ impl ServerInner {
     /// Control-plane request dispatch (RPC threads).
     fn handle(&self, cid: u32, req: Request) -> Response {
         self.metrics.rpc_requests.inc();
+        // QoS enforcement on the RPC path: every post-handshake request
+        // charges the tenant's enforcement-margin ops bucket. Handshake
+        // requests (Mount, OpenStaging) pass free so throttling never
+        // starves reconnects. Over-budget tenants get THROTTLED, which the
+        // client classifies as retryable and backs off.
+        if let Some(plane) = &self.qos {
+            if !matches!(req, Request::Mount { .. } | Request::OpenStaging) {
+                if let Some(tenant) = plane.tenant_of(self.id, cid) {
+                    if !tenant.rpc_admit() {
+                        return Response::Err {
+                            code: err_code::THROTTLED,
+                        };
+                    }
+                }
+            }
+        }
         match req {
-            Request::Mount => Response::Mount(MountInfo {
-                server_id: self.id,
-                nvm_rkey: self.nvm_mr.rkey().0,
-                cache_rkey: self.cache_mr.rkey().0,
-                staging_rkey: self.staging_mr.rkey().0,
-                ctl_rkey: self.ctl_mr.rkey().0,
-                nvm_capacity: self.config.nvm_capacity,
-                enable_cache: self.config.enable_cache,
-                enable_proxy: self.config.enable_proxy,
-                slot_payload: self.ring.slot_payload,
-                slots_per_ring: self.ring.slots,
-            }),
+            Request::Mount { tenant } => {
+                if let Some(plane) = &self.qos {
+                    plane.bind(self.id, cid, &tenant);
+                }
+                Response::Mount(MountInfo {
+                    server_id: self.id,
+                    nvm_rkey: self.nvm_mr.rkey().0,
+                    cache_rkey: self.cache_mr.rkey().0,
+                    staging_rkey: self.staging_mr.rkey().0,
+                    ctl_rkey: self.ctl_mr.rkey().0,
+                    nvm_capacity: self.config.nvm_capacity,
+                    enable_cache: self.config.enable_cache,
+                    enable_proxy: self.config.enable_proxy,
+                    slot_payload: self.ring.slot_payload,
+                    slots_per_ring: self.ring.slots,
+                })
+            }
             Request::Alloc { size } => self.handle_alloc(size),
             Request::Free { addr } => self.handle_free(addr),
             Request::OpenStaging => Response::Staging {

@@ -458,6 +458,129 @@ fn chaos_windowed_batches_settle() {
     }
 }
 
+/// An aggressor tenant hammering through a flapping link, with the QoS
+/// plane enabled, must not disturb a victim tenant on the same server:
+/// every victim operation succeeds first time and on time, the victim's
+/// shadow model settles exactly, and the aggressor's staged writes — the
+/// ones that were acknowledged between flaps — are never lost either.
+#[test]
+fn chaos_qos_aggressor_on_flapping_link_spares_victim() {
+    use gengar_core::qos::TenantSpec;
+    use gengar_rdma::PartitionFlap;
+
+    arm_flight_recorder();
+    for seed in seeds() {
+        let plane = Arc::new(FaultPlane::new(seed));
+        let mut fabric = FabricConfig::instant();
+        fabric.faults = Some(Arc::clone(&plane));
+        let mut server_config = chaos_server_config();
+        server_config.qos.enabled = true;
+        server_config.qos.burst_ratio = 0.5;
+        server_config.qos.tenants = vec![TenantSpec {
+            name: "aggressor".to_owned(),
+            ops_per_sec: 200,
+            bytes_per_sec: 0,
+            staged_bytes_cap: 4096,
+            weight: 1,
+        }];
+        let cluster = Cluster::launch(1, server_config, fabric).unwrap();
+
+        let mut victim = cluster
+            .client(ClientConfig {
+                tenant: "victim".to_owned(),
+                ..chaos_client_config()
+            })
+            .unwrap();
+        let mut aggressor = cluster
+            .client(ClientConfig {
+                tenant: "aggressor".to_owned(),
+                op_deadline: std::time::Duration::from_millis(300),
+                max_retries: 8,
+                ..chaos_client_config()
+            })
+            .unwrap();
+        let victim_ptrs: Vec<_> = (0..8).map(|_| victim.alloc(0, 64).unwrap()).collect();
+        let aggr_ptrs: Vec<_> = (0..4).map(|_| aggressor.alloc(0, 64).unwrap()).collect();
+
+        // Flap only the aggressor's link; the victim's stays clean.
+        let server_node = cluster.server(0).unwrap().node().id();
+        plane.add_flap(PartitionFlap::on_link(
+            aggressor.node().id(),
+            server_node,
+            120,
+            15,
+        ));
+
+        let aggr_thread = std::thread::spawn(move || {
+            let mut shadows: Vec<Shadow> = (0..4).map(|_| Shadow::new()).collect();
+            let mut rng = seed ^ 0xA99E550;
+            for _ in 0..150u32 {
+                let i = (splitmix64(&mut rng) % 4) as usize;
+                let val = (splitmix64(&mut rng) % 251) as u8;
+                match aggressor.write(aggr_ptrs[i], 0, &[val; 64]) {
+                    Ok(()) => shadows[i].acked(val),
+                    Err(_) => shadows[i].failed(val),
+                }
+            }
+            (aggressor, aggr_ptrs, shadows)
+        });
+
+        // The victim settles every op on time while the aggressor churns:
+        // its link never faults and its budget is unlimited, so a failure
+        // or a stall here is the aggressor's recovery (or throttling)
+        // leaking across tenants.
+        let mut shadows: Vec<Shadow> = (0..8).map(|_| Shadow::new()).collect();
+        let mut rng = seed ^ 0x71C71;
+        let t0 = std::time::Instant::now();
+        for op in 0..200u32 {
+            let i = (splitmix64(&mut rng) % 8) as usize;
+            if splitmix64(&mut rng).is_multiple_of(4) {
+                let got = read_fill_byte(&mut victim, victim_ptrs[i]).unwrap_or_else(|e| {
+                    panic!("seed {seed} op {op}: victim read failed behind the aggressor: {e:?}")
+                });
+                assert!(
+                    shadows[i].maybe.contains(&got),
+                    "seed {seed} op {op}: victim object {i} read {got} ({:?})",
+                    shadows[i].maybe
+                );
+            } else {
+                let val = (splitmix64(&mut rng) % 251) as u8;
+                victim
+                    .write(victim_ptrs[i], 0, &[val; 64])
+                    .unwrap_or_else(|e| {
+                        panic!(
+                            "seed {seed} op {op}: victim write failed behind the aggressor: {e:?}"
+                        )
+                    });
+                shadows[i].acked(val);
+            }
+        }
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(30),
+            "seed {seed}: victim run did not settle on time"
+        );
+
+        let (mut aggressor, aggr_ptrs, aggr_shadows) = aggr_thread.join().unwrap();
+        plane.disarm();
+        victim.drain_all().unwrap();
+        aggressor.drain_all().unwrap();
+        for (i, (ptr, shadow)) in victim_ptrs.iter().zip(&shadows).enumerate() {
+            let got = read_fill_byte(&mut victim, *ptr).unwrap_or_else(|e| {
+                panic!("seed {seed}: final victim read of object {i} failed: {e:?}")
+            });
+            shadow.check_final(got, seed, i);
+        }
+        // The aggressor's acknowledged staged writes survived the flaps.
+        for (i, (ptr, shadow)) in aggr_ptrs.iter().zip(&aggr_shadows).enumerate() {
+            let got = read_fill_byte(&mut aggressor, *ptr).unwrap_or_else(|e| {
+                panic!("seed {seed}: final aggressor read of object {i} failed: {e:?}")
+            });
+            shadow.check_final(got, seed, i);
+        }
+        assert!(plane.ops_seen() > 0, "seed {seed}: plane saw no traffic");
+    }
+}
+
 /// A staging ring that eats every record (drops on the WRITE_WITH_IMM
 /// path) degrades the connection: writes fall back to the direct NVM path,
 /// still land, and the degradation is visible in the stats.

@@ -110,7 +110,7 @@ proptest! {
         entries in proptest::collection::vec((any::<u64>(), any::<u32>(), any::<bool>()), 0..64),
     ) {
         let reqs = vec![
-            Request::Mount,
+            Request::Mount { tenant: "prop-tenant".to_owned() },
             Request::Alloc { size },
             Request::Free { addr },
             Request::Report {
@@ -158,15 +158,16 @@ proptest! {
         c in any::<u64>(),
         d in any::<u64>(),
         t in any::<u64>(),
+        tenant in any::<u32>(),
     ) {
         let mut buf = [0u8; 32];
         encode_slot_header(&mut buf, a, b, c, d);
         let h = decode_slot_header(&buf);
         prop_assert_eq!((h.tag, h.version, h.checksum, h.len), (a, b, c, d));
-        let mut buf = [0u8; 40];
-        encode_record_header(&mut buf, a, b, c, d, t);
+        let mut buf = [0u8; 48];
+        encode_record_header(&mut buf, a, b, c, d, t, tenant);
         let r = decode_record_header(&buf);
-        prop_assert_eq!((r.seq, r.addr, r.len, r.checksum, r.trace), (a, b, c, d, t));
+        prop_assert_eq!((r.seq, r.addr, r.len, r.checksum, r.trace, r.tenant), (a, b, c, d, t, tenant));
     }
 
     /// The checksum detects any single-byte corruption.

@@ -37,6 +37,36 @@ fn occupy_ports_at(
     da.max(db).unwrap_or(start)
 }
 
+/// Admission verdict from a [`QosPolicy`] for one work request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QosVerdict {
+    /// Let the WR execute.
+    Admit,
+    /// Lost on the wire: no transfer, no completion. The initiator's
+    /// blocking helper times out and its retry machinery re-posts — the
+    /// same observable behaviour as [`FaultDecision::Drop`], so a tenant
+    /// that blasts past its burst budget slows itself down without
+    /// occupying the shared NIC channels.
+    Drop,
+}
+
+/// Per-source admission control consulted by the fabric for every WR that
+/// survives fault injection. Implementations key on the posting node
+/// (`src`): one client is exactly one fabric node, so a tenant registry
+/// can map node ids to token buckets without the fabric knowing about
+/// tenants. Nodes the policy does not know (servers, unregistered
+/// clients) must be admitted.
+///
+/// This is the *backstop* enforcement point: shaping by delaying WRs here
+/// would push the shared FIFO port cursors into the future and tax every
+/// bystander, so a well-behaved limiter paces at the issue path and only
+/// grossly over-burst traffic ever reaches a `Drop` verdict.
+pub trait QosPolicy: Send + Sync + std::fmt::Debug {
+    /// Decides whether a `bytes`-long WR posted by `src` may enter the
+    /// wire now.
+    fn admit(&self, src: NodeId, bytes: u64) -> QosVerdict;
+}
+
 /// Timing parameters of the simulated network.
 #[derive(Debug, Clone)]
 pub struct FabricConfig {
@@ -56,6 +86,10 @@ pub struct FabricConfig {
     /// Optional fault-injection plane consulted for every posted verb.
     /// `None` (the default) costs a single branch on the hot path.
     pub faults: Option<Arc<FaultPlane>>,
+    /// Optional per-source admission policy (multi-tenant QoS backstop)
+    /// consulted for every WR that survives fault injection. `None` (the
+    /// default) costs a single branch on the hot path.
+    pub qos: Option<Arc<dyn QosPolicy>>,
 }
 
 // Manual impl because two configs sharing a plane means sharing the *same*
@@ -69,6 +103,11 @@ impl PartialEq for FabricConfig {
             && self.atomic_extra_ns == other.atomic_extra_ns
             && self.telemetry == other.telemetry
             && match (&self.faults, &other.faults) {
+                (None, None) => true,
+                (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+                _ => false,
+            }
+            && match (&self.qos, &other.qos) {
                 (None, None) => true,
                 (Some(a), Some(b)) => Arc::ptr_eq(a, b),
                 _ => false,
@@ -90,6 +129,7 @@ impl FabricConfig {
             atomic_extra_ns: 100,
             telemetry: TelemetryConfig::default(),
             faults: None,
+            qos: None,
         }
     }
 
@@ -103,6 +143,7 @@ impl FabricConfig {
             atomic_extra_ns: 0,
             telemetry: TelemetryConfig::default(),
             faults: None,
+            qos: None,
         }
     }
 }
@@ -532,6 +573,23 @@ impl Fabric {
                         verb.lat_ns.record_ns((cursor - posted).as_nanos() as u64);
                         continue;
                     }
+                }
+            }
+            // QoS admission runs *after* the fault draw so the seeded
+            // fault RNG stream stays identical whether or not a tenant
+            // policy is installed (token-bucket state is wall-clock
+            // dependent and would otherwise perturb chaos schedules).
+            if let Some(qos) = cfg.qos.as_ref() {
+                let bytes = match (&wr.op, &payload) {
+                    (SendOp::Read { local, .. }, _) => local.len,
+                    (_, Some(p)) => p.len(),
+                    _ => 8, // atomics move one word
+                };
+                if qos.admit(src.id(), bytes) == QosVerdict::Drop {
+                    tracer.event("qos.drop", wr.wr_id);
+                    self.metrics.qos_dropped.inc();
+                    verb.lat_ns.record_ns((cursor - posted).as_nanos() as u64);
+                    continue;
                 }
             }
             let pair = match &target {

@@ -67,7 +67,7 @@ pub mod wr;
 pub use cm::{Endpoint, PendingOps};
 pub use cq::{CompletionQueue, Wc, WcOpcode, WcStatus};
 pub use error::RdmaError;
-pub use fabric::{Fabric, FabricConfig};
+pub use fabric::{Fabric, FabricConfig, QosPolicy, QosVerdict};
 pub use fault::{FaultAction, FaultDecision, FaultPlane, FaultRule, PartitionFlap, Trigger};
 pub use mr::{MemoryRegion, ProtectionDomain};
 pub use node::RdmaNode;

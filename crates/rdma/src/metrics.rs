@@ -45,6 +45,8 @@ pub(crate) struct FabricMetrics {
     pub doorbells_saved: CounterHandle,
     /// Distribution of posted-list lengths (sample value = WRs per doorbell).
     pub batch_size: HistogramHandle,
+    /// WRs dropped by the QoS admission backstop (over-burst tenants).
+    pub qos_dropped: CounterHandle,
 }
 
 impl FabricMetrics {
@@ -72,6 +74,7 @@ impl FabricMetrics {
             batched_ops: tel.counter("rdma", "batched_ops"),
             doorbells_saved: tel.counter("rdma", "doorbells_saved"),
             batch_size: tel.histogram("rdma", "batch_size"),
+            qos_dropped: tel.counter("rdma", "qos_dropped"),
         }
     }
 

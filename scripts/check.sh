@@ -60,6 +60,40 @@ if [[ "$fanout_ok" != "1" ]]; then
 fi
 echo "fan-out gate passed: ${b4} >= 1.5x ${s4} kops/s"
 
+echo "== fairness gate (E12: QoS must restore the victim tail and cap the aggressors)"
+# Three conditions on one run: with QoS off the aggressors must actually
+# hurt (victim p99 >= 3x solo — otherwise the gate proves nothing), with
+# QoS on the victim must recover (p99 <= 2x solo) and aggregate aggressor
+# throughput must respect the configured budget (<= 1.5x the cap, the
+# slack covering bucket-burst rounding over a short window). Retried like
+# the fan-out gate: tail percentiles on a shared host are noisy.
+fairness_ok=0
+for attempt in 1 2 3; do
+    e12_out=$(cargo run -p gengar-bench --release --bin harness -- e12 --quick --no-telemetry)
+    echo "$e12_out" | grep '^E12 '
+    solo=$(echo "$e12_out" | sed -n 's/^E12 victim_solo_p99_us=\([0-9.]*\).*/\1/p')
+    off=$(echo "$e12_out" | sed -n 's/^E12 .*victim_qosoff_p99_us=\([0-9.]*\).*/\1/p')
+    on=$(echo "$e12_out" | sed -n 's/^E12 .*victim_qoson_p99_us=\([0-9.]*\).*/\1/p')
+    kops=$(echo "$e12_out" | sed -n 's/^E12 .*aggr_qoson_kops=\([0-9.]*\).*/\1/p')
+    cap=$(echo "$e12_out" | sed -n 's/^E12 .*aggr_cap_kops=\([0-9.]*\).*/\1/p')
+    if [[ -z "$solo" || -z "$off" || -z "$on" || -z "$kops" || -z "$cap" ]]; then
+        echo "fairness gate: missing E12 machine line fields" >&2
+        exit 1
+    fi
+    if awk -v solo="$solo" -v off="$off" -v on="$on" -v kops="$kops" -v cap="$cap" \
+        'BEGIN { exit !(off >= 3 * solo && on <= 2 * solo && kops > 0 && kops <= 1.5 * cap) }'; then
+        fairness_ok=1
+        break
+    fi
+    echo "fairness gate attempt ${attempt}: solo ${solo} off ${off} on ${on} us," \
+        "capped ${kops} of ${cap} kops/s — retrying"
+done
+if [[ "$fairness_ok" != "1" ]]; then
+    echo "fairness gate FAILED: solo ${solo} off ${off} on ${on} us, capped ${kops} of ${cap} kops/s" >&2
+    exit 1
+fi
+echo "fairness gate passed: off ${off} >= 3x solo ${solo}, on ${on} <= 2x solo, ${kops} <= 1.5x cap ${cap} kops/s"
+
 echo "== trace schema gate (E3 --trace-out must be valid Chrome trace JSON)"
 trace_tmp=$(mktemp -t gengar-trace.XXXXXX)
 cargo run -p gengar-bench --release --bin harness -- e3 --quick --trace-out "$trace_tmp" >/dev/null

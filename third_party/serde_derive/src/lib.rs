@@ -20,7 +20,7 @@ fn type_name(input: TokenStream) -> Option<String> {
     None
 }
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let name = type_name(input).expect("derive(Serialize): no type name found");
     format!("impl ::serde::Serialize for {name} {{}}")
@@ -28,7 +28,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         .expect("derive(Serialize): emitted impl failed to parse")
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let name = type_name(input).expect("derive(Deserialize): no type name found");
     format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
