@@ -35,7 +35,11 @@
 //! (default 3). `--qos` arms the QoS plane — with no tenant budgets — on
 //! every launched Gengar system, measuring plane overhead under any
 //! experiment (E12 manages its own per-phase budgets and ignores it).
-//! Both knobs are echoed in every JSON record.
+//! `--replicas N` (default 0) arms primary–backup replication on every
+//! launched Gengar system with at least two servers, so any experiment
+//! can be re-measured with the mirror fan-out on its write path (E13
+//! manages its own replicated/unreplicated arms and ignores it). All
+//! three knobs are echoed in every JSON record.
 //!
 //! `--trace-out <path>` turns on causal tracing for the run and writes
 //! every recorded span as Chrome trace-event JSON — load the file in
@@ -47,8 +51,9 @@
 //! 1-in-8 once it passes half occupancy).
 
 use gengar_bench::{
-    fault_spec, qos_enabled, run_experiment, set_faults, set_qos, set_telemetry, set_tenants,
-    set_trace_out, set_window, take_metrics, tenant_count, trace_out, Scale, ALL_EXPERIMENTS,
+    fault_spec, qos_enabled, replica_count, run_experiment, set_faults, set_qos, set_replicas,
+    set_telemetry, set_tenants, set_trace_out, set_window, take_metrics, tenant_count, trace_out,
+    Scale, ALL_EXPERIMENTS,
 };
 use gengar_telemetry::{
     chrome_trace_json, critical_path_table, json_escape, Registry, TraceMode, Tracer,
@@ -104,6 +109,13 @@ fn main() {
                 }
             },
             "--qos" => set_qos(true),
+            "--replicas" => match it.next().map(|v| v.parse::<u32>()) {
+                Some(Ok(n)) => set_replicas(n),
+                _ => {
+                    eprintln!("--replicas needs a count >= 0, e.g. --replicas 1");
+                    std::process::exit(2);
+                }
+            },
             flag if flag.starts_with("--") => {
                 eprintln!("unknown flag: {flag}");
                 std::process::exit(2);
@@ -170,11 +182,12 @@ fn main() {
         // section (latency percentiles and all), machine-readable so the
         // perf trajectory can be compared across runs and PRs.
         let record = format!(
-            "{{\"experiment\":\"{}\",\"mode\":\"{}\",\"tenants\":{},\"qos\":{},{}{}\"elapsed_ms\":{}{}}}",
+            "{{\"experiment\":\"{}\",\"mode\":\"{}\",\"tenants\":{},\"qos\":{},\"replicas\":{},{}{}\"elapsed_ms\":{}{}}}",
             json_escape(id),
             if quick { "quick" } else { "full" },
             tenant_count(),
             qos_enabled(),
+            replica_count(),
             faults_field,
             metrics_field,
             elapsed.as_millis(),

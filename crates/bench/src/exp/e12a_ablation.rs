@@ -4,6 +4,16 @@
 //! enabled, isolating what each contributes. The paper's shape: the proxy
 //! carries the write half, the cache carries the skewed-read half, and
 //! together they compound.
+//!
+//! The sweep runs at a stretched time scale (the E4P/E11/E12 idiom):
+//! at time scale 1 a fast host is client-CPU-bound at these op rates and
+//! all four configurations compress to parity even though the proxy's
+//! per-write latency win (E3) is intact. Stretching the modelled device
+//! and wire time makes the modelled I/O dominate again, so the mechanism
+//! gap survives host speed; throughputs are reported in simulated time.
+//!
+//! `scripts/check.sh` gates on the printed `E12A config=...` lines:
+//! proxy-only and full must clearly beat the no-mechanism baseline.
 
 use gengar_workloads::ycsb::{load, run as ycsb_run, WorkloadSpec};
 
@@ -13,22 +23,25 @@ use crate::Scale;
 
 const RECORDS: u64 = 2_000;
 const VALUE_SIZE: u64 = 4096;
+/// Delay stretch: modelled NVM/wire time dominates client CPU cost, so
+/// the ablation measures the mechanisms rather than the host.
+const TIME_SCALE: f64 = 8.0;
 
 /// Runs E12A.
 pub fn run(scale: Scale) {
-    gengar_hybridmem::set_time_scale(1.0);
+    gengar_hybridmem::set_time_scale(TIME_SCALE);
     let ops = scale.ops(4_000);
 
     let mut table = Table::new(
-        "E12A: ablation, YCSB-A throughput",
+        &format!("E12A: ablation, YCSB-A throughput (simulated, time x{TIME_SCALE})"),
         &["configuration", "kops/s", "vs neither"],
     );
     let mut baseline = 0.0f64;
-    for (name, cache, proxy) in [
-        ("neither (nvm-direct)", false, false),
-        ("cache only", true, false),
-        ("proxy only", false, true),
-        ("full gengar", true, true),
+    for (name, slug, cache, proxy) in [
+        ("neither (nvm-direct)", "neither", false, false),
+        ("cache only", "cache_only", true, false),
+        ("proxy only", "proxy_only", false, true),
+        ("full gengar", "full", true, true),
     ] {
         let mut config = base_config();
         config.enable_cache = cache;
@@ -38,22 +51,28 @@ pub fn run(scale: Scale) {
         let kv = load(&mut client, RECORDS, VALUE_SIZE, 1).expect("load");
         ycsb_run(&mut client, &kv, WorkloadSpec::c(), RECORDS, ops / 4, 5).expect("warm");
         std::thread::sleep(std::time::Duration::from_millis(50));
-        // Best of two runs to suppress small-host scheduling noise.
+        // Best of two runs to suppress small-host scheduling noise; the
+        // wall-clock rate converts back to simulated time.
         let kops = (0..2)
             .map(|rep| {
                 ycsb_run(&mut client, &kv, WorkloadSpec::a(), RECORDS, ops, 7 + rep)
                     .expect("run")
                     .kops_per_sec()
+                    * TIME_SCALE
             })
             .fold(0.0f64, f64::max);
         if !cache && !proxy {
             baseline = kops;
         }
+        let ratio = kops / baseline.max(1e-9);
+        println!("E12A config={slug} kops={kops:.1} vs_neither={ratio:.2}");
+        crate::report_metric(&format!("{slug}.kops"), kops);
         table.row(vec![
             name.to_owned(),
             format!("{kops:.1}"),
-            format!("{:.2}x", kops / baseline.max(1e-9)),
+            format!("{ratio:.2}x"),
         ]);
     }
     table.print();
+    gengar_hybridmem::set_time_scale(1.0);
 }

@@ -14,6 +14,7 @@ pub mod e10_sharing;
 pub mod e11_scalability;
 pub mod e12_fairness;
 pub mod e12a_ablation;
+pub mod e13_replication;
 
 use std::time::Duration;
 
@@ -37,6 +38,12 @@ pub fn base_config() -> ServerConfig {
     // (identity plumbing + plane overhead under every experiment); E12
     // overrides this per phase with real tenant budgets.
     config.qos.enabled = crate::qos_enabled();
+    // `--replicas` mirrors every staged write to a backup (single-server
+    // systems have no successor to mirror to and stay unreplicated); E13
+    // overrides this per arm.
+    if crate::replica_count() > 0 {
+        config.replication.enabled = true;
+    }
     config
 }
 

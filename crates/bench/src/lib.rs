@@ -85,6 +85,24 @@ pub fn qos_enabled() -> bool {
     QOS.load(Ordering::Relaxed)
 }
 
+/// Backup count per server for subsequently launched Gengar systems (the
+/// harness's `--replicas N` flag). The replication plane supports one
+/// backup per server (a successor ring), so any non-zero count arms it;
+/// zero (the default) leaves writes unreplicated. E13 manages its own
+/// replicated/unreplicated arms and ignores this switch.
+static REPLICAS: AtomicU32 = AtomicU32::new(0);
+
+/// Sets the replica count threaded into every server config built after
+/// this call.
+pub fn set_replicas(n: u32) {
+    REPLICAS.store(n, Ordering::Relaxed);
+}
+
+/// The `--replicas` count (0 = replication off).
+pub fn replica_count() -> u32 {
+    REPLICAS.load(Ordering::Relaxed)
+}
+
 /// Headline metrics the running experiment reports (name → value), drained
 /// by the harness into the per-run `BENCH_<id>.json` snapshot.
 static METRICS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
@@ -204,7 +222,7 @@ pub fn median_ns(iters: u64, mut f: impl FnMut()) -> u64 {
 
 /// All experiment ids, in order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "e1", "e2", "e3", "e4", "e4p", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e12a",
+    "e1", "e2", "e3", "e4", "e4p", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e12a", "e13",
 ];
 
 /// Runs one experiment by id. Returns `false` for an unknown id.
@@ -224,6 +242,7 @@ pub fn run_experiment(id: &str, scale: Scale) -> bool {
         "e11" => exp::e11_scalability::run(scale),
         "e12" => exp::e12_fairness::run(scale),
         "e12a" => exp::e12a_ablation::run(scale),
+        "e13" => exp::e13_replication::run(scale),
         _ => return false,
     }
     true

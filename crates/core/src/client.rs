@@ -30,8 +30,8 @@ use crate::consistency::Backoff;
 use crate::error::GengarError;
 use crate::hotness::AccessEntry;
 use crate::layout::{decode_slot_header, lockword, OBJ_HEADER, SLOT_HEADER, SLOT_TAIL};
-use crate::proto::{error_for_code, MountInfo, Request, Response, MAX_REPORT};
-use crate::proxy::{StagedFlight, StagingWriter};
+use crate::proto::{error_for_code, MountInfo, Request, Response, MAX_REPORT, NO_BACKUP};
+use crate::proxy::{MirrorLane, StagedFlight, StagingWriter};
 use crate::qos::TenantState;
 use crate::retry::{classify, Disposition, RetryPolicy, RetryState};
 use crate::rpc::{RpcClient, RPC_BUF_BYTES};
@@ -67,6 +67,9 @@ pub struct ClientStats {
     pub retries: u64,
     /// Successful reconnects after a dead connection or refused server.
     pub reconnects: u64,
+    /// Successful failovers: a dead server's objects re-mounted on its
+    /// replica (promotion + shadow routing).
+    pub failovers: u64,
     /// Writes forced onto the direct NVM path because the connection was
     /// degraded (staging repeatedly faulted).
     pub degraded_ops: u64,
@@ -117,6 +120,7 @@ struct ClientMetrics {
     reports: StatCounter,
     retries: StatCounter,
     reconnects: StatCounter,
+    failovers: StatCounter,
     degraded_ops: StatCounter,
     read_ns: HistogramHandle,
     write_ns: HistogramHandle,
@@ -139,6 +143,7 @@ impl ClientMetrics {
             reports: StatCounter::new(&tel, "reports"),
             retries: StatCounter::new(&tel, "retries"),
             reconnects: StatCounter::new(&tel, "reconnects"),
+            failovers: StatCounter::new(&tel, "failovers"),
             degraded_ops: StatCounter::new(&tel, "degraded_ops"),
             read_ns: tel.histogram("client", "read_ns"),
             write_ns: tel.histogram("client", "write_ns"),
@@ -160,6 +165,7 @@ impl ClientMetrics {
             reports: self.reports.get(),
             retries: self.retries.get(),
             reconnects: self.reconnects.get(),
+            failovers: self.failovers.get(),
             degraded_ops: self.degraded_ops.get(),
         }
     }
@@ -310,6 +316,10 @@ struct ServerConn {
     /// in a row, so writes bypass the proxy and go straight to NVM until
     /// the next successful reconnect.
     degraded: bool,
+    /// When the staging writer's mirror lane was shed (mirror WR failure).
+    /// Drives the cooldown before a background re-mirror attempt; `None`
+    /// while the lane is healthy (or the server mounts unreplicated).
+    mirror_down_since: Option<Instant>,
     /// Outstanding-op window for vectored operations on this connection.
     /// Stateless across submissions, so it survives reconnects unchanged.
     window: OpWindow,
@@ -360,6 +370,12 @@ pub struct GengarClient {
     write_back: HashMap<u64, WriteBack>,
     /// Locks this client currently holds: base raw -> locked word.
     held: HashMap<u64, u64>,
+    /// Failed-over wards: dead primary id -> the replica now serving its
+    /// objects (through the shadow region at unchanged offsets). The
+    /// connection slot for the primary is rewired in place, so this map
+    /// only gates the paths that must not treat the slot as the original
+    /// machine (hotness reports, reconnects, re-mirroring).
+    redirects: HashMap<u8, u8>,
     /// Pending hotness entries per server id.
     pending: HashMap<u8, HashMap<u64, (u32, bool)>>,
     ops_since_report: u32,
@@ -462,6 +478,7 @@ impl GengarClient {
                 staging_scratch_off,
                 staging_faults: 0,
                 degraded: false,
+                mirror_down_since: None,
                 window: OpWindow::new(config.window_depth, config.telemetry),
                 op_buf: 0,
                 op_buf_len: 0,
@@ -503,7 +520,7 @@ impl GengarClient {
             }
         }
 
-        Ok(GengarClient {
+        let mut client = GengarClient {
             op_salt: u64::from(node.id().0) << 32,
             node,
             pd,
@@ -511,6 +528,7 @@ impl GengarClient {
             conns,
             servers: servers.to_vec(),
             server_index,
+            redirects: HashMap::new(),
             remap: HashMap::new(),
             write_back: HashMap::new(),
             held: HashMap::new(),
@@ -523,7 +541,55 @@ impl GengarClient {
             tenant,
             metrics: ClientMetrics::new(config.telemetry),
             config,
-        })
+        };
+
+        // Replication fan-out: a server whose mount names a backup gets a
+        // mirror lane — a second staging ring on the backup that every
+        // staged record is shipped to before the client-visible ack.
+        for id in client.server_ids() {
+            client.establish_mirror(id)?;
+        }
+        Ok(client)
+    }
+
+    /// Dials a mirror lane for `primary`'s staging writer on its assigned
+    /// backup and attaches it. A no-op when the primary mounts without
+    /// the proxy, advertises no backup, or the backup is a server this
+    /// client never mounted (fan-out needs its rkeys).
+    fn establish_mirror(&mut self, primary: u8) -> Result<(), GengarError> {
+        let idx = *self
+            .server_index
+            .get(&primary)
+            .ok_or(GengarError::UnknownServer(primary))?;
+        if self.conns[idx].staging.is_none() {
+            return Ok(());
+        }
+        let backup = self.conns[idx].mount.backup;
+        if backup == NO_BACKUP || backup == primary {
+            return Ok(());
+        }
+        let Some(&bidx) = self.server_index.get(&backup) else {
+            return Ok(());
+        };
+        let srv = Arc::clone(&self.servers[bidx]);
+        let mut channel = srv.accept_mirror(&self.node, &self.pd, primary)?;
+        channel.proxy.set_op_timeout(self.policy.attempt_timeout());
+        let lane = MirrorLane {
+            ep: channel.proxy,
+            staging_rkey: RKey(self.conns[bidx].mount.staging_rkey),
+            ctl_rkey: RKey(self.conns[bidx].mount.ctl_rkey),
+            ring_offset: channel.ring_offset,
+            client_id: channel.cid,
+            epoch: channel.epoch,
+            floor: 0,
+        };
+        let conn = &mut self.conns[idx];
+        conn.staging
+            .as_mut()
+            .expect("checked above")
+            .set_mirror(lane);
+        conn.mirror_down_since = None;
+        Ok(())
     }
 
     /// Runs the accept + Mount (+ OpenStaging) handshake against `server`.
@@ -590,7 +656,9 @@ impl GengarClient {
                 _ => return Err(GengarError::ProtocolViolation("bad staging response")),
             };
             let layout = mount.ring_layout();
-            let scratch_off = alloc_scratch(layout.slot_bytes() + 8);
+            // Slot gather area plus two watermark landing pads (primary
+            // and mirror drained words).
+            let scratch_off = alloc_scratch(layout.slot_bytes() + 16);
             let mut st = StagingWriter::new(
                 channel.proxy,
                 RKey(mount.staging_rkey),
@@ -690,7 +758,16 @@ impl GengarClient {
             Disposition::Reconnect => {
                 gengar_telemetry::FlightRecorder::global().trigger("client-reconnect");
                 self.metrics.retries.inc();
-                state.charge(&policy, err)?;
+                if let Err(last) = state.charge(&policy, err) {
+                    // Reconnect budget exhausted: the server is as good as
+                    // gone. One failover to its replica is the last resort
+                    // before the error surfaces to the application.
+                    return if state.escalate() && self.failover(server).is_ok() {
+                        Ok(())
+                    } else {
+                        Err(last)
+                    };
+                }
                 // A failed re-dial (server still down) is not fatal: the
                 // next attempt fails fast and lands back here until the
                 // operation deadline expires.
@@ -698,6 +775,17 @@ impl GengarClient {
                     self.metrics.reconnects.inc();
                 }
                 Ok(())
+            }
+            Disposition::Failover => {
+                // The fabric says the machine itself is gone; reconnecting
+                // is hopeless, so skip straight to the replica (once).
+                gengar_telemetry::FlightRecorder::global().trigger("client-failover");
+                self.metrics.retries.inc();
+                if state.escalate() && self.failover(server).is_ok() {
+                    Ok(())
+                } else {
+                    Err(err)
+                }
             }
         }
     }
@@ -707,6 +795,11 @@ impl GengarClient {
     /// staging ring), invalidates every stale local view of that server,
     /// and replays staged writes the old ring had not yet drained.
     fn reconnect(&mut self, server: u8) -> Result<(), GengarError> {
+        if self.redirects.contains_key(&server) {
+            // The ward lives on its replica now; "reconnect" means
+            // re-dialing the replica's control/data plane.
+            return self.failover(server);
+        }
         let idx = *self
             .server_index
             .get(&server)
@@ -715,6 +808,11 @@ impl GengarClient {
         let rpc_mr = Arc::clone(&self.conns[idx].rpc_mr);
         let scratch_off = self.conns[idx].staging_scratch_off;
         let old_cid = self.conns[idx].staging.as_ref().map(|st| st.client_id());
+        let old_mirror = self.conns[idx]
+            .staging
+            .as_ref()
+            .and_then(|st| st.mirror_client_id())
+            .map(|cid| (self.conns[idx].mount.backup, cid));
         let policy = self.policy;
         let hs = Self::handshake(
             &srv,
@@ -778,6 +876,16 @@ impl GengarClient {
         conn.staging_faults = 0;
         conn.degraded = false;
 
+        // The old tenure's mirror lane is orphaned: hand its ring id back
+        // to the backup and dial a fresh lane, so the replayed records
+        // below (and everything after) are mirrored again.
+        if let Some((backup, mcid)) = old_mirror {
+            if let Some(&bidx) = self.server_index.get(&backup) {
+                self.servers[bidx].release_client(mcid);
+            }
+        }
+        let _ = self.establish_mirror(server);
+
         // Replay the surviving staged writes through the new ring in their
         // original order. Records carry whole values, so at-least-once
         // replay converges to the acknowledged state (exactly-once
@@ -815,6 +923,162 @@ impl GengarClient {
                 }
                 self.write_back.remove(&base);
             }
+        }
+        Ok(())
+    }
+
+    /// Re-mounts a dead server's objects on its replica: asks the backup
+    /// to promote (replay the mirror ring into its shadow image), dials a
+    /// fresh control/data plane to the backup, and rewires the dead
+    /// server's connection slot so reads, direct writes and atomics
+    /// address the promoted shadow region at unchanged offsets. Staged
+    /// writes keep flowing through the mirror lane, which becomes the
+    /// only lane — the in-flight batch resumes without losing a settled
+    /// write. Idempotent: a later call re-dials the replica (used when
+    /// the promoted connection itself hiccups).
+    fn failover(&mut self, server: u8) -> Result<(), GengarError> {
+        let idx = *self
+            .server_index
+            .get(&server)
+            .ok_or(GengarError::UnknownServer(server))?;
+        let first = !self.redirects.contains_key(&server);
+        let backup = match self.redirects.get(&server) {
+            Some(&b) => b,
+            None => {
+                let b = self.conns[idx].mount.backup;
+                if b == NO_BACKUP || b == server {
+                    return Err(GengarError::ServerUnavailable(server));
+                }
+                b
+            }
+        };
+        let bidx = *self
+            .server_index
+            .get(&backup)
+            .ok_or(GengarError::UnknownServer(backup))?;
+        if first {
+            // The promotion RPC rides the healthy connection to the
+            // backup: replay the mirror ring into the shadow image and
+            // start serving the ward's addresses from it.
+            match self.conns[bidx]
+                .rpc
+                .call(&Request::Promote { primary: server })?
+            {
+                Response::Promoted { .. } => {}
+                Response::Err { code } => return Err(error_for_code(code, 0)),
+                _ => return Err(GengarError::ProtocolViolation("bad promote response")),
+            }
+        }
+        // Fresh control/data plane to the replica for this ward's traffic
+        // (the old endpoints died with the primary's machine).
+        let srv = Arc::clone(&self.servers[bidx]);
+        let mut channel = srv.accept(&self.node, &self.pd)?;
+        let attempt = self.policy.attempt_timeout();
+        channel.rpc.set_op_timeout(attempt);
+        channel.data.set_op_timeout(attempt);
+        let rpc = RpcClient::with_deadline(
+            channel.rpc,
+            Arc::clone(&self.conns[idx].rpc_mr),
+            self.config.op_deadline,
+        );
+        let mount = match rpc.call(&Request::Mount {
+            tenant: self.config.tenant.clone(),
+        }) {
+            Ok(Response::Mount(m)) => m,
+            Ok(Response::Err { code }) => {
+                srv.release_client(channel.cid);
+                return Err(error_for_code(code, 0));
+            }
+            Ok(_) => {
+                srv.release_client(channel.cid);
+                return Err(GengarError::ProtocolViolation("bad mount response"));
+            }
+            Err(e) => {
+                srv.release_client(channel.cid);
+                return Err(e);
+            }
+        };
+        let conn = &mut self.conns[idx];
+        // The ward's addresses resolve through the replica's shadow
+        // region from here on: same offsets, different rkey. The slot
+        // keeps the ward's id so routing by address stays untouched, and
+        // advertises no backup of its own (promoted data is re-mirrored
+        // by the servers' rebalance plane, not by this client).
+        conn.mount = MountInfo {
+            server_id: server,
+            nvm_rkey: mount.shadow_rkey,
+            backup: NO_BACKUP,
+            ..mount
+        };
+        conn.rpc = rpc;
+        conn.data = channel.data;
+        conn.staging_faults = 0;
+        conn.degraded = false;
+        match conn.staging.as_mut() {
+            Some(st) if st.has_mirror() => st.fail_over_to_mirror()?,
+            // No mirror lane survived (or the proxy was off): staged
+            // writes cannot continue; the direct path takes over.
+            _ => conn.staging = None,
+        }
+        // Stale views of the dead primary die with it. The store buffer
+        // stays: the mirror ring carries its un-drained records, and the
+        // watermark it serves retires them as the replica drains.
+        self.remap
+            .retain(|addr, _| GlobalAddr::from_raw(*addr).map(|a| a.server()) != Some(server));
+        self.pending.remove(&server);
+        if first {
+            self.redirects.insert(server, backup);
+            self.metrics.failovers.inc();
+            gengar_telemetry::Tracer::global().event("client.failover", u64::from(server));
+            gengar_telemetry::FlightRecorder::global().trigger("client-failover");
+        }
+        Ok(())
+    }
+
+    /// Background re-mirror: a mirror WR failure sheds the lane so the
+    /// primary's ring never stalls (availability over redundancy), and
+    /// this re-dials the ward's *current* backup — re-queried from the
+    /// primary, so a rebalanced assignment is picked up — after a short
+    /// cooldown. Called from the staged-write paths after each settle.
+    fn maybe_remirror(&mut self, server: u8) -> Result<(), GengarError> {
+        const REMIRROR_COOLDOWN: Duration = Duration::from_millis(10);
+        if self.redirects.contains_key(&server) {
+            return Ok(());
+        }
+        let idx = *self
+            .server_index
+            .get(&server)
+            .ok_or(GengarError::UnknownServer(server))?;
+        {
+            let conn = &mut self.conns[idx];
+            let Some(st) = conn.staging.as_mut() else {
+                return Ok(());
+            };
+            if st.take_mirror_lost() && conn.mirror_down_since.is_none() {
+                conn.mirror_down_since = Some(Instant::now());
+            }
+            match conn.mirror_down_since {
+                Some(at) if at.elapsed() >= REMIRROR_COOLDOWN => {}
+                _ => return Ok(()),
+            }
+        }
+        // Ask the primary who backs it up now: the dead backup may have
+        // been replaced by the rebalance plane since the lane was shed.
+        let backup = match self.conns[idx].rpc.call(&Request::QueryReplica)? {
+            Response::Replica { backup } => backup,
+            Response::Err { .. } => return Ok(()),
+            _ => return Err(GengarError::ProtocolViolation("bad replica response")),
+        };
+        self.conns[idx].mount.backup = backup;
+        if backup == NO_BACKUP {
+            // No replacement assigned yet; keep waiting on the cooldown.
+            self.conns[idx].mirror_down_since = Some(Instant::now());
+            return Ok(());
+        }
+        if self.establish_mirror(server).is_err() {
+            // Failed re-dial: restart the cooldown instead of hammering
+            // the backup on every staged write.
+            self.conns[idx].mirror_down_since = Some(Instant::now());
         }
         Ok(())
     }
@@ -1257,6 +1521,7 @@ impl GengarClient {
                     );
                     self.purge_write_back(server)?;
                     self.metrics.staged_writes.inc();
+                    self.maybe_remirror(server)?;
                 } else {
                     if degraded {
                         self.metrics.degraded_ops.inc();
@@ -1876,7 +2141,34 @@ impl GengarClient {
                             reconnect: true,
                         }
                     }
-                    Err(last) => Self::fail_group(run, results, last),
+                    Err(last) => {
+                        // Reconnect budget exhausted: escalate to the
+                        // replica (once per group) before giving up.
+                        if run.state.escalate() && self.failover(run.server).is_ok() {
+                            run.phase = GroupPhase::Backoff {
+                                resume_at: Instant::now(),
+                                reconnect: false,
+                            };
+                        } else {
+                            Self::fail_group(run, results, last);
+                        }
+                    }
+                }
+            }
+            Disposition::Failover => {
+                // The machine is gone from the fabric; skip the reconnect
+                // dance and re-mount the group's ward on its replica. The
+                // immediate backoff wake restarts the attempt over the
+                // unresolved ops — settled records stay settled.
+                gengar_telemetry::FlightRecorder::global().trigger("client-failover");
+                self.metrics.retries.inc();
+                if run.state.escalate() && self.failover(run.server).is_ok() {
+                    run.phase = GroupPhase::Backoff {
+                        resume_at: Instant::now(),
+                        reconnect: false,
+                    };
+                } else {
+                    Self::fail_group(run, results, err);
                 }
             }
         }
@@ -2233,6 +2525,7 @@ impl GengarClient {
             }
         }
         self.purge_write_back(run.server)?;
+        self.maybe_remirror(run.server)?;
         match first_err {
             Some(e) => Err(e),
             None => {
@@ -2718,6 +3011,12 @@ impl GengarClient {
 
     /// Records one access for the piggybacked hotness report.
     fn record(&mut self, server: u8, base_raw: u64, wrote: bool) -> Result<(), GengarError> {
+        // A promoted ward serves from the replica's shadow region, which
+        // has no cache plane of its own: reporting would make the replica
+        // cache the ward's addresses against its *own* NVM. Skip it.
+        if self.redirects.contains_key(&server) {
+            return Ok(());
+        }
         let entry = self
             .pending
             .entry(server)

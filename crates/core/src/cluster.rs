@@ -1,12 +1,16 @@
 //! One-call deployment of a simulated Gengar cluster.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
 
 use gengar_rdma::{Fabric, FabricConfig, QosPolicy};
 
 use crate::client::GengarClient;
 use crate::config::{ClientConfig, ServerConfig};
 use crate::error::GengarError;
+use crate::proto::NO_BACKUP;
 use crate::qos::QosPlane;
 use crate::server::MemoryServer;
 
@@ -33,6 +37,9 @@ pub struct Cluster {
     fabric: Arc<Fabric>,
     servers: Vec<Arc<MemoryServer>>,
     client_config: ClientConfig,
+    /// Stops the background rebalance scanner (replicated clusters only).
+    rebalance_stop: Arc<AtomicBool>,
+    rebalance: Option<thread::JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -74,11 +81,93 @@ impl Cluster {
                 qos.clone(),
             )?);
         }
+        // Replication ring: each server's staged writes are mirrored to
+        // its successor. The rebalance scanner keeps the ring healthy: a
+        // dead backup is replaced by the next live survivor, whose shadow
+        // is seeded with the primary's current settled image so later
+        // promotions also cover data that predates the re-mirror.
+        let rebalance_stop = Arc::new(AtomicBool::new(false));
+        let mut rebalance = None;
+        if server_config.replication.enabled && n >= 2 {
+            for (i, server) in servers.iter().enumerate() {
+                server.set_backup(((i + 1) % n) as u8);
+            }
+            let fabric_bg = Arc::clone(&fabric);
+            let servers_bg: Vec<Arc<MemoryServer>> = servers.clone();
+            let stop = Arc::clone(&rebalance_stop);
+            let interval = server_config.replication.rebalance_interval;
+            rebalance = Some(
+                thread::Builder::new()
+                    .name("gengar-rebalance".into())
+                    .spawn(move || {
+                        Self::rebalance_loop(&fabric_bg, &servers_bg, &stop, interval);
+                    })
+                    .expect("spawn rebalance thread"),
+            );
+        }
         Ok(Cluster {
             fabric,
             servers,
             client_config: ClientConfig::default(),
+            rebalance_stop,
+            rebalance,
         })
+    }
+
+    /// Whether pool id `id` is reachable: its server threads run and its
+    /// machine is still attached to the fabric.
+    fn is_alive(fabric: &Fabric, servers: &[Arc<MemoryServer>], id: usize) -> bool {
+        servers
+            .get(id)
+            .is_some_and(|s| s.is_running() && fabric.node(s.node().id()).is_some())
+    }
+
+    /// The background backup-liveness scanner: every `interval`, each live
+    /// primary whose backup died is re-pointed at the next live survivor
+    /// (seeded with the primary's NVM image first, so the new shadow's
+    /// promotion coverage starts from the settled state, not empty).
+    fn rebalance_loop(
+        fabric: &Arc<Fabric>,
+        servers: &[Arc<MemoryServer>],
+        stop: &AtomicBool,
+        interval: Duration,
+    ) {
+        let slice = Duration::from_millis(2).min(interval);
+        let mut slept = Duration::ZERO;
+        while !stop.load(Ordering::Relaxed) {
+            // Sleep in slices so shutdown never waits a whole interval.
+            if slept < interval {
+                thread::sleep(slice);
+                slept += slice;
+                continue;
+            }
+            slept = Duration::ZERO;
+            let n = servers.len();
+            for (i, srv) in servers.iter().enumerate() {
+                if !Self::is_alive(fabric, servers, i) {
+                    continue; // dead primaries have nothing to protect
+                }
+                let b = srv.backup_id();
+                if b != NO_BACKUP && Self::is_alive(fabric, servers, b as usize) {
+                    continue;
+                }
+                // Next live survivor after the primary, skipping the dead
+                // backup (deterministic: mirrors the launch-time ring).
+                let chosen = (1..n).map(|step| (i + step) % n).find(|&c| {
+                    c != b as usize
+                        && servers[c].replication_enabled()
+                        && Self::is_alive(fabric, servers, c)
+                });
+                let Some(c) = chosen else { continue };
+                let Ok(image) = srv.nvm_image() else { continue };
+                if servers[c].install_shadow_image(&image).is_err() {
+                    continue;
+                }
+                srv.set_backup(c as u8);
+                gengar_telemetry::Tracer::global()
+                    .event("replica.rebalance", (i as u64) << 8 | c as u64);
+            }
+        }
     }
 
     /// The cluster's shared QoS plane, when QoS is enabled.
@@ -126,6 +215,7 @@ impl Cluster {
 
     /// Shuts every server down (also happens on drop).
     pub fn shutdown(&self) {
+        self.rebalance_stop.store(true, Ordering::Relaxed);
         for s in &self.servers {
             s.shutdown();
         }
@@ -135,5 +225,8 @@ impl Cluster {
 impl Drop for Cluster {
     fn drop(&mut self) {
         self.shutdown();
+        if let Some(handle) = self.rebalance.take() {
+            let _ = handle.join();
+        }
     }
 }

@@ -19,6 +19,32 @@ pub enum Consistency {
     Seqlock,
 }
 
+/// Primary–backup replication of the staged-write path.
+///
+/// With replication enabled every server allocates a *shadow* NVM device
+/// (same geometry as its own NVM) that mirrors the NVM of the server it
+/// backs up. Clients fan staged writes out to the backup's mirror ring
+/// before reporting them settled, so losing the primary machine loses no
+/// settled write: the client promotes the backup (which replays any
+/// un-drained mirror-ring records into the shadow) and keeps going.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplicationConfig {
+    /// Mirror staged writes to a backup server and allow failover.
+    pub enabled: bool,
+    /// How often the cluster's rebalance thread checks backup liveness and
+    /// re-establishes a new backup for servers whose replica died.
+    pub rebalance_interval: Duration,
+}
+
+impl Default for ReplicationConfig {
+    fn default() -> Self {
+        ReplicationConfig {
+            enabled: false,
+            rebalance_interval: Duration::from_millis(50),
+        }
+    }
+}
+
 /// Server-side configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServerConfig {
@@ -60,6 +86,10 @@ pub struct ServerConfig {
     /// Disabled by default: no plane is built and no path pays for it.
     #[serde(default)]
     pub qos: QosConfig,
+    /// Primary–backup replication of staged writes. Disabled by default:
+    /// no shadow device is allocated and writes pay no mirror WR.
+    #[serde(default)]
+    pub replication: ReplicationConfig,
 }
 
 impl Default for ServerConfig {
@@ -82,6 +112,7 @@ impl Default for ServerConfig {
             proxy_threads: 2,
             telemetry: TelemetryConfig::default(),
             qos: QosConfig::default(),
+            replication: ReplicationConfig::default(),
         }
     }
 }
@@ -211,6 +242,8 @@ mod tests {
         assert!(c.window_depth >= 1);
         assert_eq!(c.tenant, "default");
         assert!(!s.qos.enabled, "QoS must be opt-in");
+        assert!(!s.replication.enabled, "replication must be opt-in");
+        assert!(s.replication.rebalance_interval > Duration::ZERO);
     }
 
     #[test]

@@ -22,13 +22,17 @@ pub const SLOT_HEADER: u64 = 32;
 pub const SLOT_TAIL: u64 = 8;
 
 /// Staged-record header in a proxy ring slot:
-/// `[seq u64][addr u64][len u64][checksum u64][trace u64][tenant u32][pad u32]`.
+/// `[seq u64][addr u64][len u64][checksum u64][trace u64][tenant u32][epoch u32]`.
 /// The trace word carries the originating op's trace id across the
 /// client→proxy→drain handoff, so the server's asynchronous NVM drain can
 /// open a span in the same causal trace (0 = untraced record). The tenant
 /// word carries the compact QoS tenant tag so the drain can account
 /// durable bytes to the tenant after the client-visible ack (0 = no
-/// tenant / QoS off).
+/// tenant / QoS off). The epoch word carries the replica epoch of the
+/// mirror lane the record was staged under (0 = unreplicated): a backup
+/// ring id can be reused across mirror tenures, and promotion replay must
+/// not apply a stale tenure's leftover records, so the backup only accepts
+/// records stamped with the ring's current epoch.
 pub const RECORD_HEADER: u64 = 48;
 
 /// FNV-1a 64-bit hash, used as the torn-read/torn-record checksum.
@@ -122,6 +126,7 @@ pub fn decode_slot_header(buf: &[u8]) -> SlotHeader {
 }
 
 /// Encodes a staged-record header into `out[0..48]`.
+#[allow(clippy::too_many_arguments)]
 pub fn encode_record_header(
     out: &mut [u8],
     seq: u64,
@@ -130,6 +135,7 @@ pub fn encode_record_header(
     cksum: u64,
     trace: u64,
     tenant: u32,
+    epoch: u32,
 ) {
     out[0..8].copy_from_slice(&seq.to_le_bytes());
     out[8..16].copy_from_slice(&addr.to_le_bytes());
@@ -137,7 +143,7 @@ pub fn encode_record_header(
     out[24..32].copy_from_slice(&cksum.to_le_bytes());
     out[32..40].copy_from_slice(&trace.to_le_bytes());
     out[40..44].copy_from_slice(&tenant.to_le_bytes());
-    out[44..48].fill(0);
+    out[44..48].copy_from_slice(&epoch.to_le_bytes());
 }
 
 /// A decoded staged-record header.
@@ -155,6 +161,10 @@ pub struct RecordHeader {
     pub trace: u64,
     /// Compact QoS tenant tag (0 = no tenant / QoS off).
     pub tenant: u32,
+    /// Replica epoch of the mirror lane this record was staged under
+    /// (0 = unreplicated). Guards a reused backup ring against replaying
+    /// a stale tenure's leftover records at promotion.
+    pub epoch: u32,
 }
 
 /// Decodes a staged-record header from `buf[0..48]`.
@@ -166,6 +176,7 @@ pub fn decode_record_header(buf: &[u8]) -> RecordHeader {
         checksum: u64::from_le_bytes(buf[24..32].try_into().expect("48-byte header")),
         trace: u64::from_le_bytes(buf[32..40].try_into().expect("48-byte header")),
         tenant: u32::from_le_bytes(buf[40..44].try_into().expect("48-byte header")),
+        epoch: u32::from_le_bytes(buf[44..48].try_into().expect("48-byte header")),
     }
 }
 
@@ -215,7 +226,7 @@ mod tests {
     #[test]
     fn record_header_roundtrip() {
         let mut buf = [0u8; RECORD_HEADER as usize];
-        encode_record_header(&mut buf, 9, 0x0100_0000_0000_0040, 128, 77, 0xC0FFEE, 5);
+        encode_record_header(&mut buf, 9, 0x0100_0000_0000_0040, 128, 77, 0xC0FFEE, 5, 3);
         let h = decode_record_header(&buf);
         assert_eq!(h.seq, 9);
         assert_eq!(h.addr, 0x0100_0000_0000_0040);
@@ -223,5 +234,6 @@ mod tests {
         assert_eq!(h.checksum, 77);
         assert_eq!(h.trace, 0xC0FFEE);
         assert_eq!(h.tenant, 5);
+        assert_eq!(h.epoch, 3);
     }
 }

@@ -64,6 +64,18 @@ pub enum Request {
         /// Ring owner.
         client_id: u32,
     },
+    /// Promote this server to primary for the objects of dead server
+    /// `primary` (sent to the *backup*). The backup replays un-drained
+    /// mirror-ring records into its shadow region before answering, so a
+    /// client that gets `Promoted` back may immediately read every settled
+    /// write through the shadow.
+    Promote {
+        /// Pool id of the dead primary being failed away from.
+        primary: u8,
+    },
+    /// Ask a server which pool member currently backs it up (clients use
+    /// this to re-open a mirror lane after the old backup died).
+    QueryReplica,
 }
 
 /// Exported-region descriptions returned by `Mount`.
@@ -89,7 +101,16 @@ pub struct MountInfo {
     pub slot_payload: u64,
     /// Slots per staging ring.
     pub slots_per_ring: u32,
+    /// rkey of the replication shadow region ([`NO_BACKUP`]-paired `0`
+    /// when replication is off). After a failover, clients address the
+    /// promoted ward's data through this region at unchanged offsets.
+    pub shadow_rkey: u32,
+    /// Pool id of the server backing this one up ([`NO_BACKUP`] = none).
+    pub backup: u8,
 }
+
+/// `MountInfo::backup` value meaning "no backup assigned".
+pub const NO_BACKUP: u8 = 0xFF;
 
 impl MountInfo {
     /// The staging-ring geometry this mount advertises. Client and server
@@ -142,6 +163,17 @@ pub enum Response {
     },
     /// Generic success.
     Ok,
+    /// Answer to `QueryReplica`: the server's current backup assignment.
+    Replica {
+        /// Pool id of the current backup ([`NO_BACKUP`] = none).
+        backup: u8,
+    },
+    /// Answer to `Promote`: the backup now serves the ward's objects from
+    /// its shadow region.
+    Promoted {
+        /// Mirror-ring records replayed into the shadow during promotion.
+        replayed: u64,
+    },
     /// The request failed.
     Err {
         /// Error code (see [`err_code`]).
@@ -228,6 +260,8 @@ const REQ_REPORT: u8 = 5;
 const REQ_FLUSH_RANGE: u8 = 6;
 const REQ_INVALIDATE: u8 = 7;
 const REQ_QUERY_DURABLE: u8 = 8;
+const REQ_PROMOTE: u8 = 9;
+const REQ_QUERY_REPLICA: u8 = 10;
 
 const RESP_MOUNT: u8 = 129;
 const RESP_ALLOC: u8 = 130;
@@ -236,6 +270,8 @@ const RESP_REPORT: u8 = 132;
 const RESP_DURABLE: u8 = 133;
 const RESP_OK: u8 = 134;
 const RESP_ERR: u8 = 135;
+const RESP_REPLICA: u8 = 136;
+const RESP_PROMOTED: u8 = 137;
 
 impl Request {
     fn tag(&self) -> u8 {
@@ -248,6 +284,8 @@ impl Request {
             Request::FlushRange { .. } => REQ_FLUSH_RANGE,
             Request::Invalidate { .. } => REQ_INVALIDATE,
             Request::QueryDurable { .. } => REQ_QUERY_DURABLE,
+            Request::Promote { .. } => REQ_PROMOTE,
+            Request::QueryReplica => REQ_QUERY_REPLICA,
         }
     }
 
@@ -283,6 +321,8 @@ impl Request {
             }
             Request::Invalidate { addr } => buf.put_u64_le(*addr),
             Request::QueryDurable { client_id } => buf.put_u32_le(*client_id),
+            Request::Promote { primary } => buf.put_u8(*primary),
+            Request::QueryReplica => {}
         }
     }
 
@@ -389,6 +429,15 @@ impl Request {
                     client_id: buf.get_u32_le(),
                 }
             }
+            REQ_PROMOTE => {
+                if buf.remaining() < 1 {
+                    return Err(malformed);
+                }
+                Request::Promote {
+                    primary: buf.get_u8(),
+                }
+            }
+            REQ_QUERY_REPLICA => Request::QueryReplica,
             _ => return Err(GengarError::ProtocolViolation("unknown request opcode")),
         };
         Ok((req, ctx))
@@ -411,6 +460,8 @@ impl Response {
                 buf.put_u8(m.enable_proxy as u8);
                 buf.put_u64_le(m.slot_payload);
                 buf.put_u32_le(m.slots_per_ring);
+                buf.put_u32_le(m.shadow_rkey);
+                buf.put_u8(m.backup);
             }
             Response::Alloc { addr } => {
                 buf.put_u8(RESP_ALLOC);
@@ -437,6 +488,14 @@ impl Response {
                 buf.put_u64_le(*seq);
             }
             Response::Ok => buf.put_u8(RESP_OK),
+            Response::Replica { backup } => {
+                buf.put_u8(RESP_REPLICA);
+                buf.put_u8(*backup);
+            }
+            Response::Promoted { replayed } => {
+                buf.put_u8(RESP_PROMOTED);
+                buf.put_u64_le(*replayed);
+            }
             Response::Err { code } => {
                 buf.put_u8(RESP_ERR);
                 buf.put_u16_le(*code);
@@ -457,7 +516,7 @@ impl Response {
         let tag = buf.get_u8();
         let resp = match tag {
             RESP_MOUNT => {
-                if buf.remaining() < 1 + 16 + 8 + 2 + 12 {
+                if buf.remaining() < 1 + 16 + 8 + 2 + 12 + 5 {
                     return Err(malformed);
                 }
                 Response::Mount(MountInfo {
@@ -471,6 +530,8 @@ impl Response {
                     enable_proxy: buf.get_u8() != 0,
                     slot_payload: buf.get_u64_le(),
                     slots_per_ring: buf.get_u32_le(),
+                    shadow_rkey: buf.get_u32_le(),
+                    backup: buf.get_u8(),
                 })
             }
             RESP_ALLOC => {
@@ -516,6 +577,22 @@ impl Response {
                 }
             }
             RESP_OK => Response::Ok,
+            RESP_REPLICA => {
+                if buf.remaining() < 1 {
+                    return Err(malformed);
+                }
+                Response::Replica {
+                    backup: buf.get_u8(),
+                }
+            }
+            RESP_PROMOTED => {
+                if buf.remaining() < 8 {
+                    return Err(malformed);
+                }
+                Response::Promoted {
+                    replayed: buf.get_u64_le(),
+                }
+            }
             RESP_ERR => {
                 if buf.remaining() < 2 {
                     return Err(malformed);
@@ -576,6 +653,8 @@ mod tests {
         roundtrip_req(Request::FlushRange { addr: 64, len: 128 });
         roundtrip_req(Request::Invalidate { addr: 99 });
         roundtrip_req(Request::QueryDurable { client_id: 4 });
+        roundtrip_req(Request::Promote { primary: 3 });
+        roundtrip_req(Request::QueryReplica);
     }
 
     #[test]
@@ -591,6 +670,8 @@ mod tests {
             enable_proxy: false,
             slot_payload: 4064,
             slots_per_ring: 16,
+            shadow_rkey: 14,
+            backup: 1,
         }));
         roundtrip_resp(Response::Alloc { addr: 42 });
         roundtrip_resp(Response::Staging {
@@ -611,6 +692,9 @@ mod tests {
         });
         roundtrip_resp(Response::Durable { seq: 77 });
         roundtrip_resp(Response::Ok);
+        roundtrip_resp(Response::Replica { backup: NO_BACKUP });
+        roundtrip_resp(Response::Replica { backup: 2 });
+        roundtrip_resp(Response::Promoted { replayed: 12 });
         roundtrip_resp(Response::Err {
             code: err_code::OOM,
         });

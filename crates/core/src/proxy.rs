@@ -14,6 +14,20 @@
 //! index. Flow control: the client tracks in-flight slots and consults the
 //! server's drained-watermark word (one-sided READ of the control region)
 //! when the ring is full.
+//!
+//! **Replication fan-out.** With primary–backup replication the writer
+//! carries an optional [`MirrorLane`]: a second ring, on the primary's
+//! backup server, with identical geometry and lock-stepped cursors. Every
+//! record is gathered once in scratch and shipped twice — the mirror WR
+//! rides the same doorbell window, so the replication tax is one extra WR
+//! per lane, not an extra round trip — and a record is only acked once
+//! *both* lanes completed. Slot reuse waits for both drained watermarks,
+//! so at any instant every settled record is either already durable on
+//! both sides or still intact in the mirror ring, which is exactly what
+//! the backup replays at promotion. A mirror-lane failure drops the lane
+//! and acks on the primary alone (availability over redundancy; the
+//! client re-establishes a mirror in the background), and after a
+//! failover the lane roles invert: the mirror becomes the only target.
 
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
@@ -68,6 +82,30 @@ impl RingLayout {
     }
 }
 
+/// Client side of a mirror lane: the backup half of the staged-write
+/// fan-out. Built from a [`crate::server::MirrorChannel`] plus the rkeys
+/// the client already holds from the backup's mount.
+#[derive(Debug)]
+pub struct MirrorLane {
+    /// Dedicated proxy queue pair to the backup server.
+    pub ep: Endpoint,
+    /// The backup's staging-region rkey.
+    pub staging_rkey: RKey,
+    /// The backup's control-region rkey (mirror drained watermark).
+    pub ctl_rkey: RKey,
+    /// Byte offset of the mirror ring within the backup's staging region.
+    pub ring_offset: u64,
+    /// The mirror ring's client id on the backup.
+    pub client_id: u32,
+    /// Replica epoch stamped into every record staged under this lane.
+    pub epoch: u32,
+    /// Highest sequence number that predates this lane: records at or
+    /// below it were never mirrored, so the mirror watermark does not
+    /// gate their retirement. Zero for a lane established at connect
+    /// time; `next_seq - 1` for one re-established mid-stream.
+    pub floor: u64,
+}
+
 /// A staged-write doorbell batch in flight: posted with
 /// [`StagingWriter::stage_batch_begin`], polled with
 /// [`StagingWriter::poll_flight`] and retired with
@@ -76,7 +114,11 @@ impl RingLayout {
 /// it); the concurrent issue engine keeps one open flight per group.
 #[derive(Debug)]
 pub struct StagedFlight {
-    pending: PendingOps,
+    /// Primary-lane completions (`None` after a failover: the primary is
+    /// gone and the mirror lane is the only target).
+    pending: Option<PendingOps>,
+    /// Mirror-lane completions (`None` when unreplicated).
+    mirror_pending: Option<PendingOps>,
     base_seq: u64,
     base_slot: u32,
     n: usize,
@@ -110,12 +152,23 @@ pub struct StagingWriter {
     /// Local scratch MR used to gather records (and land watermark reads).
     scratch: std::sync::Arc<MemoryRegion>,
     /// Offset within the scratch MR reserved for this writer
-    /// (`slot_bytes + 8` bytes: record staging + watermark landing pad).
+    /// (`slot_bytes + 16` bytes: record staging + primary and mirror
+    /// watermark landing pads).
     scratch_off: u64,
     next_slot: u32,
     next_seq: u64,
     in_flight: VecDeque<u64>, // sequence numbers, oldest first
     drained: u64,
+    /// The replication fan-out target, when this writer is mirrored.
+    mirror: Option<MirrorLane>,
+    /// Last mirror drained watermark read (meaningless without a mirror).
+    mirror_drained: u64,
+    /// After a failover the primary lane is dead: records post to the
+    /// mirror alone and the mirror watermark is the only retire gate.
+    primary_down: bool,
+    /// Set when a mirror WR failed and the lane was dropped; the client
+    /// harvests it to trigger background re-mirroring.
+    mirror_lost: bool,
     /// Patience of [`StagingWriter::wait_drained`] before it reports the
     /// drain as stalled.
     drain_deadline: Duration,
@@ -159,6 +212,10 @@ impl StagingWriter {
             next_seq: 1,
             in_flight: VecDeque::new(),
             drained: 0,
+            mirror: None,
+            mirror_drained: 0,
+            primary_down: false,
+            mirror_lost: false,
             drain_deadline: DEFAULT_DRAIN_DEADLINE,
             tenant_tag: 0,
             occupancy: tel.gauge("proxy", "ring_occupancy"),
@@ -198,14 +255,93 @@ impl StagingWriter {
         self.tenant_tag = tag;
     }
 
+    /// Attaches (or replaces) the mirror lane. Subsequent records are
+    /// stamped with the lane's epoch and fanned out to both rings.
+    pub fn set_mirror(&mut self, mut lane: MirrorLane) {
+        // Records staged before this lane existed were never mirrored:
+        // the mirror watermark must not gate their retirement.
+        lane.floor = self.next_seq.saturating_sub(1);
+        self.mirror_drained = 0;
+        self.mirror_lost = false;
+        self.mirror = Some(lane);
+    }
+
+    /// Whether a mirror lane is currently attached.
+    pub fn has_mirror(&self) -> bool {
+        self.mirror.is_some()
+    }
+
+    /// The attached mirror lane's replica epoch, if any.
+    pub fn mirror_epoch(&self) -> Option<u32> {
+        self.mirror.as_ref().map(|m| m.epoch)
+    }
+
+    /// The attached mirror lane's ring id on the backup, if any.
+    pub fn mirror_client_id(&self) -> Option<u32> {
+        self.mirror.as_ref().map(|m| m.client_id)
+    }
+
+    /// Switches the writer to failover mode: the primary lane is dead,
+    /// records post to the mirror alone, and the mirror watermark is the
+    /// only retire gate.
+    ///
+    /// # Errors
+    ///
+    /// [`gengar_rdma::RdmaError::NotConnected`] when no mirror lane is
+    /// attached — an unreplicated writer has nowhere to fail over to.
+    pub fn fail_over_to_mirror(&mut self) -> Result<(), GengarError> {
+        if self.mirror.is_none() {
+            return Err(GengarError::Rdma(gengar_rdma::RdmaError::NotConnected));
+        }
+        self.primary_down = true;
+        Ok(())
+    }
+
+    /// Whether the writer is in failover mode (mirror lane only).
+    pub fn is_primary_down(&self) -> bool {
+        self.primary_down
+    }
+
+    /// Harvests (and clears) the mirror-lost flag. Set when a mirror WR
+    /// failed and the lane was dropped mid-stream; the client uses it to
+    /// re-establish a mirror in the background.
+    pub fn take_mirror_lost(&mut self) -> bool {
+        std::mem::take(&mut self.mirror_lost)
+    }
+
+    /// The epoch stamped into record headers (0 = unreplicated).
+    fn record_epoch(&self) -> u32 {
+        self.mirror.as_ref().map_or(0, |m| m.epoch)
+    }
+
+    /// Highest sequence number every active lane has drained: the retire
+    /// gate for slot reuse. A lane's watermark only constrains records it
+    /// actually carried (the mirror's `floor` covers its blind spot).
+    fn effective_drained(&self) -> u64 {
+        let mut eff = u64::MAX;
+        if !self.primary_down {
+            eff = eff.min(self.drained);
+        }
+        if let Some(m) = &self.mirror {
+            eff = eff.min(self.mirror_drained.max(m.floor));
+        }
+        if eff == u64::MAX {
+            // No lane at all (unreplicated writer mid-failover): nothing
+            // gates, but nothing drains either — report primary progress.
+            eff = self.drained;
+        }
+        eff
+    }
+
     /// Sequence number the next staged write will use.
     pub fn next_seq(&self) -> u64 {
         self.next_seq
     }
 
-    /// Highest sequence number known drained (from the last watermark read).
+    /// Highest sequence number known drained by every active lane (from
+    /// the last watermark read).
     pub fn known_drained(&self) -> u64 {
-        self.drained
+        self.effective_drained()
     }
 
     /// Stages a durable write of `data` to raw global address `addr_raw`.
@@ -251,21 +387,87 @@ impl StagingWriter {
             checksum(data),
             trace,
             self.tenant_tag,
+            self.record_epoch(),
         );
         self.scratch.region().write(self.scratch_off, &header)?;
         self.scratch
             .region()
             .write(self.scratch_off + RECORD_HEADER, data)?;
         let record_len = RECORD_HEADER + data.len() as u64;
+        let sge = Sge::new(self.scratch.lkey(), self.scratch_off, record_len);
         let remote = RemoteAddr::new(
             self.staging_rkey,
             self.ring_offset + self.layout.slot_offset(slot),
         );
-        self.ep.write_with_imm(
-            Payload::Sge(Sge::new(self.scratch.lkey(), self.scratch_off, record_len)),
-            remote,
-            slot,
-        )?;
+        // Fan-out: post the mirror WR first (non-blocking) so its
+        // completion overlaps the primary's blocking round trip — the
+        // replication tax is one extra WR, not a second round trip.
+        let mirror_pending = match &self.mirror {
+            Some(m) => {
+                let op = SendOp::Write {
+                    payload: Payload::Sge(sge),
+                    remote: RemoteAddr::new(
+                        m.staging_rkey,
+                        m.ring_offset + self.layout.slot_offset(slot),
+                    ),
+                    imm: Some(slot),
+                };
+                match m.ep.post_many(vec![op]) {
+                    Ok(p) => Some(p),
+                    Err(_) if !self.primary_down => {
+                        // Mirror post failed: drop the lane, ack on the
+                        // primary alone (availability over redundancy).
+                        self.mirror = None;
+                        self.mirror_lost = true;
+                        None
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            None => {
+                if self.primary_down {
+                    // Failover with no mirror: nowhere to stage.
+                    return Err(GengarError::Rdma(gengar_rdma::RdmaError::NotConnected));
+                }
+                None
+            }
+        };
+        if !self.primary_down {
+            if let Err(e) = self.ep.write_with_imm(Payload::Sge(sge), remote, slot) {
+                // The record may still land in the mirror ring, which is
+                // harmless: a retry restages the same seq into the same
+                // slot, and the drain is idempotent per sequence number.
+                if let Some(mut p) = mirror_pending {
+                    if let Some(m) = &self.mirror {
+                        while !m.ep.poll_pending(&mut p) {
+                            if let Some(wake) = m.ep.pending_done_wake(&p) {
+                                gengar_hybridmem::latency::spin_until(wake);
+                            }
+                        }
+                    }
+                }
+                return Err(e.into());
+            }
+        }
+        if let Some(mut p) = mirror_pending {
+            let mirror_ok = {
+                let m = self.mirror.as_ref().expect("mirror lane posted");
+                while !m.ep.poll_pending(&mut p) {
+                    if let Some(wake) = m.ep.pending_done_wake(&p) {
+                        gengar_hybridmem::latency::spin_until(wake);
+                    }
+                }
+                p.into_results().into_iter().all(|r| r.is_ok())
+            };
+            if !mirror_ok {
+                if self.primary_down {
+                    // The mirror is the only lane: surface the failure.
+                    return Err(GengarError::Rdma(gengar_rdma::RdmaError::NotConnected));
+                }
+                self.mirror = None;
+                self.mirror_lost = true;
+            }
+        }
 
         self.in_flight.push_back(seq);
         self.staged.inc();
@@ -377,6 +579,11 @@ impl StagingWriter {
         let trace = gengar_telemetry::current_context().0 .0;
 
         let mut ops = Vec::with_capacity(items.len());
+        let mut mirror_ops = Vec::with_capacity(if self.mirror.is_some() {
+            items.len()
+        } else {
+            0
+        });
         for (i, &(addr_raw, data, gather_off)) in items.iter().enumerate() {
             let seq = self.next_seq + i as u64;
             let slot = (self.next_slot + i as u32) % self.layout.slots;
@@ -389,50 +596,120 @@ impl StagingWriter {
                 checksum(data),
                 trace,
                 self.tenant_tag,
+                self.record_epoch(),
             );
             self.scratch.region().write(gather_off, &header)?;
             self.scratch
                 .region()
                 .write(gather_off + RECORD_HEADER, data)?;
+            let sge = Sge::new(
+                self.scratch.lkey(),
+                gather_off,
+                RECORD_HEADER + data.len() as u64,
+            );
             ops.push(SendOp::Write {
-                payload: Payload::Sge(Sge::new(
-                    self.scratch.lkey(),
-                    gather_off,
-                    RECORD_HEADER + data.len() as u64,
-                )),
+                payload: Payload::Sge(sge),
                 remote: RemoteAddr::new(
                     self.staging_rkey,
                     self.ring_offset + self.layout.slot_offset(slot),
                 ),
                 imm: Some(slot),
             });
+            if let Some(m) = &self.mirror {
+                // The mirror WR reuses the gathered record verbatim; it
+                // rides the same doorbell window on the lane's own QP.
+                mirror_ops.push(SendOp::Write {
+                    payload: Payload::Sge(sge),
+                    remote: RemoteAddr::new(
+                        m.staging_rkey,
+                        m.ring_offset + self.layout.slot_offset(slot),
+                    ),
+                    imm: Some(slot),
+                });
+            }
         }
-        let pending = self.ep.post_many(ops)?;
+        let pending = if self.primary_down {
+            None
+        } else {
+            Some(self.ep.post_many(ops)?)
+        };
+        let mirror_pending = match &self.mirror {
+            Some(m) => match m.ep.post_many(mirror_ops) {
+                Ok(p) => Some(p),
+                Err(e) => {
+                    if self.primary_down || pending.is_none() {
+                        return Err(e.into());
+                    }
+                    // Mirror doorbell failed: drop the lane and let the
+                    // flight settle on the primary alone.
+                    self.mirror = None;
+                    self.mirror_lost = true;
+                    None
+                }
+            },
+            None => {
+                if self.primary_down {
+                    return Err(GengarError::Rdma(gengar_rdma::RdmaError::NotConnected));
+                }
+                None
+            }
+        };
         Ok(StagedFlight {
             pending,
+            mirror_pending,
             base_seq: self.next_seq,
             base_slot: self.next_slot,
             n: items.len(),
         })
     }
 
-    /// One non-blocking harvest pass over a flight's completions. Returns
-    /// `true` once every record has an outcome.
+    /// One non-blocking harvest pass over a flight's completions (both
+    /// lanes). Returns `true` once every record has an outcome.
     pub fn poll_flight(&mut self, flight: &mut StagedFlight) -> bool {
-        self.ep.poll_pending(&mut flight.pending)
+        let mut done = true;
+        if let Some(p) = &mut flight.pending {
+            done &= self.ep.poll_pending(p);
+        }
+        if let (Some(p), Some(m)) = (&mut flight.mirror_pending, &self.mirror) {
+            done &= m.ep.poll_pending(p);
+        }
+        done
     }
 
     /// When to next poll a still-pending flight; `None` once it is done.
     pub fn flight_next_wake(&self, flight: &StagedFlight) -> Option<Instant> {
-        self.ep.pending_next_wake(&flight.pending)
+        let a = flight
+            .pending
+            .as_ref()
+            .and_then(|p| self.ep.pending_next_wake(p));
+        let b = match (&flight.mirror_pending, &self.mirror) {
+            (Some(p), Some(m)) => m.ep.pending_next_wake(p),
+            _ => None,
+        };
+        match (a, b) {
+            (Some(x), Some(y)) => Some(x.min(y)),
+            (x, y) => x.or(y),
+        }
     }
 
     /// When a still-pending flight is expected to be *fully* harvestable;
     /// `None` once it is done. Flights settle as a unit
     /// ([`StagingWriter::stage_batch_finish`]), so waiters sleep until
-    /// this instead of waking per staggered completion.
+    /// this instead of waking per staggered completion. With a mirror
+    /// lane the flight is done when the *slower* lane is.
     pub fn flight_done_wake(&self, flight: &StagedFlight) -> Option<Instant> {
-        self.ep.pending_done_wake(&flight.pending)
+        let a = flight
+            .pending
+            .as_ref()
+            .and_then(|p| self.ep.pending_done_wake(p));
+        let b = match (&flight.mirror_pending, &self.mirror) {
+            (Some(p), Some(m)) => m.ep.pending_done_wake(p),
+            _ => None,
+        };
+        match (a, b) {
+            (Some(x), Some(y)) => Some(x.max(y)),
+            (x, y) => x.or(y),
+        }
     }
 
     /// Retires a completed flight: applies the prefix/hole rule to the
@@ -452,10 +729,33 @@ impl StagingWriter {
     ///
     /// Debug-asserts the flight was opened by this writer and is done.
     pub fn stage_batch_finish(&mut self, flight: StagedFlight) -> Vec<Result<u64, GengarError>> {
-        debug_assert!(flight.pending.is_done());
+        debug_assert!(flight.pending.as_ref().is_none_or(|p| p.is_done()));
+        debug_assert!(flight.mirror_pending.as_ref().is_none_or(|p| p.is_done()));
         debug_assert_eq!(flight.base_seq, self.next_seq);
         debug_assert_eq!(flight.base_slot, self.next_slot);
-        let completions = flight.pending.into_results();
+        // The authoritative lane is the primary; after a failover it is
+        // the mirror. The other lane's failures never fail a record —
+        // a dead mirror drops the lane (ack on primary alone), and the
+        // ack rule holds because a record only reports `Ok` once every
+        // lane that was posted has completed (the flight settles as a
+        // unit across both lanes).
+        let completions = match flight.pending {
+            Some(p) => {
+                let mirror_failed = flight
+                    .mirror_pending
+                    .map(PendingOps::into_results)
+                    .is_some_and(|rs| rs.iter().any(|r| r.is_err()));
+                if mirror_failed {
+                    self.mirror = None;
+                    self.mirror_lost = true;
+                }
+                p.into_results()
+            }
+            None => flight
+                .mirror_pending
+                .expect("failover flight carries a mirror lane")
+                .into_results(),
+        };
         let mut out = Vec::with_capacity(flight.n);
         let mut last_ok: Option<usize> = None;
         for (i, wc) in completions.into_iter().enumerate() {
@@ -480,30 +780,55 @@ impl StagingWriter {
         out
     }
 
-    /// Reads the server's drained watermark for this ring (one-sided READ
-    /// of the control region) and retires in-flight records it covers.
+    /// Reads the drained watermark of every active lane (one-sided READ
+    /// of each control region) and retires in-flight records every lane
+    /// has covered. A slot is only reusable once both the primary drain
+    /// *and* the mirror drain are past it — that is what makes every
+    /// settled record recoverable from the backup at any kill point.
     ///
     /// # Errors
     ///
     /// Transport failures as [`GengarError::Rdma`].
     pub fn refresh_drained(&mut self) -> Result<u64, GengarError> {
         let pad = self.scratch_off + self.layout.slot_bytes();
-        self.ep.read(
-            Sge::new(self.scratch.lkey(), pad, 8),
-            RemoteAddr::new(self.ctl_rkey, self.client_id as u64 * 8),
-        )?;
-        let mut word = [0u8; 8];
-        self.scratch.region().read(pad, &mut word)?;
-        self.drained = u64::from_le_bytes(word);
-        while self
-            .in_flight
-            .front()
-            .is_some_and(|&seq| seq <= self.drained)
-        {
+        if !self.primary_down {
+            self.ep.read(
+                Sge::new(self.scratch.lkey(), pad, 8),
+                RemoteAddr::new(self.ctl_rkey, self.client_id as u64 * 8),
+            )?;
+            let mut word = [0u8; 8];
+            self.scratch.region().read(pad, &mut word)?;
+            self.drained = u64::from_le_bytes(word);
+        }
+        if let Some(m) = &self.mirror {
+            let mpad = pad + 8;
+            let read = m.ep.read(
+                Sge::new(self.scratch.lkey(), mpad, 8),
+                RemoteAddr::new(m.ctl_rkey, m.client_id as u64 * 8),
+            );
+            match read {
+                Ok(_) => {
+                    let mut word = [0u8; 8];
+                    self.scratch.region().read(mpad, &mut word)?;
+                    self.mirror_drained = u64::from_le_bytes(word);
+                }
+                Err(e) => {
+                    if self.primary_down {
+                        return Err(e.into());
+                    }
+                    // Watermark read failures count as a dead mirror too:
+                    // a wedged lane must not stall the primary's ring.
+                    self.mirror = None;
+                    self.mirror_lost = true;
+                }
+            }
+        }
+        let effective = self.effective_drained();
+        while self.in_flight.front().is_some_and(|&seq| seq <= effective) {
             self.in_flight.pop_front();
         }
         self.occupancy.set(self.in_flight.len() as i64);
-        Ok(self.drained)
+        Ok(effective)
     }
 
     /// Blocks until the record with sequence `seq` has been drained to NVM.
@@ -522,14 +847,14 @@ impl StagingWriter {
     pub fn wait_drained(&mut self, seq: u64) -> Result<(), GengarError> {
         let mut sleep_us = 5u64;
         let mut last_progress = Instant::now();
-        let mut last_seen = self.drained;
-        while self.drained < seq {
-            self.refresh_drained()?;
-            if self.drained > last_seen {
-                last_seen = self.drained;
+        let mut last_seen = self.effective_drained();
+        while self.effective_drained() < seq {
+            let drained = self.refresh_drained()?;
+            if drained > last_seen {
+                last_seen = drained;
                 last_progress = Instant::now();
             }
-            if self.drained < seq {
+            if drained < seq {
                 if last_progress.elapsed() >= self.drain_deadline {
                     return Err(GengarError::Rdma(gengar_rdma::RdmaError::Timeout));
                 }
@@ -592,6 +917,8 @@ mod tests {
             enable_proxy: true,
             slot_payload: server_side.slot_payload,
             slots_per_ring: server_side.slots,
+            shadow_rkey: 0,
+            backup: crate::proto::NO_BACKUP,
         };
         assert_eq!(mount.ring_layout(), server_side);
     }

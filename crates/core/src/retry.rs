@@ -17,6 +17,15 @@
 //!   connections ([`GengarError::ServerUnavailable`]) lands here too so
 //!   that the client keeps re-dialling until the server restarts or the
 //!   deadline expires.
+//! * [`Disposition::Failover`] — the *machine* is gone, not just the
+//!   connection: [`RdmaError::NodeNotFound`] is the fabric's certificate
+//!   that the node was detached ([`gengar_rdma::Fabric::remove_node`]) and
+//!   no reconnect can ever reach it again. The client should re-mount the
+//!   server's objects on its replica instead of re-dialling. Reconnect-class
+//!   failures also *escalate* to failover once the reconnect budget is
+//!   exhausted — a server that never comes back is indistinguishable from a
+//!   dead one; the classification just gets there faster when the fabric
+//!   already knows.
 //! * [`Disposition::Fatal`] — retrying cannot help: bounds errors, protocol
 //!   violations, allocation failures, contention limits. Surface
 //!   immediately.
@@ -43,6 +52,9 @@ pub enum Disposition {
     /// The connection is dead (or the server refused us); re-run the mount
     /// handshake before retrying.
     Reconnect,
+    /// The server's machine is gone from the fabric; reconnecting is
+    /// hopeless. Promote its backup and re-mount the objects there.
+    Failover,
     /// Permanent; return the error to the caller unchanged.
     Fatal,
 }
@@ -63,6 +75,11 @@ pub fn classify(err: &GengarError) -> Disposition {
             | RdmaError::NotConnected,
         ) => Disposition::Reconnect,
         GengarError::ServerUnavailable(_) => Disposition::Reconnect,
+        // The fabric's certificate that the node itself was detached:
+        // `QueuePair::connect` checks the remote node before transitioning,
+        // so this surfaces from the reconnect handshake when the machine is
+        // dead. No amount of re-dialling will reach it.
+        GengarError::Rdma(RdmaError::NodeNotFound(_)) => Disposition::Failover,
         _ => Disposition::Fatal,
     }
 }
@@ -110,6 +127,7 @@ impl RetryPolicy {
             deadline: Instant::now() + self.op_deadline,
             attempt: 0,
             rng: salt | 1,
+            escalated: false,
         }
     }
 }
@@ -120,6 +138,7 @@ pub struct RetryState {
     deadline: Instant,
     attempt: u32,
     rng: u64,
+    escalated: bool,
 }
 
 impl RetryState {
@@ -207,6 +226,15 @@ impl RetryState {
         gengar_telemetry::Tracer::global().event("retry.backoff", self.attempt as u64);
         Ok(Instant::now() + jittered.min(remaining))
     }
+
+    /// One-shot failover grant for this operation: the first call returns
+    /// `true`, every later call `false`. The recovery loop escalates a
+    /// dead server to its replica at most once per operation — a second
+    /// machine loss inside one op surfaces the error instead of chasing
+    /// replicas forever.
+    pub fn escalate(&mut self) -> bool {
+        !std::mem::replace(&mut self.escalated, true)
+    }
 }
 
 #[cfg(test)]
@@ -231,6 +259,10 @@ mod tests {
             (GengarError::Rdma(RdmaError::NotConnected), Reconnect),
             (GengarError::ServerUnavailable(3), Reconnect),
             (
+                GengarError::Rdma(RdmaError::NodeNotFound(gengar_rdma::NodeId(4))),
+                Failover,
+            ),
+            (
                 GengarError::LockContended(crate::addr::GlobalAddr::new(
                     0,
                     crate::addr::MemClass::Nvm,
@@ -243,6 +275,132 @@ mod tests {
         for (err, want) in cases {
             assert_eq!(classify(&err), want, "classify({err:?})");
         }
+    }
+
+    /// Every error either side of the RPC boundary maps to exactly one
+    /// disposition — the match in [`classify`] is total, so the point of
+    /// this test is to pin *which* bucket each variant lands in and force a
+    /// conscious decision when a new variant is added. One constructed value
+    /// per variant of [`GengarError`], including one per nested
+    /// [`RdmaError`] variant.
+    #[test]
+    fn every_error_variant_has_exactly_one_disposition() {
+        use gengar_hybridmem::HybridMemError;
+        use gengar_rdma::{NodeId, Qpn, RKey};
+        use Disposition::*;
+
+        let addr = crate::addr::GlobalAddr::new(0, crate::addr::MemClass::Nvm, 64);
+        let mem = HybridMemError::OutOfBounds {
+            offset: 8,
+            len: 16,
+            capacity: 4,
+        };
+        let rdma_cases: Vec<(RdmaError, Disposition)> = vec![
+            (
+                RdmaError::InvalidQpState {
+                    state: "Reset",
+                    operation: "post_send",
+                },
+                Reconnect,
+            ),
+            (RdmaError::NotConnected, Reconnect),
+            (RdmaError::NodeNotFound(NodeId(2)), Failover),
+            (RdmaError::QpNotFound(NodeId(2), Qpn(7)), Fatal),
+            (RdmaError::UnknownLKey(9), Fatal),
+            (RdmaError::UnknownRKey(RKey(9)), Fatal),
+            (
+                RdmaError::LocalAccessOutOfBounds {
+                    offset: 1,
+                    len: 2,
+                    mr_len: 1,
+                },
+                Fatal,
+            ),
+            (RdmaError::InlineTooLarge { len: 512, max: 64 }, Fatal),
+            (RdmaError::SendQueueFull, Fatal),
+            (RdmaError::RecvQueueFull, Fatal),
+            (RdmaError::Memory(mem.clone()), Fatal),
+            (RdmaError::ConnectionRefused("peer bound"), Fatal),
+            (RdmaError::Timeout, Retry),
+            (
+                RdmaError::CompletionError(WcStatus::RemoteAccessError),
+                Reconnect,
+            ),
+            (RdmaError::QpError(WcStatus::TransportError), Reconnect),
+        ];
+        let cases: Vec<(GengarError, Disposition)> = vec![
+            (GengarError::UnknownServer(1), Fatal),
+            (GengarError::OutOfMemory { requested: 1 << 30 }, Fatal),
+            (
+                GengarError::ObjectTooLarge {
+                    requested: 2,
+                    max: 1,
+                },
+                Fatal,
+            ),
+            (GengarError::InvalidAddress(addr), Fatal),
+            (
+                GengarError::AccessOutOfBounds {
+                    addr,
+                    offset: 0,
+                    len: 9,
+                    size: 8,
+                },
+                Fatal,
+            ),
+            (GengarError::DoubleFree(addr), Fatal),
+            (GengarError::ProtocolViolation("bad tag"), Fatal),
+            (GengarError::LockContended(addr), Fatal),
+            (GengarError::ReadContended(addr), Fatal),
+            (GengarError::AtomicInBatch("cas_u64"), Fatal),
+            (GengarError::Memory(mem), Fatal),
+            (GengarError::ServerUnavailable(0), Reconnect),
+            (GengarError::Throttled, Retry),
+        ];
+        for (err, want) in rdma_cases
+            .into_iter()
+            .map(|(e, d)| (GengarError::Rdma(e), d))
+            .chain(cases)
+        {
+            let got = classify(&err);
+            assert_eq!(got, want, "classify({err:?})");
+            // "exactly one": the dispositions are mutually exclusive by
+            // construction (classify returns a single enum value); assert
+            // it is one of the four known buckets so a future variant
+            // cannot silently invent a fifth.
+            assert!(matches!(got, Retry | Reconnect | Failover | Fatal));
+        }
+    }
+
+    /// Failover on a *Reconnect*-class failure only happens after the
+    /// reconnect budget is exhausted: while `charge` keeps granting
+    /// attempts, the client re-dials; the escalation point is exactly the
+    /// first `Err` return.
+    #[test]
+    fn failover_waits_for_reconnect_budget_exhaustion() {
+        let policy = RetryPolicy {
+            max_retries: 3,
+            base_backoff: Duration::from_nanos(1),
+            max_backoff: Duration::from_nanos(2),
+            op_deadline: Duration::from_secs(10),
+        };
+        let mut state = policy.start(11);
+        let broken = || GengarError::Rdma(RdmaError::QpError(WcStatus::TransportError));
+        assert_eq!(classify(&broken()), Disposition::Reconnect);
+        let mut granted = 0;
+        while state.charge(&policy, broken()).is_ok() {
+            granted += 1;
+        }
+        assert_eq!(granted, policy.max_retries, "budget grants every retry");
+        // Only now — with the budget gone — may the client escalate a
+        // Reconnect disposition to failover. A NodeNotFound certificate
+        // skips the wait entirely.
+        assert_eq!(
+            classify(&GengarError::Rdma(RdmaError::NodeNotFound(
+                gengar_rdma::NodeId(0)
+            ))),
+            Disposition::Failover
+        );
     }
 
     #[test]

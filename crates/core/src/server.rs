@@ -11,8 +11,8 @@
 //! * The **proxy thread** drains staged writes from the per-client rings to
 //!   NVM, keeps cached copies fresh, and advances durable watermarks.
 
-use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -32,7 +32,7 @@ use crate::config::ServerConfig;
 use crate::error::GengarError;
 use crate::hotness::HotnessMonitor;
 use crate::layout::{checksum, decode_record_header, lockword, OBJ_HEADER};
-use crate::proto::{err_code, MountInfo, RemapUpdate, Request, Response};
+use crate::proto::{err_code, MountInfo, RemapUpdate, Request, Response, NO_BACKUP};
 use crate::proxy::RingLayout;
 use crate::qos::QosPlane;
 use crate::rpc::{RpcServerConn, RPC_BUF_BYTES};
@@ -53,6 +53,25 @@ pub struct ClientChannel {
     pub proxy: Endpoint,
 }
 
+/// Everything a client needs after [`MemoryServer::accept_mirror`]: a
+/// dedicated proxy endpoint whose ring on the *backup* server mirrors
+/// staged writes destined for the primary it wards.
+#[derive(Debug)]
+pub struct MirrorChannel {
+    /// The mirror ring's client id on the backup (indexes its ring, its
+    /// ctl word and its shadow watermark word).
+    pub cid: u32,
+    /// Byte offset of the mirror ring within the backup's staging region.
+    pub ring_offset: u64,
+    /// Replica epoch of this mirror tenure. The client stamps it into
+    /// every record header; the backup ignores records from other epochs,
+    /// so a reused ring id cannot leak a stale tenure's writes into a
+    /// promotion replay.
+    pub epoch: u32,
+    /// Proxy endpoint for the mirror WRITE_WITH_IMM fan-out.
+    pub proxy: Endpoint,
+}
+
 /// Server-side telemetry handles (`proxy.*` drain-side and `server.*`),
 /// resolved once at launch from [`ServerConfig::telemetry`].
 #[derive(Debug, Clone, Default)]
@@ -66,6 +85,9 @@ struct ServerMetrics {
     drain_ns: HistogramHandle,
     /// Control-plane requests served.
     rpc_requests: CounterHandle,
+    /// Promotions this server performed (it replayed mirror rings and took
+    /// over a dead primary's objects via its shadow image).
+    promotions: CounterHandle,
 }
 
 impl ServerMetrics {
@@ -76,8 +98,17 @@ impl ServerMetrics {
             drained_records: tel.counter("proxy", "drained_records"),
             drain_ns: tel.histogram("proxy", "drain_ns"),
             rpc_requests: tel.counter("server", "rpc_requests"),
+            promotions: tel.counter("replica", "promotions"),
         }
     }
+}
+
+/// One mirror ring's identity: which primary it wards and the replica
+/// epoch records must be stamped with to count.
+#[derive(Debug, Clone, Copy)]
+struct MirrorRing {
+    ward: u8,
+    epoch: u32,
 }
 
 struct ClientTable {
@@ -91,6 +122,9 @@ struct ClientTable {
     proxy_clients: HashMap<Qpn, u32>,
     /// Server-side proxy QPs (for re-posting receives).
     proxy_qps: HashMap<u32, Arc<QueuePair>>,
+    /// Client ids whose ring is a *mirror* lane: drained records apply to
+    /// the shadow image of the warded primary, not local NVM.
+    mirror_rings: HashMap<u32, MirrorRing>,
 }
 
 pub(crate) struct ServerInner {
@@ -108,6 +142,21 @@ pub(crate) struct ServerInner {
     cache_mr: Arc<MemoryRegion>,
     staging_mr: Arc<MemoryRegion>,
     ctl_mr: Arc<MemoryRegion>,
+    /// Shadow NVM (same geometry as `nvm_dev`): a standby image of the
+    /// server this one backs up. `None` when replication is off — no
+    /// memory is allocated and no path pays for it.
+    shadow_dev: Option<Arc<MemDevice>>,
+    shadow_mr: Option<Arc<MemoryRegion>>,
+    /// Which server backs *this* one up ([`NO_BACKUP`] = unreplicated).
+    /// Published to clients in [`MountInfo`] and via `QueryReplica`; the
+    /// cluster's rebalance thread rewrites it when a backup dies.
+    backup: Mutex<u8>,
+    /// Primaries this server has promoted for: their addresses are served
+    /// from the shadow image on the data/control planes.
+    promoted: Mutex<HashSet<u8>>,
+    /// Replica-epoch source for mirror tenures (starts at 1; epoch 0 in a
+    /// record header means "unreplicated").
+    mirror_epoch: AtomicU32,
     alloc: Mutex<SlabAllocator>,
     /// payload base offset -> payload length, ordered for containment
     /// lookups.
@@ -214,9 +263,26 @@ impl MemoryServer {
             config.dram_profile.clone(),
             config.max_clients as u64 * RPC_BUF_BYTES,
         )?);
+        // The shadow image of the server this one backs up: NVM-profile and
+        // NVM-shaped (watermark area + pool), so a promoted backup can
+        // serve the dead primary's addresses at unchanged offsets.
+        let shadow_dev = if config.replication.enabled {
+            Some(Arc::new(MemDevice::with_telemetry(
+                5,
+                config.nvm_profile.clone(),
+                nvm_capacity,
+                "shadow",
+                config.telemetry,
+            )?))
+        } else {
+            None
+        };
         if config.crash_sim {
             nvm_dev.enable_crash_sim();
             staging_dev.enable_crash_sim();
+            if let Some(shadow) = &shadow_dev {
+                shadow.enable_crash_sim();
+            }
         }
 
         let nvm_mr = pd.reg_mr(MemRegion::whole(Arc::clone(&nvm_dev)), Access::all())?;
@@ -232,6 +298,10 @@ impl MemoryServer {
             MemRegion::whole(Arc::clone(&ctl_dev)),
             Access::LOCAL_WRITE | Access::REMOTE_READ,
         )?;
+        let shadow_mr = match &shadow_dev {
+            Some(dev) => Some(pd.reg_mr(MemRegion::whole(Arc::clone(dev)), Access::all())?),
+            None => None,
+        };
 
         let cache = CacheManager::with_telemetry(
             id,
@@ -255,6 +325,7 @@ impl MemoryServer {
                 free_ids: Vec::new(),
                 proxy_clients: HashMap::new(),
                 proxy_qps: HashMap::new(),
+                mirror_rings: HashMap::new(),
             }),
             proxy_recv_cqs: (0..config.proxy_threads.max(1))
                 .map(|_| Arc::new(CompletionQueue::new(65_536)))
@@ -274,6 +345,11 @@ impl MemoryServer {
             cache_mr,
             staging_mr,
             ctl_mr,
+            shadow_dev,
+            shadow_mr,
+            backup: Mutex::new(NO_BACKUP),
+            promoted: Mutex::new(HashSet::new()),
+            mirror_epoch: AtomicU32::new(1),
         });
 
         let server = Arc::new(MemoryServer {
@@ -452,6 +528,165 @@ impl MemoryServer {
         })
     }
 
+    /// Opens a *mirror* lane on this server: a dedicated proxy ring whose
+    /// drained records apply to the shadow image of `ward` (the primary
+    /// this server backs up) instead of local NVM. The client fans every
+    /// staged write for `ward` out to this ring, so the backup holds a
+    /// durable copy of each settled record before the client sees the ack.
+    ///
+    /// # Errors
+    ///
+    /// [`GengarError::ProtocolViolation`] when replication is disabled;
+    /// otherwise the same failures as [`MemoryServer::accept`].
+    pub fn accept_mirror(
+        &self,
+        client_node: &Arc<RdmaNode>,
+        client_pd: &ProtectionDomain,
+        ward: u8,
+    ) -> Result<MirrorChannel, GengarError> {
+        let inner = &self.inner;
+        if inner.shadow_mr.is_none() {
+            return Err(GengarError::ProtocolViolation(
+                "mirror lane on a server without replication",
+            ));
+        }
+        if !self.is_running() {
+            return Err(GengarError::ServerUnavailable(inner.id));
+        }
+        let cid = {
+            let mut clients = inner.clients.lock();
+            match clients.free_ids.pop() {
+                Some(cid) => cid,
+                None => {
+                    if clients.next_id >= inner.config.max_clients {
+                        return Err(GengarError::ServerUnavailable(inner.id));
+                    }
+                    let cid = clients.next_id;
+                    clients.next_id += 1;
+                    cid
+                }
+            }
+        };
+        // Mirror lanes carry only the proxy plane: no RPC thread, no data
+        // QP — the client already holds a full connection to this server
+        // for its *own* objects.
+        let drain_cq = &inner.proxy_recv_cqs[cid as usize % inner.proxy_recv_cqs.len()];
+        let s_proxy = inner.node.create_qp(
+            &inner.pd,
+            inner.node.create_cq(1024),
+            Arc::clone(drain_cq),
+            QpOptions::default(),
+        );
+        let c_proxy_qp = client_node.create_qp(
+            client_pd,
+            client_node.create_cq(1024),
+            client_node.create_cq(1024),
+            QpOptions::default(),
+        );
+        if let Err(e) = c_proxy_qp
+            .connect(inner.node.id(), s_proxy.qpn())
+            .and_then(|_| s_proxy.connect(client_node.id(), c_proxy_qp.qpn()))
+        {
+            self.release_client(cid);
+            return Err(e.into());
+        }
+        for _ in 0..inner.ring.slots {
+            s_proxy.post_recv(gengar_rdma::RecvWr::new(
+                0,
+                Sge::new(inner.ctl_mr.lkey(), 0, 0),
+            ))?;
+        }
+        let epoch = inner.mirror_epoch.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut clients = inner.clients.lock();
+            clients.proxy_clients.insert(s_proxy.qpn(), cid);
+            clients.proxy_qps.insert(cid, Arc::clone(&s_proxy));
+            clients.mirror_rings.insert(cid, MirrorRing { ward, epoch });
+        }
+        // A fresh tenure starts from a clean watermark: the ring id may be
+        // reused, and the old tenure's progress must not mask new records.
+        if let Some(shadow) = &inner.shadow_mr {
+            let _ = shadow.region().store_u64(cid as u64 * 8, 0);
+        }
+        let _ = inner.ctl_mr.region().store_u64(cid as u64 * 8, 0);
+
+        Ok(MirrorChannel {
+            cid,
+            ring_offset: cid as u64 * inner.ring.ring_bytes(),
+            epoch,
+            proxy: Endpoint::from_qp(Arc::clone(client_node), c_proxy_qp),
+        })
+    }
+
+    /// Declares which server backs this one up. Set by the cluster at
+    /// launch and rewritten by its rebalance thread after a backup dies;
+    /// published to clients through [`MountInfo`] and `QueryReplica`.
+    pub fn set_backup(&self, backup: u8) {
+        *self.inner.backup.lock() = backup;
+    }
+
+    /// The server currently backing this one up ([`NO_BACKUP`] = none).
+    pub fn backup_id(&self) -> u8 {
+        *self.inner.backup.lock()
+    }
+
+    /// Whether this server was launched with a shadow device.
+    pub fn replication_enabled(&self) -> bool {
+        self.inner.shadow_mr.is_some()
+    }
+
+    /// Number of live mirror lanes warding other servers on this one.
+    pub fn mirror_count(&self) -> usize {
+        self.inner.clients.lock().mirror_rings.len()
+    }
+
+    /// Whether this server has promoted for `primary` (serves its
+    /// addresses from the shadow image).
+    pub fn has_promoted(&self, primary: u8) -> bool {
+        self.inner.promoted.lock().contains(&primary)
+    }
+
+    /// Snapshot of this server's full NVM image (watermark area + pool).
+    /// Management-plane helper for the rebalance path: the image seeds a
+    /// new backup's shadow so later promotions serve settled data that
+    /// predates the re-mirror.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device read failures.
+    pub fn nvm_image(&self) -> Result<Vec<u8>, GengarError> {
+        let nvm = self.inner.nvm_mr.region();
+        let mut image = vec![0u8; nvm.len() as usize];
+        nvm.read(0, &mut image)?;
+        Ok(image)
+    }
+
+    /// Installs `image` as this server's shadow (must match the shadow
+    /// geometry). Management-plane counterpart of
+    /// [`MemoryServer::nvm_image`] used when this server becomes someone's
+    /// new backup.
+    ///
+    /// # Errors
+    ///
+    /// [`GengarError::ProtocolViolation`] when replication is disabled or
+    /// the image size does not match; device failures otherwise.
+    pub fn install_shadow_image(&self, image: &[u8]) -> Result<(), GengarError> {
+        let Some(shadow_mr) = &self.inner.shadow_mr else {
+            return Err(GengarError::ProtocolViolation(
+                "shadow install on a server without replication",
+            ));
+        };
+        let shadow = shadow_mr.region();
+        if image.len() as u64 != shadow.len() {
+            return Err(GengarError::ProtocolViolation(
+                "shadow image geometry mismatch",
+            ));
+        }
+        shadow.write(0, image)?;
+        shadow.flush(0, image.len() as u64)?;
+        Ok(())
+    }
+
     /// Returns a client id for reuse after a mount handshake failed partway
     /// (e.g. the `Mount` RPC or staging setup was lost to a fault). Only
     /// call this for ids that never staged any data: a released id's ring
@@ -467,6 +702,7 @@ impl MemoryServer {
         let mut clients = self.inner.clients.lock();
         clients.proxy_clients.retain(|_, c| *c != cid);
         clients.proxy_qps.remove(&cid);
+        clients.mirror_rings.remove(&cid);
         if !clients.free_ids.contains(&cid) {
             clients.free_ids.push(cid);
         }
@@ -529,6 +765,9 @@ impl MemoryServer {
         self.inner.staging_dev.crash()?;
         self.inner.cache_dev.crash()?;
         self.inner.ctl_dev.crash()?;
+        if let Some(shadow) = &self.inner.shadow_dev {
+            shadow.crash()?;
+        }
         Ok(())
     }
 
@@ -545,11 +784,25 @@ impl MemoryServer {
         inner.hotness.lock().reset();
         let nvm = inner.nvm_mr.region();
         let staging = inner.staging_mr.region();
-        let n_clients = inner.clients.lock().next_id;
+        let (n_clients, mirrors) = {
+            let clients = inner.clients.lock();
+            (clients.next_id, clients.mirror_rings.clone())
+        };
         let mut replayed = 0u64;
         for cid in 0..n_clients {
+            // Mirror rings replay into the *shadow* image of their warded
+            // primary (with the tenure's epoch as a filter); regular rings
+            // replay into local NVM exactly as before.
+            let mirror = mirrors.get(&cid).copied();
+            let target = match mirror {
+                Some(_) => match &inner.shadow_mr {
+                    Some(mr) => mr.region(),
+                    None => continue,
+                },
+                None => nvm,
+            };
             let wm_off = cid as u64 * 8;
-            let watermark = nvm.load_u64(wm_off)?;
+            let watermark = target.load_u64(wm_off)?;
             let ring_off = cid as u64 * inner.ring.ring_bytes();
             let mut records = Vec::new();
             for slot in 0..inner.ring.slots {
@@ -559,6 +812,11 @@ impl MemoryServer {
                 let rec = decode_record_header(&hdr);
                 if rec.seq == 0 || rec.seq <= watermark || rec.len > inner.ring.slot_payload {
                     continue;
+                }
+                if let Some(m) = mirror {
+                    if rec.epoch != m.epoch {
+                        continue; // stale tenure's leftover record
+                    }
                 }
                 let mut payload = vec![0u8; rec.len as usize];
                 staging.read(slot_off + crate::layout::RECORD_HEADER, &mut payload)?;
@@ -571,19 +829,23 @@ impl MemoryServer {
             let mut max_seq = watermark;
             for (seq, addr_raw, payload) in records {
                 if let Some(addr) = GlobalAddr::from_raw(addr_raw) {
-                    if addr.class() == MemClass::Nvm {
+                    let right_home = match mirror {
+                        Some(m) => addr.server() == m.ward,
+                        None => true,
+                    };
+                    if right_home && addr.class() == MemClass::Nvm {
                         let off = addr.offset();
-                        if off + payload.len() as u64 <= nvm.len() {
-                            nvm.write(off, &payload)?;
-                            nvm.flush(off, payload.len() as u64)?;
+                        if off + payload.len() as u64 <= target.len() {
+                            target.write(off, &payload)?;
+                            target.flush(off, payload.len() as u64)?;
                             max_seq = max_seq.max(seq);
                             replayed += 1;
                         }
                     }
                 }
             }
-            nvm.store_u64(wm_off, max_seq)?;
-            nvm.flush(wm_off, 8)?;
+            target.store_u64(wm_off, max_seq)?;
+            target.flush(wm_off, 8)?;
             inner.ctl_mr.region().store_u64(cid as u64 * 8, max_seq)?;
         }
         Ok(replayed)
@@ -619,13 +881,20 @@ impl ServerInner {
     /// Drains one staged record (proxy thread).
     fn drain(&self, qpn: Qpn, slot: u32) -> Result<(), GengarError> {
         let _t = self.metrics.drain_ns.span();
-        let (cid, qp) = {
+        let (cid, qp, mirror) = {
             let clients = self.clients.lock();
             let cid = match clients.proxy_clients.get(&qpn) {
                 Some(&c) => c,
                 None => return Ok(()),
             };
-            (cid, Arc::clone(&clients.proxy_qps[&cid]))
+            // Unreplicated servers host no mirror rings at all; skip the
+            // per-record hash on that (hot) path.
+            let mirror = if clients.mirror_rings.is_empty() {
+                None
+            } else {
+                clients.mirror_rings.get(&cid).copied()
+            };
+            (cid, Arc::clone(&clients.proxy_qps[&cid]), mirror)
         };
         let staging = self.staging_mr.region();
         let nvm = self.nvm_mr.region();
@@ -640,6 +909,44 @@ impl ServerInner {
         let mut drain_span = gengar_telemetry::Tracer::global()
             .root_span_in("server.drain", gengar_telemetry::TraceId(rec.trace));
         drain_span.set_detail(rec.seq);
+        if let Some(m) = mirror {
+            // Mirror lane: the record belongs to the warded primary; apply
+            // it to that primary's shadow image. No cache to refresh, no
+            // tenant to bill (the primary's drain did both); the epoch
+            // filter drops any stale tenure's leftovers in a reused ring.
+            if let Some(shadow_mr) = &self.shadow_mr {
+                let shadow = shadow_mr.region();
+                if rec.len <= self.ring.slot_payload && rec.epoch == m.epoch {
+                    let mut payload = vec![0u8; rec.len as usize];
+                    staging.read(slot_off + crate::layout::RECORD_HEADER, &mut payload)?;
+                    if checksum(&payload) == rec.checksum {
+                        if let Some(addr) = GlobalAddr::from_raw(rec.addr) {
+                            if addr.server() == m.ward
+                                && addr.class() == MemClass::Nvm
+                                && addr.offset() + rec.len <= shadow.len()
+                            {
+                                let off = addr.offset();
+                                shadow.write(off, &payload)?;
+                                shadow.flush(off, rec.len)?;
+                                // Shadow watermark first (crash consistency),
+                                // then the client-visible ctl word: the
+                                // client's mirror lane retires slots off it.
+                                let wm_off = cid as u64 * 8;
+                                shadow.store_u64(wm_off, rec.seq)?;
+                                shadow.flush(wm_off, 8)?;
+                                self.ctl_mr.region().store_u64(cid as u64 * 8, rec.seq)?;
+                                self.metrics.drained_records.inc();
+                            }
+                        }
+                    }
+                }
+            }
+            let _ = qp.post_recv(gengar_rdma::RecvWr::new(
+                0,
+                Sge::new(self.ctl_mr.lkey(), 0, 0),
+            ));
+            return Ok(());
+        }
         if rec.len <= self.ring.slot_payload {
             let mut payload = vec![0u8; rec.len as usize];
             staging.read(slot_off + crate::layout::RECORD_HEADER, &mut payload)?;
@@ -746,8 +1053,17 @@ impl ServerInner {
         // requests (Mount, OpenStaging) pass free so throttling never
         // starves reconnects. Over-budget tenants get THROTTLED, which the
         // client classifies as retryable and backs off.
+        // Promote and QueryReplica also pass free: they run exactly when a
+        // machine died, and throttling recovery would turn a budget blip
+        // into unavailability.
         if let Some(plane) = &self.qos {
-            if !matches!(req, Request::Mount { .. } | Request::OpenStaging) {
+            if !matches!(
+                req,
+                Request::Mount { .. }
+                    | Request::OpenStaging
+                    | Request::Promote { .. }
+                    | Request::QueryReplica
+            ) {
                 if let Some(tenant) = plane.tenant_of(self.id, cid) {
                     if !tenant.rpc_admit() {
                         return Response::Err {
@@ -773,6 +1089,8 @@ impl ServerInner {
                     enable_proxy: self.config.enable_proxy,
                     slot_payload: self.ring.slot_payload,
                     slots_per_ring: self.ring.slots,
+                    shadow_rkey: self.shadow_mr.as_ref().map_or(0, |m| m.rkey().0),
+                    backup: *self.backup.lock(),
                 })
             }
             Request::Alloc { size } => self.handle_alloc(size),
@@ -803,7 +1121,93 @@ impl ServerInner {
                     },
                 }
             }
+            Request::Promote { primary } => self.handle_promote(primary),
+            Request::QueryReplica => Response::Replica {
+                backup: *self.backup.lock(),
+            },
         }
+    }
+
+    /// Promotes this server for dead primary `primary`: replays every
+    /// un-drained record in the mirror rings warding it into the shadow
+    /// image, then marks the primary promoted so its addresses are served
+    /// from the shadow on the data and control planes. Idempotent — the
+    /// shadow watermark makes a second promotion replay nothing new.
+    fn handle_promote(&self, primary: u8) -> Response {
+        let Some(shadow_mr) = &self.shadow_mr else {
+            return Response::Err {
+                code: err_code::BAD_REQUEST,
+            };
+        };
+        let shadow = shadow_mr.region();
+        let staging = self.staging_mr.region();
+        let rings: Vec<(u32, u32)> = {
+            let clients = self.clients.lock();
+            clients
+                .mirror_rings
+                .iter()
+                .filter(|(_, m)| m.ward == primary)
+                .map(|(&cid, m)| (cid, m.epoch))
+                .collect()
+        };
+        let mut replayed = 0u64;
+        for (cid, epoch) in rings {
+            let wm_off = cid as u64 * 8;
+            let watermark = shadow.load_u64(wm_off).unwrap_or(0);
+            let ring_off = cid as u64 * self.ring.ring_bytes();
+            let mut records = Vec::new();
+            for slot in 0..self.ring.slots {
+                let slot_off = ring_off + self.ring.slot_offset(slot);
+                let mut hdr = [0u8; crate::layout::RECORD_HEADER as usize];
+                if staging.read(slot_off, &mut hdr).is_err() {
+                    continue;
+                }
+                let rec = decode_record_header(&hdr);
+                if rec.seq == 0
+                    || rec.seq <= watermark
+                    || rec.len > self.ring.slot_payload
+                    || rec.epoch != epoch
+                {
+                    continue;
+                }
+                let mut payload = vec![0u8; rec.len as usize];
+                if staging
+                    .read(slot_off + crate::layout::RECORD_HEADER, &mut payload)
+                    .is_err()
+                    || checksum(&payload) != rec.checksum
+                {
+                    continue;
+                }
+                records.push((rec.seq, rec.addr, payload));
+            }
+            records.sort_by_key(|r| r.0);
+            let mut max_seq = watermark;
+            for (seq, addr_raw, payload) in records {
+                let Some(addr) = GlobalAddr::from_raw(addr_raw) else {
+                    continue;
+                };
+                if addr.server() != primary || addr.class() != MemClass::Nvm {
+                    continue;
+                }
+                let off = addr.offset();
+                if off + payload.len() as u64 <= shadow.len()
+                    && shadow.write(off, &payload).is_ok()
+                    && shadow.flush(off, payload.len() as u64).is_ok()
+                {
+                    max_seq = max_seq.max(seq);
+                    replayed += 1;
+                }
+            }
+            let _ = shadow.store_u64(wm_off, max_seq);
+            let _ = shadow.flush(wm_off, 8);
+            let _ = self.ctl_mr.region().store_u64(wm_off, max_seq);
+        }
+        let newly = self.promoted.lock().insert(primary);
+        if newly {
+            self.metrics.promotions.inc();
+            gengar_telemetry::Tracer::global().event("replica.promote", primary as u64);
+        }
+        Response::Promoted { replayed }
     }
 
     fn handle_alloc(&self, size: u64) -> Response {
@@ -866,32 +1270,55 @@ impl ServerInner {
         }
     }
 
-    /// Flush (and/or invalidate the cached copy of) a written range.
+    /// Flush (and/or invalidate the cached copy of) a written range. After
+    /// a promotion this server also accepts addresses of the primaries it
+    /// promoted for, flushing their ranges in the shadow image instead.
     fn handle_flush(&self, addr_raw: u64, len: u64, flush: bool) -> Response {
         let addr = match GlobalAddr::from_raw(addr_raw) {
-            Some(a) if a.class() == MemClass::Nvm && a.server() == self.id => a,
+            Some(a)
+                if a.class() == MemClass::Nvm
+                    && (a.server() == self.id || self.promoted.lock().contains(&a.server())) =>
+            {
+                a
+            }
             _ => {
                 return Response::Err {
                     code: err_code::INVALID_ADDR,
                 }
             }
         };
+        let region = if addr.server() == self.id {
+            self.nvm_mr.region()
+        } else {
+            match &self.shadow_mr {
+                Some(mr) => mr.region(),
+                None => {
+                    return Response::Err {
+                        code: err_code::INVALID_ADDR,
+                    }
+                }
+            }
+        };
         let off = addr.offset();
         if flush {
-            if off + len > self.nvm_mr.region().len() {
+            if off + len > region.len() {
                 return Response::Err {
                     code: err_code::INVALID_ADDR,
                 };
             }
-            if self.nvm_mr.region().flush(off, len.max(1)).is_err() {
+            if region.flush(off, len.max(1)).is_err() {
                 return Response::Err {
                     code: err_code::INVALID_ADDR,
                 };
             }
         }
-        if let Some((base, _)) = self.containing_object(off) {
-            let base_raw = GlobalAddr::new(self.id, MemClass::Nvm, base).raw();
-            let _ = self.cache.lock().invalidate(base_raw);
+        // The shadow image is never DRAM-cached, so only local addresses
+        // have a cached copy to invalidate.
+        if addr.server() == self.id {
+            if let Some((base, _)) = self.containing_object(off) {
+                let base_raw = GlobalAddr::new(self.id, MemClass::Nvm, base).raw();
+                let _ = self.cache.lock().invalidate(base_raw);
+            }
         }
         Response::Ok
     }

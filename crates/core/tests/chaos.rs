@@ -581,6 +581,218 @@ fn chaos_qos_aggressor_on_flapping_link_spares_victim() {
     }
 }
 
+/// Chaos server config with primary–backup replication switched on and a
+/// rebalance scanner fast enough for test-scale timelines.
+fn replicated_server_config() -> ServerConfig {
+    let mut config = chaos_server_config();
+    config.replication.enabled = true;
+    config.replication.rebalance_interval = std::time::Duration::from_millis(20);
+    config
+}
+
+/// Machine death: stop the server's threads and detach its node from the
+/// fabric, so peers observe transport errors and re-dials see
+/// `NodeNotFound`. Nothing on the dead machine survives.
+fn kill_server(cluster: &Cluster, id: u8) {
+    let server = cluster.server(id).unwrap();
+    server.shutdown();
+    cluster.fabric().remove_node(server.node().id());
+}
+
+/// Kill the primary mid write-storm: every write acknowledged before the
+/// kill (staged to both the primary ring and the mirror) must read back
+/// after the client fails over to the replica — zero settled-write loss.
+/// The kill is detected by the client itself: transport errors escalate
+/// through the reconnect budget into a failover, the replica promotes
+/// (replaying un-drained mirror records into its shadow), and the write
+/// stream continues against the promoted ward.
+#[test]
+fn chaos_kill_primary_under_load_loses_no_settled_write() {
+    arm_flight_recorder();
+    for seed in seeds() {
+        let cluster =
+            Cluster::launch(2, replicated_server_config(), FabricConfig::instant()).unwrap();
+        let config = ClientConfig {
+            // A short budget keeps the reconnect→failover escalation well
+            // inside one op deadline; the test's clock is virtual-free.
+            max_retries: 6,
+            op_deadline: std::time::Duration::from_secs(1),
+            ..chaos_client_config()
+        };
+        let mut client = cluster.client(config).unwrap();
+        let ptrs: Vec<_> = (0..8).map(|_| client.alloc(0, 64).unwrap()).collect();
+        let mut shadows: Vec<Shadow> = (0..8).map(|_| Shadow::new()).collect();
+        let mut post_kill_acks = 0u32;
+
+        let mut rng = seed ^ 0x5EC0_17D0;
+        for op in 0..200u32 {
+            if op == 100 {
+                kill_server(&cluster, 0);
+            }
+            let i = (splitmix64(&mut rng) % 8) as usize;
+            let val = (splitmix64(&mut rng) % 251) as u8;
+            match client.write(ptrs[i], 0, &[val; 64]) {
+                Ok(()) => {
+                    shadows[i].acked(val);
+                    if op >= 100 {
+                        post_kill_acks += 1;
+                    }
+                }
+                Err(e) => {
+                    assert!(
+                        !matches!(
+                            e,
+                            GengarError::ProtocolViolation(_) | GengarError::InvalidAddress(_)
+                        ),
+                        "seed {seed} op {op}: machine loss surfaced as a protocol bug: {e:?}"
+                    );
+                    shadows[i].failed(val);
+                }
+            }
+        }
+
+        client.drain_all().unwrap();
+        for (i, (ptr, shadow)) in ptrs.iter().zip(&shadows).enumerate() {
+            let got = read_fill_byte(&mut client, *ptr).unwrap_or_else(|e| {
+                panic!("seed {seed}: final read of object {i} after failover failed: {e:?}")
+            });
+            shadow.check_final(got, seed, i);
+        }
+        let stats = client.stats();
+        assert!(
+            stats.failovers >= 1,
+            "seed {seed}: primary death never escalated to a failover"
+        );
+        assert!(
+            cluster.server(1).unwrap().has_promoted(0),
+            "seed {seed}: replica never promoted the dead primary's ward"
+        );
+        assert!(
+            post_kill_acks > 0,
+            "seed {seed}: no write ever succeeded against the promoted replica"
+        );
+    }
+}
+
+/// Kill the *backup* mid-run: the primary write path must not so much as
+/// hiccup (every write keeps succeeding first time), the rebalance plane
+/// must re-point the primary at the next live survivor — seeding its
+/// shadow with the primary's settled image — and the client must re-mirror
+/// onto it in the background. The new replica is then proven real: the
+/// primary is killed too, and every settled write (including one staged
+/// *before* the backup died, which only the seeded image can supply) reads
+/// back through the second-generation replica.
+#[test]
+fn chaos_kill_backup_primary_undisturbed_and_rebalanced() {
+    arm_flight_recorder();
+    for seed in seeds() {
+        // Ring on 3 servers: 0 → 1 → 2 → 0. Killing server 1 orphans
+        // server 0's mirror; server 2 is the only live replacement.
+        let cluster =
+            Cluster::launch(3, replicated_server_config(), FabricConfig::instant()).unwrap();
+        let config = ClientConfig {
+            max_retries: 6,
+            op_deadline: std::time::Duration::from_secs(1),
+            ..chaos_client_config()
+        };
+        let mut client = cluster.client(config).unwrap();
+        let ptrs: Vec<_> = (0..8).map(|_| client.alloc(0, 64).unwrap()).collect();
+        let mut shadows: Vec<Shadow> = (0..8).map(|_| Shadow::new()).collect();
+
+        // Warmup: one settled write per object, fully drained into the
+        // primary's NVM. Object 7 is never written again — after the
+        // backup dies, its bytes can only reach the new replica through
+        // the rebalance plane's image seeding.
+        let mut rng = seed ^ 0xBAC0_FF5E;
+        for (i, ptr) in ptrs.iter().enumerate() {
+            let val = 1 + (splitmix64(&mut rng) % 250) as u8;
+            client.write(*ptr, 0, &[val; 64]).unwrap();
+            shadows[i].acked(val);
+        }
+        client.drain_all().unwrap();
+
+        kill_server(&cluster, 1);
+
+        // The primary path must be undisturbed by its replica's death:
+        // the mirror lane is shed on the first failed WR and writes keep
+        // acknowledging on the primary alone, first time, every time.
+        for op in 0..60u32 {
+            let i = (splitmix64(&mut rng) % 7) as usize;
+            let val = 1 + (splitmix64(&mut rng) % 250) as u8;
+            client.write(ptrs[i], 0, &[val; 64]).unwrap_or_else(|e| {
+                panic!("seed {seed} op {op}: backup death disturbed the primary path: {e:?}")
+            });
+            shadows[i].acked(val);
+        }
+
+        // Rebalance re-points server 0 at server 2 (the ring already had
+        // one mirror there for server 1's ward, hence >= 2), and the
+        // client's background re-mirror dials the new lane. Writes keep
+        // flowing so the re-mirror probe actually runs.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let val = 1 + (splitmix64(&mut rng) % 250) as u8;
+            client.write(ptrs[0], 0, &[val; 64]).unwrap();
+            shadows[0].acked(val);
+            if cluster.server(0).unwrap().backup_id() == 2
+                && cluster.server(2).unwrap().mirror_count() >= 2
+            {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "seed {seed}: new backup never re-established (backup_id={}, mirrors={})",
+                cluster.server(0).unwrap().backup_id(),
+                cluster.server(2).unwrap().mirror_count()
+            );
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        let stats = client.stats();
+        assert_eq!(
+            stats.failovers, 0,
+            "seed {seed}: a backup death must never trigger a failover"
+        );
+
+        // Overwrite objects 0..=6 on the re-established mirror, then kill
+        // the primary: the promotion on server 2 must serve the fresh
+        // values from its mirror ring and object 7's warmup value from
+        // the seeded shadow image.
+        for (i, ptr) in ptrs.iter().enumerate().take(7) {
+            let val = 1 + (splitmix64(&mut rng) % 250) as u8;
+            client.write(*ptr, 0, &[val; 64]).unwrap();
+            shadows[i].acked(val);
+        }
+        kill_server(&cluster, 0);
+        for _ in 0..40u32 {
+            let i = (splitmix64(&mut rng) % 7) as usize;
+            let val = 1 + (splitmix64(&mut rng) % 250) as u8;
+            match client.write(ptrs[i], 0, &[val; 64]) {
+                Ok(()) => shadows[i].acked(val),
+                Err(_) => shadows[i].failed(val),
+            }
+        }
+
+        client.drain_all().unwrap();
+        for (i, (ptr, shadow)) in ptrs.iter().zip(&shadows).enumerate() {
+            let got = read_fill_byte(&mut client, *ptr).unwrap_or_else(|e| {
+                panic!(
+                    "seed {seed}: final read of object {i} via the second-generation \
+                     replica failed: {e:?}"
+                )
+            });
+            shadow.check_final(got, seed, i);
+        }
+        assert!(
+            client.stats().failovers >= 1,
+            "seed {seed}: primary death never escalated to a failover"
+        );
+        assert!(
+            cluster.server(2).unwrap().has_promoted(0),
+            "seed {seed}: the rebalanced replica never promoted the dead primary's ward"
+        );
+    }
+}
+
 /// A staging ring that eats every record (drops on the WRITE_WITH_IMM
 /// path) degrades the connection: writes fall back to the direct NVM path,
 /// still land, and the degradation is visible in the stats.

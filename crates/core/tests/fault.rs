@@ -145,7 +145,7 @@ fn recovery_skips_corrupt_staging_records() {
     // mid-WRITE). Recovery must ignore it.
     let staging = server.staging_region();
     let mut hdr = [0u8; RECORD_HEADER as usize];
-    encode_record_header(&mut hdr, 999, ptr.addr.raw(), 64, 0xBAD_C0DE, 0, 0);
+    encode_record_header(&mut hdr, 999, ptr.addr.raw(), 64, 0xBAD_C0DE, 0, 0, 0);
     staging.write(0, &hdr).unwrap();
     staging.write(RECORD_HEADER, &[0xEE; 64]).unwrap();
 

@@ -159,15 +159,16 @@ proptest! {
         d in any::<u64>(),
         t in any::<u64>(),
         tenant in any::<u32>(),
+        epoch in any::<u32>(),
     ) {
         let mut buf = [0u8; 32];
         encode_slot_header(&mut buf, a, b, c, d);
         let h = decode_slot_header(&buf);
         prop_assert_eq!((h.tag, h.version, h.checksum, h.len), (a, b, c, d));
         let mut buf = [0u8; 48];
-        encode_record_header(&mut buf, a, b, c, d, t, tenant);
+        encode_record_header(&mut buf, a, b, c, d, t, tenant, epoch);
         let r = decode_record_header(&buf);
-        prop_assert_eq!((r.seq, r.addr, r.len, r.checksum, r.trace, r.tenant), (a, b, c, d, t, tenant));
+        prop_assert_eq!((r.seq, r.addr, r.len, r.checksum, r.trace, r.tenant, r.epoch), (a, b, c, d, t, tenant, epoch));
     }
 
     /// The checksum detects any single-byte corruption.

@@ -163,6 +163,17 @@ impl QueuePair {
                 operation: "connect",
             });
         }
+        // A node that has been detached from the fabric (machine death via
+        // [`crate::Fabric::remove_node`]) can never be reached again:
+        // refuse the connect with the definitive error instead of letting
+        // every send discover the loss one TransportError at a time.
+        // In-flight operations to a dying node still surface as transport
+        // errors; only *new* connections get this certificate.
+        if let Some(fabric) = self.node.upgrade().and_then(|n| n.fabric()) {
+            if fabric.node(remote_node).is_none() {
+                return Err(RdmaError::NodeNotFound(remote_node));
+            }
+        }
         *self.remote.lock() = Some((remote_node, remote_qpn));
         *state = QpState::ReadyToSend;
         Ok(())
@@ -345,26 +356,45 @@ mod tests {
 
     #[test]
     fn connect_transitions_to_rts() {
-        let (_f, node) = setup();
+        let (fabric, node) = setup();
+        let peer = fabric.add_node();
         let qp = make_qp(&node);
-        qp.connect(NodeId(9), Qpn(3)).unwrap();
+        qp.connect(peer.id(), Qpn(3)).unwrap();
         assert_eq!(qp.state(), QpState::ReadyToSend);
-        assert_eq!(qp.remote(), Some((NodeId(9), Qpn(3))));
+        assert_eq!(qp.remote(), Some((peer.id(), Qpn(3))));
         // Double connect is rejected.
-        assert!(qp.connect(NodeId(9), Qpn(3)).is_err());
+        assert!(qp.connect(peer.id(), Qpn(3)).is_err());
+    }
+
+    #[test]
+    fn connect_to_removed_node_reports_node_not_found() {
+        let (fabric, node) = setup();
+        let peer = fabric.add_node();
+        let dead = peer.id();
+        fabric.remove_node(dead);
+        let qp = make_qp(&node);
+        assert_eq!(
+            qp.connect(dead, Qpn(3)).unwrap_err(),
+            RdmaError::NodeNotFound(dead)
+        );
+        // The QP is untouched and can still connect to a live peer.
+        assert_eq!(qp.state(), QpState::Reset);
+        let alive = fabric.add_node();
+        qp.connect(alive.id(), Qpn(3)).unwrap();
     }
 
     #[test]
     fn reset_clears_connection() {
-        let (_f, node) = setup();
+        let (fabric, node) = setup();
+        let peer = fabric.add_node();
         let qp = make_qp(&node);
-        qp.connect(NodeId(9), Qpn(3)).unwrap();
+        qp.connect(peer.id(), Qpn(3)).unwrap();
         qp.set_error();
         assert_eq!(qp.state(), QpState::Error);
         qp.reset();
         assert_eq!(qp.state(), QpState::Reset);
         assert!(qp.remote().is_none());
-        qp.connect(NodeId(1), Qpn(1)).unwrap();
+        qp.connect(peer.id(), Qpn(1)).unwrap();
     }
 
     #[test]

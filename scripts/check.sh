@@ -14,6 +14,9 @@ cargo test --workspace -q
 
 # Opt-in chaos sweep (ten fixed seeds); slowish, so gated:
 #   CHAOS=1 scripts/check.sh
+# Includes the replication scenarios: kill-primary-under-load must lose
+# no settled write across the failover, kill-backup must leave the
+# primary path undisturbed and re-establish a new backup.
 if [[ "${CHAOS:-0}" == "1" ]]; then
     echo "== chaos sweep"
     scripts/chaos.sh
@@ -93,6 +96,65 @@ if [[ "$fairness_ok" != "1" ]]; then
     exit 1
 fi
 echo "fairness gate passed: off ${off} >= 3x solo ${solo}, on ${on} <= 2x solo, ${kops} <= 1.5x cap ${cap} kops/s"
+
+echo "== ablation gate (E12A: proxy-only and full must beat the no-mechanism baseline)"
+# The stretched time scale makes modelled I/O dominate, so the proxy's
+# per-write win shows up as throughput again on fast hosts. Retried like
+# the fan-out gate: shared-host throughput is noisy.
+ablation_ok=0
+for attempt in 1 2 3; do
+    e12a_out=$(cargo run -p gengar-bench --release --bin harness -- e12a --quick --no-telemetry)
+    echo "$e12a_out" | grep '^E12A '
+    neither=$(echo "$e12a_out" | sed -n 's/^E12A config=neither kops=\([0-9.]*\).*/\1/p')
+    proxy=$(echo "$e12a_out" | sed -n 's/^E12A config=proxy_only kops=\([0-9.]*\).*/\1/p')
+    full=$(echo "$e12a_out" | sed -n 's/^E12A config=full kops=\([0-9.]*\).*/\1/p')
+    if [[ -z "$neither" || -z "$proxy" || -z "$full" ]]; then
+        echo "ablation gate: missing E12A config lines" >&2
+        exit 1
+    fi
+    if awk -v n="$neither" -v p="$proxy" -v f="$full" \
+        'BEGIN { exit !(p >= 1.3 * n && f >= 1.3 * n) }'; then
+        ablation_ok=1
+        break
+    fi
+    echo "ablation gate attempt ${attempt}: proxy ${proxy} / full ${full} vs neither ${neither} kops/s, retrying"
+done
+if [[ "$ablation_ok" != "1" ]]; then
+    echo "ablation gate FAILED: proxy ${proxy} or full ${full} < 1.3x neither ${neither} kops/s" >&2
+    exit 1
+fi
+echo "ablation gate passed: proxy ${proxy} and full ${full} >= 1.3x neither ${neither} kops/s"
+
+echo "== replication gate (E13: replicated write <= 2x unreplicated and < nvm-direct)"
+# The mirror fan-out rides the same doorbell, so a replicated staged
+# write must stay near the unreplicated proxy path and keep its win over
+# the direct NVM write. Gated on the 1024 B row; retried for noise. The
+# run also hard-asserts zero settled-write loss across a kill-primary
+# failover (the experiment aborts on any lost write).
+replication_ok=0
+for attempt in 1 2 3; do
+    e13_out=$(cargo run -p gengar-bench --release --bin harness -- e13 --quick --no-telemetry)
+    echo "$e13_out" | grep '^E13 '
+    plain=$(echo "$e13_out" | sed -n 's/^E13 size=1024 unreplicated_ns=\([0-9.]*\).*/\1/p')
+    mirrored=$(echo "$e13_out" | sed -n 's/^E13 size=1024 .*replicated_ns=\([0-9.]*\) nvmdirect.*/\1/p')
+    direct=$(echo "$e13_out" | sed -n 's/^E13 size=1024 .*nvmdirect_ns=\([0-9.]*\).*/\1/p')
+    verified=$(echo "$e13_out" | sed -n 's/^E13 recovery_ms=.*settled_verified=\([0-9]*\).*/\1/p')
+    if [[ -z "$plain" || -z "$mirrored" || -z "$direct" || -z "$verified" ]]; then
+        echo "replication gate: missing E13 machine line fields" >&2
+        exit 1
+    fi
+    if awk -v p="$plain" -v m="$mirrored" -v d="$direct" \
+        'BEGIN { exit !(m <= 2 * p && m < d) }'; then
+        replication_ok=1
+        break
+    fi
+    echo "replication gate attempt ${attempt}: replicated ${mirrored} vs unreplicated ${plain} / nvm-direct ${direct} ns, retrying"
+done
+if [[ "$replication_ok" != "1" ]]; then
+    echo "replication gate FAILED: replicated ${mirrored} ns > 2x unreplicated ${plain} ns or >= nvm-direct ${direct} ns" >&2
+    exit 1
+fi
+echo "replication gate passed: replicated ${mirrored} <= 2x unreplicated ${plain} ns, < nvm-direct ${direct} ns (settled_verified=${verified})"
 
 echo "== trace schema gate (E3 --trace-out must be valid Chrome trace JSON)"
 trace_tmp=$(mktemp -t gengar-trace.XXXXXX)
