@@ -320,6 +320,12 @@ struct ServerConn {
     /// Drives the cooldown before a background re-mirror attempt; `None`
     /// while the lane is healthy (or the server mounts unreplicated).
     mirror_down_since: Option<Instant>,
+    /// The client id of the *redirected* control/data tenure on the
+    /// replica, once this ward failed over. Tracked so each later re-dial
+    /// of the (idempotent) failover path hands the previous tenure's id
+    /// back instead of leaking a `max_clients` slot per hiccup. `None`
+    /// while the connection still points at the original server.
+    redirect_cid: Option<u32>,
     /// Outstanding-op window for vectored operations on this connection.
     /// Stateless across submissions, so it survives reconnects unchanged.
     window: OpWindow,
@@ -479,6 +485,7 @@ impl GengarClient {
                 staging_faults: 0,
                 degraded: false,
                 mirror_down_since: None,
+                redirect_cid: None,
                 window: OpWindow::new(config.window_depth, config.telemetry),
                 op_buf: 0,
                 op_buf_len: 0,
@@ -973,6 +980,7 @@ impl GengarClient {
         // (the old endpoints died with the primary's machine).
         let srv = Arc::clone(&self.servers[bidx]);
         let mut channel = srv.accept(&self.node, &self.pd)?;
+        let cid = channel.cid;
         let attempt = self.policy.attempt_timeout();
         channel.rpc.set_op_timeout(attempt);
         channel.data.set_op_timeout(attempt);
@@ -998,6 +1006,14 @@ impl GengarClient {
                 return Err(e);
             }
         };
+        // The previous redirected tenure's control/data id (if any) is
+        // dead weight on the replica — nothing is ever staged under it, so
+        // it is safe to hand back — and repeated hiccups of a promoted
+        // ward must not bleed the replica's `max_clients` slots.
+        if let Some(old) = self.conns[idx].redirect_cid.take() {
+            srv.release_client(old);
+        }
+        self.conns[idx].redirect_cid = Some(cid);
         let conn = &mut self.conns[idx];
         // The ward's addresses resolve through the replica's shadow
         // region from here on: same offsets, different rkey. The slot
@@ -1040,47 +1056,57 @@ impl GengarClient {
     /// this re-dials the ward's *current* backup — re-queried from the
     /// primary, so a rebalanced assignment is picked up — after a short
     /// cooldown. Called from the staged-write paths after each settle.
-    fn maybe_remirror(&mut self, server: u8) -> Result<(), GengarError> {
+    ///
+    /// Never surfaces an error: the write it rides behind has already
+    /// settled on its own lanes, so a failed housekeeping probe must not
+    /// turn an acknowledged-durable write into a caller-visible failure —
+    /// it only restarts the cooldown.
+    fn maybe_remirror(&mut self, server: u8) {
         const REMIRROR_COOLDOWN: Duration = Duration::from_millis(10);
         if self.redirects.contains_key(&server) {
-            return Ok(());
+            return;
         }
-        let idx = *self
-            .server_index
-            .get(&server)
-            .ok_or(GengarError::UnknownServer(server))?;
+        let Some(&idx) = self.server_index.get(&server) else {
+            return;
+        };
         {
             let conn = &mut self.conns[idx];
             let Some(st) = conn.staging.as_mut() else {
-                return Ok(());
+                return;
             };
             if st.take_mirror_lost() && conn.mirror_down_since.is_none() {
                 conn.mirror_down_since = Some(Instant::now());
             }
             match conn.mirror_down_since {
                 Some(at) if at.elapsed() >= REMIRROR_COOLDOWN => {}
-                _ => return Ok(()),
+                _ => return,
             }
         }
+        if self.try_remirror(idx, server).is_err() {
+            // Failed probe or re-dial: restart the cooldown instead of
+            // hammering the primary/backup on every staged write.
+            self.conns[idx].mirror_down_since = Some(Instant::now());
+        }
+    }
+
+    /// The fallible half of [`GengarClient::maybe_remirror`]: query the
+    /// primary for its current backup and dial a fresh mirror lane.
+    fn try_remirror(&mut self, idx: usize, server: u8) -> Result<(), GengarError> {
         // Ask the primary who backs it up now: the dead backup may have
         // been replaced by the rebalance plane since the lane was shed.
         let backup = match self.conns[idx].rpc.call(&Request::QueryReplica)? {
             Response::Replica { backup } => backup,
+            // The primary refused (e.g. throttled): not a transport fault,
+            // leave the cooldown where it is and try again next settle.
             Response::Err { .. } => return Ok(()),
             _ => return Err(GengarError::ProtocolViolation("bad replica response")),
         };
         self.conns[idx].mount.backup = backup;
         if backup == NO_BACKUP {
             // No replacement assigned yet; keep waiting on the cooldown.
-            self.conns[idx].mirror_down_since = Some(Instant::now());
-            return Ok(());
+            return Err(GengarError::ServerUnavailable(server));
         }
-        if self.establish_mirror(server).is_err() {
-            // Failed re-dial: restart the cooldown instead of hammering
-            // the backup on every staged write.
-            self.conns[idx].mirror_down_since = Some(Instant::now());
-        }
-        Ok(())
+        self.establish_mirror(server)
     }
 
     fn check_access(ptr: GlobalPtr, offset: u64, len: u64) -> Result<(), GengarError> {
@@ -1521,7 +1547,7 @@ impl GengarClient {
                     );
                     self.purge_write_back(server)?;
                     self.metrics.staged_writes.inc();
-                    self.maybe_remirror(server)?;
+                    self.maybe_remirror(server);
                 } else {
                     if degraded {
                         self.metrics.degraded_ops.inc();
@@ -2525,7 +2551,7 @@ impl GengarClient {
             }
         }
         self.purge_write_back(run.server)?;
-        self.maybe_remirror(run.server)?;
+        self.maybe_remirror(run.server);
         match first_err {
             Some(e) => Err(e),
             None => {

@@ -153,14 +153,30 @@ impl Cluster {
                 }
                 // Next live survivor after the primary, skipping the dead
                 // backup (deterministic: mirrors the launch-time ring).
+                // One shadow, one ward: a survivor whose shadow is still
+                // dedicated to a *relevant* other primary — alive, or dead
+                // but promoted (its bytes are being served) — is not a
+                // candidate. A claim by a dead, never-promoted ward is
+                // stale and safe to retarget.
                 let chosen = (1..n).map(|step| (i + step) % n).find(|&c| {
-                    c != b as usize
-                        && servers[c].replication_enabled()
-                        && Self::is_alive(fabric, servers, c)
+                    if c == b as usize
+                        || !servers[c].replication_enabled()
+                        || !Self::is_alive(fabric, servers, c)
+                    {
+                        return false;
+                    }
+                    match servers[c].shadow_ward() {
+                        None => true,
+                        Some(w) if w == i as u8 => true,
+                        Some(w) => {
+                            !Self::is_alive(fabric, servers, w as usize)
+                                && !servers[c].has_promoted(w)
+                        }
+                    }
                 });
                 let Some(c) = chosen else { continue };
                 let Ok(image) = srv.nvm_image() else { continue };
-                if servers[c].install_shadow_image(&image).is_err() {
+                if servers[c].install_shadow_image(i as u8, &image).is_err() {
                     continue;
                 }
                 srv.set_backup(c as u8);

@@ -670,8 +670,17 @@ impl StagingWriter {
         if let Some(p) = &mut flight.pending {
             done &= self.ep.poll_pending(p);
         }
-        if let (Some(p), Some(m)) = (&mut flight.mirror_pending, &self.mirror) {
-            done &= m.ep.poll_pending(p);
+        match (&mut flight.mirror_pending, &self.mirror) {
+            (Some(p), Some(m)) => done &= m.ep.poll_pending(p),
+            // The lane was shed while this flight was open (a mirror WR or
+            // watermark-read failure dropped `self.mirror`): the endpoint
+            // that could harvest these completions is gone. Abandon them —
+            // the primary lane stays authoritative (every shed path keeps
+            // it; only a failover removes it, and a failover flight's
+            // mirror is never shed) — so the flight can settle instead of
+            // never reporting done.
+            (mp @ Some(_), None) => *mp = None,
+            (None, _) => {}
         }
         done
     }

@@ -154,6 +154,20 @@ pub(crate) struct ServerInner {
     /// Primaries this server has promoted for: their addresses are served
     /// from the shadow image on the data/control planes.
     promoted: Mutex<HashSet<u8>>,
+    /// The single primary the shadow is dedicated to (`None` until the
+    /// first mirror lane, promotion or image install claims it). There is
+    /// ONE shadow device and every server's NVM offsets overlap, so bytes
+    /// from two different wards in the same shadow would alias: every path
+    /// that touches the shadow (mirror drains, promotion replays, image
+    /// installs) must hold this lock and match the claim. A claim is only
+    /// retargeted by [`MemoryServer::install_shadow_image`], which refuses
+    /// while the old ward is promoted.
+    shadow_ward: RwLock<Option<u8>>,
+    /// Held for read by the proxy drain while it applies a record to NVM
+    /// (payload + watermark), for write by [`MemoryServer::nvm_image`]
+    /// while it copies the region — so a rebalance snapshot can never
+    /// capture a half-applied record.
+    nvm_quiesce: RwLock<()>,
     /// Replica-epoch source for mirror tenures (starts at 1; epoch 0 in a
     /// record header means "unreplicated").
     mirror_epoch: AtomicU32,
@@ -349,6 +363,8 @@ impl MemoryServer {
             shadow_mr,
             backup: Mutex::new(NO_BACKUP),
             promoted: Mutex::new(HashSet::new()),
+            shadow_ward: RwLock::new(None),
+            nvm_quiesce: RwLock::new(()),
             mirror_epoch: AtomicU32::new(1),
         });
 
@@ -553,6 +569,15 @@ impl MemoryServer {
         if !self.is_running() {
             return Err(GengarError::ServerUnavailable(inner.id));
         }
+        // One shadow, one ward: a lane for a second primary would
+        // interleave two servers' overlapping NVM offsets in the same byte
+        // range. Checked again under the write lock at ring insertion; this
+        // early check just fails fast before QPs are built.
+        if inner.shadow_ward.read().is_some_and(|w| w != ward) {
+            return Err(GengarError::ProtocolViolation(
+                "shadow already dedicated to another ward",
+            ));
+        }
         let cid = {
             let mut clients = inner.clients.lock();
             match clients.free_ids.pop() {
@@ -598,6 +623,21 @@ impl MemoryServer {
         }
         let epoch = inner.mirror_epoch.fetch_add(1, Ordering::Relaxed);
         {
+            // Claim the shadow for `ward` atomically with registering the
+            // ring (lock order: shadow_ward before clients). A concurrent
+            // Promote or install for a different ward that won the race
+            // makes this lane refuse rather than alias the shadow.
+            let mut shadow_ward = inner.shadow_ward.write();
+            match *shadow_ward {
+                Some(w) if w != ward => {
+                    drop(shadow_ward);
+                    self.release_client(cid);
+                    return Err(GengarError::ProtocolViolation(
+                        "shadow already dedicated to another ward",
+                    ));
+                }
+                _ => *shadow_ward = Some(ward),
+            }
             let mut clients = inner.clients.lock();
             clients.proxy_clients.insert(s_proxy.qpn(), cid);
             clients.proxy_qps.insert(cid, Arc::clone(&s_proxy));
@@ -655,22 +695,41 @@ impl MemoryServer {
     ///
     /// Propagates device read failures.
     pub fn nvm_image(&self) -> Result<Vec<u8>, GengarError> {
+        // Pause the proxy drains' NVM applies for the copy: a half-applied
+        // record (payload written, watermark not yet — or vice versa)
+        // captured here would seed the new backup with a torn value that no
+        // later replay repairs, because the record may already be settled
+        // and retired on the primary.
+        let _quiesce = self.inner.nvm_quiesce.write();
         let nvm = self.inner.nvm_mr.region();
         let mut image = vec![0u8; nvm.len() as usize];
         nvm.read(0, &mut image)?;
         Ok(image)
     }
 
-    /// Installs `image` as this server's shadow (must match the shadow
-    /// geometry). Management-plane counterpart of
-    /// [`MemoryServer::nvm_image`] used when this server becomes someone's
-    /// new backup.
+    /// The primary the shadow is currently dedicated to (`None` = never
+    /// claimed). Management-plane helper for the rebalance scanner's
+    /// candidate filter.
+    pub fn shadow_ward(&self) -> Option<u8> {
+        *self.inner.shadow_ward.read()
+    }
+
+    /// Installs `image` as this server's shadow and dedicates the shadow to
+    /// `ward` (the image's owner; must match the shadow geometry).
+    /// Management-plane counterpart of [`MemoryServer::nvm_image`] used
+    /// when this server becomes someone's new backup.
+    ///
+    /// Retargets a stale claim (a dead, never-promoted ward) but refuses
+    /// while any promotion is live: a promoted ward's shadow bytes are
+    /// being served to clients and must not be clobbered by another
+    /// server's image.
     ///
     /// # Errors
     ///
-    /// [`GengarError::ProtocolViolation`] when replication is disabled or
-    /// the image size does not match; device failures otherwise.
-    pub fn install_shadow_image(&self, image: &[u8]) -> Result<(), GengarError> {
+    /// [`GengarError::ProtocolViolation`] when replication is disabled, the
+    /// image size does not match, or the shadow serves a promoted ward;
+    /// device failures otherwise.
+    pub fn install_shadow_image(&self, ward: u8, image: &[u8]) -> Result<(), GengarError> {
         let Some(shadow_mr) = &self.inner.shadow_mr else {
             return Err(GengarError::ProtocolViolation(
                 "shadow install on a server without replication",
@@ -682,8 +741,25 @@ impl MemoryServer {
                 "shadow image geometry mismatch",
             ));
         }
+        // Claim (or retarget) under the write lock so neither a mirror
+        // drain nor a promotion replay interleaves with the bulk copy.
+        let mut shadow_ward = self.inner.shadow_ward.write();
+        if !self.inner.promoted.lock().is_empty() {
+            return Err(GengarError::ProtocolViolation(
+                "shadow serves a promoted ward",
+            ));
+        }
+        *shadow_ward = Some(ward);
         shadow.write(0, image)?;
         shadow.flush(0, image.len() as u64)?;
+        // The image's watermark area carries the *primary's* per-ring drain
+        // words, meaningless under this server's ring ids (a stale high
+        // watermark would mask mirror records from replay): reset it. Any
+        // live mirror lane for `ward` re-zeroed its word at accept time and
+        // retires slots off the ctl word, which is untouched here.
+        let wm_area = round_up(self.inner.config.max_clients as u64 * 8, 4096).min(shadow.len());
+        shadow.write(0, &vec![0u8; wm_area as usize])?;
+        shadow.flush(0, wm_area)?;
         Ok(())
     }
 
@@ -795,9 +871,11 @@ impl MemoryServer {
             // replay into local NVM exactly as before.
             let mirror = mirrors.get(&cid).copied();
             let target = match mirror {
-                Some(_) => match &inner.shadow_mr {
-                    Some(mr) => mr.region(),
-                    None => continue,
+                // A stale lane whose ward lost the shadow (re-dedicated to
+                // another primary) must not replay into it.
+                Some(m) => match &inner.shadow_mr {
+                    Some(mr) if *inner.shadow_ward.read() == Some(m.ward) => mr.region(),
+                    _ => continue,
                 },
                 None => nvm,
             };
@@ -915,8 +993,17 @@ impl ServerInner {
             // tenant to bill (the primary's drain did both); the epoch
             // filter drops any stale tenure's leftovers in a reused ring.
             if let Some(shadow_mr) = &self.shadow_mr {
+                // The shadow holds exactly one ward's image: a stale lane
+                // that outlived a retarget (its ward died unpromoted and
+                // the shadow was re-dedicated) must not scribble over the
+                // new ward's bytes. The read guard keeps an image install
+                // or promotion replay from interleaving with this apply.
+                let ward_guard = self.shadow_ward.read();
                 let shadow = shadow_mr.region();
-                if rec.len <= self.ring.slot_payload && rec.epoch == m.epoch {
+                if *ward_guard == Some(m.ward)
+                    && rec.len <= self.ring.slot_payload
+                    && rec.epoch == m.epoch
+                {
                     let mut payload = vec![0u8; rec.len as usize];
                     staging.read(slot_off + crate::layout::RECORD_HEADER, &mut payload)?;
                     if checksum(&payload) == rec.checksum {
@@ -953,6 +1040,11 @@ impl ServerInner {
             if checksum(&payload) == rec.checksum {
                 if let Some(addr) = GlobalAddr::from_raw(rec.addr) {
                     if addr.class() == MemClass::Nvm && addr.offset() + rec.len <= nvm.len() {
+                        // Payload and watermark land atomically w.r.t. a
+                        // rebalance snapshot (nvm_image holds this for
+                        // write), so the seeded shadow never carries a
+                        // torn record.
+                        let _quiesce = self.nvm_quiesce.read();
                         let off = addr.offset();
                         nvm.write(off, &payload)?;
                         nvm.flush(off, rec.len)?;
@@ -1139,6 +1231,19 @@ impl ServerInner {
                 code: err_code::BAD_REQUEST,
             };
         };
+        // The shadow serves exactly one ward; promoting a second one would
+        // hand out another server's bytes at the same offsets. Claim it
+        // (and hold the claim for the whole replay, so a concurrent image
+        // install for a different primary cannot interleave) or refuse.
+        let mut shadow_ward = self.shadow_ward.write();
+        match *shadow_ward {
+            Some(w) if w != primary => {
+                return Response::Err {
+                    code: err_code::BAD_REQUEST,
+                };
+            }
+            _ => *shadow_ward = Some(primary),
+        }
         let shadow = shadow_mr.region();
         let staging = self.staging_mr.region();
         let rings: Vec<(u32, u32)> = {
