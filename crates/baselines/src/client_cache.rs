@@ -7,7 +7,7 @@ use gengar_core::config::{ClientConfig, Consistency, ServerConfig};
 use gengar_core::error::GengarError;
 use gengar_core::layout::lockword;
 use gengar_core::pool::DshmPool;
-use gengar_core::{GengarClient, GlobalPtr};
+use gengar_core::{CachePolicy, GengarClient, GlobalPtr};
 use gengar_rdma::FabricConfig;
 
 #[derive(Debug)]
@@ -52,7 +52,7 @@ impl ClientCache {
     /// Forces the baseline's server configuration onto `config` (home
     /// nodes serve raw NVM; no server cache, no proxy).
     pub fn server_config(mut config: ServerConfig) -> ServerConfig {
-        config.enable_cache = false;
+        config.cache = CachePolicy::disabled();
         config.enable_proxy = false;
         config
     }
@@ -70,12 +70,15 @@ impl ClientCache {
         Cluster::launch(n_servers, Self::server_config(config), fabric)
     }
 
-    /// Connects a caching client with `capacity` bytes of local cache.
+    /// Connects a caching client whose local cache is shaped by `policy`
+    /// (only `policy.capacity` applies: this baseline is a plain
+    /// validate-on-hit LRU, the contrast Gengar's admission/ghost/demotion
+    /// machinery is measured against).
     ///
     /// # Errors
     ///
     /// Propagates connection failures.
-    pub fn client(cluster: &Cluster, capacity: u64) -> Result<ClientCache, GengarError> {
+    pub fn client(cluster: &Cluster, policy: CachePolicy) -> Result<ClientCache, GengarError> {
         let client = cluster.client(ClientConfig {
             // Writes must bump versions so validation detects staleness.
             consistency: Consistency::Seqlock,
@@ -86,7 +89,7 @@ impl ClientCache {
             entries: HashMap::new(),
             lru: BTreeMap::new(),
             used: 0,
-            capacity,
+            capacity: policy.capacity,
             next_stamp: 0,
             stats: ClientCacheStats::default(),
         })
@@ -221,7 +224,7 @@ mod tests {
     fn hits_after_first_read() {
         let cluster =
             ClientCache::launch(1, ServerConfig::small(), FabricConfig::instant()).unwrap();
-        let mut pool = ClientCache::client(&cluster, 1 << 20).unwrap();
+        let mut pool = ClientCache::client(&cluster, CachePolicy::new().capacity(1 << 20)).unwrap();
         let ptr = pool.alloc(0, 128).unwrap();
         pool.write(ptr, 0, &[4u8; 128]).unwrap();
         let mut buf = [0u8; 128];
@@ -238,7 +241,7 @@ mod tests {
     fn writes_invalidate_and_revalidate() {
         let cluster =
             ClientCache::launch(1, ServerConfig::small(), FabricConfig::instant()).unwrap();
-        let mut pool = ClientCache::client(&cluster, 1 << 20).unwrap();
+        let mut pool = ClientCache::client(&cluster, CachePolicy::new().capacity(1 << 20)).unwrap();
         let ptr = pool.alloc(0, 64).unwrap();
         pool.write(ptr, 0, &[1u8; 64]).unwrap();
         let mut buf = [0u8; 64];
@@ -252,8 +255,8 @@ mod tests {
     fn cross_client_writes_detected_by_version() {
         let cluster =
             ClientCache::launch(1, ServerConfig::small(), FabricConfig::instant()).unwrap();
-        let mut a = ClientCache::client(&cluster, 1 << 20).unwrap();
-        let mut b = ClientCache::client(&cluster, 1 << 20).unwrap();
+        let mut a = ClientCache::client(&cluster, CachePolicy::new().capacity(1 << 20)).unwrap();
+        let mut b = ClientCache::client(&cluster, CachePolicy::new().capacity(1 << 20)).unwrap();
         let ptr = a.alloc(0, 64).unwrap();
         a.write(ptr, 0, &[1u8; 64]).unwrap();
         let mut buf = [0u8; 64];
@@ -269,7 +272,7 @@ mod tests {
         let cluster =
             ClientCache::launch(1, ServerConfig::small(), FabricConfig::instant()).unwrap();
         // Room for two 64-byte objects only.
-        let mut pool = ClientCache::client(&cluster, 128).unwrap();
+        let mut pool = ClientCache::client(&cluster, CachePolicy::new().capacity(128)).unwrap();
         let mut buf = [0u8; 64];
         let ptrs: Vec<GlobalPtr> = (0..3).map(|_| pool.alloc(0, 64).unwrap()).collect();
         for p in &ptrs {

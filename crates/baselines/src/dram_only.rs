@@ -30,7 +30,7 @@ impl DramOnly {
         profile.name = "dram-as-nvm".to_owned();
         profile.persistence = PersistenceMode::Adr;
         config.nvm_profile = profile;
-        config.enable_cache = false;
+        config.cache = gengar_core::CachePolicy::disabled();
         config.enable_proxy = true;
         config
     }
@@ -127,7 +127,7 @@ mod tests {
         let c = DramOnly::server_config(ServerConfig::default());
         assert_eq!(c.nvm_profile.kind, MemKind::Nvm);
         assert_eq!(c.nvm_profile.persistence, PersistenceMode::Adr);
-        assert!(!c.enable_cache);
+        assert!(!c.cache.enabled);
         assert!(c.enable_proxy);
         // DRAM-speed, not Optane-speed.
         assert!(c.nvm_profile.read_latency_ns <= DeviceProfile::dram().read_latency_ns);

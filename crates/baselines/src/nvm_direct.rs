@@ -21,7 +21,7 @@ pub struct NvmDirect {
 impl NvmDirect {
     /// Forces the baseline's server configuration onto `config`.
     pub fn server_config(mut config: ServerConfig) -> ServerConfig {
-        config.enable_cache = false;
+        config.cache = gengar_core::CachePolicy::disabled();
         config.enable_proxy = false;
         config
     }

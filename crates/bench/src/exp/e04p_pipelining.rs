@@ -55,7 +55,7 @@ pub fn run(scale: Scale) {
     gengar_hybridmem::set_time_scale(TIME_SCALE);
     let ops = scale.ops(16_000);
     let mut config = base_config();
-    config.enable_cache = false;
+    config.cache = gengar_core::CachePolicy::disabled();
     let system = System::launch(SystemKind::Gengar, 1, config);
 
     let mut loader = system.gengar_client(base_client_config());

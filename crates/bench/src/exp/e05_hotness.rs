@@ -21,26 +21,28 @@ pub fn run(scale: Scale) {
     let ops = scale.ops(4_000);
     let mut config = base_config();
     // Cache sized to ~12% of the working set so skew matters.
-    config.dram_cache_capacity = OBJECTS * OBJECT_SIZE / 8;
+    config.cache = config.cache.capacity(OBJECTS * OBJECT_SIZE / 8);
 
     let mut table = Table::new(
         "E5: hot-data caching vs skew (512 x 16 KiB, cache = 1/8 of set)",
         &["distribution", "hit ratio", "lat cache-on", "lat cache-off"],
     );
 
-    let dists: &[(&str, Distribution)] = &[
-        ("uniform", Distribution::Uniform),
-        ("zipf 0.50", Distribution::Zipfian(0.5)),
-        ("zipf 0.75", Distribution::Zipfian(0.75)),
-        ("zipf 0.90", Distribution::Zipfian(0.9)),
-        ("zipf 0.99", Distribution::Zipfian(0.99)),
+    let dists: &[(&str, &str, Distribution)] = &[
+        ("uniform", "uniform", Distribution::Uniform),
+        ("zipf 0.50", "zipf050", Distribution::Zipfian(0.5)),
+        ("zipf 0.75", "zipf075", Distribution::Zipfian(0.75)),
+        ("zipf 0.90", "zipf090", Distribution::Zipfian(0.9)),
+        ("zipf 0.99", "zipf099", Distribution::Zipfian(0.99)),
     ];
 
-    for &(name, dist) in dists {
+    for &(name, slug, dist) in dists {
         let mut row = vec![name.to_owned()];
         for cache_on in [true, false] {
             let mut cfg = config.clone();
-            cfg.enable_cache = cache_on;
+            if !cache_on {
+                cfg.cache = gengar_core::CachePolicy::disabled();
+            }
             let system = System::launch(SystemKind::Gengar, 1, cfg);
             let mut client = system.gengar_client(base_client_config());
             let objects = setup_objects(&mut client, OBJECTS, OBJECT_SIZE).expect("setup");
@@ -55,7 +57,10 @@ pub fn run(scale: Scale) {
             if cache_on {
                 let hits = after.cache_hits - before.cache_hits;
                 let total = after.reads - before.reads;
-                row.push(format!("{:.1}%", hits as f64 / total as f64 * 100.0));
+                let ratio = hits as f64 / total as f64;
+                println!("E5 dist={slug} hit_ratio={ratio:.3}");
+                crate::report_metric(&format!("{slug}.hit_ratio"), ratio);
+                row.push(format!("{:.1}%", ratio * 100.0));
                 row.push(ns(result.reads.p50_ns));
             } else {
                 row.push(ns(result.reads.p50_ns));

@@ -28,11 +28,13 @@ pub fn run(scale: Scale) {
 
     for pct in [2u64, 4, 8, 16, 32, 64] {
         let mut config = base_config();
-        config.dram_cache_capacity = (working_set * pct / 100).max(256 << 10);
         // Promote on first sight: this sweep measures what *capacity*
-        // (via score-based eviction) retains, not what the threshold
+        // (via admission + eviction) retains, not what the threshold
         // filters out.
-        config.hot_threshold = 1;
+        config.cache = config
+            .cache
+            .capacity((working_set * pct / 100).max(256 << 10))
+            .hot_threshold(1);
         let system = System::launch(SystemKind::Gengar, 1, config);
         let mut client = system.gengar_client(base_client_config());
         let objects = setup_objects(&mut client, OBJECTS, OBJECT_SIZE).expect("setup");
@@ -59,9 +61,12 @@ pub fn run(scale: Scale) {
         let after = client.stats();
         let hits = after.cache_hits - before.cache_hits;
         let total = after.reads - before.reads;
+        let ratio = hits as f64 / total as f64;
+        println!("E6 pct={pct} hit_ratio={ratio:.3}");
+        crate::report_metric(&format!("pct{pct}.hit_ratio"), ratio);
         table.row(vec![
             format!("{pct}%"),
-            format!("{:.1}%", hits as f64 / total as f64 * 100.0),
+            format!("{:.1}%", ratio * 100.0),
             ns(result.reads.p50_ns),
         ]);
     }

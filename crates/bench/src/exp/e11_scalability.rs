@@ -58,7 +58,7 @@ pub fn run(scale: Scale) {
         // the cache so the figure isolates how raw NVM/NIC channel
         // capacity scales with the server count.
         config.nvm_capacity = (256 << 20) / servers as u64;
-        config.enable_cache = false;
+        config.cache = gengar_core::CachePolicy::disabled();
         let system = Arc::new(System::launch(SystemKind::Gengar, servers, config));
         let mut loader = system.client();
         let objects = Arc::new(setup_objects(&mut loader, OBJECTS, OBJECT_SIZE).expect("setup"));

@@ -70,7 +70,7 @@ fn run_phase(aggressors: usize, qos_on: bool, ops: u64) -> (f64, f64) {
     let mut config = base_config();
     // No DRAM cache: the phases measure channel contention, and a cache
     // would absorb the victim's skew-free reads.
-    config.enable_cache = false;
+    config.cache = gengar_core::CachePolicy::disabled();
     config.qos.enabled = qos_on;
     if qos_on {
         config.qos.burst_ratio = BURST_RATIO;

@@ -44,7 +44,9 @@ pub fn run(scale: Scale) {
         ("full gengar", "full", true, true),
     ] {
         let mut config = base_config();
-        config.enable_cache = cache;
+        if !cache {
+            config.cache = gengar_core::CachePolicy::disabled();
+        }
         config.enable_proxy = proxy;
         let system = System::launch(SystemKind::Gengar, 1, config);
         let mut client = system.gengar_client(base_client_config());

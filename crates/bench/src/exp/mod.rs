@@ -15,6 +15,7 @@ pub mod e11_scalability;
 pub mod e12_fairness;
 pub mod e12a_ablation;
 pub mod e13_replication;
+pub mod e14_phase_change;
 
 use std::time::Duration;
 
@@ -28,9 +29,10 @@ use gengar_rdma::FabricConfig;
 pub fn base_config() -> ServerConfig {
     let mut config = ServerConfig {
         nvm_capacity: 128 << 20,
-        dram_cache_capacity: 16 << 20,
+        cache: gengar_core::CachePolicy::new()
+            .capacity(16 << 20)
+            .hot_threshold(2),
         epoch: Duration::from_millis(10),
-        hot_threshold: 2,
         telemetry: crate::telemetry_config(),
         ..Default::default()
     };
@@ -145,9 +147,13 @@ impl System {
             SystemKind::NvmDirect => {
                 Box::new(NvmDirect::client(&self.cluster).expect("nvm-direct client"))
             }
-            SystemKind::ClientCache => {
-                Box::new(ClientCache::client(&self.cluster, 16 << 20).expect("client-cache client"))
-            }
+            SystemKind::ClientCache => Box::new(
+                ClientCache::client(
+                    &self.cluster,
+                    gengar_core::CachePolicy::new().capacity(16 << 20),
+                )
+                .expect("client-cache client"),
+            ),
             SystemKind::DramOnly => {
                 Box::new(DramOnly::client(&self.cluster).expect("dram-only client"))
             }

@@ -151,6 +151,132 @@ impl SlabAllocator {
     }
 }
 
+/// Fine-grained frame allocator for the DRAM cache and demote tiers.
+///
+/// Cache frames are payload-sized (header + payload + tail), which lands
+/// just past a power of two for the common power-of-two payloads — under
+/// the slab's power-of-two classes almost half of every frame would be
+/// internal fragmentation. This allocator rounds to two-level TLSF-style
+/// classes instead: a power-of-two first level split into eight linear
+/// subclasses (granule `2^(k-3)`, clamped to 64 B alignment), capping
+/// waste at ~12.5% and fitting ~1.7x more 16 KiB frames into the same
+/// DRAM budget. Freed frames return to an exact-block-size free list;
+/// fresh frames come from a bump pointer.
+#[derive(Debug)]
+pub struct FrameAllocator {
+    base: u64,
+    capacity: u64,
+    bump: u64,
+    /// block size -> free offsets of exactly that block size.
+    free_lists: HashMap<u64, Vec<u64>>,
+    /// offset -> block size of the live frame.
+    live: HashMap<u64, u64>,
+    stats: AllocStats,
+}
+
+impl FrameAllocator {
+    /// Creates an allocator over `[base, base+capacity)`.
+    pub fn new(base: u64, capacity: u64) -> Self {
+        FrameAllocator {
+            base,
+            capacity,
+            bump: base,
+            free_lists: HashMap::new(),
+            live: HashMap::new(),
+            stats: AllocStats::default(),
+        }
+    }
+
+    /// Total managed bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Rounds `size` to its block size, or `None` if unallocatable.
+    pub fn block_size(size: u64) -> Option<u64> {
+        if size == 0 || size > MAX_CLASS {
+            return None;
+        }
+        let size = size.max(MIN_CLASS);
+        // Granule: 1/8 of the enclosing power of two, but never below the
+        // 64-byte alignment unit.
+        let k = 63 - size.leading_zeros() as u64;
+        let granule = (1u64 << k.saturating_sub(3)).max(MIN_CLASS);
+        Some(size.div_ceil(granule) * granule)
+    }
+
+    /// Allocates a frame of at least `size` bytes, returning its offset
+    /// (64-byte aligned).
+    ///
+    /// # Errors
+    ///
+    /// [`GengarError::ObjectTooLarge`] beyond the largest class;
+    /// [`GengarError::OutOfMemory`] when the region is exhausted.
+    pub fn alloc(&mut self, size: u64) -> Result<u64, GengarError> {
+        let block = Self::block_size(size).ok_or(GengarError::ObjectTooLarge {
+            requested: size,
+            max: MAX_CLASS,
+        })?;
+        let recycled = self.free_lists.get_mut(&block).and_then(Vec::pop);
+        let offset = if let Some(off) = recycled {
+            off
+        } else {
+            let end = self
+                .bump
+                .checked_add(block)
+                .ok_or(GengarError::OutOfMemory { requested: size })?;
+            if end > self.base + self.capacity {
+                return Err(GengarError::OutOfMemory { requested: size });
+            }
+            let off = self.bump;
+            self.bump = end;
+            self.stats.bump_bytes += block;
+            off
+        };
+        self.live.insert(offset, block);
+        self.stats.live += 1;
+        self.stats.live_bytes += block;
+        self.stats.allocs += 1;
+        Ok(offset)
+    }
+
+    /// Frees the frame at `offset`, returning its block size.
+    ///
+    /// # Errors
+    ///
+    /// [`GengarError::DoubleFree`]-shaped error when `offset` is not a
+    /// live frame (this also catches double frees).
+    pub fn free(&mut self, offset: u64) -> Result<u64, GengarError> {
+        let block = self.live.remove(&offset).ok_or_else(|| {
+            GengarError::DoubleFree(crate::addr::GlobalAddr::new(
+                0,
+                crate::addr::MemClass::DramCache,
+                offset & ((1 << 48) - 1),
+            ))
+        })?;
+        self.free_lists.entry(block).or_default().push(offset);
+        self.stats.live -= 1;
+        self.stats.live_bytes -= block;
+        self.stats.frees += 1;
+        Ok(block)
+    }
+
+    /// Block size of the live frame at `offset`, if any.
+    pub fn size_of(&self, offset: u64) -> Option<u64> {
+        self.live.get(&offset).copied()
+    }
+
+    /// Returns whether `offset` is a live frame.
+    pub fn is_live(&self, offset: u64) -> bool {
+        self.live.contains_key(&offset)
+    }
+
+    /// Allocator statistics.
+    pub fn stats(&self) -> AllocStats {
+        self.stats
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -235,5 +361,51 @@ mod tests {
         a.free(x).unwrap();
         assert_eq!(a.size_of(x), None);
         assert!(!a.is_live(x));
+    }
+
+    #[test]
+    fn frame_rounding_is_subclass_granular() {
+        // Exact powers of two stay exact.
+        assert_eq!(FrameAllocator::block_size(64), Some(64));
+        assert_eq!(FrameAllocator::block_size(16384), Some(16384));
+        // Just past a power of two costs one granule, not a doubling: a
+        // 16 KiB payload's 16424-byte frame fits in 18 KiB, not 32 KiB.
+        assert_eq!(FrameAllocator::block_size(16424), Some(16384 + 2048));
+        assert_eq!(FrameAllocator::block_size(104), Some(128));
+        // Granule clamps to the 64-byte alignment unit for tiny frames.
+        assert_eq!(FrameAllocator::block_size(65), Some(128));
+        assert_eq!(FrameAllocator::block_size(1), Some(64));
+        assert_eq!(FrameAllocator::block_size(0), None);
+        assert_eq!(FrameAllocator::block_size(MAX_CLASS), Some(MAX_CLASS));
+        assert_eq!(FrameAllocator::block_size(MAX_CLASS + 1), None);
+    }
+
+    #[test]
+    fn frame_alloc_packs_denser_than_slab() {
+        // 16 KiB payloads (16424-byte frames) in 1 MiB: the slab fits 32,
+        // the frame allocator at least 50.
+        let mut a = FrameAllocator::new(0, 1 << 20);
+        let mut n = 0;
+        while a.alloc(16424).is_ok() {
+            n += 1;
+        }
+        assert!(n >= 50, "only {n} frames packed");
+    }
+
+    #[test]
+    fn frame_free_recycles_and_detects_double_free() {
+        let mut a = FrameAllocator::new(0, 1 << 20);
+        let x = a.alloc(16424).unwrap();
+        assert_eq!(a.size_of(x), Some(18432));
+        assert_eq!(a.free(x).unwrap(), 18432);
+        let y = a.alloc(16424).unwrap();
+        assert_eq!(x, y, "freed frame should be reused");
+        a.free(y).unwrap();
+        assert!(matches!(a.free(y), Err(GengarError::DoubleFree(_))));
+        let s = a.stats();
+        assert_eq!(s.allocs, 2);
+        assert_eq!(s.frees, 2);
+        assert_eq!(s.live, 0);
+        assert_eq!(s.bump_bytes, 18432, "second alloc recycled, no new bump");
     }
 }

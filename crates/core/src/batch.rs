@@ -41,10 +41,14 @@
 //! # Atomics
 //!
 //! `lock` / `unlock` / `cas_u64` / `faa_u64` are ordering-sensitive and
-//! bypass batching. The builder accepts them only to reject them with
-//! [`GengarError::AtomicInBatch`] at submit time (plus a debug
-//! assertion), so a misport from the scalar API fails loudly instead of
-//! silently reordering.
+//! bypass batching. The builder offers no way to queue them — atomics in
+//! a batch are unrepresentable at the type level, so a misport from the
+//! scalar API fails at compile time instead of silently reordering. Use
+//! the scalar [`crate::GengarClient::cas_u64`] /
+//! [`crate::GengarClient::faa_u64`] / [`crate::GengarClient::lock`] /
+//! [`crate::GengarClient::unlock`] calls. ([`GengarError::AtomicInBatch`]
+//! survives solely as a wire-path error code a server can return for a
+//! malformed remote batch.)
 
 use std::error::Error;
 use std::fmt;
@@ -53,8 +57,8 @@ use crate::addr::GlobalPtr;
 use crate::client::GengarClient;
 use crate::error::GengarError;
 
-/// One queued batch element. `Atomic` never executes: it exists so the
-/// builder can reject atomics with a clear error at submit time.
+/// One queued batch element. Only reads and writes exist: atomics in a
+/// batch are unrepresentable (see the [module docs](self)).
 #[derive(Debug)]
 pub(crate) enum BatchOp<'b> {
     /// Read `buf.len()` bytes from `ptr.addr + offset` into `buf`.
@@ -69,8 +73,6 @@ pub(crate) enum BatchOp<'b> {
         offset: u64,
         data: &'b [u8],
     },
-    /// An atomic the caller tried to queue; rejected at submit.
-    Atomic { what: &'static str },
 }
 
 /// Builder for a vectored operation batch. Created by
@@ -126,43 +128,6 @@ impl<'c, 'b> OpBatch<'c, 'b> {
         self
     }
 
-    /// Atomics are rejected in batches: this marks the batch so
-    /// [`OpBatch::submit`] fails with [`GengarError::AtomicInBatch`]. Use
-    /// [`crate::GengarClient::cas_u64`] instead.
-    #[must_use]
-    pub fn cas_u64(self, _ptr: GlobalPtr, _offset: u64, _expected: u64, _new: u64) -> Self {
-        self.reject_atomic("cas_u64")
-    }
-
-    /// Atomics are rejected in batches: this marks the batch so
-    /// [`OpBatch::submit`] fails with [`GengarError::AtomicInBatch`]. Use
-    /// [`crate::GengarClient::faa_u64`] instead.
-    #[must_use]
-    pub fn faa_u64(self, _ptr: GlobalPtr, _offset: u64, _add: u64) -> Self {
-        self.reject_atomic("faa_u64")
-    }
-
-    /// Atomics are rejected in batches: this marks the batch so
-    /// [`OpBatch::submit`] fails with [`GengarError::AtomicInBatch`]. Use
-    /// [`crate::GengarClient::lock`] instead.
-    #[must_use]
-    pub fn lock(self, _ptr: GlobalPtr) -> Self {
-        self.reject_atomic("lock")
-    }
-
-    /// Atomics are rejected in batches: this marks the batch so
-    /// [`OpBatch::submit`] fails with [`GengarError::AtomicInBatch`]. Use
-    /// [`crate::GengarClient::unlock`] instead.
-    #[must_use]
-    pub fn unlock(self, _ptr: GlobalPtr) -> Self {
-        self.reject_atomic("unlock")
-    }
-
-    fn reject_atomic(mut self, what: &'static str) -> Self {
-        self.ops.push(BatchOp::Atomic { what });
-        self
-    }
-
     /// Number of queued operations.
     pub fn len(&self) -> usize {
         self.ops.len()
@@ -179,10 +144,10 @@ impl<'c, 'b> OpBatch<'c, 'b> {
     ///
     /// # Errors
     ///
-    /// The outer `Err` is reserved for batch-level misuse — today only
-    /// [`GengarError::AtomicInBatch`], in which case nothing executed.
-    /// Per-operation failures (bounds violations, exhausted retry
-    /// budgets) land in the [`BatchResult`].
+    /// The outer `Err` is reserved for future batch-level misuse; today
+    /// every queued operation is representable and runs. Per-operation
+    /// failures (bounds violations, exhausted retry budgets) land in the
+    /// [`BatchResult`].
     pub fn submit(self) -> Result<BatchResult, GengarError> {
         self.client.run_batch(self.ops)
     }

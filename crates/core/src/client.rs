@@ -1667,13 +1667,6 @@ impl GengarClient {
         &mut self,
         mut ops: Vec<BatchOp<'_>>,
     ) -> Result<BatchResult, GengarError> {
-        // Atomics are rejected up front: nothing in the batch executes.
-        for op in &ops {
-            if let BatchOp::Atomic { what } = op {
-                debug_assert!(false, "atomic `{what}` queued in an OpBatch");
-                return Err(GengarError::AtomicInBatch(what));
-            }
-        }
         // One trace per batch, rooted at the client-visible operation. The
         // root's context is installed on this thread, so every layer below
         // (window, staging, fabric, RPC encode) files under the same trace.
@@ -1692,7 +1685,6 @@ impl GengarClient {
             let (ptr, offset, len, is_read) = match op {
                 BatchOp::Read { ptr, offset, buf } => (*ptr, *offset, buf.len() as u64, true),
                 BatchOp::Write { ptr, offset, data } => (*ptr, *offset, data.len() as u64, false),
-                BatchOp::Atomic { .. } => unreachable!("rejected above"),
             };
             match Self::check_access(ptr, offset, len) {
                 Ok(()) => {
@@ -1720,7 +1712,6 @@ impl GengarClient {
             }
             let server = match op {
                 BatchOp::Read { ptr, .. } | BatchOp::Write { ptr, .. } => ptr.addr.server(),
-                BatchOp::Atomic { .. } => unreachable!("rejected above"),
             };
             let gi = *group_of.entry(server).or_insert_with(|| {
                 groups.push((server, Vec::new()));
@@ -1797,7 +1788,6 @@ impl GengarClient {
             match op {
                 BatchOp::Read { .. } => self.metrics.read_ns.record_ns(elapsed),
                 BatchOp::Write { .. } => self.metrics.write_ns.record_ns(elapsed),
-                BatchOp::Atomic { .. } => unreachable!("rejected above"),
             }
         }
         Ok(BatchResult::new(

@@ -7,6 +7,7 @@ use gengar_hybridmem::DeviceProfile;
 use gengar_telemetry::TelemetryConfig;
 use serde::{Deserialize, Serialize};
 
+use crate::cache::CachePolicy;
 use crate::qos::QosConfig;
 
 /// Consistency level for shared objects.
@@ -50,22 +51,19 @@ impl Default for ReplicationConfig {
 pub struct ServerConfig {
     /// Bytes of NVM exported into the pool.
     pub nvm_capacity: u64,
-    /// Bytes of DRAM dedicated to the hot-data cache.
-    pub dram_cache_capacity: u64,
     /// Bytes of ADR-protected DRAM per client staging ring.
     pub staging_ring_capacity: u64,
     /// Maximum clients (bounds staging region size).
     pub max_clients: u32,
-    /// Hot-data caching in server DRAM (ablation toggle).
-    pub enable_cache: bool,
+    /// The cache plane: capacity, admission mode, ghost sizing, demotion,
+    /// hotness thresholds and sketch shape. `CachePolicy::disabled()` turns
+    /// the whole plane off (the paper's no-cache ablation arm).
+    #[serde(default)]
+    pub cache: CachePolicy,
     /// Proxy-based write protocol (ablation toggle).
     pub enable_proxy: bool,
-    /// Epoch-normalised access count above which an object is promoted.
-    pub hot_threshold: u32,
     /// How often the hotness monitor folds reports and promotes/demotes.
     pub epoch: Duration,
-    /// Largest payload the cache will hold a copy of.
-    pub cacheable_max: u64,
     /// Largest allocatable payload.
     pub max_object: u64,
     /// Timing profile of the NVM device.
@@ -96,14 +94,11 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             nvm_capacity: 256 << 20,
-            dram_cache_capacity: 32 << 20,
             staging_ring_capacity: 1 << 20,
             max_clients: 64,
-            enable_cache: true,
+            cache: CachePolicy::default(),
             enable_proxy: true,
-            hot_threshold: 4,
             epoch: Duration::from_millis(20),
-            cacheable_max: 64 << 10,
             max_object: 16 << 20,
             nvm_profile: DeviceProfile::optane(),
             dram_profile: DeviceProfile::dram(),
@@ -126,12 +121,13 @@ impl ServerConfig {
         staging.persistence = PersistenceMode::Adr;
         ServerConfig {
             nvm_capacity: 8 << 20,
-            dram_cache_capacity: 1 << 20,
             staging_ring_capacity: 64 << 10,
             max_clients: 8,
-            hot_threshold: 2,
+            cache: CachePolicy::new()
+                .capacity(1 << 20)
+                .hot_threshold(2)
+                .cacheable_max(16 << 10),
             epoch: Duration::from_millis(5),
-            cacheable_max: 16 << 10,
             max_object: 1 << 20,
             nvm_profile: DeviceProfile::instant(MemKind::Nvm),
             dram_profile: DeviceProfile::instant(MemKind::Dram),
@@ -144,7 +140,7 @@ impl ServerConfig {
     /// (direct one-sided access to NVM, Octopus-like).
     pub fn nvm_direct() -> Self {
         ServerConfig {
-            enable_cache: false,
+            cache: CachePolicy::disabled(),
             enable_proxy: false,
             ..Default::default()
         }
@@ -230,9 +226,13 @@ mod tests {
     #[test]
     fn defaults_are_sane() {
         let s = ServerConfig::default();
-        assert!(s.enable_cache && s.enable_proxy);
-        assert!(s.dram_cache_capacity < s.nvm_capacity);
-        assert!(s.cacheable_max <= s.dram_cache_capacity);
+        assert!(s.cache.enabled && s.enable_proxy);
+        assert!(s.cache.capacity < s.nvm_capacity);
+        assert!(s.cache.cacheable_max <= s.cache.capacity);
+        assert_eq!(s.cache.admission, crate::cache::AdmissionMode::TinyLfu);
+        assert!(s.cache.ghost_entries > 0);
+        assert!(!s.cache.demotion, "demotion is opt-in (extra NVM area)");
+        assert!(s.cache.sample_every >= 1);
         let c = ClientConfig::default();
         assert!(c.report_every > 0);
         assert!(c.scratch_capacity >= 1 << 20);
@@ -249,7 +249,7 @@ mod tests {
     #[test]
     fn nvm_direct_disables_gengar_mechanisms() {
         let s = ServerConfig::nvm_direct();
-        assert!(!s.enable_cache);
+        assert!(!s.cache.enabled);
         assert!(!s.enable_proxy);
     }
 

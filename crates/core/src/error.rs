@@ -46,10 +46,11 @@ pub enum GengarError {
     LockContended(GlobalAddr),
     /// A consistent read kept observing concurrent modification.
     ReadContended(GlobalAddr),
-    /// An ordering-sensitive atomic operation (`lock`, `unlock`,
-    /// `cas_u64`, `faa_u64`) was queued inside an
-    /// [`crate::batch::OpBatch`]. Atomics bypass batching: issue them
-    /// through the scalar client methods instead. The payload names the
+    /// Wire-path error code: an ordering-sensitive atomic operation
+    /// (`lock`, `unlock`, `cas_u64`, `faa_u64`) arrived inside a batched
+    /// request. The [`crate::batch::OpBatch`] builder cannot express
+    /// atomics (they are unrepresentable at the type level), so this only
+    /// surfaces from a malformed remote request. The payload names the
     /// offending operation.
     AtomicInBatch(&'static str),
     /// The underlying RDMA transport failed.

@@ -12,6 +12,8 @@ use std::collections::HashMap;
 
 use gengar_telemetry::{CounterHandle, TelemetryConfig};
 
+use crate::cache::CachePolicy;
+
 /// A count-min sketch over `u64` keys with saturating `u32` counters.
 #[derive(Debug)]
 pub struct CountMinSketch {
@@ -101,6 +103,10 @@ pub struct HotnessMonitor {
     seen: HashMap<u64, ()>,
     /// Upper bound on `seen` between folds.
     max_seen: usize,
+    /// Sample 1-in-N reported entries into the sketch (adds are weighted by
+    /// N so scores stay comparable across sampling rates).
+    sample_every: u32,
+    sample_tick: u64,
     epoch: u64,
     reports: CounterHandle,
     reported_accesses: CounterHandle,
@@ -110,22 +116,50 @@ pub struct HotnessMonitor {
 impl HotnessMonitor {
     /// Creates a monitor with a `width x depth` sketch and a bound on the
     /// per-epoch candidate set.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use HotnessMonitor::with_policy, which takes the sketch shape from a CachePolicy"
+    )]
     pub fn new(width: usize, depth: usize, max_seen: usize) -> Self {
-        Self::with_telemetry(width, depth, max_seen, TelemetryConfig::default())
+        let policy = CachePolicy {
+            sketch_width: width,
+            sketch_depth: depth,
+            max_candidates: max_seen,
+            ..CachePolicy::default()
+        };
+        Self::with_policy(&policy, TelemetryConfig::default())
     }
 
     /// Creates a monitor whose `hotness.*` metrics follow `telemetry`.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use HotnessMonitor::with_policy, which takes the sketch shape from a CachePolicy"
+    )]
     pub fn with_telemetry(
         width: usize,
         depth: usize,
         max_seen: usize,
         telemetry: TelemetryConfig,
     ) -> Self {
+        let policy = CachePolicy {
+            sketch_width: width,
+            sketch_depth: depth,
+            max_candidates: max_seen,
+            ..CachePolicy::default()
+        };
+        Self::with_policy(&policy, telemetry)
+    }
+
+    /// Creates a monitor shaped by `policy` (sketch width/depth, candidate
+    /// bound, sampling rate) whose `hotness.*` metrics follow `telemetry`.
+    pub fn with_policy(policy: &CachePolicy, telemetry: TelemetryConfig) -> Self {
         let tel = telemetry.handle();
         HotnessMonitor {
-            sketch: CountMinSketch::new(width, depth),
+            sketch: CountMinSketch::new(policy.sketch_width, policy.sketch_depth),
             seen: HashMap::new(),
-            max_seen: max_seen.max(16),
+            max_seen: policy.max_candidates.max(16),
+            sample_every: policy.sample_every.max(1),
+            sample_tick: 0,
             epoch: 0,
             reports: tel.counter("hotness", "reports"),
             reported_accesses: tel.counter("hotness", "reported_accesses"),
@@ -138,7 +172,14 @@ impl HotnessMonitor {
         self.reports.inc();
         for e in entries {
             self.reported_accesses.add(u64::from(e.count));
-            self.sketch.add(e.addr, e.count);
+            self.sample_tick += 1;
+            if self
+                .sample_tick
+                .is_multiple_of(u64::from(self.sample_every))
+            {
+                self.sketch
+                    .add(e.addr, e.count.saturating_mul(self.sample_every));
+            }
             if self.seen.len() < self.max_seen || self.seen.contains_key(&e.addr) {
                 self.seen.insert(e.addr, ());
             }
@@ -182,6 +223,16 @@ impl HotnessMonitor {
 mod tests {
     use super::*;
 
+    fn monitor(width: usize, depth: usize, max_seen: usize) -> HotnessMonitor {
+        let policy = CachePolicy {
+            sketch_width: width,
+            sketch_depth: depth,
+            max_candidates: max_seen,
+            ..CachePolicy::default()
+        };
+        HotnessMonitor::with_policy(&policy, TelemetryConfig::default())
+    }
+
     #[test]
     fn sketch_never_underestimates() {
         let mut s = CountMinSketch::new(64, 4);
@@ -222,7 +273,7 @@ mod tests {
 
     #[test]
     fn monitor_surfaces_hot_addresses_first() {
-        let mut m = HotnessMonitor::new(1024, 4, 1000);
+        let mut m = monitor(1024, 4, 1000);
         m.record(&[
             AccessEntry {
                 addr: 10,
@@ -252,7 +303,7 @@ mod tests {
 
     #[test]
     fn monitor_bounds_candidate_set() {
-        let mut m = HotnessMonitor::new(256, 2, 16);
+        let mut m = monitor(256, 2, 16);
         let entries: Vec<AccessEntry> = (0..100)
             .map(|i| AccessEntry {
                 addr: i,
@@ -265,8 +316,40 @@ mod tests {
     }
 
     #[test]
+    fn sampled_monitor_weights_adds_to_stay_comparable() {
+        let policy = CachePolicy {
+            sketch_width: 1024,
+            sketch_depth: 4,
+            max_candidates: 1000,
+            ..CachePolicy::default()
+        };
+        let mut exact = HotnessMonitor::with_policy(&policy, TelemetryConfig::default());
+        let mut sampled = HotnessMonitor::with_policy(
+            &CachePolicy {
+                sample_every: 4,
+                ..policy
+            },
+            TelemetryConfig::default(),
+        );
+        let entries: Vec<AccessEntry> = (0..64)
+            .map(|_| AccessEntry {
+                addr: 7,
+                count: 1,
+                wrote: false,
+            })
+            .collect();
+        exact.record(&entries);
+        sampled.record(&entries);
+        // 64 exact adds of 1 vs 16 sampled adds of 4: same estimate.
+        assert_eq!(exact.score(7), 64);
+        assert_eq!(sampled.score(7), 64);
+        // The sampled monitor still surfaces the address as a candidate.
+        assert_eq!(sampled.fold_epoch()[0].0, 7);
+    }
+
+    #[test]
     fn reset_clears_everything() {
-        let mut m = HotnessMonitor::new(64, 2, 100);
+        let mut m = monitor(64, 2, 100);
         m.record(&[AccessEntry {
             addr: 5,
             count: 10,

@@ -60,6 +60,7 @@ pub mod window;
 
 pub use addr::{GlobalAddr, GlobalPtr, MemClass};
 pub use batch::{BatchError, BatchResult, OpBatch};
+pub use cache::{AdmissionMode, CachePolicy, CacheStats};
 pub use client::{ClientStats, GengarClient};
 pub use cluster::Cluster;
 pub use config::{ClientConfig, Consistency, ServerConfig};

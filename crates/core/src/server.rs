@@ -256,7 +256,7 @@ impl MemoryServer {
         let cache_dev = Arc::new(MemDevice::with_telemetry(
             1,
             config.dram_profile.clone(),
-            config.dram_cache_capacity.max(4096),
+            config.cache.capacity.max(4096),
             "dram_cache",
             config.telemetry,
         )?);
@@ -317,9 +317,27 @@ impl MemoryServer {
             None => None,
         };
 
-        let cache = CacheManager::with_telemetry(
+        // The NVM demote area is server-local (never registered as an MR):
+        // evicted-but-warm frames park here so re-promotion is one local
+        // NVM→DRAM copy. Written only by the epoch thread, so the foreground
+        // proxy drain never contends with demotion traffic.
+        let demote_region = if config.cache.enabled && config.cache.demotion {
+            let demote_dev = Arc::new(MemDevice::with_telemetry(
+                6,
+                config.nvm_profile.clone(),
+                config.cache.capacity.max(4096),
+                "demote",
+                config.telemetry,
+            )?);
+            Some(MemRegion::whole(demote_dev))
+        } else {
+            None
+        };
+        let cache = CacheManager::with_policy(
             id,
             MemRegion::whole(Arc::clone(&cache_dev)),
+            demote_region,
+            config.cache,
             config.telemetry,
         );
         let inner = Arc::new(ServerInner {
@@ -327,12 +345,7 @@ impl MemoryServer {
             ring,
             alloc: Mutex::new(SlabAllocator::new(wm_area, config.nvm_capacity)),
             objects: RwLock::new(BTreeMap::new()),
-            hotness: Mutex::new(HotnessMonitor::with_telemetry(
-                4096,
-                4,
-                1 << 16,
-                config.telemetry,
-            )),
+            hotness: Mutex::new(HotnessMonitor::with_policy(&config.cache, config.telemetry)),
             cache: Mutex::new(cache),
             clients: Mutex::new(ClientTable {
                 next_id: 0,
@@ -1049,7 +1062,7 @@ impl ServerInner {
                         nvm.write(off, &payload)?;
                         nvm.flush(off, rec.len)?;
                         // Keep the cached copy fresh.
-                        if self.config.enable_cache {
+                        if self.config.cache.enabled {
                             if let Some((base, _len)) = self.containing_object(off) {
                                 let base_raw = GlobalAddr::new(self.id, MemClass::Nvm, base).raw();
                                 let rel = off - base;
@@ -1098,10 +1111,12 @@ impl ServerInner {
     }
 
     /// One hotness epoch: fold reports, refresh/decay cache scores,
-    /// promote hot objects.
+    /// promote hot objects. Runs on the epoch thread, which also owns all
+    /// demote-area traffic — the foreground drain never pays for tiering.
     fn run_epoch(&self) {
         let folded = self.hotness.lock().fold_epoch();
-        if !self.config.enable_cache {
+        let policy = &self.config.cache;
+        if !policy.enabled {
             return;
         }
         {
@@ -1110,19 +1125,33 @@ impl ServerInner {
             cache.refresh_scores(&folded);
         }
         for (addr_raw, score) in folded {
-            if score < self.config.hot_threshold {
-                continue; // folded is sorted descending
+            if score == 0 {
+                continue;
+            }
+            // Ghost/demote members bypass the hot threshold: a returning
+            // working set re-promotes on its first epoch back instead of
+            // re-proving its heat from scratch.
+            if score < policy.hot_threshold && !self.cache.lock().remembers(addr_raw) {
+                continue;
             }
             let addr = match GlobalAddr::from_raw(addr_raw) {
                 Some(a) if a.class() == MemClass::Nvm && a.server() == self.id => a,
                 _ => continue,
             };
             let len = match self.objects.read().get(&addr.offset()) {
-                Some(&len) if len <= self.config.cacheable_max => len,
+                Some(&len) if len <= policy.cacheable_max => len,
                 _ => continue,
             };
-            if self.cache.lock().contains(addr_raw) {
-                continue;
+            {
+                let mut cache = self.cache.lock();
+                if cache.contains(addr_raw) {
+                    continue;
+                }
+                // Demote-tier fast path: one local NVM→DRAM copy, skipping
+                // the object read below entirely.
+                if cache.repromote(addr_raw, score).unwrap_or(false) {
+                    continue;
+                }
             }
             let mut payload = vec![0u8; len as usize];
             if self
@@ -1177,7 +1206,7 @@ impl ServerInner {
                     staging_rkey: self.staging_mr.rkey().0,
                     ctl_rkey: self.ctl_mr.rkey().0,
                     nvm_capacity: self.config.nvm_capacity,
-                    enable_cache: self.config.enable_cache,
+                    enable_cache: self.config.cache.enabled,
                     enable_proxy: self.config.enable_proxy,
                     slot_payload: self.ring.slot_payload,
                     slots_per_ring: self.ring.slots,
@@ -1193,7 +1222,9 @@ impl ServerInner {
             },
             Request::Report { entries } => {
                 self.hotness.lock().record(&entries);
-                let cache = self.cache.lock();
+                // Lookups mutate segment state: a remap hit refreshes the
+                // frame's LRU stamp and upgrades it into protected.
+                let mut cache = self.cache.lock();
                 let remaps = entries
                     .iter()
                     .map(|e| RemapUpdate {

@@ -1,5 +1,5 @@
 //! End-to-end tests of the vectored `OpBatch` API: mixed batches,
-//! per-op results and partial completion, atomics rejection, the
+//! per-op results and partial completion, scalar-atomic interleaving, the
 //! cached-read window path, multi-server fan-out and seqlock batches.
 
 use std::time::{Duration, Instant};
@@ -120,33 +120,26 @@ fn partial_completion_reports_per_op_errors() {
     assert!(err.to_string().contains("op 2"));
 }
 
+// Atomics in a batch are unrepresentable: `OpBatch` has no
+// `cas_u64`/`faa_u64`/`lock`/`unlock` methods, so the old runtime-rejection
+// test is now a compile-time guarantee. Scalar atomics still interleave
+// correctly with batches:
 #[test]
-fn atomics_in_a_batch_are_rejected_with_nothing_executed() {
+fn scalar_atomics_interleave_with_batches() {
     let cluster = small_cluster();
     let mut client = client(&cluster);
     let ptr = client.alloc(0, 64).unwrap();
-    let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        client
-            .batch()
-            .write(ptr, 0, &[9u8; 64])
-            .cas_u64(ptr, 0, 0, 1)
-            .submit()
-    }));
-    if cfg!(debug_assertions) {
-        // Debug builds trip the assertion so the misuse is loud in tests.
-        assert!(attempt.is_err(), "expected the debug assertion to fire");
-    } else {
-        match attempt.unwrap() {
-            Err(GengarError::AtomicInBatch(what)) => assert_eq!(what, "cas_u64"),
-            other => panic!("expected AtomicInBatch, got {other:?}"),
-        }
-    }
-    // Rejection happens before anything posts: the queued write must not
-    // have landed.
+    let result = client.batch().write(ptr, 0, &[9u8; 64]).submit().unwrap();
+    assert!(result.all_ok());
     client.drain_all().unwrap();
-    let mut buf = [0u8; 64];
+    // The ordering-sensitive atomic goes through the scalar path.
+    let old = client
+        .cas_u64(ptr, 0, u64::from_le_bytes([9; 8]), 1)
+        .unwrap();
+    assert_eq!(old, u64::from_le_bytes([9; 8]));
+    let mut buf = [0u8; 8];
     client.read(ptr, 0, &mut buf).unwrap();
-    assert!(buf.iter().all(|&x| x == 0), "batch partially executed");
+    assert_eq!(u64::from_le_bytes(buf), 1);
 }
 
 #[test]
@@ -211,7 +204,7 @@ fn window_depth_one_disables_pipelining_but_stays_correct() {
 #[test]
 fn batched_reads_use_the_cache_once_hot() {
     let mut config = ServerConfig::small();
-    config.hot_threshold = 2;
+    config.cache = config.cache.hot_threshold(2);
     config.epoch = Duration::from_millis(5);
     let cluster = Cluster::launch(1, config, FabricConfig::instant()).unwrap();
     let mut client = cluster

@@ -12,8 +12,7 @@ fn cache_cluster() -> Cluster {
     let mut config = ServerConfig::small();
     // Two 64-byte-payload slots' worth of cache (each slot block is 128 B:
     // 32 B header + 64 B payload + 8 B tail rounds to 128).
-    config.dram_cache_capacity = 4096;
-    config.hot_threshold = 2;
+    config.cache = config.cache.capacity(4096).hot_threshold(2);
     config.epoch = Duration::from_millis(5);
     Cluster::launch(1, config, FabricConfig::instant()).unwrap()
 }
@@ -156,8 +155,7 @@ fn repromotion_after_invalidation() {
 #[test]
 fn oversized_objects_never_cached() {
     let mut config = ServerConfig::small();
-    config.cacheable_max = 128;
-    config.hot_threshold = 1;
+    config.cache = config.cache.cacheable_max(128).hot_threshold(1);
     config.epoch = Duration::from_millis(5);
     let cluster = Cluster::launch(1, config, FabricConfig::instant()).unwrap();
     let mut client = reporting_client(&cluster);

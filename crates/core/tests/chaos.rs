@@ -793,6 +793,107 @@ fn chaos_kill_backup_primary_undisturbed_and_rebalanced() {
     }
 }
 
+/// Cached reads across a failover: a client that has learned remap
+/// entries (hot objects served from the primary's DRAM cache) must ride
+/// the primary's death with zero wrong reads. The first post-kill read
+/// discovers the dead machine through the cached path, escalates into the
+/// failover, and from then on every object — the cached one included —
+/// serves its settled bytes from the promoted shadow. The failover must
+/// also drop every remap entry pointing at the dead primary's DRAM: the
+/// replica holds no cache slots for the ward, so a surviving entry would
+/// be a read of unmapped memory on the next promotion of that address.
+#[test]
+fn chaos_kill_primary_cached_reads_stay_coherent() {
+    arm_flight_recorder();
+    for seed in seeds() {
+        let cluster =
+            Cluster::launch(2, replicated_server_config(), FabricConfig::instant()).unwrap();
+        let config = ClientConfig {
+            // Reports ON (unlike the rest of the suite): the cache plane
+            // is the subject, and remaps only arrive on report responses.
+            report_every: 8,
+            max_retries: 6,
+            op_deadline: std::time::Duration::from_secs(1),
+            ..Default::default()
+        };
+        let mut client = cluster.client(config).unwrap();
+        let ptrs: Vec<_> = (0..4).map(|_| client.alloc(0, 64).unwrap()).collect();
+        let mut rng = seed ^ 0x0CAC_4ED0;
+        let vals: Vec<u8> = ptrs
+            .iter()
+            .map(|_| 1 + (splitmix64(&mut rng) % 250) as u8)
+            .collect();
+        for (ptr, &val) in ptrs.iter().zip(&vals) {
+            client.write(*ptr, 0, &[val; 64]).unwrap();
+        }
+        client.drain_all().unwrap();
+
+        // Heat object 0 until the client holds its remap entry and reads
+        // actually hit the primary's DRAM cache.
+        let mut buf = [0u8; 64];
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while client.stats().cache_hits == 0 || client.remap_entries() == 0 {
+            client.read(ptrs[0], 0, &mut buf).unwrap();
+            assert!(
+                std::time::Instant::now() < deadline,
+                "seed {seed}: object 0 never promoted into the cache: {:?}",
+                client.stats()
+            );
+        }
+        assert!(
+            buf.iter().all(|&b| b == vals[0]),
+            "seed {seed}: cached read served wrong bytes before the kill: {buf:?}"
+        );
+
+        kill_server(&cluster, 0);
+
+        // Every read after the kill returns the settled bytes. The first
+        // one walks the stale remap into the dead machine and must come
+        // back through the failover, not as an error or stale data.
+        for (i, (ptr, &val)) in ptrs.iter().zip(&vals).enumerate() {
+            let got = read_fill_byte(&mut client, *ptr).unwrap_or_else(|e| {
+                panic!("seed {seed}: read of object {i} after the kill failed: {e:?}")
+            });
+            assert_eq!(
+                got, val,
+                "seed {seed}: object {i} lost its settled bytes across the cached failover"
+            );
+        }
+        assert!(
+            client.stats().failovers >= 1,
+            "seed {seed}: the cached read path never escalated to a failover"
+        );
+        assert!(
+            cluster.server(1).unwrap().has_promoted(0),
+            "seed {seed}: replica never promoted the dead primary's ward"
+        );
+        assert_eq!(
+            client.remap_entries(),
+            0,
+            "seed {seed}: failover left remap entries pointing at the dead primary's DRAM"
+        );
+
+        // The promoted ward keeps serving coherent bytes under continued
+        // hammering — and the report plane must not re-engage against the
+        // replica (its cache would alias the ward's addresses onto its own
+        // NVM), so the remap table stays empty for the redirected server.
+        for round in 0..100u32 {
+            let got = read_fill_byte(&mut client, ptrs[0]).unwrap_or_else(|e| {
+                panic!("seed {seed} round {round}: post-failover read failed: {e:?}")
+            });
+            assert_eq!(
+                got, vals[0],
+                "seed {seed} round {round}: post-failover read went stale"
+            );
+        }
+        assert_eq!(
+            client.remap_entries(),
+            0,
+            "seed {seed}: the promoted ward handed out remaps for addresses it cannot cache"
+        );
+    }
+}
+
 /// A staging ring that eats every record (drops on the WRITE_WITH_IMM
 /// path) degrades the connection: writes fall back to the direct NVM path,
 /// still land, and the degradation is visible in the stats.

@@ -126,7 +126,7 @@ fn max_report_burst_is_chunked() {
     // More distinct addresses than one Report message can carry must be
     // split across messages without losing entries.
     let mut config = ServerConfig::small();
-    config.hot_threshold = 1;
+    config.cache = config.cache.hot_threshold(1);
     let cluster = Cluster::launch(1, config, FabricConfig::instant()).unwrap();
     let mut client = cluster
         .client(ClientConfig {

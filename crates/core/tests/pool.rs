@@ -362,7 +362,7 @@ fn recovery_is_idempotent() {
 #[test]
 fn ablation_configs_disable_mechanisms() {
     let mut config = ServerConfig::small();
-    config.enable_cache = false;
+    config.cache = gengar_core::CachePolicy::disabled();
     config.enable_proxy = false;
     let cluster = Cluster::launch(1, config, FabricConfig::instant()).unwrap();
     let mut client = cluster.default_client().unwrap();

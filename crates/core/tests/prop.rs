@@ -86,7 +86,10 @@ proptest! {
     /// Monitor fold returns each seen address at least at its true count.
     #[test]
     fn monitor_scores_cover_counts(entries in proptest::collection::vec((0u64..32, 1u32..20), 1..64)) {
-        let mut m = HotnessMonitor::new(1024, 4, 4096);
+        let mut m = HotnessMonitor::with_policy(
+            &gengar_core::CachePolicy::new(),
+            gengar_telemetry::TelemetryConfig::disabled(),
+        );
         let mut truth: HashMap<u64, u32> = HashMap::new();
         let batch: Vec<AccessEntry> = entries
             .iter()

@@ -18,7 +18,7 @@ fn main() -> Result<(), GengarError> {
     // a DRAM cache, connected by a 100 Gb/s-class simulated fabric.
     let server_config = ServerConfig {
         nvm_capacity: 64 << 20,
-        dram_cache_capacity: 8 << 20,
+        cache: CachePolicy::new().capacity(8 << 20),
         ..ServerConfig::default()
     };
     let cluster = Cluster::launch(2, server_config, FabricConfig::infiniband_100g())?;

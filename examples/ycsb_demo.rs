@@ -19,8 +19,7 @@ fn main() -> Result<(), GengarError> {
     gengar::hybridmem::set_time_scale(1.0);
     let server_config = ServerConfig {
         nvm_capacity: 128 << 20,
-        dram_cache_capacity: 16 << 20,
-        hot_threshold: 2,
+        cache: CachePolicy::new().capacity(16 << 20).hot_threshold(2),
         epoch: std::time::Duration::from_millis(10),
         ..ServerConfig::default()
     };

@@ -50,7 +50,8 @@ pub mod prelude {
     pub use gengar_core::config::{ClientConfig, Consistency, ServerConfig};
     pub use gengar_core::pool::DshmPool;
     pub use gengar_core::{
-        BatchError, BatchResult, GengarClient, GengarError, GlobalAddr, GlobalPtr, OpBatch,
+        AdmissionMode, BatchError, BatchResult, CachePolicy, CacheStats, GengarClient, GengarError,
+        GlobalAddr, GlobalPtr, OpBatch,
     };
     pub use gengar_rdma::FabricConfig;
 }

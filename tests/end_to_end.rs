@@ -35,7 +35,7 @@ fn ycsb_runs_on_gengar_and_every_baseline() {
 
     // ClientCache.
     let cluster = ClientCache::launch(2, ServerConfig::small(), FabricConfig::instant()).unwrap();
-    let mut cc = ClientCache::client(&cluster, 1 << 20).unwrap();
+    let mut cc = ClientCache::client(&cluster, CachePolicy::new().capacity(1 << 20)).unwrap();
     let kv = load(&mut cc, records, 64, 1).unwrap();
     let r = run(&mut cc, &kv, WorkloadSpec::c(), records, ops, 2).unwrap();
     assert_eq!(r.ops, ops);

@@ -13,9 +13,8 @@ use gengar::workloads::Distribution;
 fn calibrated() -> ServerConfig {
     ServerConfig {
         nvm_capacity: 64 << 20,
-        dram_cache_capacity: 16 << 20,
+        cache: CachePolicy::new().capacity(16 << 20).hot_threshold(2),
         epoch: std::time::Duration::from_millis(5),
-        hot_threshold: 2,
         ..Default::default()
     }
 }
@@ -99,7 +98,9 @@ fn caching_pays_off_on_skewed_reads() {
     gengar::hybridmem::set_time_scale(1.0);
     let run_reads = |enable_cache: bool| -> u64 {
         let mut config = calibrated();
-        config.enable_cache = enable_cache;
+        if !enable_cache {
+            config.cache = CachePolicy::disabled();
+        }
         let cluster = Cluster::launch(1, config, FabricConfig::infiniband_100g()).unwrap();
         let mut client = cluster
             .client(ClientConfig {
