@@ -59,6 +59,30 @@ use gengar_telemetry::{
     chrome_trace_json, critical_path_table, json_escape, Registry, TraceMode, Tracer,
 };
 
+/// The repo revision this run measured, for `scripts/bench_compare.sh`
+/// provenance. Best-effort: a tarball checkout reports "unknown".
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .map(|out| String::from_utf8_lossy(&out.stdout).trim().to_owned())
+        .filter(|rev| !rev.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+/// The machine the numbers came from — two snapshots from different hosts
+/// are not comparable, and the compare script warns on a mismatch.
+fn hostname() -> String {
+    std::fs::read_to_string("/proc/sys/kernel/hostname")
+        .ok()
+        .map(|s| s.trim().to_owned())
+        .or_else(|| std::env::var("HOSTNAME").ok())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
@@ -149,6 +173,14 @@ fn main() {
         ids.join(", ")
     );
     let t0 = std::time::Instant::now();
+    // Provenance stamped into every snapshot: when, which revision, and
+    // on which machine — resolved once, identical across the run.
+    let ts_unix = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let rev = git_rev();
+    let host = hostname();
     for id in &ids {
         // Each experiment gets a clean slate so its telemetry section
         // reflects that experiment alone. Reset keeps handles valid.
@@ -182,9 +214,11 @@ fn main() {
         // section (latency percentiles and all), machine-readable so the
         // perf trajectory can be compared across runs and PRs.
         let record = format!(
-            "{{\"experiment\":\"{}\",\"mode\":\"{}\",\"tenants\":{},\"qos\":{},\"replicas\":{},{}{}\"elapsed_ms\":{}{}}}",
+            "{{\"experiment\":\"{}\",\"mode\":\"{}\",\"ts_unix\":{ts_unix},\"rev\":\"{}\",\"host\":\"{}\",\"tenants\":{},\"qos\":{},\"replicas\":{},{}{}\"elapsed_ms\":{}{}}}",
             json_escape(id),
             if quick { "quick" } else { "full" },
+            json_escape(&rev),
+            json_escape(&host),
             tenant_count(),
             qos_enabled(),
             replica_count(),
@@ -197,6 +231,11 @@ fn main() {
             println!("{record}");
         }
         let snap_path = format!("BENCH_{}.json", id.to_uppercase());
+        // Keep the previous snapshot as `.prev` so bench_compare.sh can
+        // diff this run against the last one without any VCS gymnastics.
+        if std::path::Path::new(&snap_path).exists() {
+            let _ = std::fs::rename(&snap_path, format!("{snap_path}.prev"));
+        }
         if let Err(e) = std::fs::write(&snap_path, format!("{record}\n")) {
             eprintln!("failed to write {snap_path}: {e}");
         }

@@ -16,6 +16,7 @@ pub mod e12_fairness;
 pub mod e12a_ablation;
 pub mod e13_replication;
 pub mod e14_phase_change;
+pub mod e15_observability;
 
 use std::time::Duration;
 

@@ -223,7 +223,7 @@ pub fn median_ns(iters: u64, mut f: impl FnMut()) -> u64 {
 /// All experiment ids, in order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
     "e1", "e2", "e3", "e4", "e4p", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e12a",
-    "e13", "e14",
+    "e13", "e14", "e15",
 ];
 
 /// Runs one experiment by id. Returns `false` for an unknown id.
@@ -245,6 +245,7 @@ pub fn run_experiment(id: &str, scale: Scale) -> bool {
         "e12a" => exp::e12a_ablation::run(scale),
         "e13" => exp::e13_replication::run(scale),
         "e14" => exp::e14_phase_change::run(scale),
+        "e15" => exp::e15_observability::run(scale),
         _ => return false,
     }
     true

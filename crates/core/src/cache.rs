@@ -300,33 +300,6 @@ struct DemoteArea {
 }
 
 impl CacheManager {
-    /// Creates a manager over the server's cache region.
-    #[deprecated(
-        since = "0.9.0",
-        note = "use CacheManager::with_policy; this shim keeps legacy score-only admission"
-    )]
-    pub fn new(server_id: u8, region: MemRegion) -> Self {
-        let policy = Self::legacy_policy(&region);
-        Self::with_policy(server_id, region, None, policy, TelemetryConfig::default())
-    }
-
-    /// Creates a manager whose global-registry metrics follow `telemetry`.
-    #[deprecated(
-        since = "0.9.0",
-        note = "use CacheManager::with_policy; this shim keeps legacy score-only admission"
-    )]
-    pub fn with_telemetry(server_id: u8, region: MemRegion, telemetry: TelemetryConfig) -> Self {
-        let policy = Self::legacy_policy(&region);
-        Self::with_policy(server_id, region, None, policy, telemetry)
-    }
-
-    fn legacy_policy(region: &MemRegion) -> CachePolicy {
-        CachePolicy::new()
-            .capacity(region.len())
-            .admission(AdmissionMode::ScoreOnly)
-            .ghost_entries(0)
-    }
-
     /// Creates a manager over the server's cache region, governed by
     /// `policy`. `demote` is the server-local NVM demote area (required iff
     /// `policy.demotion`); the DRAM byte budget is `region.len()` — the

@@ -718,6 +718,24 @@ impl GengarClient {
         Ok(self.conn(server)?.degraded)
     }
 
+    /// Fetches `server`'s live health document (the `Inspect` admin RPC):
+    /// a versioned JSON snapshot of component health, SLO burn and recent
+    /// windowed metrics. Always answered — a server without the health
+    /// layer returns a minimal document with `"overall":"unknown"`.
+    ///
+    /// # Errors
+    ///
+    /// [`GengarError::UnknownServer`] for a server this client never
+    /// mounted; transport failures as [`GengarError::Rdma`].
+    pub fn inspect(&mut self, server: u8) -> Result<String, GengarError> {
+        let conn = self.conn_mut(server)?;
+        match conn.rpc.call(&Request::Inspect)? {
+            Response::Inspect { json } => Ok(json),
+            Response::Err { code } => Err(error_for_code(code, 0)),
+            _ => Err(GengarError::ProtocolViolation("bad inspect response")),
+        }
+    }
+
     fn conn(&self, server: u8) -> Result<&ServerConn, GengarError> {
         let idx = *self
             .server_index

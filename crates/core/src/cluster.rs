@@ -10,6 +10,7 @@ use gengar_rdma::{Fabric, FabricConfig, QosPolicy};
 use crate::client::GengarClient;
 use crate::config::{ClientConfig, ServerConfig};
 use crate::error::GengarError;
+use crate::health::HealthPlane;
 use crate::proto::NO_BACKUP;
 use crate::qos::QosPlane;
 use crate::server::MemoryServer;
@@ -37,6 +38,9 @@ pub struct Cluster {
     fabric: Arc<Fabric>,
     servers: Vec<Arc<MemoryServer>>,
     client_config: ClientConfig,
+    /// The cluster-shared health plane (one sampler + tick thread serves
+    /// every server's `Inspect`); `None` = health layer off.
+    health: Option<Arc<HealthPlane>>,
     /// Stops the background rebalance scanner (replicated clusters only).
     rebalance_stop: Arc<AtomicBool>,
     rebalance: Option<thread::JoinHandle<()>>,
@@ -72,13 +76,23 @@ impl Cluster {
             fabric_config.qos = Some(Arc::clone(plane) as Arc<dyn QosPolicy>);
         }
         let fabric = Fabric::new(fabric_config);
+        // One health plane spans the cluster for the same reason the QoS
+        // plane does: the process shares one telemetry registry, so one
+        // sampler/tick thread sees everything and every server's `Inspect`
+        // answers from the same windows.
+        let health = server_config.health.enabled.then(|| {
+            let plane = HealthPlane::new(server_config.health.clone(), server_config.telemetry);
+            plane.start();
+            plane
+        });
         let mut servers = Vec::with_capacity(n);
         for id in 0..n {
-            servers.push(MemoryServer::launch_with_qos(
+            servers.push(MemoryServer::launch_full(
                 &fabric,
                 id as u8,
                 server_config.clone(),
                 qos.clone(),
+                health.clone(),
             )?);
         }
         // Replication ring: each server's staged writes are mirrored to
@@ -96,11 +110,18 @@ impl Cluster {
             let servers_bg: Vec<Arc<MemoryServer>> = servers.clone();
             let stop = Arc::clone(&rebalance_stop);
             let interval = server_config.replication.rebalance_interval;
+            // Resolve the handle here, not on the scanner thread: handles
+            // are cheap clones of registry entries, and the scanner should
+            // never block on registry registration mid-scan.
+            let attempts = server_config
+                .telemetry
+                .handle()
+                .counter("replica", "rebalance_attempts");
             rebalance = Some(
                 thread::Builder::new()
                     .name("gengar-rebalance".into())
                     .spawn(move || {
-                        Self::rebalance_loop(&fabric_bg, &servers_bg, &stop, interval);
+                        Self::rebalance_loop(&fabric_bg, &servers_bg, &stop, interval, &attempts);
                     })
                     .expect("spawn rebalance thread"),
             );
@@ -109,6 +130,7 @@ impl Cluster {
             fabric,
             servers,
             client_config: ClientConfig::default(),
+            health,
             rebalance_stop,
             rebalance,
         })
@@ -131,6 +153,7 @@ impl Cluster {
         servers: &[Arc<MemoryServer>],
         stop: &AtomicBool,
         interval: Duration,
+        attempts: &gengar_telemetry::CounterHandle,
     ) {
         let slice = Duration::from_millis(2).min(interval);
         let mut slept = Duration::ZERO;
@@ -175,6 +198,7 @@ impl Cluster {
                     }
                 });
                 let Some(c) = chosen else { continue };
+                attempts.inc();
                 let Ok(image) = srv.nvm_image() else { continue };
                 if servers[c].install_shadow_image(i as u8, &image).is_err() {
                     continue;
@@ -189,6 +213,12 @@ impl Cluster {
     /// The cluster's shared QoS plane, when QoS is enabled.
     pub fn qos_plane(&self) -> Option<&Arc<QosPlane>> {
         self.servers.first().and_then(|s| s.qos_plane())
+    }
+
+    /// The cluster's shared health plane, when the live health layer is
+    /// enabled.
+    pub fn health_plane(&self) -> Option<&Arc<HealthPlane>> {
+        self.health.as_ref()
     }
 
     /// Changes the default configuration handed to new clients.
@@ -232,6 +262,9 @@ impl Cluster {
     /// Shuts every server down (also happens on drop).
     pub fn shutdown(&self) {
         self.rebalance_stop.store(true, Ordering::Relaxed);
+        if let Some(plane) = &self.health {
+            plane.stop();
+        }
         for s in &self.servers {
             s.shutdown();
         }

@@ -46,6 +46,133 @@ impl Default for ReplicationConfig {
     }
 }
 
+/// Live health & SLO plane: windowed sampling, per-component state
+/// machines with hysteresis, and burn-rate alerts that arm the flight
+/// recorder. Disabled by default: no sampler thread runs and `Inspect`
+/// serves a minimal "unknown" document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthConfig {
+    /// Run the health plane (sampler + evaluation tick).
+    pub enabled: bool,
+    /// Sampling/evaluation interval: each tick closes one window and
+    /// re-evaluates every component state machine.
+    pub tick: Duration,
+    /// Windows retained in the ring (the live history `Inspect` serves).
+    pub window_ring: usize,
+    /// Consecutive ticks a signal must sit above a threshold before the
+    /// component escalates (suppresses single-tick blips).
+    pub escalate_after: u32,
+    /// Consecutive clean ticks before a component steps back down one
+    /// level (longer than `escalate_after` so recovery doesn't flap).
+    pub recover_after: u32,
+    /// Signal thresholds for the component state machines.
+    #[serde(default)]
+    pub thresholds: HealthThresholds,
+    /// Service-level objectives evaluated every tick.
+    #[serde(default)]
+    pub slo: SloConfig,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            enabled: false,
+            tick: Duration::from_millis(100),
+            window_ring: 60,
+            escalate_after: 2,
+            recover_after: 3,
+            thresholds: HealthThresholds::default(),
+            slo: SloConfig::default(),
+        }
+    }
+}
+
+impl HealthConfig {
+    /// An enabled plane with the default cadence and thresholds.
+    pub fn enabled() -> Self {
+        HealthConfig {
+            enabled: true,
+            ..Default::default()
+        }
+    }
+}
+
+/// Per-component `Degraded`/`Critical` thresholds on windowed signals.
+/// Rates are events per second over the window; levels are raw gauge
+/// readings at window close.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthThresholds {
+    /// Proxy ring-full waits per second: clients blocking on ring space.
+    pub ring_wait_degraded: f64,
+    /// Ring-full waits per second at which the ring is critical.
+    pub ring_wait_critical: f64,
+    /// Drain backlog (staged-not-yet-drained records) marking pressure.
+    pub backlog_degraded: i64,
+    /// Drain backlog at which the drain plane is critical.
+    pub backlog_critical: i64,
+    /// Mirror-lane lag (records staged ahead of the mirror drain).
+    pub mirror_lag_degraded: i64,
+    /// Mirror-lane lag at which replication is critical.
+    pub mirror_lag_critical: i64,
+    /// Tenant throttle events per second (QoS plane pushing back).
+    pub throttle_degraded: f64,
+    /// Throttle events per second at which the QoS plane is critical.
+    pub throttle_critical: f64,
+    /// Client fault-recovery retries + reconnects per second.
+    pub retry_degraded: f64,
+    /// Retry/reconnect rate marking a client storm as critical.
+    pub retry_critical: f64,
+}
+
+impl Default for HealthThresholds {
+    fn default() -> Self {
+        HealthThresholds {
+            ring_wait_degraded: 100.0,
+            ring_wait_critical: 10_000.0,
+            backlog_degraded: 4_096,
+            backlog_critical: 65_536,
+            mirror_lag_degraded: 1_024,
+            mirror_lag_critical: 16_384,
+            throttle_degraded: 1_000.0,
+            throttle_critical: 100_000.0,
+            retry_degraded: 50.0,
+            retry_critical: 5_000.0,
+        }
+    }
+}
+
+/// Service-level objectives. Each is evaluated per window as a burn rate —
+/// how fast the error budget is being consumed relative to plan — and a
+/// sustained burn above `burn_alert` arms the flight recorder so the
+/// incident's causal trace is captured while it is still happening.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloConfig {
+    /// Target 99th-percentile op latency (reads and writes pooled).
+    pub op_p99: Duration,
+    /// Fraction of ops allowed to miss the latency target (the budget the
+    /// burn rate is measured against).
+    pub error_budget: f64,
+    /// Allowed fault-recovery retries per op (error-rate objective).
+    pub max_error_rate: f64,
+    /// Allowed mirror-lane lag, in staged records (replication objective).
+    pub max_replication_lag: i64,
+    /// Burn-rate multiple that fires the alert (1.0 = consuming budget
+    /// exactly as planned; 2.0 = twice as fast).
+    pub burn_alert: f64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            op_p99: Duration::from_millis(10),
+            error_budget: 0.01,
+            max_error_rate: 0.01,
+            max_replication_lag: 16_384,
+            burn_alert: 2.0,
+        }
+    }
+}
+
 /// Server-side configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServerConfig {
@@ -88,6 +215,10 @@ pub struct ServerConfig {
     /// no shadow device is allocated and writes pay no mirror WR.
     #[serde(default)]
     pub replication: ReplicationConfig,
+    /// Live health & SLO plane. Disabled by default: no sampler thread
+    /// runs and `Inspect` serves a minimal document.
+    #[serde(default)]
+    pub health: HealthConfig,
 }
 
 impl Default for ServerConfig {
@@ -108,6 +239,7 @@ impl Default for ServerConfig {
             telemetry: TelemetryConfig::default(),
             qos: QosConfig::default(),
             replication: ReplicationConfig::default(),
+            health: HealthConfig::default(),
         }
     }
 }
@@ -244,6 +376,23 @@ mod tests {
         assert!(!s.qos.enabled, "QoS must be opt-in");
         assert!(!s.replication.enabled, "replication must be opt-in");
         assert!(s.replication.rebalance_interval > Duration::ZERO);
+        assert!(!s.health.enabled, "health plane must be opt-in");
+        assert!(s.health.tick > Duration::ZERO && s.health.window_ring > 0);
+        assert!(
+            s.health.recover_after >= s.health.escalate_after,
+            "recovery must be at least as slow as escalation or states flap"
+        );
+        let t = &s.health.thresholds;
+        assert!(t.ring_wait_degraded < t.ring_wait_critical);
+        assert!(t.backlog_degraded < t.backlog_critical);
+        assert!(t.mirror_lag_degraded < t.mirror_lag_critical);
+        assert!(t.throttle_degraded < t.throttle_critical);
+        assert!(t.retry_degraded < t.retry_critical);
+        let slo = &s.health.slo;
+        assert!(slo.op_p99 > Duration::ZERO);
+        assert!(slo.error_budget > 0.0 && slo.error_budget < 1.0);
+        assert!(slo.max_error_rate > 0.0 && slo.burn_alert >= 1.0);
+        assert!(HealthConfig::enabled().enabled);
     }
 
     #[test]

@@ -114,42 +114,6 @@ pub struct HotnessMonitor {
 }
 
 impl HotnessMonitor {
-    /// Creates a monitor with a `width x depth` sketch and a bound on the
-    /// per-epoch candidate set.
-    #[deprecated(
-        since = "0.9.0",
-        note = "use HotnessMonitor::with_policy, which takes the sketch shape from a CachePolicy"
-    )]
-    pub fn new(width: usize, depth: usize, max_seen: usize) -> Self {
-        let policy = CachePolicy {
-            sketch_width: width,
-            sketch_depth: depth,
-            max_candidates: max_seen,
-            ..CachePolicy::default()
-        };
-        Self::with_policy(&policy, TelemetryConfig::default())
-    }
-
-    /// Creates a monitor whose `hotness.*` metrics follow `telemetry`.
-    #[deprecated(
-        since = "0.9.0",
-        note = "use HotnessMonitor::with_policy, which takes the sketch shape from a CachePolicy"
-    )]
-    pub fn with_telemetry(
-        width: usize,
-        depth: usize,
-        max_seen: usize,
-        telemetry: TelemetryConfig,
-    ) -> Self {
-        let policy = CachePolicy {
-            sketch_width: width,
-            sketch_depth: depth,
-            max_candidates: max_seen,
-            ..CachePolicy::default()
-        };
-        Self::with_policy(&policy, telemetry)
-    }
-
     /// Creates a monitor shaped by `policy` (sketch width/depth, candidate
     /// bound, sampling rate) whose `hotness.*` metrics follow `telemetry`.
     pub fn with_policy(policy: &CachePolicy, telemetry: TelemetryConfig) -> Self {

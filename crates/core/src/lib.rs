@@ -47,6 +47,7 @@ pub mod cluster;
 pub mod config;
 pub mod consistency;
 pub mod error;
+pub mod health;
 pub mod hotness;
 pub mod layout;
 pub mod pool;
@@ -64,7 +65,9 @@ pub use cache::{AdmissionMode, CachePolicy, CacheStats};
 pub use client::{ClientStats, GengarClient};
 pub use cluster::Cluster;
 pub use config::{ClientConfig, Consistency, ServerConfig};
+pub use config::{HealthConfig, HealthThresholds, SloConfig};
 pub use error::GengarError;
+pub use health::{HealthPlane, HealthState, SloStatus};
 pub use pool::DshmPool;
 pub use qos::{QosConfig, QosPlane, TenantSpec, TokenBucket};
 pub use retry::{Disposition, RetryPolicy};

@@ -19,6 +19,12 @@ pub const MAX_REPORT: usize = 128;
 /// are truncated on encode (a config error, not a wire hazard).
 pub const MAX_TENANT: usize = 64;
 
+/// Maximum JSON bytes an `Inspect` response carries: [`MAX_MSG`] minus the
+/// opcode and length prefix. The health plane builds its document against
+/// this budget (dropping the oldest window digests first), so encode-side
+/// truncation is a backstop, not the sizing mechanism.
+pub const MAX_INSPECT_JSON: usize = MAX_MSG - 5;
+
 /// Client-to-server requests.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
@@ -76,6 +82,11 @@ pub enum Request {
     /// Ask a server which pool member currently backs it up (clients use
     /// this to re-open a mirror lane after the old backup died).
     QueryReplica,
+    /// Admin introspection: ask the server for its live health document
+    /// (component states, SLO standings, window digests). Served from the
+    /// health plane's already-computed state, so it is cheap enough to
+    /// poll — `gengar-top` calls it once per server per refresh.
+    Inspect,
 }
 
 /// Exported-region descriptions returned by `Mount`.
@@ -174,6 +185,12 @@ pub enum Response {
         /// Mirror-ring records replayed into the shadow during promotion.
         replayed: u64,
     },
+    /// Answer to `Inspect`: the versioned health document (see
+    /// DESIGN.md § Live health & SLO plane for the schema).
+    Inspect {
+        /// JSON document, at most [`MAX_INSPECT_JSON`] bytes.
+        json: String,
+    },
     /// The request failed.
     Err {
         /// Error code (see [`err_code`]).
@@ -262,6 +279,7 @@ const REQ_INVALIDATE: u8 = 7;
 const REQ_QUERY_DURABLE: u8 = 8;
 const REQ_PROMOTE: u8 = 9;
 const REQ_QUERY_REPLICA: u8 = 10;
+const REQ_INSPECT: u8 = 11;
 
 const RESP_MOUNT: u8 = 129;
 const RESP_ALLOC: u8 = 130;
@@ -272,6 +290,7 @@ const RESP_OK: u8 = 134;
 const RESP_ERR: u8 = 135;
 const RESP_REPLICA: u8 = 136;
 const RESP_PROMOTED: u8 = 137;
+const RESP_INSPECT: u8 = 138;
 
 impl Request {
     fn tag(&self) -> u8 {
@@ -286,6 +305,7 @@ impl Request {
             Request::QueryDurable { .. } => REQ_QUERY_DURABLE,
             Request::Promote { .. } => REQ_PROMOTE,
             Request::QueryReplica => REQ_QUERY_REPLICA,
+            Request::Inspect => REQ_INSPECT,
         }
     }
 
@@ -323,6 +343,7 @@ impl Request {
             Request::QueryDurable { client_id } => buf.put_u32_le(*client_id),
             Request::Promote { primary } => buf.put_u8(*primary),
             Request::QueryReplica => {}
+            Request::Inspect => {}
         }
     }
 
@@ -438,6 +459,7 @@ impl Request {
                 }
             }
             REQ_QUERY_REPLICA => Request::QueryReplica,
+            REQ_INSPECT => Request::Inspect,
             _ => return Err(GengarError::ProtocolViolation("unknown request opcode")),
         };
         Ok((req, ctx))
@@ -495,6 +517,18 @@ impl Response {
             Response::Promoted { replayed } => {
                 buf.put_u8(RESP_PROMOTED);
                 buf.put_u64_le(*replayed);
+            }
+            Response::Inspect { json } => {
+                buf.put_u8(RESP_INSPECT);
+                // Backstop: truncate on a char boundary so an oversized
+                // document yields a short-but-valid UTF-8 payload instead
+                // of overflowing the RPC slot.
+                let mut n = json.len().min(MAX_INSPECT_JSON);
+                while n > 0 && !json.is_char_boundary(n) {
+                    n -= 1;
+                }
+                buf.put_u32_le(n as u32);
+                buf.put_slice(&json.as_bytes()[..n]);
             }
             Response::Err { code } => {
                 buf.put_u8(RESP_ERR);
@@ -593,6 +627,20 @@ impl Response {
                     replayed: buf.get_u64_le(),
                 }
             }
+            RESP_INSPECT => {
+                if buf.remaining() < 4 {
+                    return Err(malformed);
+                }
+                let n = buf.get_u32_le() as usize;
+                if n > MAX_INSPECT_JSON || buf.remaining() < n {
+                    return Err(malformed);
+                }
+                let mut bytes = vec![0u8; n];
+                buf.copy_to_slice(&mut bytes);
+                let json = String::from_utf8(bytes)
+                    .map_err(|_| GengarError::ProtocolViolation("inspect json not utf-8"))?;
+                Response::Inspect { json }
+            }
             RESP_ERR => {
                 if buf.remaining() < 2 {
                     return Err(malformed);
@@ -655,6 +703,7 @@ mod tests {
         roundtrip_req(Request::QueryDurable { client_id: 4 });
         roundtrip_req(Request::Promote { primary: 3 });
         roundtrip_req(Request::QueryReplica);
+        roundtrip_req(Request::Inspect);
     }
 
     #[test]
@@ -695,9 +744,63 @@ mod tests {
         roundtrip_resp(Response::Replica { backup: NO_BACKUP });
         roundtrip_resp(Response::Replica { backup: 2 });
         roundtrip_resp(Response::Promoted { replayed: 12 });
+        roundtrip_resp(Response::Inspect {
+            json: String::new(),
+        });
+        roundtrip_resp(Response::Inspect {
+            json: "{\"v\":1,\"overall\":\"healthy\"}".to_owned(),
+        });
         roundtrip_resp(Response::Err {
             code: err_code::OOM,
         });
+    }
+
+    #[test]
+    fn max_inspect_json_fits_and_oversize_truncates_on_boundary() {
+        // Exactly at the budget: round-trips whole.
+        let json = "x".repeat(MAX_INSPECT_JSON);
+        let mut buf = Vec::new();
+        Response::Inspect { json: json.clone() }.encode(&mut buf);
+        assert_eq!(buf.len(), MAX_MSG);
+        assert_eq!(Response::decode(&buf).unwrap(), Response::Inspect { json });
+
+        // Over budget with a multi-byte char straddling the cut: the
+        // encoder truncates back to a char boundary, so the payload stays
+        // valid UTF-8 and within MAX_MSG.
+        let mut json = "x".repeat(MAX_INSPECT_JSON - 1);
+        json.push('é'); // 2 bytes: one past the budget
+        json.push_str("tail");
+        let mut buf = Vec::new();
+        Response::Inspect { json }.encode(&mut buf);
+        assert!(buf.len() <= MAX_MSG);
+        match Response::decode(&buf).unwrap() {
+            Response::Inspect { json } => {
+                assert_eq!(json.len(), MAX_INSPECT_JSON - 1);
+                assert!(json.chars().all(|c| c == 'x'));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_inspect_rejected() {
+        let mut buf = Vec::new();
+        Response::Inspect {
+            json: "{\"v\":1}".to_owned(),
+        }
+        .encode(&mut buf);
+        assert!(Response::decode(&buf[..buf.len() - 2]).is_err());
+        assert!(Response::decode(&[RESP_INSPECT, 1, 0]).is_err());
+        // A length prefix past the budget is rejected even if bytes follow.
+        let mut bad = vec![RESP_INSPECT];
+        bad.extend_from_slice(&(MAX_INSPECT_JSON as u32 + 1).to_le_bytes());
+        bad.extend(std::iter::repeat_n(b'x', MAX_INSPECT_JSON + 1));
+        assert!(Response::decode(&bad).is_err());
+        // Non-UTF-8 payload is rejected.
+        let mut bad = vec![RESP_INSPECT];
+        bad.extend_from_slice(&2u32.to_le_bytes());
+        bad.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(Response::decode(&bad).is_err());
     }
 
     #[test]

@@ -181,6 +181,11 @@ pub struct StagingWriter {
     staged: CounterHandle,
     ring_full_waits: CounterHandle,
     stage_ns: HistogramHandle,
+    /// `replica.*` handles: records staged but not yet drained by the
+    /// mirror lane, and mirror lanes dropped after a failed WR or
+    /// watermark read. Both feed the replication health component.
+    mirror_lag: GaugeHandle,
+    mirror_losses: CounterHandle,
 }
 
 impl StagingWriter {
@@ -222,6 +227,8 @@ impl StagingWriter {
             staged: tel.counter("proxy", "staged_records"),
             ring_full_waits: tel.counter("proxy", "ring_full_waits"),
             stage_ns: tel.histogram("proxy", "stage_ns"),
+            mirror_lag: tel.gauge("replica", "mirror_lag"),
+            mirror_losses: tel.counter("replica", "mirror_losses"),
         }
     }
 
@@ -264,6 +271,7 @@ impl StagingWriter {
         self.mirror_drained = 0;
         self.mirror_lost = false;
         self.mirror = Some(lane);
+        self.mirror_lag.set(0);
     }
 
     /// Whether a mirror lane is currently attached.
@@ -307,6 +315,24 @@ impl StagingWriter {
     /// re-establish a mirror in the background.
     pub fn take_mirror_lost(&mut self) -> bool {
         std::mem::take(&mut self.mirror_lost)
+    }
+
+    /// Drops the mirror lane after a failed WR or watermark read and
+    /// records the loss for replication health.
+    fn lose_mirror(&mut self) {
+        self.mirror = None;
+        self.mirror_lost = true;
+        self.mirror_losses.inc();
+        self.mirror_lag.set(0);
+    }
+
+    /// Publishes how many records the mirror lane still owes (staged but
+    /// not mirror-drained) — the replication health lag signal.
+    fn publish_mirror_lag(&self) {
+        if let Some(m) = &self.mirror {
+            let lag = (self.next_seq - 1).saturating_sub(self.mirror_drained.max(m.floor));
+            self.mirror_lag.set(lag.min(i64::MAX as u64) as i64);
+        }
     }
 
     /// The epoch stamped into record headers (0 = unreplicated).
@@ -417,8 +443,7 @@ impl StagingWriter {
                     Err(_) if !self.primary_down => {
                         // Mirror post failed: drop the lane, ack on the
                         // primary alone (availability over redundancy).
-                        self.mirror = None;
-                        self.mirror_lost = true;
+                        self.lose_mirror();
                         None
                     }
                     Err(e) => return Err(e.into()),
@@ -464,8 +489,7 @@ impl StagingWriter {
                     // The mirror is the only lane: surface the failure.
                     return Err(GengarError::Rdma(gengar_rdma::RdmaError::NotConnected));
                 }
-                self.mirror = None;
-                self.mirror_lost = true;
+                self.lose_mirror();
             }
         }
 
@@ -474,6 +498,7 @@ impl StagingWriter {
         self.occupancy.set(self.in_flight.len() as i64);
         self.next_seq += 1;
         self.next_slot = (self.next_slot + 1) % self.layout.slots;
+        self.publish_mirror_lag();
         Ok(seq)
     }
 
@@ -642,8 +667,7 @@ impl StagingWriter {
                     }
                     // Mirror doorbell failed: drop the lane and let the
                     // flight settle on the primary alone.
-                    self.mirror = None;
-                    self.mirror_lost = true;
+                    self.lose_mirror();
                     None
                 }
             },
@@ -755,8 +779,7 @@ impl StagingWriter {
                     .map(PendingOps::into_results)
                     .is_some_and(|rs| rs.iter().any(|r| r.is_err()));
                 if mirror_failed {
-                    self.mirror = None;
-                    self.mirror_lost = true;
+                    self.lose_mirror();
                 }
                 p.into_results()
             }
@@ -827,8 +850,7 @@ impl StagingWriter {
                     }
                     // Watermark read failures count as a dead mirror too:
                     // a wedged lane must not stall the primary's ring.
-                    self.mirror = None;
-                    self.mirror_lost = true;
+                    self.lose_mirror();
                 }
             }
         }
@@ -837,6 +859,7 @@ impl StagingWriter {
             self.in_flight.pop_front();
         }
         self.occupancy.set(self.in_flight.len() as i64);
+        self.publish_mirror_lag();
         Ok(effective)
     }
 

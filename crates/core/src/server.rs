@@ -15,7 +15,7 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use gengar_hybridmem::{MemDevice, MemRegion};
 use gengar_rdma::{
@@ -30,9 +30,12 @@ use crate::alloc::SlabAllocator;
 use crate::cache::{CacheManager, CacheStats};
 use crate::config::ServerConfig;
 use crate::error::GengarError;
+use crate::health::HealthPlane;
 use crate::hotness::HotnessMonitor;
 use crate::layout::{checksum, decode_record_header, lockword, OBJ_HEADER};
-use crate::proto::{err_code, MountInfo, RemapUpdate, Request, Response, NO_BACKUP};
+use crate::proto::{
+    err_code, MountInfo, RemapUpdate, Request, Response, MAX_INSPECT_JSON, NO_BACKUP,
+};
 use crate::proxy::RingLayout;
 use crate::qos::QosPlane;
 use crate::rpc::{RpcServerConn, RPC_BUF_BYTES};
@@ -88,6 +91,10 @@ struct ServerMetrics {
     /// Promotions this server performed (it replayed mirror rings and took
     /// over a dead primary's objects via its shadow image).
     promotions: CounterHandle,
+    /// Milliseconds since this server's shadow image last advanced (mirror
+    /// drain, promotion replay or image install). -1 = shadow never
+    /// written; refreshed by the epoch thread.
+    shadow_staleness_ms: GaugeHandle,
 }
 
 impl ServerMetrics {
@@ -99,6 +106,7 @@ impl ServerMetrics {
             drain_ns: tel.histogram("proxy", "drain_ns"),
             rpc_requests: tel.counter("server", "rpc_requests"),
             promotions: tel.counter("replica", "promotions"),
+            shadow_staleness_ms: tel.gauge("replica", "shadow_staleness_ms"),
         }
     }
 }
@@ -184,6 +192,12 @@ pub(crate) struct ServerInner {
     metrics: ServerMetrics,
     /// The cluster's QoS plane (shared across servers); `None` = QoS off.
     qos: Option<Arc<QosPlane>>,
+    /// The health plane answering `Inspect` (cluster-shared or private);
+    /// `None` = health off, `Inspect` returns the minimal "unknown" doc.
+    health: Option<Arc<HealthPlane>>,
+    /// When the shadow image last advanced (mirror drain, promotion replay
+    /// or image install). Feeds `replica.shadow_staleness_ms`.
+    last_shadow_update: Mutex<Option<Instant>>,
     shutdown: AtomicBool,
 }
 
@@ -239,6 +253,32 @@ impl MemoryServer {
         id: u8,
         config: ServerConfig,
         qos: Option<Arc<QosPlane>>,
+    ) -> Result<Arc<MemoryServer>, GengarError> {
+        // A standalone server owns a private health plane (one sampler over
+        // the process registry); clusters pass a shared one through
+        // `launch_full` so one tick thread serves every server's `Inspect`.
+        let health = config.health.enabled.then(|| {
+            let plane = HealthPlane::new(config.health.clone(), config.telemetry);
+            plane.start();
+            plane
+        });
+        Self::launch_full(fabric, id, config, qos, health)
+    }
+
+    /// Like [`MemoryServer::launch_with_qos`], but with an explicit
+    /// (typically cluster-shared) health plane. `None` disables the health
+    /// plane for this server regardless of `config.health.enabled` —
+    /// `Inspect` then answers with the minimal "unknown" document.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device/region/registration failures.
+    pub fn launch_full(
+        fabric: &Arc<Fabric>,
+        id: u8,
+        config: ServerConfig,
+        qos: Option<Arc<QosPlane>>,
+        health: Option<Arc<HealthPlane>>,
     ) -> Result<Arc<MemoryServer>, GengarError> {
         let node = fabric.add_node();
         let pd = node.alloc_pd();
@@ -359,6 +399,8 @@ impl MemoryServer {
                 .collect(),
             metrics: ServerMetrics::new(config.telemetry),
             qos,
+            health,
+            last_shadow_update: Mutex::new(None),
             shutdown: AtomicBool::new(false),
             config,
             node,
@@ -773,6 +815,7 @@ impl MemoryServer {
         let wm_area = round_up(self.inner.config.max_clients as u64 * 8, 4096).min(shadow.len());
         shadow.write(0, &vec![0u8; wm_area as usize])?;
         shadow.flush(0, wm_area)?;
+        *self.inner.last_shadow_update.lock() = Some(Instant::now());
         Ok(())
     }
 
@@ -801,6 +844,12 @@ impl MemoryServer {
     /// use it to pace at the issue gate and to learn their tenant tag.
     pub fn qos_plane(&self) -> Option<&Arc<QosPlane>> {
         self.inner.qos.as_ref()
+    }
+
+    /// The health plane answering this server's `Inspect` RPC, when the
+    /// live health layer is enabled.
+    pub fn health_plane(&self) -> Option<&Arc<HealthPlane>> {
+        self.inner.health.as_ref()
     }
 
     /// Whether the server is serving (background threads alive, new
@@ -1036,6 +1085,7 @@ impl ServerInner {
                                 shadow.flush(wm_off, 8)?;
                                 self.ctl_mr.region().store_u64(cid as u64 * 8, rec.seq)?;
                                 self.metrics.drained_records.inc();
+                                *self.last_shadow_update.lock() = Some(Instant::now());
                             }
                         }
                     }
@@ -1114,6 +1164,16 @@ impl ServerInner {
     /// promote hot objects. Runs on the epoch thread, which also owns all
     /// demote-area traffic — the foreground drain never pays for tiering.
     fn run_epoch(&self) {
+        // Refresh shadow staleness while we are on a periodic thread
+        // anyway: replication health wants "how long since the standby
+        // image advanced", which no event-driven path can age on its own.
+        if self.shadow_mr.is_some() {
+            let staleness = match *self.last_shadow_update.lock() {
+                Some(at) => at.elapsed().as_millis().min(i64::MAX as u128) as i64,
+                None => -1,
+            };
+            self.metrics.shadow_staleness_ms.set(staleness);
+        }
         let folded = self.hotness.lock().fold_epoch();
         let policy = &self.config.cache;
         if !policy.enabled {
@@ -1176,7 +1236,9 @@ impl ServerInner {
         // client classifies as retryable and backs off.
         // Promote and QueryReplica also pass free: they run exactly when a
         // machine died, and throttling recovery would turn a budget blip
-        // into unavailability.
+        // into unavailability. Inspect passes free too: it is the health
+        // probe an operator reaches for exactly when a tenant is being
+        // throttled, so it must never be throttled itself.
         if let Some(plane) = &self.qos {
             if !matches!(
                 req,
@@ -1184,6 +1246,7 @@ impl ServerInner {
                     | Request::OpenStaging
                     | Request::Promote { .. }
                     | Request::QueryReplica
+                    | Request::Inspect
             ) {
                 if let Some(tenant) = plane.tenant_of(self.id, cid) {
                     if !tenant.rpc_admit() {
@@ -1247,6 +1310,12 @@ impl ServerInner {
             Request::Promote { primary } => self.handle_promote(primary),
             Request::QueryReplica => Response::Replica {
                 backup: *self.backup.lock(),
+            },
+            Request::Inspect => Response::Inspect {
+                json: match &self.health {
+                    Some(plane) => plane.inspect_json(self.id, MAX_INSPECT_JSON),
+                    None => HealthPlane::disabled_json(self.id),
+                },
             },
         }
     }
@@ -1337,6 +1406,9 @@ impl ServerInner {
             let _ = shadow.store_u64(wm_off, max_seq);
             let _ = shadow.flush(wm_off, 8);
             let _ = self.ctl_mr.region().store_u64(wm_off, max_seq);
+        }
+        if replayed > 0 {
+            *self.last_shadow_update.lock() = Some(Instant::now());
         }
         let newly = self.promoted.lock().insert(primary);
         if newly {

@@ -115,6 +115,56 @@ impl fmt::Display for RegistrySnapshot {
     }
 }
 
+/// Sanitizes a `component.metric` key into a Prometheus metric name:
+/// `gengar_` prefix, dots and any other non-alphanumerics to underscores.
+fn prometheus_name(key: &str) -> String {
+    let mut out = String::with_capacity(key.len() + 7);
+    out.push_str("gengar_");
+    for c in key.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Renders a snapshot in the Prometheus text exposition format (v0.0.4):
+/// counters and gauges as single samples with a `# TYPE` line, histograms
+/// as summaries — `{quantile="..."}` samples plus `_sum` and `_count`.
+/// Histogram values stay in nanoseconds (the names already carry the `_ns`
+/// suffix the registry's naming scheme mandates). Keys arrive sorted, so
+/// the exposition is deterministic for a given snapshot.
+pub fn prometheus_text(snap: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    for (key, metric) in &snap.entries {
+        let name = prometheus_name(key);
+        match metric {
+            MetricSnapshot::Counter(v) => {
+                out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+            }
+            MetricSnapshot::Gauge(v) => {
+                out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+            }
+            MetricSnapshot::Histogram(h) => {
+                out.push_str(&format!("# TYPE {name} summary\n"));
+                for (q, v) in [
+                    ("0.5", h.p50_ns()),
+                    ("0.9", h.p90_ns()),
+                    ("0.99", h.p99_ns()),
+                    ("0.999", h.p999_ns()),
+                ] {
+                    out.push_str(&format!("{name}{{quantile=\"{q}\"}} {v}\n"));
+                }
+                out.push_str(&format!("{name}_sum {}\n", h.sum_ns));
+                out.push_str(&format!("{name}_count {}\n", h.count));
+            }
+        }
+    }
+    out
+}
+
 /// Serializes completed spans as Chrome trace-event JSON (openable in
 /// `chrome://tracing` and [Perfetto](https://ui.perfetto.dev)). Each span
 /// becomes one complete (`"ph":"X"`) event — one per line, so streaming
@@ -280,6 +330,27 @@ mod tests {
         assert!(table.contains("proxy.ring_occupancy"));
         assert!(table.contains("client.read_ns"));
         assert!(table.contains("p99="));
+    }
+
+    #[test]
+    fn prometheus_exposition_covers_every_kind() {
+        let text = prometheus_text(&sample_registry().snapshot());
+        assert!(text.contains("# TYPE gengar_rdma_read_ops counter\ngengar_rdma_read_ops 12\n"));
+        assert!(text.contains(
+            "# TYPE gengar_proxy_ring_occupancy gauge\ngengar_proxy_ring_occupancy -1\n"
+        ));
+        assert!(text.contains("# TYPE gengar_client_read_ns summary\n"));
+        assert!(text.contains("gengar_client_read_ns{quantile=\"0.99\"} "));
+        assert!(text.contains("gengar_client_read_ns_count 4\n"));
+        assert!(text.contains("gengar_client_read_ns_sum 400600\n"));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.split(' ');
+            assert!(parts.next().unwrap().starts_with("gengar_"), "{line}");
+            assert!(parts.next().unwrap().parse::<f64>().is_ok(), "{line}");
+            assert!(parts.next().is_none(), "{line}");
+        }
+        assert_eq!(prometheus_text(&Registry::new().snapshot()), "");
     }
 
     #[test]

@@ -30,8 +30,9 @@ pub mod metrics;
 pub mod registry;
 pub mod span;
 pub mod trace;
+pub mod window;
 
-pub use export::{chrome_trace_json, critical_path_table, fmt_ns, json_escape};
+pub use export::{chrome_trace_json, critical_path_table, fmt_ns, json_escape, prometheus_text};
 pub use metrics::{Counter, Gauge, HistogramSnapshot, LatencyHistogram};
 pub use registry::{
     CounterHandle, GaugeHandle, HistogramHandle, MetricSnapshot, Registry, RegistrySnapshot,
@@ -41,6 +42,7 @@ pub use trace::{
     adopt, current_context, ContextGuard, FlightRecorder, SpanId, SpanRecord, TraceId, TraceMode,
     TraceSpan, Tracer,
 };
+pub use window::{SamplerThread, Window, WindowEntry, WindowRing, WindowSampler};
 
 use std::sync::Arc;
 

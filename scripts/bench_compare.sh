@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# Compares the current BENCH_<ID>.json snapshots against the previous run
+# (the `.prev` files the harness leaves behind) and flags regressions.
+#
+#   scripts/bench_compare.sh            # compare every experiment with a .prev
+#   scripts/bench_compare.sh e4 e11     # compare a subset
+#
+# Direction is inferred from the harness's metric naming scheme:
+# `*_kops` and `*_ratio` are higher-better, `*_ns` / `*_us` / `*_ms` are
+# lower-better. Anything else (op counts, byte sizes, percentages) is
+# printed for the record but never gated. A >20% move in the bad
+# direction is a regression and the script exits 1; quick-vs-full or
+# cross-host comparisons only warn, since those numbers are not
+# comparable in the first place.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+THRESHOLD=${THRESHOLD:-20}
+
+field() { # field <file> <key> — bare JSON string/number value
+    sed -n "s/.*\"$2\":\"\{0,1\}\([^\",}]*\)\"\{0,1\}.*/\1/p" "$1"
+}
+
+metrics() { # metrics <file> — "name value" lines from the metrics section
+    sed -n 's/.*"metrics":{\([^}]*\)}.*/\1/p' "$1" |
+        tr ',' '\n' |
+        sed -n 's/^"\([^"]*\)":\(.*\)$/\1 \2/p'
+}
+
+if [[ $# -gt 0 ]]; then
+    files=()
+    for id in "$@"; do
+        files+=("BENCH_$(echo "$id" | tr '[:lower:]' '[:upper:]').json")
+    done
+else
+    shopt -s nullglob
+    files=(BENCH_*.json)
+    shopt -u nullglob
+fi
+
+regressions=0
+compared=0
+for cur in "${files[@]}"; do
+    prev="$cur.prev"
+    if [[ ! -f "$cur" ]]; then
+        echo "$cur: missing (run the harness first)" >&2
+        continue
+    fi
+    [[ -f "$prev" ]] || continue
+    compared=$((compared + 1))
+
+    id=$(field "$cur" experiment)
+    cur_mode=$(field "$cur" mode)
+    prev_mode=$(field "$prev" mode)
+    cur_host=$(field "$cur" host)
+    prev_host=$(field "$prev" host)
+    cur_rev=$(field "$cur" rev)
+    prev_rev=$(field "$prev" rev)
+    echo "== $id: $prev_rev ($prev_mode) -> $cur_rev ($cur_mode)"
+    if [[ "$cur_mode" != "$prev_mode" ]]; then
+        echo "   warning: mode changed ($prev_mode -> $cur_mode), numbers not comparable"
+    fi
+    if [[ "$cur_host" != "$prev_host" ]]; then
+        echo "   warning: host changed ($prev_host -> $cur_host), numbers not comparable"
+    fi
+
+    while read -r name value; do
+        [[ -n "$name" ]] || continue
+        old=$(metrics "$prev" | awk -v n="$name" '$1 == n { print $2; exit }')
+        if [[ -z "$old" ]]; then
+            echo "   $name: $value (new metric)"
+            continue
+        fi
+        case "$name" in
+        *_kops | *_ratio) dir=higher label="higher-better" ;;
+        *_ns | *_us | *_ms) dir=lower label="lower-better" ;;
+        *) dir=info label="informational" ;;
+        esac
+        verdict=$(awk -v old="$old" -v new="$value" -v dir="$dir" -v thr="$THRESHOLD" 'BEGIN {
+            if (old == 0) { print "ok"; exit }
+            delta = (new - old) / old * 100
+            bad = (dir == "higher" && delta < -thr) || (dir == "lower" && delta > thr)
+            printf "%s %+.1f%%", (dir == "info" ? "info" : (bad ? "REGRESSION" : "ok")), delta
+        }')
+        mark=""
+        if [[ "$verdict" == REGRESSION* ]]; then
+            mark="  <-- REGRESSION"
+            regressions=$((regressions + 1))
+        fi
+        echo "   $name: $old -> $value (${verdict#* }, ${label})${mark}"
+    done < <(metrics "$cur")
+done
+
+if [[ "$compared" == 0 ]]; then
+    echo "nothing to compare: no BENCH_<ID>.json.prev snapshots found" >&2
+    echo "(the harness writes .prev on its second run; run it twice)" >&2
+    exit 0
+fi
+if [[ "$regressions" -gt 0 ]]; then
+    echo "bench_compare: $regressions metric(s) regressed more than ${THRESHOLD}%" >&2
+    exit 1
+fi
+echo "bench_compare: $compared snapshot(s) compared, no regression over ${THRESHOLD}%"

@@ -273,4 +273,37 @@ if [[ "$overhead_ok" != "1" ]]; then
 fi
 echo "tracing overhead gate passed: sampled ${on} within 5% of off ${off} kops/s"
 
+echo "== inspect schema gate (gengar-top --once --json must pass inspectcheck)"
+inspect_tmp=$(mktemp -t gengar-inspect.XXXXXX)
+cargo run -p gengar-bench --release --bin gengar-top -- --once --json >"$inspect_tmp"
+cargo run -p gengar-bench --release --bin inspectcheck -- "$inspect_tmp"
+rm -f "$inspect_tmp"
+
+echo "== health overhead gate (E15: health plane on within 5% of off)"
+# E15 runs both arms back-to-back itself (same pairing rationale as the
+# tracing gate above), at full scale — quick-mode sections are too short
+# for a 5% bound on a shared host. The on-arm ticks at 10ms, ~100x a
+# production scrape, so a pass here is a generous upper bound.
+e15_ok=0
+for attempt in 1 2 3; do
+    e15_out=$(cargo run -p gengar-bench --release --bin harness -- e15 --no-telemetry)
+    echo "$e15_out" | grep '^E15 '
+    hoff=$(echo "$e15_out" | sed -n 's/^E15 health=off read_kops=\([0-9.]*\).*/\1/p')
+    hon=$(echo "$e15_out" | sed -n 's/^E15 health=on read_kops=\([0-9.]*\).*/\1/p')
+    if [[ -z "$hoff" || -z "$hon" ]]; then
+        echo "health overhead gate: missing E15 health=off/health=on lines" >&2
+        exit 1
+    fi
+    if awk -v on="$hon" -v off="$hoff" 'BEGIN { exit !(off > 0 && on >= 0.95 * off) }'; then
+        e15_ok=1
+        break
+    fi
+    echo "health overhead gate attempt ${attempt}: on ${hon} < 0.95x off ${hoff} kops/s, retrying"
+done
+if [[ "$e15_ok" != "1" ]]; then
+    echo "health overhead gate FAILED: health on ${hon} kops/s < 0.95x off ${hoff} kops/s" >&2
+    exit 1
+fi
+echo "health overhead gate passed: on ${hon} within 5% of off ${hoff} kops/s"
+
 echo "all checks passed"
